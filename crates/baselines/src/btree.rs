@@ -1,0 +1,616 @@
+//! The SQLite baseline: a paged B+tree term index over cloud storage.
+//!
+//! §V-A0b: "SQLite is a light database we choose as a practical B-tree
+//! implementation. We first create a two-column table consisting of keyword
+//! column and postings column to mimic the inverted index dictionary. We
+//! then build SQLite's B-tree index on the keyword column … and store its
+//! database file on the cloud-mounted directory. In each query, after
+//! retrieving the postings, SQLite reuses the same document retrieval
+//! routine from Airphant."
+//!
+//! Layout (all under the index prefix):
+//!
+//! * `btree/meta`  — root page id, tree height, string table. Downloaded at
+//!   open, like SQLite's database header and schema.
+//! * `btree/pages` — fixed 4 KiB pages, root → internal → leaf.
+//! * `btree/heap`  — postings rows, compacted with Airphant's encoding.
+//!
+//! A lookup descends the tree with one **dependent** ranged read per level
+//! (it cannot know which child page to read before parsing the parent),
+//! then one more read for the postings row — the sequential round trips
+//! that make hierarchical indexes slow on cloud storage (§II-B). A page
+//! cache for *internal* pages models SQLite's buffer pool ("SQLite's
+//! cached B-tree traversal", Appendix B-A).
+
+use crate::inverted::InvertedIndex;
+use airphant::retrieval::{contains_word, fetch_and_filter};
+use airphant::{AirphantError, SearchEngine, SearchResult};
+use airphant_corpus::{Tokenizer, WhitespaceTokenizer};
+use airphant_storage::{ObjectStore, PhaseKind, QueryTrace, SimDuration};
+use bytes::{BufMut, Bytes, BytesMut};
+use iou_sketch::encoding::{
+    decode_superpost, put_string, put_varint, BinPointer, Cursor, StringTable,
+};
+use iou_sketch::{PostingsList, SketchError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Fixed page size, matching SQLite's default.
+pub const PAGE_SIZE: usize = 4096;
+/// Bytes reserved per page for the page header/slack.
+const PAGE_SLACK: usize = 32;
+
+fn meta_blob(prefix: &str) -> String {
+    format!("{prefix}/btree/meta")
+}
+fn pages_blob(prefix: &str) -> String {
+    format!("{prefix}/btree/pages")
+}
+fn heap_blob(prefix: &str) -> String {
+    format!("{prefix}/btree/heap")
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Page {
+    Leaf(Vec<(String, BinPointer)>),
+    /// `(first_child, separators)`: keys < separators[0] go to first_child;
+    /// keys in `[sep[i], sep[i+1])` go to `children[i]`.
+    Internal {
+        first_child: u32,
+        separators: Vec<(String, u32)>,
+    },
+}
+
+impl Page {
+    fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(PAGE_SIZE);
+        match self {
+            Page::Leaf(entries) => {
+                buf.put_u8(0);
+                put_varint(&mut buf, entries.len() as u64);
+                for (word, ptr) in entries {
+                    put_string(&mut buf, word);
+                    put_varint(&mut buf, ptr.offset);
+                    put_varint(&mut buf, ptr.len as u64);
+                }
+            }
+            Page::Internal {
+                first_child,
+                separators,
+            } => {
+                buf.put_u8(1);
+                put_varint(&mut buf, separators.len() as u64);
+                put_varint(&mut buf, *first_child as u64);
+                for (word, child) in separators {
+                    put_string(&mut buf, word);
+                    put_varint(&mut buf, *child as u64);
+                }
+            }
+        }
+        assert!(buf.len() <= PAGE_SIZE, "page overflow: {} bytes", buf.len());
+        buf.resize(PAGE_SIZE, 0);
+        buf.freeze()
+    }
+
+    fn decode(data: &[u8]) -> Result<Self, SketchError> {
+        let mut cur = Cursor::new(data);
+        let kind = cur.bytes(1)?[0];
+        let n = cur.varint()? as usize;
+        match kind {
+            0 => {
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let word = cur.string()?;
+                    let offset = cur.varint()?;
+                    let len = cur.varint()? as u32;
+                    entries.push((word, BinPointer::new(0, offset, len)));
+                }
+                Ok(Page::Leaf(entries))
+            }
+            1 => {
+                let first_child = cur.varint()? as u32;
+                let mut separators = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let word = cur.string()?;
+                    let child = cur.varint()? as u32;
+                    separators.push((word, child));
+                }
+                Ok(Page::Internal {
+                    first_child,
+                    separators,
+                })
+            }
+            k => Err(SketchError::Corrupt {
+                detail: format!("unknown page kind {k}"),
+            }),
+        }
+    }
+
+    fn is_internal(&self) -> bool {
+        matches!(self, Page::Internal { .. })
+    }
+}
+
+/// Builds and persists the B+tree index.
+pub struct BTreeBuilder;
+
+impl BTreeBuilder {
+    /// Build the index for `corpus` under `prefix`.
+    pub fn build(
+        corpus: &airphant_corpus::Corpus,
+        prefix: &str,
+    ) -> airphant::Result<BTreeBuildReport> {
+        let inverted = InvertedIndex::from_corpus(corpus)?;
+        Self::build_from_inverted(&inverted, corpus.store().as_ref(), prefix)
+    }
+
+    /// Build from a pre-computed inverted index.
+    pub fn build_from_inverted(
+        inverted: &InvertedIndex,
+        store: &dyn ObjectStore,
+        prefix: &str,
+    ) -> airphant::Result<BTreeBuildReport> {
+        let (heap, term_pointers) = inverted.build_heap(0);
+
+        // --- Pack leaves greedily under the page budget. ---
+        let mut pages: Vec<Page> = Vec::new();
+        let mut current: Vec<(String, BinPointer)> = Vec::new();
+        let mut current_size = 2usize; // kind byte + count varint lower bound
+        let budget = PAGE_SIZE - PAGE_SLACK;
+        for (word, ptr) in term_pointers {
+            let entry_size = 10 + word.len() + 10 + 5;
+            if !current.is_empty() && current_size + entry_size > budget {
+                pages.push(Page::Leaf(std::mem::take(&mut current)));
+                current_size = 2;
+            }
+            current_size += entry_size;
+            current.push((word, ptr));
+        }
+        if !current.is_empty() {
+            pages.push(Page::Leaf(current));
+        }
+        if pages.is_empty() {
+            pages.push(Page::Leaf(Vec::new()));
+        }
+
+        // --- Build internal levels bottom-up. ---
+        let mut height = 1u32;
+        let mut level: Vec<(String, u32)> = pages
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                let first = match p {
+                    Page::Leaf(entries) => entries
+                        .first()
+                        .map(|(w, _)| w.clone())
+                        .unwrap_or_default(),
+                    Page::Internal { .. } => unreachable!(),
+                };
+                (first, i as u32)
+            })
+            .collect();
+        while level.len() > 1 {
+            height += 1;
+            let mut next_level: Vec<(String, u32)> = Vec::new();
+            let mut node_children: Vec<(String, u32)> = Vec::new();
+            let mut node_size = 12usize;
+            for (word, page_id) in level {
+                let entry_size = 10 + word.len() + 5;
+                if !node_children.is_empty() && node_size + entry_size > budget {
+                    let page_id = pages.len() as u32;
+                    next_level.push((node_children[0].0.clone(), page_id));
+                    pages.push(make_internal(std::mem::take(&mut node_children)));
+                    node_size = 12;
+                }
+                node_size += entry_size;
+                node_children.push((word, page_id));
+            }
+            if !node_children.is_empty() {
+                let page_id = pages.len() as u32;
+                next_level.push((node_children[0].0.clone(), page_id));
+                pages.push(make_internal(node_children));
+            }
+            level = next_level;
+        }
+        let root = level[0].1;
+
+        // --- Persist pages, heap, meta. ---
+        let mut pages_buf = BytesMut::with_capacity(pages.len() * PAGE_SIZE);
+        for p in &pages {
+            pages_buf.extend_from_slice(&p.encode());
+        }
+        store.put(&pages_blob(prefix), pages_buf.freeze())?;
+        store.put(&heap_blob(prefix), heap.freeze())?;
+
+        let mut meta = BytesMut::new();
+        meta.put_slice(b"BTRE");
+        put_varint(&mut meta, root as u64);
+        put_varint(&mut meta, height as u64);
+        put_varint(&mut meta, pages.len() as u64);
+        encode_string_table(&mut meta, &inverted.string_table);
+        store.put(&meta_blob(prefix), meta.freeze())?;
+
+        Ok(BTreeBuildReport {
+            pages: pages.len(),
+            height,
+            terms: inverted.term_count(),
+        })
+    }
+}
+
+fn make_internal(children: Vec<(String, u32)>) -> Page {
+    let first_child = children[0].1;
+    let separators = children.into_iter().skip(1).collect();
+    Page::Internal {
+        first_child,
+        separators,
+    }
+}
+
+fn encode_string_table(buf: &mut BytesMut, table: &StringTable) {
+    put_varint(buf, table.len() as u64);
+    for id in 0..table.len() as u32 {
+        put_string(buf, table.name(id).expect("dense ids"));
+    }
+}
+
+fn decode_string_table(cur: &mut Cursor<'_>) -> Result<StringTable, SketchError> {
+    let n = cur.varint()? as usize;
+    let mut table = StringTable::new();
+    for _ in 0..n {
+        let name = cur.string()?;
+        table.intern(&name);
+    }
+    Ok(table)
+}
+
+/// Summary of a B+tree build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BTreeBuildReport {
+    /// Total pages written.
+    pub pages: usize,
+    /// Tree height (levels of pages).
+    pub height: u32,
+    /// Distinct terms indexed.
+    pub terms: usize,
+}
+
+/// The SQLite-like query engine.
+pub struct BTreeEngine {
+    store: Arc<dyn ObjectStore>,
+    prefix: String,
+    root: u32,
+    height: u32,
+    string_table: StringTable,
+    tokenizer: Arc<dyn Tokenizer>,
+    init_trace: QueryTrace,
+    /// Buffer-pool model: internal pages are cached after first read.
+    page_cache: Mutex<HashMap<u32, Page>>,
+    cache_internal_pages: bool,
+}
+
+impl BTreeEngine {
+    /// Open an index built by [`BTreeBuilder`] (internal-page caching on,
+    /// modelling SQLite's warm buffer pool).
+    pub fn open(store: Arc<dyn ObjectStore>, prefix: &str) -> airphant::Result<Self> {
+        Self::open_with_options(store, prefix, true)
+    }
+
+    /// Open with explicit control over internal-page caching.
+    pub fn open_with_options(
+        store: Arc<dyn ObjectStore>,
+        prefix: &str,
+        cache_internal_pages: bool,
+    ) -> airphant::Result<Self> {
+        let meta_name = meta_blob(prefix);
+        if !store.exists(&meta_name) {
+            return Err(AirphantError::IndexNotFound {
+                prefix: prefix.to_owned(),
+            });
+        }
+        let mut init_trace = QueryTrace::new();
+        let fetched = store.get(&meta_name)?;
+        init_trace.record_sequential(
+            PhaseKind::Init,
+            1,
+            fetched.bytes.len() as u64,
+            fetched.latency.first_byte,
+            fetched.latency.transfer,
+        );
+        let mut cur = Cursor::new(&fetched.bytes);
+        let magic = cur.bytes(4)?;
+        if magic != b"BTRE" {
+            return Err(SketchError::Corrupt {
+                detail: "bad btree meta magic".into(),
+            }
+            .into());
+        }
+        let root = cur.varint()? as u32;
+        let height = cur.varint()? as u32;
+        let _pages = cur.varint()?;
+        let string_table = decode_string_table(&mut cur)?;
+        Ok(BTreeEngine {
+            store,
+            prefix: prefix.to_owned(),
+            root,
+            height,
+            string_table,
+            tokenizer: Arc::new(WhitespaceTokenizer),
+            init_trace,
+            page_cache: Mutex::new(HashMap::new()),
+            cache_internal_pages,
+        })
+    }
+
+    /// Tree height.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    fn read_page(
+        &self,
+        page_id: u32,
+        reads: &mut u64,
+        bytes: &mut u64,
+        wait: &mut SimDuration,
+        download: &mut SimDuration,
+    ) -> airphant::Result<Page> {
+        if self.cache_internal_pages {
+            if let Some(p) = self.page_cache.lock().get(&page_id) {
+                return Ok(p.clone());
+            }
+        }
+        let fetched = self.store.get_range(
+            &pages_blob(&self.prefix),
+            page_id as u64 * PAGE_SIZE as u64,
+            PAGE_SIZE as u64,
+        )?;
+        *reads += 1;
+        *bytes += fetched.bytes.len() as u64;
+        *wait += fetched.latency.first_byte;
+        *download += fetched.latency.transfer;
+        let page = Page::decode(&fetched.bytes)?;
+        if self.cache_internal_pages && page.is_internal() {
+            self.page_cache.lock().insert(page_id, page.clone());
+        }
+        Ok(page)
+    }
+
+    fn descend(&self, word: &str, trace: &mut QueryTrace) -> airphant::Result<Option<BinPointer>> {
+        let mut reads = 0u64;
+        let mut bytes = 0u64;
+        let mut wait = SimDuration::ZERO;
+        let mut download = SimDuration::ZERO;
+        let mut page_id = self.root;
+        let pointer = loop {
+            let page = self.read_page(page_id, &mut reads, &mut bytes, &mut wait, &mut download)?;
+            match page {
+                Page::Internal {
+                    first_child,
+                    separators,
+                } => {
+                    let mut child = first_child;
+                    for (sep, c) in &separators {
+                        if word >= sep.as_str() {
+                            child = *c;
+                        } else {
+                            break;
+                        }
+                    }
+                    page_id = child;
+                }
+                Page::Leaf(entries) => {
+                    break entries
+                        .binary_search_by(|(w, _)| w.as_str().cmp(word))
+                        .ok()
+                        .map(|idx| entries[idx].1);
+                }
+            }
+        };
+        // Dependent sequential reads: waits add up (§II-B).
+        trace.record_sequential(PhaseKind::Lookup, reads, bytes, wait, download);
+        Ok(pointer)
+    }
+
+    /// Number of pages currently cached.
+    pub fn cached_pages(&self) -> usize {
+        self.page_cache.lock().len()
+    }
+}
+
+impl SearchEngine for BTreeEngine {
+    fn name(&self) -> &'static str {
+        "SQLite"
+    }
+
+    fn init_trace(&self) -> QueryTrace {
+        self.init_trace.clone()
+    }
+
+    fn lookup(&self, word: &str) -> airphant::Result<(PostingsList, QueryTrace)> {
+        let mut trace = QueryTrace::new();
+        let ptr = self.descend(word, &mut trace)?;
+        let postings = match ptr {
+            Some(ptr) => {
+                let fetched =
+                    self.store
+                        .get_range(&heap_blob(&self.prefix), ptr.offset, ptr.len as u64)?;
+                trace.record_sequential(
+                    PhaseKind::Postings,
+                    1,
+                    fetched.bytes.len() as u64,
+                    fetched.latency.first_byte,
+                    fetched.latency.transfer,
+                );
+                decode_superpost(&fetched.bytes)?
+            }
+            None => PostingsList::new(),
+        };
+        Ok((postings, trace))
+    }
+
+    fn search(&self, word: &str, top_k: Option<usize>) -> airphant::Result<SearchResult> {
+        let (postings, mut trace) = self.lookup(word)?;
+        let mut to_fetch: Vec<iou_sketch::Posting> = postings.iter().copied().collect();
+        if let Some(k) = top_k {
+            to_fetch.truncate(k); // exact postings: the first k are relevant
+        }
+        let predicate = contains_word(self.tokenizer.as_ref(), word);
+        let (hits, dropped) = fetch_and_filter(
+            self.store.as_ref(),
+            &self.string_table,
+            &to_fetch,
+            &predicate,
+            &mut trace,
+        )?;
+        Ok(SearchResult {
+            hits,
+            trace,
+            candidates: postings.len(),
+            false_positives_removed: dropped,
+        })
+    }
+
+    fn index_bytes(&self) -> u64 {
+        self.store
+            .usage(&format!("{}/btree/", self.prefix))
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airphant_corpus::{Corpus, LineSplitter};
+    use airphant_storage::{InMemoryStore, LatencyModel, SimulatedCloudStore};
+    use std::sync::Arc;
+
+    fn corpus(store: Arc<dyn ObjectStore>, n: usize) -> Corpus {
+        let lines: Vec<String> = (0..n).map(|i| format!("term{i:05} payload{}", i % 5)).collect();
+        store.put("c/b", Bytes::from(lines.join("\n"))).unwrap();
+        Corpus::new(
+            store,
+            vec!["c/b".into()],
+            Arc::new(LineSplitter),
+            Arc::new(WhitespaceTokenizer),
+        )
+    }
+
+    #[test]
+    fn page_roundtrip() {
+        let leaf = Page::Leaf(vec![
+            ("alpha".into(), BinPointer::new(0, 0, 10)),
+            ("beta".into(), BinPointer::new(0, 10, 20)),
+        ]);
+        let internal = Page::Internal {
+            first_child: 3,
+            separators: vec![("m".into(), 4), ("t".into(), 5)],
+        };
+        for page in [leaf, internal] {
+            let enc = page.encode();
+            assert_eq!(enc.len(), PAGE_SIZE);
+            assert_eq!(Page::decode(&enc).unwrap(), page);
+        }
+    }
+
+    #[test]
+    fn build_produces_multi_level_tree() {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let c = corpus(store.clone(), 5_000);
+        let report = BTreeBuilder::build(&c, "idx").unwrap();
+        assert!(report.height >= 2, "5000 terms need > 1 level");
+        assert!(report.pages > 10);
+        assert!(report.terms >= 5_000);
+    }
+
+    #[test]
+    fn lookup_finds_exact_postings() {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let c = corpus(store.clone(), 2_000);
+        BTreeBuilder::build(&c, "idx").unwrap();
+        let engine = BTreeEngine::open(store, "idx").unwrap();
+        let (postings, trace) = engine.lookup("term00042").unwrap();
+        assert_eq!(postings.len(), 1);
+        assert!(trace.requests() >= 2, "page reads + heap read");
+        let (missing, _) = engine.lookup("not-a-term").unwrap();
+        assert!(missing.is_empty());
+        // Payload words appear in n/5 docs.
+        let (payload, _) = engine.lookup("payload3").unwrap();
+        assert_eq!(payload.len(), 400);
+    }
+
+    #[test]
+    fn search_matches_and_has_no_false_positives() {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let c = corpus(store.clone(), 500);
+        BTreeBuilder::build(&c, "idx").unwrap();
+        let engine = BTreeEngine::open(store, "idx").unwrap();
+        let r = engine.search("term00123", None).unwrap();
+        assert_eq!(r.hits.len(), 1);
+        assert_eq!(r.false_positives_removed, 0, "exact index has no FPs");
+        assert!(r.hits[0].text.starts_with("term00123"));
+        let topk = engine.search("payload2", Some(10)).unwrap();
+        assert_eq!(topk.hits.len(), 10);
+    }
+
+    #[test]
+    fn traversal_is_sequential_round_trips() {
+        let store = Arc::new(SimulatedCloudStore::new(
+            InMemoryStore::new(),
+            LatencyModel::gcs_like(),
+            5,
+        ));
+        {
+            let s: Arc<dyn ObjectStore> = store.clone();
+            let c = corpus(s, 20_000);
+            BTreeBuilder::build(&c, "idx").unwrap();
+        }
+        // Cold cache: each level is a dependent round trip, so lookup wait
+        // far exceeds a single round trip.
+        let engine =
+            BTreeEngine::open_with_options(store.clone(), "idx", false).unwrap();
+        let (_, trace) = engine.lookup("term10000").unwrap();
+        assert!(trace.requests() >= 3);
+        assert!(
+            trace.wait().as_millis_f64() > 90.0,
+            "sequential traversal should stack waits, got {}",
+            trace.wait()
+        );
+    }
+
+    #[test]
+    fn internal_page_cache_reduces_reads() {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let c = corpus(store.clone(), 20_000);
+        BTreeBuilder::build(&c, "idx").unwrap();
+        let engine = BTreeEngine::open(store, "idx").unwrap();
+        let (_, cold) = engine.lookup("term10000").unwrap();
+        assert!(engine.cached_pages() > 0);
+        let (_, warm) = engine.lookup("term10001").unwrap();
+        assert!(
+            warm.requests() < cold.requests(),
+            "warm {} vs cold {}",
+            warm.requests(),
+            cold.requests()
+        );
+        // Warm traversal still needs the (uncached) leaf + heap row.
+        assert!(warm.requests() >= 2);
+    }
+
+    #[test]
+    fn empty_corpus_builds_and_misses() {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        store.put("c/b", Bytes::new()).unwrap();
+        let c = Corpus::new(
+            store.clone(),
+            vec!["c/b".into()],
+            Arc::new(LineSplitter),
+            Arc::new(WhitespaceTokenizer),
+        );
+        BTreeBuilder::build(&c, "idx").unwrap();
+        let engine = BTreeEngine::open(store, "idx").unwrap();
+        let (postings, _) = engine.lookup("anything").unwrap();
+        assert!(postings.is_empty());
+    }
+}

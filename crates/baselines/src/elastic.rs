@@ -1,0 +1,175 @@
+//! The Elasticsearch baseline: the skip-list engine behind a searchable-
+//! snapshot mount.
+//!
+//! §V-A0b: "To benchmark Elasticsearch, we mount a Searchable Snapshot onto
+//! an Elasticsearch empty instance"; §V-B0b: "Elasticsearch spends much
+//! time in mounting its searchable snapshots". We model the three
+//! Elasticsearch-specific costs on top of the Lucene-like structure it
+//! wraps:
+//!
+//! 1. **Snapshot mount at init** — the mount downloads/materializes the
+//!    index files from the snapshot repository (a full-index read).
+//! 2. **Block-granular reads** — the searchable-snapshot block cache
+//!    fetches fixed large blocks rather than exact byte ranges, inflating
+//!    the bytes moved per traversal hop.
+//! 3. **Coordination overhead per query** — REST layer, shard routing, and
+//!    query phase bookkeeping.
+
+use crate::skiplist::{SkipListBuilder, SkipListBuildReport, SkipListEngine};
+use airphant::{SearchEngine, SearchResult};
+use airphant_storage::{ObjectStore, PhaseKind, QueryTrace, SimDuration};
+use iou_sketch::PostingsList;
+use std::sync::Arc;
+
+/// Block size of the searchable-snapshot block cache model.
+pub const ES_BLOCK_BYTES: u64 = 128 * 1024;
+/// Per-query coordination overhead.
+pub const ES_QUERY_OVERHEAD_MS: u64 = 4;
+
+/// Builds the Elasticsearch-like index (identical on-storage layout to the
+/// skip-list engine; the differences are all at query/init time).
+pub struct ElasticBuilder;
+
+impl ElasticBuilder {
+    /// Build the index for `corpus` under `prefix`.
+    pub fn build(
+        corpus: &airphant_corpus::Corpus,
+        prefix: &str,
+    ) -> airphant::Result<SkipListBuildReport> {
+        SkipListBuilder::build(corpus, prefix)
+    }
+}
+
+/// The Elasticsearch-like engine.
+pub struct ElasticEngine {
+    inner: SkipListEngine,
+}
+
+impl ElasticEngine {
+    /// Open the index, performing the searchable-snapshot mount: the init
+    /// trace includes reading the full node and heap files from the
+    /// snapshot repository.
+    pub fn open(store: Arc<dyn ObjectStore>, prefix: &str) -> airphant::Result<Self> {
+        let mut inner =
+            SkipListEngine::open_with_options(store.clone(), prefix, ES_BLOCK_BYTES, 3)?;
+        inner.set_display(
+            "Elasticsearch",
+            SimDuration::from_millis(ES_QUERY_OVERHEAD_MS),
+        );
+
+        // Snapshot mount: materialize the index files.
+        let mut mount = QueryTrace::new();
+        for blob in [
+            format!("{prefix}/skiplist/nodes"),
+            format!("{prefix}/skiplist/heap"),
+        ] {
+            let fetched = store.get(&blob)?;
+            mount.record_sequential(
+                PhaseKind::Init,
+                1,
+                fetched.bytes.len() as u64,
+                fetched.latency.first_byte,
+                fetched.latency.transfer,
+            );
+        }
+        inner.extend_init(&mount);
+        Ok(ElasticEngine { inner })
+    }
+
+    /// The wrapped skip-list engine.
+    pub fn inner(&self) -> &SkipListEngine {
+        &self.inner
+    }
+}
+
+impl SearchEngine for ElasticEngine {
+    fn name(&self) -> &'static str {
+        "Elasticsearch"
+    }
+
+    fn init_trace(&self) -> QueryTrace {
+        self.inner.init_trace()
+    }
+
+    fn lookup(&self, word: &str) -> airphant::Result<(PostingsList, QueryTrace)> {
+        self.inner.lookup(word)
+    }
+
+    fn search(&self, word: &str, top_k: Option<usize>) -> airphant::Result<SearchResult> {
+        self.inner.search(word, top_k)
+    }
+
+    fn index_bytes(&self) -> u64 {
+        self.inner.index_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airphant_corpus::{Corpus, LineSplitter, WhitespaceTokenizer};
+    use airphant_storage::{InMemoryStore, LatencyModel, SimulatedCloudStore};
+    use bytes::Bytes;
+
+    fn corpus(store: Arc<dyn ObjectStore>, n: usize) -> Corpus {
+        let lines: Vec<String> = (0..n).map(|i| format!("term{i:05} x")).collect();
+        store.put("c/b", Bytes::from(lines.join("\n"))).unwrap();
+        Corpus::new(
+            store,
+            vec!["c/b".into()],
+            Arc::new(LineSplitter),
+            Arc::new(WhitespaceTokenizer),
+        )
+    }
+
+    #[test]
+    fn mount_dominates_init() {
+        let store = Arc::new(SimulatedCloudStore::new(
+            InMemoryStore::new(),
+            LatencyModel::gcs_like(),
+            9,
+        ));
+        {
+            let s: Arc<dyn ObjectStore> = store.clone();
+            let c = corpus(s, 3_000);
+            ElasticBuilder::build(&c, "idx").unwrap();
+        }
+        let engine = ElasticEngine::open(store.clone(), "idx").unwrap();
+        // Mount reads the whole node + heap files; init bytes ≈ index size.
+        let init = engine.init_trace();
+        assert!(init.bytes() > 10_000);
+        // For comparison, a plain skip-list open reads only the meta blob.
+        let plain = SkipListEngine::open(store, "idx").unwrap();
+        assert!(plain.init_trace().bytes() < init.bytes() / 5);
+    }
+
+    #[test]
+    fn queries_read_whole_blocks() {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let c = corpus(store.clone(), 5_000);
+        ElasticBuilder::build(&c, "idx").unwrap();
+        let es = ElasticEngine::open(store.clone(), "idx").unwrap();
+        let lucene = SkipListEngine::open(store, "idx").unwrap();
+        let (_, es_trace) = es.lookup("term02500").unwrap();
+        let (_, lucene_trace) = lucene.lookup("term02500").unwrap();
+        assert!(
+            es_trace.bytes() > 10 * lucene_trace.bytes(),
+            "block reads should inflate bytes: es={} lucene={}",
+            es_trace.bytes(),
+            lucene_trace.bytes()
+        );
+        // Coordination overhead is present.
+        assert!(es_trace.compute() >= SimDuration::from_millis(ES_QUERY_OVERHEAD_MS));
+    }
+
+    #[test]
+    fn results_remain_exact() {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let c = corpus(store.clone(), 500);
+        ElasticBuilder::build(&c, "idx").unwrap();
+        let es = ElasticEngine::open(store, "idx").unwrap();
+        let r = es.search("term00123", None).unwrap();
+        assert_eq!(r.hits.len(), 1);
+        assert_eq!(es.name(), "Elasticsearch");
+    }
+}

@@ -1,0 +1,167 @@
+//! The naïve HashTable baseline: IoU Sketch with a single layer.
+//!
+//! §V-A0b: "HashTable refers to an inverted index that stores postings
+//! lists according to their corresponding terms' hashes. It is equivalent
+//! to IoU Sketch with the only exception that it has a single layer L = 1.
+//! Other relevant configurations such as the total number of bins and
+//! common word bins are identical."
+//!
+//! With one layer there is no intersection to cancel collisions, so a
+//! query's candidate list carries every co-hashed word's postings — the
+//! download-heavy extreme of Figure 8/11.
+
+use airphant::{AirphantConfig, BuildReport, Builder, SearchEngine, Searcher};
+use airphant_corpus::Corpus;
+use airphant_storage::{ObjectStore, QueryTrace};
+use iou_sketch::PostingsList;
+use std::sync::Arc;
+
+/// The single-layer hash-table engine.
+pub struct HashTableEngine {
+    inner: Searcher,
+}
+
+impl HashTableEngine {
+    /// Build a HashTable index for `corpus` under `prefix`, copying every
+    /// relevant knob from `config` but forcing `L = 1`.
+    pub fn build(
+        corpus: &Corpus,
+        prefix: &str,
+        config: &AirphantConfig,
+    ) -> airphant::Result<BuildReport> {
+        let ht_config = config.clone().with_manual_layers(1);
+        Builder::new(ht_config).build(corpus, prefix)
+    }
+
+    /// Open a previously built HashTable index.
+    pub fn open(store: Arc<dyn ObjectStore>, prefix: &str) -> airphant::Result<Self> {
+        Ok(HashTableEngine {
+            inner: Searcher::open(store, prefix)?,
+        })
+    }
+
+    /// The wrapped searcher.
+    pub fn searcher(&self) -> &Searcher {
+        &self.inner
+    }
+}
+
+impl SearchEngine for HashTableEngine {
+    fn name(&self) -> &'static str {
+        "HashTable"
+    }
+
+    fn init_trace(&self) -> QueryTrace {
+        self.inner.init_trace().clone()
+    }
+
+    fn lookup(&self, word: &str) -> airphant::Result<(PostingsList, QueryTrace)> {
+        self.inner.lookup(word)
+    }
+
+    fn search(
+        &self,
+        word: &str,
+        top_k: Option<usize>,
+    ) -> airphant::Result<airphant::SearchResult> {
+        self.inner.search(word, top_k)
+    }
+
+    fn index_bytes(&self) -> u64 {
+        self.inner.index_usage_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airphant_corpus::{LineSplitter, WhitespaceTokenizer};
+    use airphant_storage::InMemoryStore;
+    use bytes::Bytes;
+
+    fn corpus(store: Arc<dyn ObjectStore>, lines: &[String]) -> Corpus {
+        store.put("c/b", Bytes::from(lines.join("\n"))).unwrap();
+        Corpus::new(
+            store,
+            vec!["c/b".into()],
+            Arc::new(LineSplitter),
+            Arc::new(WhitespaceTokenizer),
+        )
+    }
+
+    #[test]
+    fn hashtable_is_single_layer() {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let lines: Vec<String> = (0..50).map(|i| format!("word{i}")).collect();
+        let c = corpus(store.clone(), &lines);
+        let report =
+            HashTableEngine::build(&c, "ht", &AirphantConfig::default().with_total_bins(64))
+                .unwrap();
+        assert_eq!(report.layers, 1);
+        let engine = HashTableEngine::open(store, "ht").unwrap();
+        assert_eq!(engine.name(), "HashTable");
+        assert_eq!(engine.searcher().mht().layers(), 1);
+    }
+
+    #[test]
+    fn results_are_still_exact_after_filtering() {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let lines: Vec<String> = (0..80).map(|i| format!("tag{i} body")).collect();
+        let c = corpus(store.clone(), &lines);
+        HashTableEngine::build(
+            &c,
+            "ht",
+            &AirphantConfig::default()
+                .with_total_bins(16)
+                .with_common_fraction(0.0),
+        )
+        .unwrap();
+        let engine = HashTableEngine::open(store, "ht").unwrap();
+        let r = engine.search("tag13", None).unwrap();
+        assert_eq!(r.hits.len(), 1);
+        assert_eq!(r.hits[0].text, "tag13 body");
+        // With 16 bins and 80+ words, collisions are certain: the engine
+        // must have fetched and discarded false-positive documents.
+        assert!(
+            r.false_positives_removed > 0,
+            "L=1 with tiny B must over-fetch"
+        );
+    }
+
+    #[test]
+    fn hashtable_fetches_more_than_airphant() {
+        // The defining behaviour of the baseline (Figure 8): download-heavy.
+        // Documents carry a fat payload so false-positive fetches dominate.
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let filler = "lorem-ipsum-padding ".repeat(20);
+        let lines: Vec<String> = (0..100)
+            .map(|i| format!("unique{i} {filler}"))
+            .collect();
+        let c = corpus(store.clone(), &lines);
+        let config = AirphantConfig::default()
+            .with_total_bins(40)
+            .with_common_fraction(0.0);
+        HashTableEngine::build(&c, "ht", &config).unwrap();
+        Builder::new(config.clone().with_manual_layers(3))
+            .build(&c, "iou")
+            .unwrap();
+        let ht = HashTableEngine::open(store.clone(), "ht").unwrap();
+        let iou = Searcher::open(store, "iou").unwrap();
+        let mut ht_bytes = 0u64;
+        let mut iou_bytes = 0u64;
+        let mut ht_fp = 0usize;
+        for i in 0..20 {
+            let w = format!("unique{i}");
+            let hr = ht.search(&w, None).unwrap();
+            let ir = iou.search(&w, None).unwrap();
+            ht_fp += hr.false_positives_removed;
+            ht_bytes += hr.trace.bytes();
+            iou_bytes += ir.trace.bytes();
+        }
+        assert!(ht_fp > 20, "L=1 must over-fetch documents, saw {ht_fp} FPs");
+        assert!(
+            ht_bytes > 2 * iou_bytes,
+            "HashTable downloaded {ht_bytes}, IoU {iou_bytes}"
+        );
+    }
+}

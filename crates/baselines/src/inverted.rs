@@ -1,0 +1,120 @@
+//! Shared inverted-index construction for the term-index baselines.
+//!
+//! Every baseline indexes the same parsed corpus: sorted distinct terms,
+//! each with its exact postings list, plus the blob-name string table. The
+//! B+tree and skip-list builders lay this data out differently; the
+//! postings themselves are compacted into a shared *heap* blob with the
+//! same encoding Airphant uses (§V-A0b: "All postings inserted in all
+//! baselines are compressed in the same way as in Airphant").
+
+use airphant_corpus::Corpus;
+use bytes::BytesMut;
+use iou_sketch::encoding::{encode_superpost, BinPointer, StringTable};
+use iou_sketch::{Posting, PostingsList};
+use std::collections::BTreeMap;
+
+/// A fully materialized inverted index: the input to baseline builders.
+#[derive(Debug, Clone)]
+pub struct InvertedIndex {
+    /// Sorted term → exact postings list.
+    pub terms: BTreeMap<String, PostingsList>,
+    /// Blob-name interning table used by the postings.
+    pub string_table: StringTable,
+    /// Number of documents indexed.
+    pub docs: u64,
+}
+
+impl InvertedIndex {
+    /// Build from a corpus in one pass.
+    pub fn from_corpus(corpus: &Corpus) -> airphant_storage::Result<Self> {
+        let mut string_table = StringTable::new();
+        let mut acc: BTreeMap<String, Vec<Posting>> = BTreeMap::new();
+        let tokenizer = corpus.tokenizer().clone();
+        let mut docs = 0u64;
+        corpus.for_each_document(|doc| {
+            docs += 1;
+            let blob_id = string_table.intern(&doc.blob);
+            let posting = Posting::new(blob_id, doc.offset, doc.len);
+            let mut distinct: Vec<String> = tokenizer.tokens(&doc.text);
+            distinct.sort_unstable();
+            distinct.dedup();
+            for w in distinct {
+                acc.entry(w).or_default().push(posting);
+            }
+        })?;
+        let terms = acc
+            .into_iter()
+            .map(|(w, ps)| (w, PostingsList::from_postings(ps)))
+            .collect();
+        Ok(InvertedIndex {
+            terms,
+            string_table,
+            docs,
+        })
+    }
+
+    /// Number of distinct terms.
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Serialize every postings list into a single heap buffer, returning
+    /// per-term `(offset, len)` pointers in term order. `block` is the
+    /// block id recorded in each pointer.
+    pub fn build_heap(&self, block: u32) -> (BytesMut, Vec<(String, BinPointer)>) {
+        let mut heap = BytesMut::new();
+        let mut pointers = Vec::with_capacity(self.terms.len());
+        for (word, postings) in &self.terms {
+            let encoded = encode_superpost(postings);
+            let ptr = BinPointer::new(block, heap.len() as u64, encoded.len() as u32);
+            heap.extend_from_slice(&encoded);
+            pointers.push((word.clone(), ptr));
+        }
+        (heap, pointers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airphant_corpus::{LineSplitter, WhitespaceTokenizer};
+    use airphant_storage::{InMemoryStore, ObjectStore};
+    use bytes::Bytes;
+    use std::sync::Arc;
+
+    fn corpus() -> Corpus {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        store
+            .put("c/b", Bytes::from_static(b"b a\na c\nc c b"))
+            .unwrap();
+        Corpus::new(
+            store,
+            vec!["c/b".into()],
+            Arc::new(LineSplitter),
+            Arc::new(WhitespaceTokenizer),
+        )
+    }
+
+    #[test]
+    fn terms_are_sorted_with_exact_postings() {
+        let idx = InvertedIndex::from_corpus(&corpus()).unwrap();
+        let words: Vec<&String> = idx.terms.keys().collect();
+        assert_eq!(words, vec!["a", "b", "c"]);
+        assert_eq!(idx.docs, 3);
+        assert_eq!(idx.terms["a"].len(), 2);
+        assert_eq!(idx.terms["b"].len(), 2);
+        assert_eq!(idx.terms["c"].len(), 2); // doc 3 counted once
+    }
+
+    #[test]
+    fn heap_pointers_decode_back() {
+        let idx = InvertedIndex::from_corpus(&corpus()).unwrap();
+        let (heap, pointers) = idx.build_heap(7);
+        for (word, ptr) in &pointers {
+            assert_eq!(ptr.block, 7);
+            let slice = &heap[ptr.offset as usize..(ptr.offset + ptr.len as u64) as usize];
+            let decoded = iou_sketch::encoding::decode_superpost(slice).unwrap();
+            assert_eq!(&decoded, &idx.terms[word]);
+        }
+    }
+}

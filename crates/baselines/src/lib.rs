@@ -1,0 +1,41 @@
+//! # airphant-baselines
+//!
+//! The four baseline search engines the paper compares Airphant against
+//! (§V-A0b), reimplemented over the same object-storage substrate so that
+//! the *round-trip structure* of each index — the thing the paper's
+//! analysis attributes the latency differences to — is reproduced
+//! faithfully:
+//!
+//! * [`HashTableEngine`] — "an inverted index that stores postings lists
+//!   according to their corresponding terms' hashes. It is equivalent to
+//!   IoU Sketch with the only exception that it has a single layer L = 1"
+//!   (same bin count, same common-word bins, same compaction).
+//! * [`BTreeEngine`] — the SQLite stand-in: a paged B+tree term index whose
+//!   lookup descends root → leaf with one *dependent* ranged read per
+//!   level, then fetches the postings row. Shares Airphant's document
+//!   retrieval routine, as the paper's SQLite benchmark does.
+//! * [`SkipListEngine`] — the Lucene stand-in: an on-disk skip list over
+//!   the sorted term dictionary; traversal hops are dependent reads
+//!   ("to know which block to read next, the skip list needs to complete
+//!   reading the current node first", Appendix A).
+//! * [`ElasticEngine`] — the Elasticsearch stand-in: the skip-list engine
+//!   behind a searchable-snapshot mount (large init download) with
+//!   block-granular reads and per-query coordination overhead.
+//!
+//! All engines implement [`airphant::SearchEngine`], index identical parsed
+//! corpora, and report [`QueryTrace`](airphant_storage::QueryTrace)s, so
+//! the bench harness can regenerate every comparison figure.
+
+#![warn(missing_docs)]
+
+pub mod btree;
+pub mod elastic;
+pub mod hashtable;
+pub mod inverted;
+pub mod skiplist;
+
+pub use btree::{BTreeBuilder, BTreeEngine};
+pub use elastic::{ElasticBuilder, ElasticEngine};
+pub use hashtable::HashTableEngine;
+pub use inverted::InvertedIndex;
+pub use skiplist::{SkipListBuilder, SkipListEngine};

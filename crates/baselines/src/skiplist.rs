@@ -1,0 +1,562 @@
+//! The Lucene baseline: an on-disk skip list over the sorted term
+//! dictionary.
+//!
+//! Lucene's term index is a skip list (§II-A: "A skip list is used by
+//! Apache Lucene"), and the paper's breakdown (Fig 8, Appendix A) shows its
+//! cloud-storage cost is *wait-dominated*: "skip list traversal requires
+//! the current node to find the next node to skip to; therefore, to know
+//! which block to read next, the skip list needs to complete reading the
+//! current node first."
+//!
+//! Layout under the index prefix:
+//!
+//! * `skiplist/meta`  — head offsets per level, string table; downloaded at
+//!   open (the terms-index Lucene memory-maps at startup).
+//! * `skiplist/nodes` — variable-size nodes with fixed-width forward
+//!   pointers, in term order.
+//! * `skiplist/heap`  — postings, compacted with Airphant's encoding.
+//!
+//! Every traversal hop reads one node window — a dependent ranged read.
+
+use crate::inverted::InvertedIndex;
+use airphant::retrieval::{contains_word, fetch_and_filter};
+use airphant::{AirphantError, SearchEngine, SearchResult};
+use airphant_corpus::{Tokenizer, WhitespaceTokenizer};
+use airphant_storage::{ObjectStore, PhaseKind, QueryTrace, SimDuration};
+use bytes::{BufMut, BytesMut};
+use iou_sketch::encoding::{
+    decode_superpost, put_string, put_varint, Cursor, StringTable,
+};
+use iou_sketch::{PostingsList, SketchError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Geometric skip fanout: every 4th node is promoted a level
+/// (`p = 1/4`, Lucene's default skip interval spirit).
+const FANOUT: u64 = 4;
+/// Maximum tower height.
+const MAX_HEIGHT: usize = 12;
+/// Null forward pointer.
+const NIL: u32 = u32::MAX;
+/// Default bytes read per node hop (a node plus read-ahead slack).
+pub const NODE_WINDOW: u64 = 256;
+
+fn meta_blob(prefix: &str) -> String {
+    format!("{prefix}/skiplist/meta")
+}
+fn nodes_blob(prefix: &str) -> String {
+    format!("{prefix}/skiplist/nodes")
+}
+fn heap_blob(prefix: &str) -> String {
+    format!("{prefix}/skiplist/heap")
+}
+
+/// Tower height for the `i`-th term (deterministic geometric: promotions
+/// at every `FANOUT^k` boundary).
+fn height_of(i: u64) -> usize {
+    let mut h = 1usize;
+    let mut step = FANOUT;
+    while i.is_multiple_of(step) && h < MAX_HEIGHT {
+        h += 1;
+        step = step.saturating_mul(FANOUT);
+    }
+    h
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Node {
+    word: String,
+    heap_offset: u64,
+    heap_len: u32,
+    /// Forward node offsets, one per level of this node's tower.
+    next: Vec<u32>,
+}
+
+impl Node {
+    fn encoded_size(word: &str, height: usize) -> usize {
+        // varint(word_len) ≤ 2 for realistic words + word + heap_off ≤ 10
+        // + heap_len ≤ 5 + height byte + fixed 4-byte pointers.
+        2 + word.len() + 10 + 5 + 1 + 4 * height
+    }
+
+    fn encode_into(&self, buf: &mut BytesMut) {
+        put_string(buf, &self.word);
+        put_varint(buf, self.heap_offset);
+        put_varint(buf, self.heap_len as u64);
+        buf.put_u8(self.next.len() as u8);
+        for &n in &self.next {
+            buf.put_u32_le(n);
+        }
+    }
+
+    fn decode(data: &[u8]) -> Result<Node, SketchError> {
+        let mut cur = Cursor::new(data);
+        let word = cur.string()?;
+        let heap_offset = cur.varint()?;
+        let heap_len = cur.varint()? as u32;
+        let height = cur.bytes(1)?[0] as usize;
+        let mut next = Vec::with_capacity(height);
+        for _ in 0..height {
+            let raw = cur.bytes(4)?;
+            next.push(u32::from_le_bytes(raw.try_into().unwrap()));
+        }
+        Ok(Node {
+            word,
+            heap_offset,
+            heap_len,
+            next,
+        })
+    }
+}
+
+/// Builds and persists the skip-list index.
+pub struct SkipListBuilder;
+
+/// Summary of a skip-list build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkipListBuildReport {
+    /// Terms indexed.
+    pub terms: usize,
+    /// Levels in the list.
+    pub levels: usize,
+    /// Bytes of the node file.
+    pub node_bytes: u64,
+}
+
+impl SkipListBuilder {
+    /// Build the index for `corpus` under `prefix`.
+    pub fn build(
+        corpus: &airphant_corpus::Corpus,
+        prefix: &str,
+    ) -> airphant::Result<SkipListBuildReport> {
+        let inverted = InvertedIndex::from_corpus(corpus)?;
+        Self::build_from_inverted(&inverted, corpus.store().as_ref(), prefix)
+    }
+
+    /// Build from a pre-computed inverted index.
+    pub fn build_from_inverted(
+        inverted: &InvertedIndex,
+        store: &dyn ObjectStore,
+        prefix: &str,
+    ) -> airphant::Result<SkipListBuildReport> {
+        let (heap, term_pointers) = inverted.build_heap(0);
+
+        // Pass 1: node offsets (sizes are pointer-value independent
+        // because forward pointers are fixed-width).
+        let n = term_pointers.len();
+        let mut offsets = Vec::with_capacity(n);
+        let mut heights = Vec::with_capacity(n);
+        let mut off = 0u64;
+        for (i, (word, _)) in term_pointers.iter().enumerate() {
+            let h = height_of(i as u64);
+            offsets.push(off as u32);
+            heights.push(h);
+            off += Node::encoded_size(word, h) as u64;
+        }
+
+        // Pass 2: resolve forward pointers (next node at each level).
+        let max_level = heights.iter().copied().max().unwrap_or(1);
+        let mut heads = vec![NIL; max_level];
+        let mut nodes_buf = BytesMut::with_capacity(off as usize);
+        for i in 0..n {
+            let (word, ptr) = &term_pointers[i];
+            let h = heights[i];
+            let mut next = vec![NIL; h];
+            for (level, slot) in next.iter_mut().enumerate() {
+                // The next node whose tower reaches `level`.
+                for (j, &hj) in heights.iter().enumerate().skip(i + 1) {
+                    if hj > level {
+                        *slot = offsets[j];
+                        break;
+                    }
+                }
+            }
+            for (level, head) in heads.iter_mut().enumerate() {
+                if *head == NIL && h > level {
+                    *head = offsets[i];
+                }
+            }
+            let node = Node {
+                word: word.clone(),
+                heap_offset: ptr.offset,
+                heap_len: ptr.len,
+                next,
+            };
+            let before = nodes_buf.len();
+            node.encode_into(&mut nodes_buf);
+            let used = nodes_buf.len() - before;
+            let reserved = Node::encoded_size(word, h);
+            assert!(used <= reserved, "size model must be an upper bound");
+            nodes_buf.resize(before + reserved, 0); // pad to the reserved size
+        }
+
+        store.put(&nodes_blob(prefix), nodes_buf.freeze())?;
+        store.put(&heap_blob(prefix), heap.freeze())?;
+
+        let mut meta = BytesMut::new();
+        meta.put_slice(b"SKIP");
+        put_varint(&mut meta, max_level as u64);
+        for &h in &heads {
+            put_varint(&mut meta, h as u64);
+        }
+        put_varint(&mut meta, n as u64);
+        put_varint(&mut meta, off);
+        put_varint(&mut meta, inverted.string_table.len() as u64);
+        for id in 0..inverted.string_table.len() as u32 {
+            put_string(&mut meta, inverted.string_table.name(id).unwrap());
+        }
+        store.put(&meta_blob(prefix), meta.freeze())?;
+
+        Ok(SkipListBuildReport {
+            terms: n,
+            levels: max_level,
+            node_bytes: off,
+        })
+    }
+}
+
+/// The Lucene-like query engine.
+pub struct SkipListEngine {
+    store: Arc<dyn ObjectStore>,
+    prefix: String,
+    heads: Vec<u32>,
+    node_bytes: u64,
+    string_table: StringTable,
+    tokenizer: Arc<dyn Tokenizer>,
+    init_trace: QueryTrace,
+    /// Bytes fetched per node hop; larger windows model block-granular
+    /// readers (the Elasticsearch searchable-snapshot block cache).
+    read_window: u64,
+    /// Cache of upper-level nodes (terms-index-in-memory behaviour).
+    node_cache: Mutex<HashMap<u32, Node>>,
+    cache_min_height: usize,
+    /// Engine display name (the Elasticsearch wrapper re-labels it).
+    display_name: &'static str,
+    /// Fixed per-query coordination compute (zero for plain Lucene).
+    query_overhead: SimDuration,
+}
+
+impl SkipListEngine {
+    /// Open an index built by [`SkipListBuilder`] with Lucene-like
+    /// defaults: 256-byte node reads, upper levels cached once visited.
+    pub fn open(store: Arc<dyn ObjectStore>, prefix: &str) -> airphant::Result<Self> {
+        Self::open_with_options(store, prefix, NODE_WINDOW, 3)
+    }
+
+    /// Open with explicit read window and cache threshold (nodes with
+    /// towers of at least `cache_min_height` are cached after first read;
+    /// pass `usize::MAX` to disable caching).
+    pub fn open_with_options(
+        store: Arc<dyn ObjectStore>,
+        prefix: &str,
+        read_window: u64,
+        cache_min_height: usize,
+    ) -> airphant::Result<Self> {
+        let meta_name = meta_blob(prefix);
+        if !store.exists(&meta_name) {
+            return Err(AirphantError::IndexNotFound {
+                prefix: prefix.to_owned(),
+            });
+        }
+        let mut init_trace = QueryTrace::new();
+        let fetched = store.get(&meta_name)?;
+        init_trace.record_sequential(
+            PhaseKind::Init,
+            1,
+            fetched.bytes.len() as u64,
+            fetched.latency.first_byte,
+            fetched.latency.transfer,
+        );
+        let mut cur = Cursor::new(&fetched.bytes);
+        let magic = cur.bytes(4)?;
+        if magic != b"SKIP" {
+            return Err(SketchError::Corrupt {
+                detail: "bad skiplist meta magic".into(),
+            }
+            .into());
+        }
+        let levels = cur.varint()? as usize;
+        let mut heads = Vec::with_capacity(levels);
+        for _ in 0..levels {
+            heads.push(cur.varint()? as u32);
+        }
+        let _terms = cur.varint()?;
+        let node_bytes = cur.varint()?;
+        let n_names = cur.varint()? as usize;
+        let mut string_table = StringTable::new();
+        for _ in 0..n_names {
+            let name = cur.string()?;
+            string_table.intern(&name);
+        }
+        Ok(SkipListEngine {
+            store,
+            prefix: prefix.to_owned(),
+            heads,
+            node_bytes,
+            string_table,
+            tokenizer: Arc::new(WhitespaceTokenizer),
+            init_trace,
+            read_window,
+            node_cache: Mutex::new(HashMap::new()),
+            cache_min_height,
+            display_name: "Lucene",
+            query_overhead: SimDuration::ZERO,
+        })
+    }
+
+    pub(crate) fn set_display(&mut self, name: &'static str, overhead: SimDuration) {
+        self.display_name = name;
+        self.query_overhead = overhead;
+    }
+
+    pub(crate) fn extend_init(&mut self, trace: &QueryTrace) {
+        self.init_trace.extend(trace);
+    }
+
+    /// Number of skip levels.
+    pub fn levels(&self) -> usize {
+        self.heads.len()
+    }
+
+    fn read_node(
+        &self,
+        offset: u32,
+        reads: &mut u64,
+        bytes: &mut u64,
+        wait: &mut SimDuration,
+        download: &mut SimDuration,
+    ) -> airphant::Result<Node> {
+        {
+            let cache = self.node_cache.lock();
+            if let Some(n) = cache.get(&offset) {
+                return Ok(n.clone());
+            }
+        }
+        let len = self.read_window.min(self.node_bytes - offset as u64);
+        let fetched = self
+            .store
+            .get_range(&nodes_blob(&self.prefix), offset as u64, len)?;
+        *reads += 1;
+        *bytes += fetched.bytes.len() as u64;
+        *wait += fetched.latency.first_byte;
+        *download += fetched.latency.transfer;
+        let node = Node::decode(&fetched.bytes)?;
+        if node.next.len() >= self.cache_min_height {
+            self.node_cache.lock().insert(offset, node.clone());
+        }
+        Ok(node)
+    }
+
+    fn traverse(&self, word: &str, trace: &mut QueryTrace) -> airphant::Result<Option<Node>> {
+        let mut reads = 0u64;
+        let mut bytes = 0u64;
+        let mut wait = SimDuration::ZERO;
+        let mut download = SimDuration::ZERO;
+
+        let mut found = None;
+        // Walk from the top level; `at` is the last node known < word.
+        let mut at: Option<Node> = None;
+        'levels: for level in (0..self.heads.len()).rev() {
+            loop {
+                let next_off = match &at {
+                    Some(node) => node.next.get(level).copied().unwrap_or(NIL),
+                    None => self.heads[level],
+                };
+                if next_off == NIL {
+                    continue 'levels;
+                }
+                let next =
+                    self.read_node(next_off, &mut reads, &mut bytes, &mut wait, &mut download)?;
+                match next.word.as_str().cmp(word) {
+                    std::cmp::Ordering::Less => at = Some(next),
+                    std::cmp::Ordering::Equal => {
+                        found = Some(next);
+                        break 'levels;
+                    }
+                    std::cmp::Ordering::Greater => continue 'levels,
+                }
+            }
+        }
+        trace.record_sequential(PhaseKind::Lookup, reads, bytes, wait, download);
+        if self.query_overhead > SimDuration::ZERO {
+            trace.record_compute(self.query_overhead);
+        }
+        Ok(found)
+    }
+}
+
+impl SearchEngine for SkipListEngine {
+    fn name(&self) -> &'static str {
+        self.display_name
+    }
+
+    fn init_trace(&self) -> QueryTrace {
+        self.init_trace.clone()
+    }
+
+    fn lookup(&self, word: &str) -> airphant::Result<(PostingsList, QueryTrace)> {
+        let mut trace = QueryTrace::new();
+        let node = self.traverse(word, &mut trace)?;
+        let postings = match node {
+            Some(node) => {
+                let fetched = self.store.get_range(
+                    &heap_blob(&self.prefix),
+                    node.heap_offset,
+                    node.heap_len as u64,
+                )?;
+                trace.record_sequential(
+                    PhaseKind::Postings,
+                    1,
+                    fetched.bytes.len() as u64,
+                    fetched.latency.first_byte,
+                    fetched.latency.transfer,
+                );
+                decode_superpost(&fetched.bytes)?
+            }
+            None => PostingsList::new(),
+        };
+        Ok((postings, trace))
+    }
+
+    fn search(&self, word: &str, top_k: Option<usize>) -> airphant::Result<SearchResult> {
+        let (postings, mut trace) = self.lookup(word)?;
+        let mut to_fetch: Vec<iou_sketch::Posting> = postings.iter().copied().collect();
+        if let Some(k) = top_k {
+            to_fetch.truncate(k);
+        }
+        let predicate = contains_word(self.tokenizer.as_ref(), word);
+        let (hits, dropped) = fetch_and_filter(
+            self.store.as_ref(),
+            &self.string_table,
+            &to_fetch,
+            &predicate,
+            &mut trace,
+        )?;
+        Ok(SearchResult {
+            hits,
+            trace,
+            candidates: postings.len(),
+            false_positives_removed: dropped,
+        })
+    }
+
+    fn index_bytes(&self) -> u64 {
+        self.store
+            .usage(&format!("{}/skiplist/", self.prefix))
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airphant_corpus::{Corpus, LineSplitter};
+    use bytes::Bytes;
+    use airphant_storage::{InMemoryStore, LatencyModel, SimulatedCloudStore};
+
+    fn corpus(store: Arc<dyn ObjectStore>, n: usize) -> Corpus {
+        let lines: Vec<String> = (0..n).map(|i| format!("term{i:05} tag{}", i % 3)).collect();
+        store.put("c/b", Bytes::from(lines.join("\n"))).unwrap();
+        Corpus::new(
+            store,
+            vec!["c/b".into()],
+            Arc::new(LineSplitter),
+            Arc::new(WhitespaceTokenizer),
+        )
+    }
+
+    #[test]
+    fn height_pattern_is_geometric() {
+        assert_eq!(height_of(1), 1);
+        assert_eq!(height_of(2), 1);
+        assert_eq!(height_of(4), 2);
+        assert_eq!(height_of(16), 3);
+        assert_eq!(height_of(64), 4);
+        assert!(height_of(0) >= MAX_HEIGHT.min(12)); // 0 divisible by all
+    }
+
+    #[test]
+    fn node_roundtrip() {
+        let node = Node {
+            word: "hello".into(),
+            heap_offset: 12_345,
+            heap_len: 678,
+            next: vec![10, NIL, 99],
+        };
+        let mut buf = BytesMut::new();
+        node.encode_into(&mut buf);
+        assert!(buf.len() <= Node::encoded_size("hello", 3));
+        let decoded = Node::decode(&buf).unwrap();
+        assert_eq!(decoded, node);
+    }
+
+    #[test]
+    fn build_and_lookup_all_terms() {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let c = corpus(store.clone(), 300);
+        let report = SkipListBuilder::build(&c, "idx").unwrap();
+        assert!(report.levels >= 3);
+        let engine = SkipListEngine::open(store, "idx").unwrap();
+        for i in [0usize, 1, 77, 150, 299] {
+            let (postings, _) = engine.lookup(&format!("term{i:05}")).unwrap();
+            assert_eq!(postings.len(), 1, "term{i:05}");
+        }
+        let (tag, _) = engine.lookup("tag1").unwrap();
+        assert_eq!(tag.len(), 100);
+        let (missing, _) = engine.lookup("zzz").unwrap();
+        assert!(missing.is_empty());
+        let (before_all, _) = engine.lookup("aaa").unwrap();
+        assert!(before_all.is_empty());
+    }
+
+    #[test]
+    fn traversal_is_wait_heavy_on_cloud() {
+        let store = Arc::new(SimulatedCloudStore::new(
+            InMemoryStore::new(),
+            LatencyModel::gcs_like(),
+            3,
+        ));
+        {
+            let s: Arc<dyn ObjectStore> = store.clone();
+            let c = corpus(s, 5_000);
+            SkipListBuilder::build(&c, "idx").unwrap();
+        }
+        // Disable caching to expose the full dependent-read chain.
+        let engine =
+            SkipListEngine::open_with_options(store, "idx", NODE_WINDOW, usize::MAX).unwrap();
+        let (_, trace) = engine.lookup("term02500").unwrap();
+        assert!(trace.requests() > 4, "requests {}", trace.requests());
+        // Wait dominates download for tiny node reads (Figure 8's Lucene).
+        assert!(trace.wait() > trace.download() * 3.0);
+    }
+
+    #[test]
+    fn upper_level_cache_reduces_hops() {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let c = corpus(store.clone(), 5_000);
+        SkipListBuilder::build(&c, "idx").unwrap();
+        let engine = SkipListEngine::open(store, "idx").unwrap();
+        let (_, cold) = engine.lookup("term04000").unwrap();
+        let (_, warm) = engine.lookup("term04001").unwrap();
+        assert!(
+            warm.requests() <= cold.requests(),
+            "warm {} cold {}",
+            warm.requests(),
+            cold.requests()
+        );
+    }
+
+    #[test]
+    fn search_is_exact() {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let c = corpus(store.clone(), 200);
+        SkipListBuilder::build(&c, "idx").unwrap();
+        let engine = SkipListEngine::open(store, "idx").unwrap();
+        let r = engine.search("tag2", None).unwrap();
+        assert_eq!(r.hits.len(), 66);
+        assert_eq!(r.false_positives_removed, 0);
+        assert_eq!(engine.name(), "Lucene");
+        assert!(engine.index_bytes() > 0);
+    }
+}

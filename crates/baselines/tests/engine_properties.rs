@@ -1,0 +1,108 @@
+//! Property tests: the baseline term indexes must agree with a reference
+//! `BTreeMap` inverted index for arbitrary corpora.
+
+use airphant::SearchEngine;
+use airphant_baselines::{BTreeBuilder, BTreeEngine, SkipListBuilder, SkipListEngine};
+use airphant_corpus::{Corpus, LineSplitter, WhitespaceTokenizer};
+use airphant_storage::{InMemoryStore, ObjectStore};
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+fn docs_to_corpus(docs: &[Vec<u8>], store: Arc<dyn ObjectStore>) -> Corpus {
+    let text = docs
+        .iter()
+        .map(|ws| {
+            ws.iter()
+                .map(|w| format!("t{w:03}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    store.put("c/docs", Bytes::from(text)).unwrap();
+    Corpus::new(
+        store,
+        vec!["c/docs".into()],
+        Arc::new(LineSplitter),
+        Arc::new(WhitespaceTokenizer),
+    )
+}
+
+fn reference_index(docs: &[Vec<u8>]) -> BTreeMap<String, BTreeSet<usize>> {
+    let mut idx: BTreeMap<String, BTreeSet<usize>> = BTreeMap::new();
+    for (i, ws) in docs.iter().enumerate() {
+        for w in ws {
+            idx.entry(format!("t{w:03}")).or_default().insert(i);
+        }
+    }
+    idx
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn btree_lookup_matches_reference(
+        docs in prop::collection::vec(prop::collection::vec(0u8..60, 1..6), 1..50)
+    ) {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let corpus = docs_to_corpus(&docs, store.clone());
+        BTreeBuilder::build(&corpus, "idx").unwrap();
+        let engine = BTreeEngine::open(store, "idx").unwrap();
+        let reference = reference_index(&docs);
+        for w in 0u8..64 {
+            let word = format!("t{w:03}");
+            let (postings, _) = engine.lookup(&word).unwrap();
+            let expected = reference.get(&word).map(BTreeSet::len).unwrap_or(0);
+            prop_assert_eq!(postings.len(), expected, "word {}", word);
+        }
+    }
+
+    #[test]
+    fn skiplist_lookup_matches_reference(
+        docs in prop::collection::vec(prop::collection::vec(0u8..60, 1..6), 1..50)
+    ) {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let corpus = docs_to_corpus(&docs, store.clone());
+        SkipListBuilder::build(&corpus, "idx").unwrap();
+        let engine = SkipListEngine::open(store, "idx").unwrap();
+        let reference = reference_index(&docs);
+        for w in 0u8..64 {
+            let word = format!("t{w:03}");
+            let (postings, _) = engine.lookup(&word).unwrap();
+            let expected = reference.get(&word).map(BTreeSet::len).unwrap_or(0);
+            prop_assert_eq!(postings.len(), expected, "word {}", word);
+        }
+    }
+
+    #[test]
+    fn btree_and_skiplist_search_agree(
+        docs in prop::collection::vec(prop::collection::vec(0u8..30, 1..5), 1..30),
+        query in 0u8..32,
+    ) {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let corpus = docs_to_corpus(&docs, store.clone());
+        BTreeBuilder::build(&corpus, "b").unwrap();
+        SkipListBuilder::build(&corpus, "s").unwrap();
+        let btree = BTreeEngine::open(store.clone(), "b").unwrap();
+        let skip = SkipListEngine::open(store, "s").unwrap();
+        let word = format!("t{query:03}");
+        let rb: BTreeSet<String> = btree
+            .search(&word, None)
+            .unwrap()
+            .hits
+            .into_iter()
+            .map(|h| h.text)
+            .collect();
+        let rs: BTreeSet<String> = skip
+            .search(&word, None)
+            .unwrap()
+            .hits
+            .into_iter()
+            .map(|h| h.text)
+            .collect();
+        prop_assert_eq!(rb, rs);
+    }
+}

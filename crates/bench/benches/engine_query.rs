@@ -1,0 +1,72 @@
+//! Criterion end-to-end query benchmarks: the CPU cost of a full search on
+//! each engine (instantaneous latency model — this isolates the engine
+//! code path; the simulated-network comparisons live in the figure
+//! binaries).
+
+use airphant::AirphantConfig;
+use airphant_bench::{BenchEnv, DatasetKind, DatasetSpec, EngineKind};
+use airphant_corpus::QueryWorkload;
+use airphant_storage::LatencyModel;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_engines(c: &mut Criterion) {
+    let spec = DatasetSpec {
+        kind: DatasetKind::Spark,
+        n_docs: 5_000,
+        seed: 3,
+    };
+    let config = AirphantConfig::default().with_total_bins(500).with_seed(1);
+    let env = BenchEnv::prepare(spec, &config);
+    let workload: Vec<String> = env.workload(64, 9).words().to_vec();
+
+    let mut group = c.benchmark_group("engine_query_cpu");
+    for kind in EngineKind::all() {
+        let view = env.cloud_view(LatencyModel::instantaneous(), 1);
+        let engine = env.open_engine(kind, view);
+        group.bench_function(kind.label(), |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                i = (i + 1) % workload.len();
+                black_box(engine.search(&workload[i], Some(10)).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_builder(c: &mut Criterion) {
+    c.bench_function("build/airphant_2k_docs", |b| {
+        b.iter(|| {
+            let spec = DatasetSpec {
+                kind: DatasetKind::Hdfs,
+                n_docs: 2_000,
+                seed: 4,
+            };
+            let config = AirphantConfig::default().with_total_bins(500).with_seed(1);
+            black_box(BenchEnv::prepare(spec, &config))
+        })
+    });
+}
+
+fn bench_workload_generation(c: &mut Criterion) {
+    let spec = DatasetSpec {
+        kind: DatasetKind::Zipf,
+        n_docs: 5_000,
+        seed: 5,
+    };
+    let config = AirphantConfig::default().with_total_bins(500).with_seed(1);
+    let env = BenchEnv::prepare(spec, &config);
+    c.bench_function("workload/uniform_100_queries", |b| {
+        b.iter(|| black_box(QueryWorkload::uniform(env.profile(), 100, 7)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_engines, bench_builder, bench_workload_generation
+}
+criterion_main!(benches);

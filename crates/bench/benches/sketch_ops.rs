@@ -1,0 +1,118 @@
+//! Criterion microbenchmarks for the IoU Sketch primitives: hashing,
+//! postings set algebra, the compaction codec, sketch insert/query, the
+//! structure optimizer, and the top-K bound. These measure CPU cost of the
+//! hot paths (the simulated network latency is not involved here).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use iou_sketch::analysis::CorpusShape;
+use iou_sketch::encoding::{decode_superpost, encode_superpost};
+use iou_sketch::{
+    optimize_layers, sample_size_for_top_k, FalsePositiveModel, HashFamily, Posting,
+    PostingsList, SketchBuilder, SketchConfig,
+};
+
+fn postings(n: u64, stride: u64) -> PostingsList {
+    PostingsList::from_sorted_unique(
+        (0..n).map(|i| Posting::new(0, i * stride, 64)).collect(),
+    )
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let family = HashFamily::generate(4, 50_000, 7);
+    c.bench_function("hash/bins_of_word_4_layers", |b| {
+        b.iter(|| black_box(family.bins(black_box("dfs.DataNode$PacketResponder"))))
+    });
+}
+
+fn bench_postings_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("postings");
+    for size in [100u64, 10_000, 100_000] {
+        let a = postings(size, 2);
+        let b_list = postings(size, 3);
+        group.bench_with_input(BenchmarkId::new("intersect_equal", size), &size, |b, _| {
+            b.iter(|| black_box(a.intersect(&b_list)))
+        });
+        group.bench_with_input(BenchmarkId::new("union", size), &size, |b, _| {
+            b.iter(|| black_box(a.union(&b_list)))
+        });
+    }
+    // Lopsided intersection exercises the galloping path.
+    let small = postings(100, 1_000);
+    let large = postings(100_000, 1);
+    group.bench_function("intersect_galloping_100_vs_100k", |b| {
+        b.iter(|| black_box(small.intersect(&large)))
+    });
+    group.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    for size in [100u64, 10_000] {
+        let list = postings(size, 100);
+        let encoded = encode_superpost(&list);
+        group.bench_with_input(BenchmarkId::new("encode", size), &size, |b, _| {
+            b.iter(|| black_box(encode_superpost(black_box(&list))))
+        });
+        group.bench_with_input(BenchmarkId::new("decode", size), &size, |b, _| {
+            b.iter(|| black_box(decode_superpost(black_box(&encoded)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sketch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sketch");
+    group.bench_function("insert_10k_words", |b| {
+        b.iter(|| {
+            let config = SketchConfig::new(2_000, 3).with_common_fraction(0.0);
+            let mut builder = SketchBuilder::new(config, 1);
+            for w in 0..10_000u64 {
+                builder.insert(
+                    &format!("w{w}"),
+                    &PostingsList::from_doc_ids(&[w % 997, (w * 7) % 997]),
+                );
+            }
+            black_box(builder.freeze())
+        })
+    });
+    let config = SketchConfig::new(2_000, 3).with_common_fraction(0.0);
+    let mut builder = SketchBuilder::new(config, 1);
+    for w in 0..10_000u64 {
+        builder.insert(
+            &format!("w{w}"),
+            &PostingsList::from_doc_ids(&[w % 997, (w * 7) % 997]),
+        );
+    }
+    let sketch = builder.freeze();
+    group.bench_function("query_in_memory", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            black_box(sketch.query(&format!("w{i}")))
+        })
+    });
+    group.finish();
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    // Paper-scale optimization input: 10^6 documents grouped by size.
+    let sizes: Vec<u64> = (0..1_000_000u64).map(|i| 5 + (i % 60)).collect();
+    let shape = CorpusShape::uniform(sizes, 3_600_000);
+    let model = FalsePositiveModel::new(shape, 100_000);
+    c.bench_function("optimizer/algorithm1_1M_docs", |b| {
+        b.iter(|| black_box(optimize_layers(&model, black_box(1.0)).unwrap()))
+    });
+    c.bench_function("topk/sample_size", |b| {
+        b.iter(|| black_box(sample_size_for_top_k(10, 100_000, 1.0, 1e-6)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_hashing, bench_postings_ops, bench_codec, bench_sketch, bench_optimizer
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Figure 2: end-to-end latency between compute and cloud storage as a
+//! function of fetch size — the affine relationship (~50 ms flat to ~2 MB,
+//! linear beyond) that motivates the entire design.
+
+use airphant_bench::report::ms;
+use airphant_bench::Report;
+use airphant_storage::LatencyModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let model = LatencyModel::gcs_like();
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut report = Report::new(
+        "fig02_latency_curve",
+        &["size", "mean_ms", "stddev_ms", "min_ms", "max_ms"],
+    );
+    // 1KB .. 512MB, doubling — the paper's x-axis.
+    let mut size: u64 = 1024;
+    while size <= 512 * 1024 * 1024 {
+        let samples: Vec<f64> = (0..10)
+            .map(|_| model.sample(size, &mut rng).total().as_millis_f64())
+            .collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
+            / samples.len() as f64;
+        let (min, max) = samples
+            .iter()
+            .fold((f64::INFINITY, 0.0f64), |(lo, hi), &s| (lo.min(s), hi.max(s)));
+        report.push(
+            vec![
+                human_size(size),
+                ms(mean),
+                ms(var.sqrt()),
+                ms(min),
+                ms(max),
+            ],
+            serde_json::json!({
+                "bytes": size,
+                "mean_ms": mean,
+                "stddev_ms": var.sqrt(),
+                "min_ms": min,
+                "max_ms": max,
+            }),
+        );
+        size *= 2;
+    }
+    report.finish();
+    println!(
+        "shape check: latency is flat (~{} ms) below the ~2MB knee, then linear in size.",
+        ms(model.effective_first_byte_median().as_millis_f64())
+    );
+}
+
+fn human_size(bytes: u64) -> String {
+    if bytes >= 1024 * 1024 {
+        format!("{}MB", bytes / (1024 * 1024))
+    } else {
+        format!("{}KB", bytes / 1024)
+    }
+}

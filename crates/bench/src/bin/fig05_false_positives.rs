@@ -1,0 +1,94 @@
+//! Figure 5: average (observed) and expected numbers of false positives
+//! per query when varying layers L and bins B on the Cranfield corpus.
+//!
+//! Validates that the analytical model F(L) of Equation 2 tracks the
+//! measured sketch: the U-shape over L and the monotone improvement in B.
+
+use airphant_bench::report::ms;
+use airphant_bench::{build_dataset, paper_datasets, DatasetKind, Report};
+use airphant_corpus::QueryWorkload;
+use airphant_storage::InMemoryStore;
+use iou_sketch::{
+    CorpusShape, FalsePositiveModel, PostingsList, SketchBuilder, SketchConfig,
+};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn main() {
+    let spec = paper_datasets()
+        .into_iter()
+        .find(|s| s.kind == DatasetKind::Cranfield)
+        .unwrap();
+    let store = Arc::new(InMemoryStore::new());
+    let corpus = build_dataset(spec, store);
+    let profile = corpus.profile().expect("profile");
+
+    // Materialize ground truth once.
+    let mut truth: HashMap<String, Vec<u64>> = HashMap::new();
+    let mut doc_id = 0u64;
+    let tokenizer = corpus.tokenizer().clone();
+    corpus
+        .for_each_document(|doc| {
+            let mut words = tokenizer.tokens(&doc.text);
+            words.sort_unstable();
+            words.dedup();
+            for w in words {
+                truth.entry(w).or_default().push(doc_id);
+            }
+            doc_id += 1;
+        })
+        .unwrap();
+
+    let workload = QueryWorkload::uniform(&profile, 300, 11);
+    let shape = CorpusShape::uniform(profile.doc_distinct_sizes.iter().copied(), profile.n_terms);
+
+    let mut report = Report::new(
+        "fig05_false_positives",
+        &["bins", "layers", "observed_fp", "expected_fp"],
+    );
+    for bins in [500usize, 1_000, 2_000, 3_000, 5_000] {
+        let model = FalsePositiveModel::new(shape.clone(), bins);
+        for layers in [1usize, 2, 4, 6, 8, 12, 16] {
+            if bins / layers == 0 {
+                continue;
+            }
+            let config = SketchConfig {
+                total_bins: bins,
+                layers,
+                common_fraction: 0.0,
+            };
+            let mut builder = SketchBuilder::new(config, 42);
+            for (word, docs) in &truth {
+                builder.insert(word, &PostingsList::from_doc_ids(docs));
+            }
+            let sketch = builder.freeze();
+            let total_fp: usize = workload
+                .iter()
+                .map(|w| {
+                    let t = PostingsList::from_doc_ids(truth.get(w).map(|v| v.as_slice()).unwrap_or(&[]));
+                    sketch.false_positives(w, &t)
+                })
+                .sum();
+            let observed = total_fp as f64 / workload.len() as f64;
+            let expected = model.expected_fp(layers as f64);
+            report.push(
+                vec![
+                    bins.to_string(),
+                    layers.to_string(),
+                    ms(observed),
+                    format!("{expected:.3}"),
+                ],
+                serde_json::json!({
+                    "bins": bins,
+                    "layers": layers,
+                    "observed_fp": observed,
+                    "expected_fp": expected,
+                }),
+            );
+        }
+        eprintln!("done: B={bins}");
+    }
+    report.finish();
+    println!("paper shape: FP drops rapidly from L=1, reaches a minimum, then rises when");
+    println!("too many layers starve each layer of bins; expectation tracks observation.");
+}

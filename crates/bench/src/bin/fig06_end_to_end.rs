@@ -1,0 +1,55 @@
+//! Figure 6: end-to-end search latencies of all five engines on all seven
+//! datasets (within-region). Solid bars = means, error bars = p99.
+
+use airphant::AirphantConfig;
+use airphant_bench::report::ms;
+use airphant_bench::{
+    build_all_engines, paper_datasets, search_latencies, summarize, Report,
+};
+use airphant_storage::LatencyModel;
+
+fn main() {
+    let queries = n_queries();
+    let mut report = Report::new(
+        "fig06_end_to_end",
+        &["corpus", "engine", "mean_ms", "p99_ms"],
+    );
+    for spec in paper_datasets() {
+        let config = AirphantConfig::default()
+            .with_total_bins(airphant_bench::engines::default_bins(spec.kind))
+            .with_seed(1);
+        let (env, engines) =
+            build_all_engines(spec, &config, &LatencyModel::gcs_like(), 42);
+        let workload = env.workload(queries, 7);
+        for (kind, engine) in &engines {
+            let stats = summarize(&search_latencies(engine.as_ref(), &workload, Some(10)));
+            report.push(
+                vec![
+                    spec.name(),
+                    kind.label().to_string(),
+                    ms(stats.mean_ms),
+                    ms(stats.p99_ms),
+                ],
+                serde_json::json!({
+                    "corpus": spec.name(),
+                    "engine": kind.label(),
+                    "mean_ms": stats.mean_ms,
+                    "p99_ms": stats.p99_ms,
+                    "queries": stats.n,
+                }),
+            );
+        }
+        eprintln!("done: {}", spec.name());
+    }
+    report.finish();
+    println!("paper shape: AIRPHANT < SQLite < Lucene on most datasets; Elasticsearch and");
+    println!("HashTable are the slow outliers (mount cost / false-positive downloads);");
+    println!("on Cranfield (tiny corpus) Lucene can win, as in the paper.");
+}
+
+fn n_queries() -> usize {
+    std::env::var("BENCH_QUERIES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50)
+}

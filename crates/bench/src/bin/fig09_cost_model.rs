@@ -1,0 +1,41 @@
+//! Figure 9: relative cost `C_E/C_A` between local Elasticsearch and
+//! cloud-stored Airphant, as a function of the peak-time fraction τ and
+//! the indexed data size N. Purely analytical — the paper's constants.
+
+use airphant_bench::{relative_cost, CostParams, Report};
+
+fn main() {
+    let mut report = Report::new(
+        "fig09_cost_model",
+        &["size", "tau=0.05", "tau=0.2", "tau=0.4", "tau=0.6", "tau=0.8", "tau=1.0"],
+    );
+    let peak = 154.08; // throughput of one Elasticsearch server
+    let trough = peak / 20.0;
+    for size_tb in [1.0, 2.0, 4.0, 8.0, 16.0] {
+        let taus = [0.05, 0.2, 0.4, 0.6, 0.8, 1.0];
+        let ratios: Vec<f64> = taus
+            .iter()
+            .map(|&tau| {
+                relative_cost(&CostParams {
+                    peak_ops: peak,
+                    trough_ops: trough,
+                    peak_fraction: tau,
+                    data_gb: size_tb * 1024.0,
+                })
+            })
+            .collect();
+        let mut cells = vec![format!("{size_tb} TB")];
+        cells.extend(ratios.iter().map(|r| format!("{r:.2}")));
+        report.push(
+            cells,
+            serde_json::json!({
+                "size_tb": size_tb,
+                "taus": taus,
+                "ce_over_ca": ratios,
+            }),
+        );
+    }
+    report.finish();
+    println!("paper checkpoints: lim N→∞ C_E/C_A ≈ 3.29; Airphant wins (ratio > 1) when");
+    println!("data is large and/or peak time is short; Elasticsearch wins at τ → 1 on small data.");
+}

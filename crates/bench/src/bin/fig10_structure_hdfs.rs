@@ -1,0 +1,88 @@
+//! Figure 10: effects of bins B and layers L on expected false positives,
+//! average search latency, and average term-lookup latency — HDFS corpus.
+//!
+//! Bin budgets scale with the look-alike corpus's vocabulary (the paper's
+//! B ∈ {50k..400k} against 3.6M terms ≈ our {500..4000} against ~7k terms).
+
+use airphant::{AirphantConfig, Searcher};
+use airphant_bench::report::ms;
+use airphant_bench::{
+    lookup_latencies, mean_false_positives, paper_datasets, search_latencies, summarize,
+    BenchEnv, DatasetKind, Report,
+};
+use airphant_storage::LatencyModel;
+
+fn main() {
+    let spec = paper_datasets()
+        .into_iter()
+        .find(|s| s.kind == DatasetKind::Hdfs)
+        .unwrap();
+    // Prepare raw data once (BenchEnv also builds default engines; we
+    // rebuild Airphant per-structure below).
+    let base_config = AirphantConfig::default().with_total_bins(2_000).with_seed(1);
+    let env = BenchEnv::prepare(spec, &base_config);
+    let workload = env.workload(n_queries(), 7);
+
+    let mut report = Report::new(
+        "fig10_structure_hdfs",
+        &["bins", "layers", "mean_fp", "search_ms", "lookup_ms"],
+    );
+    for bins in [500usize, 1_000, 2_000, 4_000] {
+        for layers in [1usize, 2, 4, 8, 12, 16] {
+            let prefix = format!("idx/structure-{bins}-{layers}");
+            let config = AirphantConfig::default()
+                .with_total_bins(bins)
+                .with_manual_layers(layers)
+                .with_seed(1);
+            // Build against the raw store (free), then query via cloud view.
+            let raw = env.cloud_view(LatencyModel::instantaneous(), 0);
+            let corpus = airphant_corpus::Corpus::new(
+                raw.clone(),
+                existing_corpus_blobs(&raw),
+                std::sync::Arc::new(airphant_corpus::LineSplitter),
+                std::sync::Arc::new(airphant_corpus::WhitespaceTokenizer),
+            );
+            airphant::Builder::new(config)
+                .build_with_profile(&corpus, &prefix, env.profile().clone())
+                .expect("build");
+
+            let view = env.cloud_view(LatencyModel::gcs_like(), 42 + bins as u64 + layers as u64);
+            let searcher = Searcher::open(view, &prefix).expect("open");
+            let fp = mean_false_positives(&searcher, &workload);
+            let search = summarize(&search_latencies(&searcher, &workload, Some(10)));
+            let lookup = summarize(&lookup_latencies(&searcher, &workload));
+            report.push(
+                vec![
+                    bins.to_string(),
+                    layers.to_string(),
+                    format!("{fp:.2}"),
+                    ms(search.mean_ms),
+                    ms(lookup.mean_ms),
+                ],
+                serde_json::json!({
+                    "bins": bins,
+                    "layers": layers,
+                    "mean_false_positives": fp,
+                    "search_mean_ms": search.mean_ms,
+                    "lookup_mean_ms": lookup.mean_ms,
+                }),
+            );
+        }
+        eprintln!("done: B={bins}");
+    }
+    report.finish();
+    println!("paper shape: FP enormous at L=1, <1 at L≈2, ~0 beyond L=4; search latency has");
+    println!("a minimum near the optimized L; lookup latency grows with L (bandwidth");
+    println!("contention) but stays far below L× the single-layer cost.");
+}
+
+fn existing_corpus_blobs(store: &std::sync::Arc<dyn airphant_storage::ObjectStore>) -> Vec<String> {
+    store.list("corpora/").expect("list corpus blobs")
+}
+
+fn n_queries() -> usize {
+    std::env::var("BENCH_QUERIES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30)
+}

@@ -1,0 +1,150 @@
+//! The cost model of §V-C (Figure 9): coupled Elasticsearch vs decoupled
+//! Airphant under a peak-trough workload.
+//!
+//! A peak-trough workload is `(A, a, τ)`: peak `A` ops/s for a `τ` fraction
+//! of time, trough `a` ops/s for the rest. Airphant scales compute with the
+//! instantaneous workload; Elasticsearch "cannot automatically scale down
+//! without rebalancing its index", so it provisions for the peak at all
+//! times.
+//!
+//! Constants are the paper's measured values:
+//!
+//! * Airphant: 175 ms/op → 5.71 ops/s per `e2-small` at $13.23/month;
+//!   index size `1.008 × S`; GCS at $0.02/GB/month.
+//! * Elasticsearch: 6.49 ms/op → 154.08 ops/s per `e2-medium` at
+//!   $26.46/month; index size `0.3316 × S`; local disk at $0.2/GB/month.
+
+use serde::{Deserialize, Serialize};
+
+/// Paper constants and workload parameters for the cost comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostParams {
+    /// Peak workload in ops/s.
+    pub peak_ops: f64,
+    /// Trough workload in ops/s.
+    pub trough_ops: f64,
+    /// Fraction of time at peak, `τ ∈ [0, 1]`.
+    pub peak_fraction: f64,
+    /// Total original data size in gigabytes.
+    pub data_gb: f64,
+}
+
+/// Airphant throughput per VM (ops/s): 175 ms/op.
+pub const AIRPHANT_OPS_PER_VM: f64 = 5.71;
+/// Airphant VM cost ($/month, e2-small).
+pub const AIRPHANT_VM_COST: f64 = 13.23;
+/// Airphant index size factor over original data.
+pub const AIRPHANT_STORAGE_FACTOR: f64 = 1.008;
+/// Cloud storage price ($/GB/month).
+pub const CLOUD_STORAGE_PRICE: f64 = 0.02;
+
+/// Elasticsearch throughput per VM (ops/s): 6.49 ms/op.
+pub const ELASTIC_OPS_PER_VM: f64 = 154.08;
+/// Elasticsearch VM cost ($/month, e2-medium).
+pub const ELASTIC_VM_COST: f64 = 26.46;
+/// Elasticsearch index size factor (better compression).
+pub const ELASTIC_STORAGE_FACTOR: f64 = 0.3316;
+/// Local persistent-disk price ($/GB/month).
+pub const LOCAL_DISK_PRICE: f64 = 0.2;
+
+/// Monthly cost of the decoupled Airphant deployment: VMs scale with the
+/// time-weighted workload; the index sits in cloud storage.
+pub fn airphant_monthly_cost(p: &CostParams) -> f64 {
+    let avg_ops = p.peak_ops * p.peak_fraction + p.trough_ops * (1.0 - p.peak_fraction);
+    let vm_cost = AIRPHANT_VM_COST * (avg_ops / AIRPHANT_OPS_PER_VM);
+    let storage_cost = AIRPHANT_STORAGE_FACTOR * p.data_gb * CLOUD_STORAGE_PRICE;
+    vm_cost + storage_cost
+}
+
+/// Monthly cost of the coupled Elasticsearch deployment: provisioned for
+/// the peak at all times; the index sits on local disks.
+pub fn elastic_monthly_cost(p: &CostParams) -> f64 {
+    let vm_cost = ELASTIC_VM_COST * (p.peak_ops / ELASTIC_OPS_PER_VM);
+    let storage_cost = ELASTIC_STORAGE_FACTOR * p.data_gb * LOCAL_DISK_PRICE;
+    vm_cost + storage_cost
+}
+
+/// The relative cost `C_E / C_A` Figure 9 plots.
+pub fn relative_cost(p: &CostParams) -> f64 {
+    elastic_monthly_cost(p) / airphant_monthly_cost(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure9_params(tau: f64, data_tb: f64) -> CostParams {
+        // Figure 9 fixes A = 154.08 op/s and a = A/20 = 7.704 op/s.
+        CostParams {
+            peak_ops: 154.08,
+            trough_ops: 154.08 / 20.0,
+            peak_fraction: tau,
+            data_gb: data_tb * 1024.0,
+        }
+    }
+
+    #[test]
+    fn asymptotic_ratio_matches_paper() {
+        // "we would asymptotically save lim_{N→∞} C_E/C_A ≈ 3.29 times".
+        let p = figure9_params(0.5, 1e9);
+        let r = relative_cost(&p);
+        assert!((r - 3.29).abs() < 0.01, "asymptotic ratio {r}");
+    }
+
+    #[test]
+    fn vm_only_ratio_matches_paper() {
+        // "focusing on the VM cost, Airphant's cost would be A/(13.48a)
+        // times over Elasticsearch's" — i.e. C_E/C_A = 13.48·a/A on VMs.
+        let a = 10.0;
+        let big_a = 134.8; // A = 13.48 a → VM costs equal
+        let p = CostParams {
+            peak_ops: big_a,
+            trough_ops: a,
+            peak_fraction: 0.0, // all trough for Airphant; ES still at peak
+            data_gb: 0.0,
+        };
+        let ratio = relative_cost(&p);
+        assert!(
+            (ratio - 1.0).abs() < 0.02,
+            "VM break-even should sit at A = 13.48a, got ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn airphant_wins_when_peaky_and_large() {
+        // Figure 9 trend: larger data and smaller τ favour Airphant.
+        let peaky_large = relative_cost(&figure9_params(0.05, 16.0));
+        let flat_small = relative_cost(&figure9_params(0.95, 1.0));
+        assert!(peaky_large > 1.0, "peaky+large should favour Airphant");
+        assert!(flat_small < peaky_large);
+    }
+
+    #[test]
+    fn ratio_monotone_in_tau_and_size() {
+        let mut prev = f64::INFINITY;
+        for tau in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let r = relative_cost(&figure9_params(tau, 4.0));
+            assert!(r <= prev, "C_E/C_A should fall as τ grows");
+            prev = r;
+        }
+        let mut prev = 0.0;
+        for tb in [0.25, 1.0, 4.0, 16.0] {
+            let r = relative_cost(&figure9_params(0.3, tb));
+            assert!(r >= prev, "C_E/C_A should rise with data size");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn all_peak_all_trough_limits() {
+        // τ = 1: both provision for A; ES is cheaper per op, so with no
+        // storage advantage it wins on VM cost alone.
+        let p = CostParams {
+            peak_ops: 154.08,
+            trough_ops: 7.704,
+            peak_fraction: 1.0,
+            data_gb: 0.0,
+        };
+        assert!(relative_cost(&p) < 1.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! # airphant-bench
+//!
+//! The experiment harness: one binary per table/figure of the paper's
+//! evaluation (§V and the appendices). Every binary prints the same
+//! rows/series the paper reports and writes machine-readable JSON under
+//! `bench_results/`.
+//!
+//! Run them all via `cargo run -p airphant-bench --release --bin <name>`;
+//! the full list is in DESIGN.md §5. Corpora are *scaled-down* look-alikes
+//! of the paper's datasets (see DESIGN.md §4 and EXPERIMENTS.md); bin
+//! budgets scale with vocabulary so the structural regimes match.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod datasets;
+pub mod engines;
+pub mod measure;
+pub mod report;
+
+pub use cost::{airphant_monthly_cost, elastic_monthly_cost, relative_cost, CostParams};
+pub use datasets::{build_dataset, paper_datasets, DatasetKind, DatasetSpec};
+pub use engines::{build_all_engines, BenchEnv, EngineKind};
+pub use measure::{
+    lookup_latencies, mean_false_positives, percentile, search_latencies, summarize,
+    wait_download_pairs, LatencyStats,
+};
+pub use report::Report;

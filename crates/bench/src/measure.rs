@@ -1,0 +1,134 @@
+//! Latency measurement helpers: run workloads, summarize distributions.
+
+use airphant::SearchEngine;
+use airphant_corpus::QueryWorkload;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a latency sample, in milliseconds — the mean and
+/// 99th percentile every figure reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyStats {
+    /// Arithmetic mean.
+    pub mean_ms: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99_ms: f64,
+    /// Minimum.
+    pub min_ms: f64,
+    /// Maximum.
+    pub max_ms: f64,
+    /// Sample count.
+    pub n: usize,
+}
+
+/// Nearest-rank percentile of `sorted` (must be ascending), `q ∈ [0, 1]`.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Summarize a latency sample (milliseconds).
+pub fn summarize(samples: &[f64]) -> LatencyStats {
+    if samples.is_empty() {
+        return LatencyStats {
+            mean_ms: 0.0,
+            p99_ms: 0.0,
+            min_ms: 0.0,
+            max_ms: 0.0,
+            n: 0,
+        };
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    LatencyStats {
+        mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        p99_ms: percentile(&sorted, 0.99),
+        min_ms: sorted[0],
+        max_ms: *sorted.last().unwrap(),
+        n: sorted.len(),
+    }
+}
+
+/// Run the full-search workload and return per-query simulated latencies
+/// in milliseconds.
+pub fn search_latencies(
+    engine: &dyn SearchEngine,
+    workload: &QueryWorkload,
+    top_k: Option<usize>,
+) -> Vec<f64> {
+    workload
+        .iter()
+        .map(|w| {
+            engine
+                .search(w, top_k)
+                .expect("search")
+                .latency()
+                .as_millis_f64()
+        })
+        .collect()
+}
+
+/// Run the lookup-only workload (term-index latency, Figure 14).
+pub fn lookup_latencies(engine: &dyn SearchEngine, workload: &QueryWorkload) -> Vec<f64> {
+    workload
+        .iter()
+        .map(|w| engine.lookup(w).expect("lookup").1.total().as_millis_f64())
+        .collect()
+}
+
+/// Per-query `(wait_ms, download_ms)` pairs (Figures 8 and 11).
+pub fn wait_download_pairs(
+    engine: &dyn SearchEngine,
+    workload: &QueryWorkload,
+    top_k: Option<usize>,
+) -> Vec<(f64, f64)> {
+    workload
+        .iter()
+        .map(|w| {
+            let r = engine.search(w, top_k).expect("search");
+            (
+                r.trace.wait().as_millis_f64(),
+                r.trace.download().as_millis_f64(),
+            )
+        })
+        .collect()
+}
+
+/// Average observed false positives per query for a sketch-backed engine.
+pub fn mean_false_positives(
+    engine: &dyn SearchEngine,
+    workload: &QueryWorkload,
+) -> f64 {
+    let total: usize = workload
+        .iter()
+        .map(|w| engine.search(w, None).expect("search").false_positives_removed)
+        .sum();
+    total as f64 / workload.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&s, 0.99), 99.0);
+        assert_eq!(percentile(&s, 0.5), 50.0);
+        assert_eq!(percentile(&s, 1.0), 100.0);
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn summarize_basic() {
+        let stats = summarize(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(stats.mean_ms, 2.5);
+        assert_eq!(stats.min_ms, 1.0);
+        assert_eq!(stats.max_ms, 4.0);
+        assert_eq!(stats.n, 4);
+        assert_eq!(summarize(&[]).n, 0);
+    }
+}

@@ -1,0 +1,138 @@
+//! Experiment output: aligned text tables on stdout plus JSON rows under
+//! `bench_results/` so EXPERIMENTS.md tables can be regenerated.
+
+use serde_json::Value;
+use std::fs;
+use std::path::PathBuf;
+
+/// A named experiment report.
+pub struct Report {
+    name: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    json_rows: Vec<Value>,
+}
+
+impl Report {
+    /// Start a report for experiment `name` (e.g. `"fig06_end_to_end"`).
+    pub fn new(name: &str, headers: &[&str]) -> Self {
+        Report {
+            name: name.to_owned(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            json_rows: Vec::new(),
+        }
+    }
+
+    /// Append a display row (stringified cells) and its JSON form.
+    pub fn push(&mut self, cells: Vec<String>, json: Value) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self.json_rows.push(json);
+    }
+
+    /// Number of rows so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the report is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render the aligned table to a string.
+    pub fn to_table(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print the table and persist JSON under `bench_results/<name>.json`.
+    /// Returns the JSON path.
+    pub fn finish(&self) -> PathBuf {
+        println!("== {} ==", self.name);
+        println!("{}", self.to_table());
+        let dir = PathBuf::from("bench_results");
+        let _ = fs::create_dir_all(&dir);
+        let path = dir.join(format!("{}.json", self.name));
+        let payload = serde_json::json!({
+            "experiment": self.name,
+            "rows": self.json_rows,
+        });
+        if let Err(e) = fs::write(&path, serde_json::to_vec_pretty(&payload).unwrap()) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+        path
+    }
+}
+
+/// Format a millisecond value the way the figures label them.
+pub fn ms(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let mut r = Report::new("test", &["corpus", "ms"]);
+        r.push(
+            vec!["HDFS".into(), "42.0".into()],
+            serde_json::json!({"corpus": "HDFS", "ms": 42.0}),
+        );
+        r.push(
+            vec!["Windows-long".into(), "7.0".into()],
+            serde_json::json!({"corpus": "Windows-long", "ms": 7.0}),
+        );
+        let t = r.to_table();
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("corpus"));
+        assert!(lines[2].ends_with("42.0"));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut r = Report::new("test", &["a", "b"]);
+        r.push(vec!["x".into()], serde_json::json!({}));
+    }
+
+    #[test]
+    fn ms_formatting() {
+        assert_eq!(ms(1234.4), "1234");
+        assert_eq!(ms(42.34), "42.3");
+        assert_eq!(ms(0.1234), "0.123");
+    }
+}

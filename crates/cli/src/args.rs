@@ -1,0 +1,162 @@
+//! Minimal argument parser: `command --flag value ... positionals`.
+//! (The offline crate allowlist has no clap; this keeps the CLI dependency
+//! free.)
+
+use std::collections::HashMap;
+use std::str::FromStr;
+
+/// Parsed command line.
+pub struct Args {
+    command: String,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+    positional: Vec<String>,
+    consumed: Vec<String>,
+}
+
+impl Args {
+    /// Parse `argv` (without the program name).
+    pub fn parse(argv: &[String]) -> Result<Self, String> {
+        let command = argv
+            .first()
+            .ok_or_else(|| "missing command".to_string())?
+            .clone();
+        let mut options = HashMap::new();
+        let mut flags = Vec::new();
+        let mut positional = Vec::new();
+        let mut i = 1;
+        while i < argv.len() {
+            let arg = &argv[i];
+            if let Some(name) = arg.strip_prefix("--") {
+                // Boolean flags take no value; everything else takes one.
+                if matches!(name, "simulate-cloud") {
+                    flags.push(arg.clone());
+                    i += 1;
+                } else {
+                    let value = argv
+                        .get(i + 1)
+                        .ok_or_else(|| format!("{arg} needs a value"))?;
+                    if options.insert(arg.clone(), value.clone()).is_some() {
+                        return Err(format!("{arg} given twice"));
+                    }
+                    i += 2;
+                }
+            } else {
+                positional.push(arg.clone());
+                i += 1;
+            }
+        }
+        Ok(Args {
+            command,
+            options,
+            flags,
+            positional,
+            consumed: Vec::new(),
+        })
+    }
+
+    /// The subcommand.
+    pub fn command(&self) -> &str {
+        &self.command
+    }
+
+    /// A required `--name value` option.
+    pub fn required(&mut self, name: &str) -> Result<String, String> {
+        self.consumed.push(name.to_string());
+        self.options
+            .get(name)
+            .cloned()
+            .ok_or_else(|| format!("missing required option {name}"))
+    }
+
+    /// An optional `--name value` option, parsed.
+    pub fn optional_parse<T: FromStr>(&mut self, name: &str) -> Result<Option<T>, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        self.consumed.push(name.to_string());
+        match self.options.get(name) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse::<T>()
+                .map(Some)
+                .map_err(|e| format!("invalid value for {name}: {e}")),
+        }
+    }
+
+    /// Whether a boolean flag was given.
+    pub fn flag(&mut self, name: &str) -> bool {
+        self.consumed.push(name.to_string());
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Positional arguments.
+    pub fn positional(&self) -> Vec<String> {
+        self.positional.clone()
+    }
+
+    /// Error out on unrecognized options (catches typos).
+    pub fn finish(&self) -> Result<(), String> {
+        for key in self.options.keys().chain(self.flags.iter()) {
+            if !self.consumed.contains(key) {
+                return Err(format!("unrecognized option {key}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_command_options_positionals() {
+        let mut a = Args::parse(&argv("search --store /tmp --top 5 hello world")).unwrap();
+        assert_eq!(a.command(), "search");
+        assert_eq!(a.required("--store").unwrap(), "/tmp");
+        assert_eq!(a.optional_parse::<usize>("--top").unwrap(), Some(5));
+        assert_eq!(a.positional(), vec!["hello", "world"]);
+        assert!(a.finish().is_ok());
+    }
+
+    #[test]
+    fn missing_required_and_value_errors() {
+        let mut a = Args::parse(&argv("build")).unwrap();
+        assert!(a.required("--store").is_err());
+        assert!(Args::parse(&argv("build --bins")).is_err());
+        assert!(Args::parse(&[]).is_err());
+    }
+
+    #[test]
+    fn duplicate_option_errors() {
+        assert!(Args::parse(&argv("build --bins 1 --bins 2")).is_err());
+    }
+
+    #[test]
+    fn boolean_flag_takes_no_value() {
+        let mut a =
+            Args::parse(&argv("search --simulate-cloud --store /tmp w")).unwrap();
+        assert!(a.flag("--simulate-cloud"));
+        assert_eq!(a.required("--store").unwrap(), "/tmp");
+        assert_eq!(a.positional(), vec!["w"]);
+    }
+
+    #[test]
+    fn unrecognized_option_is_caught() {
+        let mut a = Args::parse(&argv("build --store /tmp --bogus 1")).unwrap();
+        let _ = a.required("--store");
+        assert!(a.finish().is_err());
+    }
+
+    #[test]
+    fn bad_parse_reports_option_name() {
+        let mut a = Args::parse(&argv("build --bins abc")).unwrap();
+        let err = a.optional_parse::<usize>("--bins").unwrap_err();
+        assert!(err.contains("--bins"));
+    }
+}

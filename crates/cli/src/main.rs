@@ -1,0 +1,198 @@
+//! `airphant` — build and query IoU Sketch indexes from the command line.
+//!
+//! The store is a directory (the [`LocalFsStore`] backend); blob names map
+//! to file paths, the way the paper's gcsfuse mount exposes a bucket.
+//!
+//! ```text
+//! airphant build  --store DIR --corpus PREFIX --index PREFIX [--bins N] [--f0 F] [--layers L]
+//! airphant search --store DIR --index PREFIX WORD... [--top K] [--simulate-cloud]
+//! airphant stats  --store DIR --corpus PREFIX
+//! ```
+
+use airphant::{AirphantConfig, BoolQuery, Builder, Searcher};
+use airphant_corpus::{Corpus, LineSplitter, WhitespaceTokenizer};
+use airphant_storage::{LatencyModel, LocalFsStore, ObjectStore, SimulatedCloudStore};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+mod args;
+use args::Args;
+
+const USAGE: &str = "usage:
+  airphant build  --store DIR --corpus PREFIX --index PREFIX
+                  [--bins N] [--f0 F] [--layers L] [--common FRAC]
+  airphant search --store DIR --index PREFIX WORD...
+                  [--top K] [--simulate-cloud] [--timeout-ms MS]
+  airphant stats  --store DIR --corpus PREFIX
+
+Multiple WORDs are combined with AND. The store directory is a local
+object store (one file per blob); a corpus PREFIX selects every blob under
+it, parsed as newline-delimited documents of whitespace keywords.";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let mut args = Args::parse(argv)?;
+    match args.command() {
+        "build" => build(&mut args),
+        "search" => search(&mut args),
+        "stats" => stats(&mut args),
+        other => Err(format!("unknown command: {other}")),
+    }
+}
+
+fn open_store(args: &mut Args) -> Result<Arc<dyn ObjectStore>, String> {
+    let dir = args.required("--store")?;
+    let store = LocalFsStore::new(dir).map_err(|e| e.to_string())?;
+    Ok(Arc::new(store))
+}
+
+fn open_corpus(args: &mut Args, store: Arc<dyn ObjectStore>) -> Result<Corpus, String> {
+    let prefix = args.required("--corpus")?;
+    let blobs = store.list(&prefix).map_err(|e| e.to_string())?;
+    if blobs.is_empty() {
+        return Err(format!("no blobs under corpus prefix {prefix}"));
+    }
+    Ok(Corpus::new(
+        store,
+        blobs,
+        Arc::new(LineSplitter),
+        Arc::new(WhitespaceTokenizer),
+    ))
+}
+
+fn build(args: &mut Args) -> Result<(), String> {
+    let store = open_store(args)?;
+    let corpus = open_corpus(args, store)?;
+    let index = args.required("--index")?;
+    let mut config = AirphantConfig::default();
+    if let Some(bins) = args.optional_parse::<usize>("--bins")? {
+        config = config.with_total_bins(bins);
+    }
+    if let Some(f0) = args.optional_parse::<f64>("--f0")? {
+        config = config.with_accuracy(f0);
+    }
+    if let Some(layers) = args.optional_parse::<usize>("--layers")? {
+        config = config.with_manual_layers(layers);
+    }
+    if let Some(frac) = args.optional_parse::<f64>("--common")? {
+        config = config.with_common_fraction(frac);
+    }
+    args.finish()?;
+
+    let report = Builder::new(config)
+        .build(&corpus, &index)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "built {index}: {} docs, {} words, L = {} (L* = {}), expected FP = {}",
+        report.docs,
+        report.words,
+        report.layers,
+        report.optimal_layers,
+        report
+            .expected_fp
+            .map(|f| format!("{f:.4}/query"))
+            .unwrap_or_else(|| "n/a".into()),
+    );
+    println!(
+        "persisted {} superpost block(s), {} bytes total ({} header)",
+        report.blocks,
+        report.index_bytes(),
+        report.header_bytes,
+    );
+    Ok(())
+}
+
+fn search(args: &mut Args) -> Result<(), String> {
+    let store = open_store(args)?;
+    let index = args.required("--index")?;
+    let top_k = args.optional_parse::<usize>("--top")?;
+    let simulate = args.flag("--simulate-cloud");
+    let timeout_ms = args.optional_parse::<u64>("--timeout-ms")?;
+    let words = args.positional();
+    if words.is_empty() {
+        return Err("search needs at least one WORD".into());
+    }
+    args.finish()?;
+
+    let store: Arc<dyn ObjectStore> = if simulate {
+        Arc::new(SimulatedCloudStore::new(
+            store,
+            LatencyModel::gcs_like(),
+            0xC0FFEE,
+        ))
+    } else {
+        store
+    };
+    let searcher = Searcher::open(store, &index).map_err(|e| e.to_string())?;
+
+    let result = if words.len() == 1 {
+        match timeout_ms {
+            Some(_) if top_k.is_some() => {
+                return Err("--timeout-ms and --top cannot be combined".into())
+            }
+            Some(ms) => {
+                let (postings, trace) = searcher
+                    .lookup_with_timeout(
+                        &words[0],
+                        airphant_storage::SimDuration::from_millis(ms),
+                    )
+                    .map_err(|e| e.to_string())?;
+                println!(
+                    "lookup({:?}) with {ms}ms timeout: {} candidate(s) in {}",
+                    words[0],
+                    postings.len(),
+                    trace.total()
+                );
+                return Ok(());
+            }
+            None => searcher
+                .search(&words[0], top_k)
+                .map_err(|e| e.to_string())?,
+        }
+    } else {
+        let query = BoolQuery::and(words.iter().map(BoolQuery::term));
+        searcher.search_boolean(&query).map_err(|e| e.to_string())?
+    };
+
+    println!(
+        "{} hit(s) in {} simulated ({} requests, {} bytes, {} FP filtered)",
+        result.hits.len(),
+        result.latency(),
+        result.trace.requests(),
+        result.trace.bytes(),
+        result.false_positives_removed,
+    );
+    for hit in &result.hits {
+        println!("{}@{}+{}\t{}", hit.blob, hit.offset, hit.len, hit.text);
+    }
+    Ok(())
+}
+
+fn stats(args: &mut Args) -> Result<(), String> {
+    let store = open_store(args)?;
+    let corpus = open_corpus(args, store)?;
+    args.finish()?;
+    let p = corpus.profile().map_err(|e| e.to_string())?;
+    println!("documents: {}", p.n_docs);
+    println!("terms:     {}", p.n_terms);
+    println!("words:     {}", p.n_words);
+    println!("bytes:     {}", p.total_bytes);
+    println!("mean distinct words/doc: {:.1}", p.mean_distinct_words());
+    println!("max  distinct words/doc: {}", p.max_distinct_words());
+    println!("top terms by document frequency:");
+    for (word, df) in p.vocabulary_by_frequency().into_iter().take(10) {
+        println!("  {df:>8}  {word}");
+    }
+    Ok(())
+}

@@ -1,0 +1,271 @@
+//! Boolean queries over the IoU Sketch (§IV-F).
+//!
+//! "IoU Sketch executes any Boolean query by distributing its query
+//! function to each term predicate: `Q(⋁_i ⋀_j w_ij) = ⋃_i ⋂_j Q(w_ij)`".
+//! Intersections reduce false positives, unions add them; the document
+//! content filter at the end restores exact results either way.
+
+use crate::result::SearchResult;
+use crate::retrieval::fetch_and_filter;
+use crate::searcher::Searcher;
+use crate::Result;
+use airphant_storage::QueryTrace;
+use iou_sketch::PostingsList;
+
+/// A Boolean keyword query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoolQuery {
+    /// A single keyword.
+    Term(String),
+    /// All sub-queries must match.
+    And(Vec<BoolQuery>),
+    /// Any sub-query may match.
+    Or(Vec<BoolQuery>),
+}
+
+impl BoolQuery {
+    /// Convenience constructor for a term.
+    pub fn term(word: impl Into<String>) -> Self {
+        BoolQuery::Term(word.into())
+    }
+
+    /// Conjunction of queries.
+    pub fn and(queries: impl IntoIterator<Item = BoolQuery>) -> Self {
+        BoolQuery::And(queries.into_iter().collect())
+    }
+
+    /// Disjunction of queries.
+    pub fn or(queries: impl IntoIterator<Item = BoolQuery>) -> Self {
+        BoolQuery::Or(queries.into_iter().collect())
+    }
+
+    /// All distinct terms mentioned by the query, in first-appearance order.
+    pub fn terms(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_terms(&mut out);
+        out
+    }
+
+    fn collect_terms<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            BoolQuery::Term(w) => {
+                if !out.contains(&w.as_str()) {
+                    out.push(w);
+                }
+            }
+            BoolQuery::And(qs) | BoolQuery::Or(qs) => {
+                for q in qs {
+                    q.collect_terms(out);
+                }
+            }
+        }
+    }
+
+    /// Evaluate the query over per-term postings (the `⋃⋂Q(w)` identity).
+    /// Unknown terms resolve to the empty list.
+    pub fn evaluate(
+        &self,
+        postings_of: &dyn Fn(&str) -> PostingsList,
+    ) -> PostingsList {
+        match self {
+            BoolQuery::Term(w) => postings_of(w),
+            BoolQuery::And(qs) => {
+                let mut lists = qs.iter().map(|q| q.evaluate(postings_of));
+                let first = lists.next().unwrap_or_default();
+                lists.fold(first, |acc, l| acc.intersect(&l))
+            }
+            BoolQuery::Or(qs) => qs
+                .iter()
+                .map(|q| q.evaluate(postings_of))
+                .fold(PostingsList::new(), |acc, l| acc.union(&l)),
+        }
+    }
+
+    /// Whether a document's *exact* word set satisfies the query —
+    /// the content-filter predicate.
+    pub fn matches(&self, has_word: &dyn Fn(&str) -> bool) -> bool {
+        match self {
+            BoolQuery::Term(w) => has_word(w),
+            BoolQuery::And(qs) => qs.iter().all(|q| q.matches(has_word)),
+            BoolQuery::Or(qs) => qs.iter().any(|q| q.matches(has_word)),
+        }
+    }
+}
+
+impl Searcher {
+    /// Execute a Boolean query: one lookup per distinct term (each a single
+    /// concurrent superpost batch), set algebra over the per-term postings,
+    /// then document fetch + exact Boolean filtering.
+    pub fn search_boolean(&self, query: &BoolQuery) -> Result<SearchResult> {
+        let mut trace = QueryTrace::new();
+        // Resolve every distinct term once.
+        let mut term_postings: Vec<(String, PostingsList)> = Vec::new();
+        for term in query.terms() {
+            let (list, t) = self.lookup(term)?;
+            trace.extend(&t);
+            term_postings.push((term.to_owned(), list));
+        }
+        let lookup = |w: &str| -> PostingsList {
+            term_postings
+                .iter()
+                .find(|(t, _)| t == w)
+                .map(|(_, l)| l.clone())
+                .unwrap_or_default()
+        };
+        let candidates_list = query.evaluate(&lookup);
+        let candidates: Vec<iou_sketch::Posting> =
+            candidates_list.iter().copied().collect();
+
+        let tokenizer = self.tokenizer().clone();
+        let predicate = move |text: &str| {
+            let tokens = tokenizer.tokens(text);
+            query.matches(&|w| tokens.iter().any(|t| t == w))
+        };
+        let (hits, dropped) = fetch_and_filter(
+            self.store_dyn(),
+            self.mht().string_table(),
+            &candidates,
+            &predicate,
+            &mut trace,
+        )?;
+        Ok(SearchResult {
+            hits,
+            trace,
+            candidates: candidates.len(),
+            false_positives_removed: dropped,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::config::AirphantConfig;
+    use airphant_corpus::{Corpus, LineSplitter, WhitespaceTokenizer};
+    use airphant_storage::{InMemoryStore, ObjectStore};
+    use bytes::Bytes;
+    use std::sync::Arc;
+
+    fn hits_texts(r: &SearchResult) -> Vec<&str> {
+        let mut v: Vec<&str> = r.hits.iter().map(|h| h.text.as_str()).collect();
+        v.sort();
+        v
+    }
+
+    fn searcher() -> Searcher {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        store
+            .put(
+                "c/b",
+                Bytes::from_static(
+                    b"error disk\nerror network\nwarn disk\ninfo startup\nerror disk network",
+                ),
+            )
+            .unwrap();
+        let corpus = Corpus::new(
+            store.clone(),
+            vec!["c/b".into()],
+            Arc::new(LineSplitter),
+            Arc::new(WhitespaceTokenizer),
+        );
+        Builder::new(
+            AirphantConfig::default()
+                .with_total_bins(128)
+                .with_manual_layers(2)
+                .with_common_fraction(0.0),
+        )
+        .build(&corpus, "idx")
+        .unwrap();
+        Searcher::open(store, "idx").unwrap()
+    }
+
+    #[test]
+    fn and_query_intersects() {
+        let s = searcher();
+        let q = BoolQuery::and([BoolQuery::term("error"), BoolQuery::term("disk")]);
+        let r = s.search_boolean(&q).unwrap();
+        assert_eq!(hits_texts(&r), vec!["error disk", "error disk network"]);
+    }
+
+    #[test]
+    fn or_query_unions() {
+        let s = searcher();
+        let q = BoolQuery::or([BoolQuery::term("warn"), BoolQuery::term("info")]);
+        let r = s.search_boolean(&q).unwrap();
+        assert_eq!(hits_texts(&r), vec!["info startup", "warn disk"]);
+    }
+
+    #[test]
+    fn nested_dnf_query() {
+        // (error AND network) OR (warn AND disk)
+        let s = searcher();
+        let q = BoolQuery::or([
+            BoolQuery::and([BoolQuery::term("error"), BoolQuery::term("network")]),
+            BoolQuery::and([BoolQuery::term("warn"), BoolQuery::term("disk")]),
+        ]);
+        let r = s.search_boolean(&q).unwrap();
+        assert_eq!(
+            hits_texts(&r),
+            vec!["error disk network", "error network", "warn disk"]
+        );
+    }
+
+    #[test]
+    fn single_term_boolean_matches_plain_search() {
+        let s = searcher();
+        let b = s.search_boolean(&BoolQuery::term("error")).unwrap();
+        let p = s.search("error", None).unwrap();
+        assert_eq!(hits_texts(&b), hits_texts(&p));
+    }
+
+    #[test]
+    fn unknown_terms_resolve_empty() {
+        let s = searcher();
+        let q = BoolQuery::and([BoolQuery::term("error"), BoolQuery::term("zzz-missing")]);
+        let r = s.search_boolean(&q).unwrap();
+        assert!(r.hits.is_empty());
+        // OR with a missing term degrades gracefully.
+        let q = BoolQuery::or([BoolQuery::term("info"), BoolQuery::term("zzz-missing")]);
+        let r = s.search_boolean(&q).unwrap();
+        assert_eq!(hits_texts(&r), vec!["info startup"]);
+    }
+
+    #[test]
+    fn terms_deduplicates() {
+        let q = BoolQuery::or([
+            BoolQuery::term("a"),
+            BoolQuery::and([BoolQuery::term("a"), BoolQuery::term("b")]),
+        ]);
+        assert_eq!(q.terms(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn evaluate_identity_on_sets() {
+        // Pure set-algebra check of Q(⋁⋀) = ⋃⋂Q.
+        let pa = PostingsList::from_doc_ids(&[1, 2, 3]);
+        let pb = PostingsList::from_doc_ids(&[2, 3, 4]);
+        let pc = PostingsList::from_doc_ids(&[5]);
+        let lookup = |w: &str| match w {
+            "a" => pa.clone(),
+            "b" => pb.clone(),
+            "c" => pc.clone(),
+            _ => PostingsList::new(),
+        };
+        let q = BoolQuery::or([
+            BoolQuery::and([BoolQuery::term("a"), BoolQuery::term("b")]),
+            BoolQuery::term("c"),
+        ]);
+        let got = q.evaluate(&lookup);
+        assert_eq!(got, PostingsList::from_doc_ids(&[2, 3, 5]));
+    }
+
+    #[test]
+    fn empty_and_or_edge_cases() {
+        let lookup = |_: &str| PostingsList::from_doc_ids(&[1]);
+        assert!(BoolQuery::And(vec![]).evaluate(&lookup).is_empty());
+        assert!(BoolQuery::Or(vec![]).evaluate(&lookup).is_empty());
+        assert!(BoolQuery::And(vec![]).matches(&|_| false));
+        assert!(!BoolQuery::Or(vec![]).matches(&|_| true));
+    }
+}

@@ -1,0 +1,488 @@
+//! The Airphant Builder (§III-C0a): profile → optimize → superposts →
+//! compaction → header.
+//!
+//! "Builder creates a single IoU sketch per corpus. … Builder first creates
+//! superposts … The collection of superposts are concatenated into a single
+//! blob using a compaction encoding. … Next, Builder creates a MHT \[and\]
+//! stores seeds of hash functions … in the same file. This file is
+//! persisted as another blob."
+
+use crate::config::AirphantConfig;
+use crate::error::AirphantError;
+use crate::Result;
+use airphant_corpus::{Corpus, CorpusProfile};
+use bytes::BytesMut;
+use iou_sketch::encoding::{encode_superpost, BinPointer, StringTable};
+use iou_sketch::{
+    optimize_layers, CommonWords, CorpusShape, FalsePositiveModel, Mht, PostingsList,
+    RejectReason, SketchBuilder, SketchConfig,
+};
+use std::collections::HashMap;
+
+/// Summary of a completed index build.
+#[derive(Debug, Clone)]
+pub struct BuildReport {
+    /// Layers actually built (`L*` plus any overprovision).
+    pub layers: usize,
+    /// The optimized `L*` (equals `layers` when no overprovision).
+    pub optimal_layers: usize,
+    /// Expected false positives `F(L)` of the structure actually built,
+    /// predicted by the model (Equation 2).
+    pub expected_fp: Option<f64>,
+    /// Number of compacted superpost blocks written.
+    pub blocks: usize,
+    /// Total bytes of superpost blocks.
+    pub superpost_bytes: u64,
+    /// Bytes of the header block.
+    pub header_bytes: u64,
+    /// Number of distinct words inserted.
+    pub words: u64,
+    /// Number of documents indexed.
+    pub docs: u64,
+    /// Number of common words stored exactly.
+    pub common_words: usize,
+    /// The corpus profile collected during the build.
+    pub profile: CorpusProfile,
+}
+
+impl BuildReport {
+    /// Total index footprint in cloud storage.
+    pub fn index_bytes(&self) -> u64 {
+        self.superpost_bytes + self.header_bytes
+    }
+}
+
+/// Blob name of the index header under `prefix`.
+pub fn header_blob(prefix: &str) -> String {
+    format!("{prefix}/header")
+}
+
+/// Blob name of superpost block `i` under `prefix`.
+pub fn block_blob(prefix: &str, block: u32) -> String {
+    format!("{prefix}/superposts/{block:05}")
+}
+
+/// The Airphant Builder.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    config: AirphantConfig,
+}
+
+/// Accumulates encoded superposts into fixed-target-size blocks and hands
+/// out `(block, offset, len)` pointers — the compaction of §IV-C, which
+/// "avoid[s] creating too many tiny or a few huge files".
+struct BlockWriter<'a> {
+    store: &'a dyn airphant_storage::ObjectStore,
+    prefix: &'a str,
+    target: usize,
+    current: BytesMut,
+    block_idx: u32,
+    total_bytes: u64,
+    blocks: usize,
+}
+
+impl<'a> BlockWriter<'a> {
+    fn new(store: &'a dyn airphant_storage::ObjectStore, prefix: &'a str, target: usize) -> Self {
+        BlockWriter {
+            store,
+            prefix,
+            target: target.max(1),
+            current: BytesMut::new(),
+            block_idx: 0,
+            total_bytes: 0,
+            blocks: 0,
+        }
+    }
+
+    fn append(&mut self, encoded: &[u8]) -> Result<BinPointer> {
+        if !self.current.is_empty() && self.current.len() + encoded.len() > self.target {
+            self.flush()?;
+        }
+        let ptr = BinPointer::new(self.block_idx, self.current.len() as u64, encoded.len() as u32);
+        self.current.extend_from_slice(encoded);
+        Ok(ptr)
+    }
+
+    fn flush(&mut self) -> Result<()> {
+        if self.current.is_empty() {
+            return Ok(());
+        }
+        let name = block_blob(self.prefix, self.block_idx);
+        let data = std::mem::take(&mut self.current).freeze();
+        self.total_bytes += data.len() as u64;
+        self.store.put(&name, data)?;
+        self.block_idx += 1;
+        self.blocks += 1;
+        Ok(())
+    }
+}
+
+/// Encode every layer's superposts concurrently, preserving bin order.
+/// Work splits into contiguous chunks across available cores.
+fn encode_layers_parallel(bins: &[Vec<PostingsList>]) -> Vec<Vec<bytes::Bytes>> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    bins.iter()
+        .map(|layer| {
+            if workers <= 1 || layer.len() < 256 {
+                return layer.iter().map(encode_superpost).collect();
+            }
+            let chunk = layer.len().div_ceil(workers);
+            let mut out: Vec<bytes::Bytes> = Vec::with_capacity(layer.len());
+            crossbeam::scope(|s| {
+                let handles: Vec<_> = layer
+                    .chunks(chunk)
+                    .map(|part| {
+                        s.spawn(move |_| {
+                            part.iter().map(encode_superpost).collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    out.extend(h.join().expect("encode worker"));
+                }
+            })
+            .expect("encode scope");
+            out
+        })
+        .collect()
+}
+
+impl Builder {
+    /// Create a builder with the given configuration.
+    pub fn new(config: AirphantConfig) -> Self {
+        Builder { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AirphantConfig {
+        &self.config
+    }
+
+    /// Build and persist an index for `corpus` under `prefix`, profiling
+    /// the corpus first.
+    pub fn build(&self, corpus: &Corpus, prefix: &str) -> Result<BuildReport> {
+        let profile = corpus.profile()?;
+        self.build_with_profile(corpus, prefix, profile)
+    }
+
+    /// Build with a pre-computed profile (lets experiments reuse one
+    /// profiling pass across many structure configurations).
+    pub fn build_with_profile(
+        &self,
+        corpus: &Corpus,
+        prefix: &str,
+        profile: CorpusProfile,
+    ) -> Result<BuildReport> {
+        self.config.validate()?;
+
+        // --- Structure optimization (Algorithm 1), unless manual. ---
+        let sketch_cfg_probe = SketchConfig {
+            total_bins: self.config.total_bins,
+            layers: 1,
+            common_fraction: self.config.common_fraction,
+        };
+        let sketch_bins = sketch_cfg_probe.sketch_bins();
+        let shape = CorpusShape::uniform(
+            profile.doc_distinct_sizes.iter().copied(),
+            profile.n_terms,
+        );
+        let model = FalsePositiveModel::new(shape, sketch_bins.max(1));
+        let optimal_layers = match self.config.manual_layers {
+            Some(l) => l,
+            None => {
+                let outcome =
+                    optimize_layers(&model, self.config.accuracy_f0).map_err(|r| match r {
+                        RejectReason::LowerBoundExceeded { lower_bound } => {
+                            AirphantError::Sketch(iou_sketch::SketchError::Infeasible {
+                                lower_bound,
+                                requested: self.config.accuracy_f0,
+                            })
+                        }
+                        RejectReason::SearchExhausted { best_f, .. } => {
+                            AirphantError::Sketch(iou_sketch::SketchError::Infeasible {
+                                lower_bound: best_f,
+                                requested: self.config.accuracy_f0,
+                            })
+                        }
+                    })?;
+                outcome.layers as usize
+            }
+        };
+        let layers = optimal_layers + self.config.overprovision_layers;
+        // Model the expected false positives of the structure actually
+        // built (manual structures included): the Searcher's top-K sampler
+        // (Equation 6) needs the real F of this (B, L), not the constraint.
+        let modeled_fp = model.expected_fp(layers as f64);
+        let expected_fp = Some(modeled_fp);
+
+        // --- Common-word selection (§IV-E). ---
+        let sketch_config = SketchConfig {
+            total_bins: self.config.total_bins,
+            layers,
+            common_fraction: self.config.common_fraction,
+        };
+        sketch_config.validate()?;
+        let common = CommonWords::select(
+            profile.doc_freqs.iter().map(|(w, &f)| (w.clone(), f)),
+            sketch_config.common_bins(),
+        );
+
+        // --- Inverted postings accumulation (one pass over documents). ---
+        let mut string_table = StringTable::new();
+        let mut inverted: HashMap<String, Vec<iou_sketch::Posting>> = HashMap::new();
+        let tokenizer = corpus.tokenizer().clone();
+        let mut docs = 0u64;
+        corpus.for_each_document(|doc| {
+            docs += 1;
+            let blob_id = string_table.intern(&doc.blob);
+            let posting = iou_sketch::Posting::new(blob_id, doc.offset, doc.len);
+            let mut distinct: Vec<String> = tokenizer.tokens(&doc.text);
+            distinct.sort_unstable();
+            distinct.dedup();
+            for w in distinct {
+                inverted.entry(w).or_default().push(posting);
+            }
+        })?;
+
+        // --- Sketch construction. ---
+        let mut sb = SketchBuilder::new(sketch_config.clone(), self.config.seed);
+        sb.set_common_words(common);
+        let words = inverted.len() as u64;
+        for (word, postings) in inverted {
+            sb.insert(&word, &PostingsList::from_postings(postings));
+        }
+        let sketch = sb.freeze();
+        let (_, family, bins, common) = sketch.into_parts();
+
+        // --- Superpost compaction (§IV-C). ---
+        // Encoding is embarrassingly parallel (the paper builds on a
+        // 32-vCPU VM); block layout stays deterministic because append
+        // order is preserved after the parallel encode.
+        let store = corpus.store();
+        let mut writer = BlockWriter::new(
+            store.as_ref(),
+            prefix,
+            self.config.block_target_bytes,
+        );
+        let encoded_layers = encode_layers_parallel(&bins);
+        let mut pointers: Vec<Vec<BinPointer>> = Vec::with_capacity(layers);
+        for encoded_layer in &encoded_layers {
+            let mut layer_ptrs = Vec::with_capacity(encoded_layer.len());
+            for encoded in encoded_layer {
+                layer_ptrs.push(writer.append(encoded)?);
+            }
+            pointers.push(layer_ptrs);
+        }
+        let mut common_ptrs: HashMap<String, BinPointer> = HashMap::new();
+        let common_map = common.into_map();
+        let common_count = common_map.len();
+        // Deterministic block layout: write common words sorted.
+        let mut common_sorted: Vec<(String, PostingsList)> = common_map.into_iter().collect();
+        common_sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        for (word, postings) in common_sorted {
+            let encoded = encode_superpost(&postings);
+            common_ptrs.insert(word, writer.append(&encoded)?);
+        }
+        writer.flush()?;
+
+        // --- Header block (MHT + seeds + string table + metadata). ---
+        let meta = vec![
+            ("f0".to_string(), self.config.accuracy_f0.to_string()),
+            ("expected_fp".to_string(), modeled_fp.to_string()),
+            ("optimal_layers".to_string(), optimal_layers.to_string()),
+            ("docs".to_string(), docs.to_string()),
+            ("words".to_string(), words.to_string()),
+            ("topk_delta".to_string(), self.config.topk_delta.to_string()),
+        ];
+        let mht = Mht::new(
+            sketch_config,
+            family,
+            pointers,
+            common_ptrs,
+            string_table,
+            meta,
+        );
+        let header = mht.to_header().encode();
+        let header_bytes = header.len() as u64;
+        store.put(&header_blob(prefix), header)?;
+
+        Ok(BuildReport {
+            layers,
+            optimal_layers,
+            expected_fp,
+            blocks: writer.blocks,
+            superpost_bytes: writer.total_bytes,
+            header_bytes,
+            words,
+            docs,
+            common_words: common_count,
+            profile,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airphant_corpus::{Corpus, LineSplitter, WhitespaceTokenizer};
+    use airphant_storage::{InMemoryStore, ObjectStore};
+    use bytes::Bytes;
+    use std::sync::Arc;
+
+    fn small_corpus(store: Arc<dyn ObjectStore>) -> Corpus {
+        store
+            .put(
+                "c/blob-0",
+                Bytes::from_static(b"hello world\nhello airphant\ncloud search engine"),
+            )
+            .unwrap();
+        store
+            .put("c/blob-1", Bytes::from_static(b"world of cloud storage"))
+            .unwrap();
+        Corpus::new(
+            store,
+            vec!["c/blob-0".into(), "c/blob-1".into()],
+            Arc::new(LineSplitter),
+            Arc::new(WhitespaceTokenizer),
+        )
+    }
+
+    #[test]
+    fn build_persists_header_and_blocks() {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let corpus = small_corpus(store.clone());
+        let report = Builder::new(AirphantConfig::default().with_total_bins(128))
+            .build(&corpus, "idx")
+            .unwrap();
+        assert!(store.exists("idx/header"));
+        assert!(report.blocks >= 1);
+        assert!(store.exists(&block_blob("idx", 0)));
+        assert_eq!(report.docs, 4);
+        assert!(report.words >= 8);
+        assert!(report.index_bytes() > 0);
+        assert!(report.expected_fp.is_some());
+    }
+
+    #[test]
+    fn manual_layers_skip_optimization() {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let corpus = small_corpus(store.clone());
+        let report = Builder::new(
+            AirphantConfig::default()
+                .with_total_bins(64)
+                .with_manual_layers(3),
+        )
+        .build(&corpus, "idx")
+        .unwrap();
+        assert_eq!(report.layers, 3);
+        assert_eq!(report.optimal_layers, 3);
+        // Even manual structures get a modeled expected-FP figure.
+        assert!(report.expected_fp.is_some());
+    }
+
+    #[test]
+    fn overprovision_adds_layers() {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let corpus = small_corpus(store.clone());
+        let report = Builder::new(
+            AirphantConfig::default()
+                .with_total_bins(128)
+                .with_manual_layers(2)
+                .with_overprovision(2),
+        )
+        .build(&corpus, "idx")
+        .unwrap();
+        assert_eq!(report.optimal_layers, 2);
+        assert_eq!(report.layers, 4);
+    }
+
+    #[test]
+    fn infeasible_accuracy_is_rejected() {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let corpus = small_corpus(store.clone());
+        let result = Builder::new(
+            AirphantConfig::default()
+                .with_total_bins(8)
+                .with_common_fraction(0.0)
+                .with_accuracy(1e-30),
+        )
+        .build(&corpus, "idx");
+        assert!(matches!(
+            result,
+            Err(AirphantError::Sketch(
+                iou_sketch::SketchError::Infeasible { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn block_writer_splits_at_target() {
+        let store = InMemoryStore::new();
+        let mut w = BlockWriter::new(&store, "t", 100);
+        let chunk = vec![0u8; 60];
+        let p0 = w.append(&chunk).unwrap();
+        let p1 = w.append(&chunk).unwrap(); // would exceed 100 → new block
+        let p2 = w.append(&chunk).unwrap();
+        w.flush().unwrap();
+        assert_eq!((p0.block, p0.offset), (0, 0));
+        assert_eq!((p1.block, p1.offset), (1, 0));
+        assert_eq!((p2.block, p2.offset), (2, 0));
+        assert_eq!(w.blocks, 3);
+        assert_eq!(store.list("t/").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn block_writer_packs_small_superposts_together() {
+        let store = InMemoryStore::new();
+        let mut w = BlockWriter::new(&store, "t", 1_000);
+        let mut pointers = Vec::new();
+        for _ in 0..10 {
+            pointers.push(w.append(&[1, 2, 3]).unwrap());
+        }
+        w.flush().unwrap();
+        assert_eq!(w.blocks, 1, "30 bytes fit one 1000-byte block");
+        assert!(pointers.iter().all(|p| p.block == 0));
+        assert_eq!(pointers[9].offset, 27);
+    }
+
+    #[test]
+    fn build_report_words_match_profile_terms() {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let corpus = small_corpus(store.clone());
+        let report = Builder::new(AirphantConfig::default().with_total_bins(128))
+            .build(&corpus, "idx")
+            .unwrap();
+        assert_eq!(report.words, report.profile.n_terms);
+    }
+}
+
+#[cfg(test)]
+mod parallel_encode_tests {
+    use super::*;
+    use iou_sketch::PostingsList;
+
+    #[test]
+    fn parallel_encode_matches_sequential_order() {
+        // A layer large enough to trip the parallel path.
+        let layer: Vec<PostingsList> = (0..1_000u64)
+            .map(|i| PostingsList::from_doc_ids(&[i, i + 1, i * 3]))
+            .collect();
+        let bins = vec![layer.clone(), layer[..300].to_vec()];
+        let parallel = encode_layers_parallel(&bins);
+        let sequential: Vec<Vec<bytes::Bytes>> = bins
+            .iter()
+            .map(|l| l.iter().map(encode_superpost).collect())
+            .collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn small_layers_take_sequential_path() {
+        let bins = vec![vec![PostingsList::from_doc_ids(&[1])]];
+        let encoded = encode_layers_parallel(&bins);
+        assert_eq!(encoded.len(), 1);
+        assert_eq!(encoded[0].len(), 1);
+    }
+}

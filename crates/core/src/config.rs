@@ -1,0 +1,171 @@
+//! Engine configuration ("Configuring Builder", §III-C0b).
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of an Airphant index build and its Searcher behaviour.
+///
+/// Defaults mirror the paper's experimental parameters (§V-A0c): `B = 10^5`
+/// bins, accuracy constraint `F0 = 1`, top-K failure probability
+/// `δ = 10^{-6}` with `K = 10`, and 1% of bins reserved for common words.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AirphantConfig {
+    /// Total bin budget `B` (common-word bins included).
+    pub total_bins: usize,
+    /// Accuracy constraint `F0`: expected false positives per query.
+    pub accuracy_f0: f64,
+    /// Fraction of bins holding exact postings of the most common words.
+    pub common_fraction: f64,
+    /// Manual layer override: skip profiling-based optimization
+    /// ("users can also manually select the IoU Sketch structure").
+    pub manual_layers: Option<usize>,
+    /// Extra layers built beyond `L*` for straggler mitigation (§IV-G):
+    /// a query may wait for only the fastest `L*` of `L* + overprovision`.
+    pub overprovision_layers: usize,
+    /// Failure probability `δ` for top-K sampling (Equation 6).
+    pub topk_delta: f64,
+    /// Target byte size of each compacted superpost block.
+    pub block_target_bytes: usize,
+    /// Seed for hash-family generation and sampling.
+    pub seed: u64,
+}
+
+impl Default for AirphantConfig {
+    fn default() -> Self {
+        AirphantConfig {
+            total_bins: 100_000,
+            accuracy_f0: 1.0,
+            common_fraction: 0.01,
+            manual_layers: None,
+            overprovision_layers: 0,
+            topk_delta: 1e-6,
+            block_target_bytes: 4 * 1024 * 1024,
+            seed: 0xA1B2_C3D4,
+        }
+    }
+}
+
+impl AirphantConfig {
+    /// Set the total bin budget.
+    pub fn with_total_bins(mut self, b: usize) -> Self {
+        self.total_bins = b;
+        self
+    }
+
+    /// Set the accuracy constraint `F0`.
+    pub fn with_accuracy(mut self, f0: f64) -> Self {
+        self.accuracy_f0 = f0;
+        self
+    }
+
+    /// Fix the number of layers manually.
+    pub fn with_manual_layers(mut self, layers: usize) -> Self {
+        self.manual_layers = Some(layers);
+        self
+    }
+
+    /// Set the common-word bin fraction.
+    pub fn with_common_fraction(mut self, fraction: f64) -> Self {
+        self.common_fraction = fraction;
+        self
+    }
+
+    /// Build `extra` layers beyond the optimized `L*` (§IV-G replication).
+    pub fn with_overprovision(mut self, extra: usize) -> Self {
+        self.overprovision_layers = extra;
+        self
+    }
+
+    /// Set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> crate::Result<()> {
+        if self.total_bins == 0 {
+            return Err(crate::AirphantError::InvalidConfig {
+                reason: "total_bins must be positive".into(),
+            });
+        }
+        if self.accuracy_f0 <= 0.0 {
+            return Err(crate::AirphantError::InvalidConfig {
+                reason: "accuracy_f0 must be positive".into(),
+            });
+        }
+        if !(0.0..1.0).contains(&self.common_fraction) {
+            return Err(crate::AirphantError::InvalidConfig {
+                reason: "common_fraction must be in [0, 1)".into(),
+            });
+        }
+        if !(0.0..1.0).contains(&self.topk_delta) || self.topk_delta == 0.0 {
+            return Err(crate::AirphantError::InvalidConfig {
+                reason: "topk_delta must be in (0, 1)".into(),
+            });
+        }
+        if let Some(l) = self.manual_layers {
+            if l == 0 {
+                return Err(crate::AirphantError::InvalidConfig {
+                    reason: "manual_layers must be >= 1".into(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_parameters() {
+        let c = AirphantConfig::default();
+        assert_eq!(c.total_bins, 100_000);
+        assert_eq!(c.accuracy_f0, 1.0);
+        assert_eq!(c.common_fraction, 0.01);
+        assert_eq!(c.topk_delta, 1e-6);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_style_setters() {
+        let c = AirphantConfig::default()
+            .with_total_bins(500)
+            .with_accuracy(0.01)
+            .with_manual_layers(4)
+            .with_common_fraction(0.0)
+            .with_overprovision(2)
+            .with_seed(7);
+        assert_eq!(c.total_bins, 500);
+        assert_eq!(c.manual_layers, Some(4));
+        assert_eq!(c.overprovision_layers, 2);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        assert!(AirphantConfig::default()
+            .with_total_bins(0)
+            .validate()
+            .is_err());
+        assert!(AirphantConfig::default()
+            .with_accuracy(0.0)
+            .validate()
+            .is_err());
+        assert!(AirphantConfig::default()
+            .with_manual_layers(0)
+            .validate()
+            .is_err());
+        let c = AirphantConfig {
+            common_fraction: 1.0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+        let c = AirphantConfig {
+            topk_delta: 0.0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,99 @@
+//! The [`SearchEngine`] trait: the common interface the benchmark harness
+//! drives for Airphant and every baseline (Lucene-like, Elasticsearch-like,
+//! SQLite-like, HashTable).
+//!
+//! Each engine indexes the same parsed corpus, persists its structures in
+//! the same object store, and answers keyword queries, reporting a
+//! [`QueryTrace`] so the experiments can compare end-to-end latency, term
+//! lookup latency, and the wait/download breakdown across systems.
+
+use crate::result::SearchResult;
+use crate::Result;
+use airphant_storage::QueryTrace;
+use iou_sketch::PostingsList;
+
+/// A keyword-search engine under benchmark.
+pub trait SearchEngine {
+    /// Engine name as it appears in the paper's figures
+    /// (e.g. `"AIRPHANT"`, `"Lucene"`, `"SQLite"`).
+    fn name(&self) -> &'static str;
+
+    /// One-time per-corpus initialization cost (header download, snapshot
+    /// mount, …). Zero trace for engines with no init step.
+    fn init_trace(&self) -> QueryTrace {
+        QueryTrace::new()
+    }
+
+    /// Term-index lookup only: resolve `word` to its (possibly
+    /// approximate) postings list. This is what Figure 14 measures.
+    fn lookup(&self, word: &str) -> Result<(PostingsList, QueryTrace)>;
+
+    /// Full search: lookup, fetch documents, filter. `top_k = Some(k)`
+    /// bounds the result set.
+    fn search(&self, word: &str, top_k: Option<usize>) -> Result<SearchResult>;
+
+    /// Total bytes of index structures this engine persisted (for the
+    /// storage-usage comparisons, Figure 15b).
+    fn index_bytes(&self) -> u64;
+}
+
+impl SearchEngine for crate::Searcher {
+    fn name(&self) -> &'static str {
+        "AIRPHANT"
+    }
+
+    fn init_trace(&self) -> QueryTrace {
+        crate::Searcher::init_trace(self).clone()
+    }
+
+    fn lookup(&self, word: &str) -> Result<(PostingsList, QueryTrace)> {
+        crate::Searcher::lookup(self, word)
+    }
+
+    fn search(&self, word: &str, top_k: Option<usize>) -> Result<SearchResult> {
+        crate::Searcher::search(self, word, top_k)
+    }
+
+    fn index_bytes(&self) -> u64 {
+        // Header + superpost blocks under the index prefix.
+        self.index_usage_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::config::AirphantConfig;
+    use crate::Searcher;
+    use airphant_corpus::{Corpus, LineSplitter, WhitespaceTokenizer};
+    use airphant_storage::{InMemoryStore, ObjectStore};
+    use bytes::Bytes;
+    use std::sync::Arc;
+
+    #[test]
+    fn searcher_implements_engine() {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        store
+            .put("c/b", Bytes::from_static(b"alpha beta\ngamma"))
+            .unwrap();
+        let corpus = Corpus::new(
+            store.clone(),
+            vec!["c/b".into()],
+            Arc::new(LineSplitter),
+            Arc::new(WhitespaceTokenizer),
+        );
+        Builder::new(AirphantConfig::default().with_total_bins(64))
+            .build(&corpus, "idx")
+            .unwrap();
+        let engine: Box<dyn SearchEngine> =
+            Box::new(Searcher::open(store, "idx").unwrap());
+        assert_eq!(engine.name(), "AIRPHANT");
+        let r = engine.search("alpha", None).unwrap();
+        assert_eq!(r.hits.len(), 1);
+        let (postings, _) = engine.lookup("gamma").unwrap();
+        assert!(!postings.is_empty());
+        assert!(engine.index_bytes() > 0);
+        assert!(engine.init_trace().bytes() > 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Engine-level error type.
+
+use std::fmt;
+
+/// Errors from building or searching an Airphant index.
+#[derive(Debug)]
+pub enum AirphantError {
+    /// Underlying storage failure.
+    Storage(airphant_storage::StorageError),
+    /// Sketch construction/encoding/optimization failure.
+    Sketch(iou_sketch::SketchError),
+    /// The index the Searcher tried to open is missing or incomplete.
+    IndexNotFound {
+        /// The index prefix that was probed.
+        prefix: String,
+    },
+    /// Invalid engine configuration.
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for AirphantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AirphantError::Storage(e) => write!(f, "storage error: {e}"),
+            AirphantError::Sketch(e) => write!(f, "sketch error: {e}"),
+            AirphantError::IndexNotFound { prefix } => {
+                write!(f, "no index found under prefix {prefix}")
+            }
+            AirphantError::InvalidConfig { reason } => write!(f, "invalid config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for AirphantError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AirphantError::Storage(e) => Some(e),
+            AirphantError::Sketch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<airphant_storage::StorageError> for AirphantError {
+    fn from(e: airphant_storage::StorageError) -> Self {
+        AirphantError::Storage(e)
+    }
+}
+
+impl From<iou_sketch::SketchError> for AirphantError {
+    fn from(e: iou_sketch::SketchError) -> Self {
+        AirphantError::Sketch(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: AirphantError = airphant_storage::StorageError::BlobNotFound {
+            name: "x".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("blob not found"));
+        let e: AirphantError = iou_sketch::SketchError::InvalidConfig {
+            reason: "bad".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("sketch error"));
+        assert!(AirphantError::IndexNotFound {
+            prefix: "idx".into()
+        }
+        .to_string()
+        .contains("idx"));
+    }
+}

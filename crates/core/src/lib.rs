@@ -1,0 +1,68 @@
+//! # airphant
+//!
+//! The Airphant search engine (ICDE 2022): keyword search with every byte —
+//! documents, superposts, and index header — persisted in cloud object
+//! storage, and a lightweight stateless Searcher that answers queries with
+//! a *single batch of concurrent storage reads* thanks to the IoU Sketch.
+//!
+//! ## Components (§III-C)
+//!
+//! * [`Builder`] — profiles a corpus, optimizes the IoU Sketch structure
+//!   (Algorithm 1), constructs superposts, compacts them into blocks, and
+//!   persists the header block.
+//! * [`Searcher`] — initializes once per corpus (downloads the header,
+//!   reconstructs the MHT in memory), then serves queries: hash → one
+//!   concurrent superpost batch → intersect → fetch documents → filter.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use airphant::{AirphantConfig, Builder, Searcher};
+//! use airphant_corpus::{Corpus, LineSplitter, WhitespaceTokenizer};
+//! use airphant_storage::{InMemoryStore, ObjectStore};
+//! use bytes::Bytes;
+//!
+//! let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+//! store.put("corpus/blob-0", Bytes::from_static(b"hello world\nhello airphant")).unwrap();
+//! let corpus = Corpus::new(
+//!     store.clone(),
+//!     vec!["corpus/blob-0".into()],
+//!     Arc::new(LineSplitter),
+//!     Arc::new(WhitespaceTokenizer),
+//! );
+//!
+//! let config = AirphantConfig::default().with_total_bins(256);
+//! let built = Builder::new(config).build(&corpus, "index").unwrap();
+//!
+//! let searcher = Searcher::open(store, "index").unwrap();
+//! let result = searcher.search("airphant", None).unwrap();
+//! assert_eq!(result.hits.len(), 1);
+//! assert!(result.hits[0].text.contains("airphant"));
+//! # let _ = built;
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod boolean;
+pub mod builder;
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod result;
+pub mod retrieval;
+pub mod searcher;
+pub mod segments;
+pub mod substring;
+
+pub use boolean::BoolQuery;
+pub use builder::{BuildReport, Builder};
+pub use config::AirphantConfig;
+pub use engine::SearchEngine;
+pub use error::AirphantError;
+pub use result::{SearchHit, SearchResult};
+pub use searcher::Searcher;
+pub use segments::{SegmentManager, SegmentedSearcher};
+
+/// Convenient `Result` alias.
+pub type Result<T> = std::result::Result<T, AirphantError>;

@@ -1,0 +1,52 @@
+//! Search results and their instrumentation.
+
+use airphant_storage::QueryTrace;
+
+/// One matching document returned to the user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SearchHit {
+    /// Blob holding the document.
+    pub blob: String,
+    /// Byte offset inside the blob.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u32,
+    /// The document's text.
+    pub text: String,
+}
+
+/// The outcome of one query, with the latency trace the experiments report.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Matching documents (false positives already filtered out).
+    pub hits: Vec<SearchHit>,
+    /// Simulated-latency trace of the query (wait/download breakdown).
+    pub trace: QueryTrace,
+    /// Size of the final postings list before document filtering.
+    pub candidates: usize,
+    /// Documents fetched then discarded as false positives.
+    pub false_positives_removed: usize,
+}
+
+impl SearchResult {
+    /// End-to-end simulated latency of the query.
+    pub fn latency(&self) -> airphant_storage::SimDuration {
+        self.trace.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_delegates_to_trace() {
+        let r = SearchResult {
+            hits: Vec::new(),
+            trace: QueryTrace::new(),
+            candidates: 0,
+            false_positives_removed: 0,
+        };
+        assert_eq!(r.latency(), airphant_storage::SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,143 @@
+//! Document retrieval and false-positive filtering — the routine Airphant
+//! and the SQLite baseline share ("SQLite reuses the same document
+//! retrieval routine from Airphant", §V-A0b).
+//!
+//! Given a final postings list, fetch all referenced documents in one
+//! concurrent batch, then filter out documents that do not actually satisfy
+//! the predicate: "Searcher filters out irrelevant documents after fetching
+//! the documents. This filtering process is much fast\[er\] compared to
+//! document-fetching" (§III-C).
+
+use crate::result::SearchHit;
+use airphant_storage::{ObjectStore, PhaseKind, QueryTrace, RangeRequest, SimDuration};
+use iou_sketch::Posting;
+
+/// Resolves interned blob ids back to blob names.
+pub trait BlobResolver {
+    /// The blob name for `id`, if known.
+    fn resolve(&self, id: u32) -> Option<&str>;
+}
+
+impl BlobResolver for iou_sketch::encoding::StringTable {
+    fn resolve(&self, id: u32) -> Option<&str> {
+        self.name(id)
+    }
+}
+
+/// Fetch the documents of `postings` in one concurrent batch and keep those
+/// whose text satisfies `predicate`. Returns the retained hits and the
+/// number filtered out; records the fetch as a [`PhaseKind::Documents`]
+/// phase and the filter as compute time.
+pub fn fetch_and_filter(
+    store: &dyn ObjectStore,
+    resolver: &dyn BlobResolver,
+    postings: &[Posting],
+    predicate: &dyn Fn(&str) -> bool,
+    trace: &mut QueryTrace,
+) -> airphant_storage::Result<(Vec<SearchHit>, usize)> {
+    if postings.is_empty() {
+        return Ok((Vec::new(), 0));
+    }
+    let requests: Vec<RangeRequest> = postings
+        .iter()
+        .map(|p| {
+            let name = resolver.resolve(p.blob).unwrap_or_default().to_owned();
+            RangeRequest::new(name, p.offset, p.len as u64)
+        })
+        .collect();
+    let batch = store.get_ranges(&requests)?;
+    trace.record_batch(PhaseKind::Documents, &batch);
+
+    let filter_start = std::time::Instant::now();
+    let mut hits = Vec::with_capacity(batch.parts.len());
+    let mut dropped = 0usize;
+    for (req, part) in requests.iter().zip(batch.parts.iter()) {
+        let text = String::from_utf8_lossy(&part.bytes).into_owned();
+        if predicate(&text) {
+            hits.push(SearchHit {
+                blob: req.name.clone(),
+                offset: req.offset,
+                len: req.len as u32,
+                text,
+            });
+        } else {
+            dropped += 1;
+        }
+    }
+    trace.record_compute(SimDuration::from_secs_f64(
+        filter_start.elapsed().as_secs_f64(),
+    ));
+    Ok((hits, dropped))
+}
+
+/// Predicate for "document contains keyword `word`" under a tokenizer.
+pub fn contains_word<'a>(
+    tokenizer: &'a dyn airphant_corpus::Tokenizer,
+    word: &'a str,
+) -> impl Fn(&str) -> bool + 'a {
+    move |text: &str| tokenizer.tokens(text).iter().any(|t| t == word)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airphant_corpus::WhitespaceTokenizer;
+    use airphant_storage::InMemoryStore;
+    use bytes::Bytes;
+    use iou_sketch::encoding::StringTable;
+
+    fn setup() -> (InMemoryStore, StringTable, Vec<Posting>) {
+        let store = InMemoryStore::new();
+        store
+            .put("blob-0", Bytes::from_static(b"hello world\nbye world"))
+            .unwrap();
+        let mut st = StringTable::new();
+        let id = st.intern("blob-0");
+        let postings = vec![Posting::new(id, 0, 11), Posting::new(id, 12, 9)];
+        (store, st, postings)
+    }
+
+    #[test]
+    fn fetch_and_filter_removes_false_positives() {
+        let (store, st, postings) = setup();
+        let mut trace = QueryTrace::new();
+        let tok = WhitespaceTokenizer;
+        let pred = contains_word(&tok, "hello");
+        let (hits, dropped) =
+            fetch_and_filter(&store, &st, &postings, &pred, &mut trace).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].text, "hello world");
+        assert_eq!(dropped, 1);
+        assert_eq!(trace.requests(), 2);
+        assert_eq!(trace.bytes(), 20);
+    }
+
+    #[test]
+    fn empty_postings_is_free() {
+        let (store, st, _) = setup();
+        let mut trace = QueryTrace::new();
+        let (hits, dropped) =
+            fetch_and_filter(&store, &st, &[], &|_| true, &mut trace).unwrap();
+        assert!(hits.is_empty());
+        assert_eq!(dropped, 0);
+        assert_eq!(trace.requests(), 0);
+    }
+
+    #[test]
+    fn contains_word_is_exact_token_match() {
+        let tok = WhitespaceTokenizer;
+        let pred = contains_word(&tok, "hell");
+        assert!(!pred("hello world"), "substring must not match");
+        let pred = contains_word(&tok, "hello");
+        assert!(pred("say hello twice"));
+    }
+
+    #[test]
+    fn unknown_blob_id_yields_error() {
+        let (store, st, _) = setup();
+        let mut trace = QueryTrace::new();
+        let bogus = vec![Posting::new(99, 0, 4)];
+        let r = fetch_and_filter(&store, &st, &bogus, &|_| true, &mut trace);
+        assert!(r.is_err(), "unresolvable blob id should surface as error");
+    }
+}

@@ -1,0 +1,250 @@
+//! Segmented indexes: append-only corpus updates.
+//!
+//! The paper targets "read-oriented workloads where the corpus doesn't
+//! change frequently" and defers frequent-update support to future work
+//! (§III-A). This module implements the natural first step — the
+//! LSM/Lucene-segment strategy: each batch of new documents becomes its own
+//! immutable IoU Sketch *segment*; a query fans out to all segments
+//! concurrently (their lookups are independent single batches, so the
+//! fan-out preserves Airphant's no-dependent-round-trips property) and
+//! unions the results. A small manifest blob lists the live segments.
+
+use crate::builder::{BuildReport, Builder};
+use crate::config::AirphantConfig;
+use crate::error::AirphantError;
+use crate::result::SearchResult;
+use crate::searcher::Searcher;
+use crate::Result;
+use airphant_corpus::Corpus;
+use airphant_storage::{ObjectStore, QueryTrace};
+use bytes::Bytes;
+use std::sync::Arc;
+
+fn manifest_blob(base: &str) -> String {
+    format!("{base}/manifest")
+}
+
+/// Manages the segment manifest and appends new segments.
+pub struct SegmentManager {
+    store: Arc<dyn ObjectStore>,
+    base: String,
+}
+
+impl SegmentManager {
+    /// Open (or start) a segmented index rooted at `base`.
+    pub fn new(store: Arc<dyn ObjectStore>, base: impl Into<String>) -> Self {
+        SegmentManager {
+            store,
+            base: base.into(),
+        }
+    }
+
+    /// The live segment prefixes, in append order.
+    pub fn segments(&self) -> Result<Vec<String>> {
+        let name = manifest_blob(&self.base);
+        if !self.store.exists(&name) {
+            return Ok(Vec::new());
+        }
+        let fetched = self.store.get(&name)?;
+        let text = String::from_utf8_lossy(&fetched.bytes);
+        Ok(text
+            .lines()
+            .filter(|l| !l.is_empty())
+            .map(str::to_owned)
+            .collect())
+    }
+
+    /// Index `corpus` as a new immutable segment and publish it in the
+    /// manifest. Returns the segment's build report and prefix.
+    pub fn append(
+        &self,
+        corpus: &Corpus,
+        config: &AirphantConfig,
+    ) -> Result<(BuildReport, String)> {
+        let mut segments = self.segments()?;
+        let prefix = format!("{}/seg-{:05}", self.base, segments.len());
+        let report = Builder::new(config.clone()).build(corpus, &prefix)?;
+        segments.push(prefix.clone());
+        self.store
+            .put(&manifest_blob(&self.base), Bytes::from(segments.join("\n")))?;
+        Ok((report, prefix))
+    }
+
+    /// Open a searcher over every live segment.
+    pub fn open(&self) -> Result<SegmentedSearcher> {
+        let segments = self.segments()?;
+        if segments.is_empty() {
+            return Err(AirphantError::IndexNotFound {
+                prefix: self.base.clone(),
+            });
+        }
+        let searchers = segments
+            .iter()
+            .map(|p| Searcher::open(self.store.clone(), p))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(SegmentedSearcher { searchers })
+    }
+}
+
+/// A query server over multiple immutable segments.
+pub struct SegmentedSearcher {
+    searchers: Vec<Searcher>,
+}
+
+impl SegmentedSearcher {
+    /// Number of live segments.
+    pub fn segment_count(&self) -> usize {
+        self.searchers.len()
+    }
+
+    /// Per-segment searchers (for introspection).
+    pub fn segments(&self) -> &[Searcher] {
+        &self.searchers
+    }
+
+    /// Search every segment concurrently and union the results. Segment
+    /// sub-queries are independent, so their waits overlap
+    /// ([`QueryTrace::merge_parallel`]); hits keep append order (older
+    /// segments first).
+    pub fn search(&self, word: &str, top_k: Option<usize>) -> Result<SearchResult> {
+        let mut hits = Vec::new();
+        let mut traces = Vec::with_capacity(self.searchers.len());
+        let mut candidates = 0;
+        let mut dropped = 0;
+        for searcher in &self.searchers {
+            let r = searcher.search(word, top_k)?;
+            candidates += r.candidates;
+            dropped += r.false_positives_removed;
+            hits.extend(r.hits);
+            traces.push(r.trace);
+        }
+        if let Some(k) = top_k {
+            hits.truncate(k);
+        }
+        Ok(SearchResult {
+            hits,
+            trace: QueryTrace::merge_parallel(&traces),
+            candidates,
+            false_positives_removed: dropped,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airphant_corpus::{LineSplitter, WhitespaceTokenizer};
+    use airphant_storage::{InMemoryStore, LatencyModel, SimulatedCloudStore};
+
+    fn corpus_of(store: Arc<dyn ObjectStore>, blob: &str, lines: &[&str]) -> Corpus {
+        store.put(blob, Bytes::from(lines.join("\n"))).unwrap();
+        Corpus::new(
+            store,
+            vec![blob.to_owned()],
+            Arc::new(LineSplitter),
+            Arc::new(WhitespaceTokenizer),
+        )
+    }
+
+    fn config() -> AirphantConfig {
+        AirphantConfig::default()
+            .with_total_bins(64)
+            .with_common_fraction(0.0)
+    }
+
+    #[test]
+    fn append_and_search_across_segments() {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let mgr = SegmentManager::new(store.clone(), "idx");
+        assert!(mgr.segments().unwrap().is_empty());
+
+        let day1 = corpus_of(store.clone(), "c/day1", &["error disk", "info boot"]);
+        mgr.append(&day1, &config()).unwrap();
+        let day2 = corpus_of(store.clone(), "c/day2", &["error network", "warn temp"]);
+        mgr.append(&day2, &config()).unwrap();
+
+        assert_eq!(mgr.segments().unwrap().len(), 2);
+        let searcher = mgr.open().unwrap();
+        assert_eq!(searcher.segment_count(), 2);
+
+        // "error" spans both segments.
+        let r = searcher.search("error", None).unwrap();
+        let texts: Vec<&str> = r.hits.iter().map(|h| h.text.as_str()).collect();
+        assert_eq!(texts, vec!["error disk", "error network"]);
+        // Words local to one segment still resolve.
+        assert_eq!(searcher.search("boot", None).unwrap().hits.len(), 1);
+        assert_eq!(searcher.search("temp", None).unwrap().hits.len(), 1);
+        assert!(searcher.search("absent", None).unwrap().hits.is_empty());
+    }
+
+    #[test]
+    fn new_documents_visible_after_reopen() {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let mgr = SegmentManager::new(store.clone(), "idx");
+        let day1 = corpus_of(store.clone(), "c/day1", &["alpha"]);
+        mgr.append(&day1, &config()).unwrap();
+        let s1 = mgr.open().unwrap();
+        assert_eq!(s1.search("beta", None).unwrap().hits.len(), 0);
+
+        let day2 = corpus_of(store.clone(), "c/day2", &["beta"]);
+        mgr.append(&day2, &config()).unwrap();
+        // Old handle still serves its snapshot; a reopen sees the update.
+        assert_eq!(s1.segment_count(), 1);
+        let s2 = mgr.open().unwrap();
+        assert_eq!(s2.search("beta", None).unwrap().hits.len(), 1);
+    }
+
+    #[test]
+    fn open_empty_manifest_errors() {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let mgr = SegmentManager::new(store, "idx");
+        assert!(matches!(
+            mgr.open(),
+            Err(AirphantError::IndexNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn segment_fanout_waits_overlap() {
+        let store = Arc::new(SimulatedCloudStore::new(
+            InMemoryStore::new(),
+            LatencyModel::gcs_like(),
+            21,
+        ));
+        let dyn_store: Arc<dyn ObjectStore> = store.clone();
+        let mgr = SegmentManager::new(dyn_store.clone(), "idx");
+        for day in 0..4 {
+            let lines: Vec<String> =
+                (0..20).map(|i| format!("shared word{day}x{i}")).collect();
+            let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+            let c = corpus_of(dyn_store.clone(), &format!("c/day{day}"), &refs);
+            mgr.append(&c, &config()).unwrap();
+        }
+        let searcher = mgr.open().unwrap();
+        let r = searcher.search("shared", None).unwrap();
+        assert_eq!(r.hits.len(), 80, "union across 4 segments");
+        // Four concurrent segment lookups at ~50ms each must overlap: the
+        // merged wait stays well under 4 sequential round-trip stacks.
+        let single_rt = 46.0;
+        assert!(
+            r.trace.wait().as_millis_f64() < 3.0 * 2.0 * single_rt,
+            "fan-out wait {} should overlap",
+            r.trace.wait()
+        );
+    }
+
+    #[test]
+    fn top_k_truncates_across_segments() {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let mgr = SegmentManager::new(store.clone(), "idx");
+        for day in 0..3 {
+            let lines: Vec<String> = (0..30).map(|i| format!("common tail{day}-{i}")).collect();
+            let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+            let c = corpus_of(store.clone(), &format!("c/day{day}"), &refs);
+            mgr.append(&c, &config()).unwrap();
+        }
+        let searcher = mgr.open().unwrap();
+        let r = searcher.search("common", Some(7)).unwrap();
+        assert_eq!(r.hits.len(), 7);
+    }
+}

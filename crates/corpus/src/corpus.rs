@@ -1,0 +1,203 @@
+//! The [`Corpus`]: a set of blobs plus parser choices, with document
+//! iteration, profiling, and ground-truth postings computation.
+
+use crate::parse::{DocSplitter, Tokenizer};
+use crate::profile::CorpusProfile;
+use airphant_storage::ObjectStore;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// One parsed document: where it lives and what it says.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// Blob the document lives in.
+    pub blob: String,
+    /// Byte offset within the blob.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u32,
+    /// The document's text.
+    pub text: String,
+}
+
+/// A corpus: named blobs in an object store, a document splitter, and a
+/// tokenizer.
+pub struct Corpus {
+    store: Arc<dyn ObjectStore>,
+    blobs: Vec<String>,
+    splitter: Arc<dyn DocSplitter>,
+    tokenizer: Arc<dyn Tokenizer>,
+}
+
+impl Corpus {
+    /// Assemble a corpus over `blobs` (in the given order).
+    pub fn new(
+        store: Arc<dyn ObjectStore>,
+        blobs: Vec<String>,
+        splitter: Arc<dyn DocSplitter>,
+        tokenizer: Arc<dyn Tokenizer>,
+    ) -> Self {
+        Corpus {
+            store,
+            blobs,
+            splitter,
+            tokenizer,
+        }
+    }
+
+    /// The object store holding the corpus.
+    pub fn store(&self) -> &Arc<dyn ObjectStore> {
+        &self.store
+    }
+
+    /// Blob names, in corpus order.
+    pub fn blobs(&self) -> &[String] {
+        &self.blobs
+    }
+
+    /// The tokenizer in use.
+    pub fn tokenizer(&self) -> &Arc<dyn Tokenizer> {
+        &self.tokenizer
+    }
+
+    /// Visit every document in corpus order. The visitor receives the
+    /// parsed [`Document`]; this is the Builder's single pass.
+    pub fn for_each_document<F>(&self, mut f: F) -> airphant_storage::Result<()>
+    where
+        F: FnMut(&Document),
+    {
+        for blob_name in &self.blobs {
+            let fetched = self.store.get(blob_name)?;
+            let data = fetched.bytes;
+            for span in self.splitter.split(&data) {
+                let start = span.offset as usize;
+                let end = start + span.len as usize;
+                let text = String::from_utf8_lossy(&data[start..end]).into_owned();
+                f(&Document {
+                    blob: blob_name.clone(),
+                    offset: span.offset,
+                    len: span.len,
+                    text,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Tokenize a document's text with the corpus tokenizer.
+    pub fn tokens(&self, doc: &Document) -> Vec<String> {
+        self.tokenizer.tokens(&doc.text)
+    }
+
+    /// Single-pass profiling (§III-C): totals, per-document distinct-word
+    /// counts, and document frequencies.
+    pub fn profile(&self) -> airphant_storage::Result<CorpusProfile> {
+        let mut n_docs = 0u64;
+        let mut n_words = 0u64;
+        let mut doc_sizes = Vec::new();
+        let mut doc_freqs: HashMap<String, u64> = HashMap::new();
+        let mut total_bytes = 0u64;
+        self.for_each_document(|doc| {
+            n_docs += 1;
+            total_bytes += doc.len as u64;
+            let tokens = self.tokenizer.tokens(&doc.text);
+            n_words += tokens.len() as u64;
+            let distinct: BTreeSet<String> = tokens.into_iter().collect();
+            doc_sizes.push(distinct.len() as u64);
+            for w in distinct {
+                *doc_freqs.entry(w).or_insert(0) += 1;
+            }
+        })?;
+        Ok(CorpusProfile {
+            n_docs,
+            n_terms: doc_freqs.len() as u64,
+            n_words,
+            total_bytes,
+            doc_distinct_sizes: doc_sizes,
+            doc_freqs,
+        })
+    }
+
+    /// Ground-truth postings for `word`: the `(blob, offset, len)` of every
+    /// document containing it. Linear scan — used by tests and the
+    /// false-positive measurements, not by the engines.
+    pub fn truth_postings(&self, word: &str) -> airphant_storage::Result<Vec<Document>> {
+        let mut out = Vec::new();
+        self.for_each_document(|doc| {
+            if self.tokenizer.tokens(&doc.text).iter().any(|t| t == word) {
+                out.push(doc.clone());
+            }
+        })?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{LineSplitter, WhitespaceTokenizer};
+    use airphant_storage::InMemoryStore;
+    use bytes::Bytes;
+
+    fn tiny_corpus() -> Corpus {
+        let store = Arc::new(InMemoryStore::new());
+        store
+            .put("part-0", Bytes::from_static(b"hello world\nhello airphant"))
+            .unwrap();
+        store
+            .put("part-1", Bytes::from_static(b"cloud index\n"))
+            .unwrap();
+        Corpus::new(
+            store,
+            vec!["part-0".into(), "part-1".into()],
+            Arc::new(LineSplitter),
+            Arc::new(WhitespaceTokenizer),
+        )
+    }
+
+    #[test]
+    fn iterates_documents_in_order() {
+        let corpus = tiny_corpus();
+        let mut docs = Vec::new();
+        corpus.for_each_document(|d| docs.push(d.clone())).unwrap();
+        assert_eq!(docs.len(), 3);
+        assert_eq!(docs[0].text, "hello world");
+        assert_eq!(docs[1].text, "hello airphant");
+        assert_eq!((docs[1].blob.as_str(), docs[1].offset), ("part-0", 12));
+        assert_eq!(docs[2].text, "cloud index");
+    }
+
+    #[test]
+    fn profile_counts_match() {
+        let corpus = tiny_corpus();
+        let p = corpus.profile().unwrap();
+        assert_eq!(p.n_docs, 3);
+        assert_eq!(p.n_words, 6);
+        // Distinct terms: hello, world, airphant, cloud, index.
+        assert_eq!(p.n_terms, 5);
+        assert_eq!(p.doc_distinct_sizes, vec![2, 2, 2]);
+        assert_eq!(p.doc_freqs["hello"], 2);
+        assert_eq!(p.doc_freqs["cloud"], 1);
+    }
+
+    #[test]
+    fn truth_postings_finds_exact_matches() {
+        let corpus = tiny_corpus();
+        let hits = corpus.truth_postings("hello").unwrap();
+        assert_eq!(hits.len(), 2);
+        let none = corpus.truth_postings("hell").unwrap();
+        assert!(none.is_empty(), "substring must not match");
+    }
+
+    #[test]
+    fn document_byte_ranges_slice_back_to_text() {
+        let corpus = tiny_corpus();
+        let store = corpus.store().clone();
+        corpus
+            .for_each_document(|d| {
+                let f = store.get_range(&d.blob, d.offset, d.len as u64).unwrap();
+                assert_eq!(String::from_utf8_lossy(&f.bytes), d.text);
+            })
+            .unwrap();
+    }
+}

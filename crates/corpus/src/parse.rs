@@ -1,0 +1,234 @@
+//! Parsers (§III-C): corpus-document parsers that split a blob into
+//! documents, and document-word parsers that extract keywords.
+//!
+//! "Builder uses a corpus-document parser to unwrap a blob into documents
+//! and generate postings that refer to their documents' byte ranges …
+//! Builder then uses a document-word parser to extract words. The user can
+//! select both … for each corpus."
+
+/// A document's byte range inside a blob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DocSpan {
+    /// Byte offset of the document's first byte.
+    pub offset: u64,
+    /// Length in bytes.
+    pub len: u32,
+}
+
+/// Splits a blob into document byte ranges.
+pub trait DocSplitter: Send + Sync {
+    /// Return the document spans of `blob` in offset order.
+    fn split(&self, blob: &[u8]) -> Vec<DocSpan>;
+}
+
+/// One document per line, newline-delimited (the paper's default: "a single
+/// blob may contain multiple documents", e.g. log files). Empty lines are
+/// skipped. The trailing newline is not part of the document.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LineSplitter;
+
+impl DocSplitter for LineSplitter {
+    fn split(&self, blob: &[u8]) -> Vec<DocSpan> {
+        let mut spans = Vec::new();
+        let mut start = 0usize;
+        for (i, &b) in blob.iter().enumerate() {
+            if b == b'\n' {
+                if i > start {
+                    spans.push(DocSpan {
+                        offset: start as u64,
+                        len: (i - start) as u32,
+                    });
+                }
+                start = i + 1;
+            }
+        }
+        if blob.len() > start {
+            spans.push(DocSpan {
+                offset: start as u64,
+                len: (blob.len() - start) as u32,
+            });
+        }
+        spans
+    }
+}
+
+/// The whole blob is one document (the "different blobs" layout of §III-A).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WholeBlobSplitter;
+
+impl DocSplitter for WholeBlobSplitter {
+    fn split(&self, blob: &[u8]) -> Vec<DocSpan> {
+        if blob.is_empty() {
+            return Vec::new();
+        }
+        vec![DocSpan {
+            offset: 0,
+            len: blob.len() as u32,
+        }]
+    }
+}
+
+/// Extracts search keywords from a document's text.
+pub trait Tokenizer: Send + Sync {
+    /// The keywords of `text`, in occurrence order (duplicates included).
+    fn tokens(&self, text: &str) -> Vec<String>;
+}
+
+/// Splits on ASCII whitespace, keeping tokens verbatim — equivalent to the
+/// `WhitespaceAnalyzer` the paper configures for Lucene and Elasticsearch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WhitespaceTokenizer;
+
+impl Tokenizer for WhitespaceTokenizer {
+    fn tokens(&self, text: &str) -> Vec<String> {
+        text.split_ascii_whitespace().map(str::to_owned).collect()
+    }
+}
+
+/// Splits on any non-alphanumeric byte and lowercases — a simple normalizing
+/// analyzer for prose-like corpora (Cranfield abstracts).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlnumLowerTokenizer;
+
+impl Tokenizer for AlnumLowerTokenizer {
+    fn tokens(&self, text: &str) -> Vec<String> {
+        text.split(|c: char| !c.is_ascii_alphanumeric())
+            .filter(|t| !t.is_empty())
+            .map(str::to_ascii_lowercase)
+            .collect()
+    }
+}
+
+/// Indexes every character `n`-gram of the document (§IV-F: "regular
+/// expression (RegEx) can benefit from IoU Sketch as inverted index by
+/// considering indexing N-grams"). Grams are lowercased; documents shorter
+/// than `n` contribute their whole text as one gram.
+///
+/// Queries tokenize a *pattern* the same way, intersect the grams'
+/// postings, and verify candidates against the raw pattern — the
+/// filter-then-verify structure of trigram regex engines.
+#[derive(Debug, Clone, Copy)]
+pub struct NgramTokenizer {
+    n: usize,
+}
+
+impl NgramTokenizer {
+    /// Build an `n`-gram tokenizer (`n ≥ 1`; 3 for classic trigrams).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 1, "n-gram size must be at least 1");
+        NgramTokenizer { n }
+    }
+
+    /// The gram size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+impl Tokenizer for NgramTokenizer {
+    fn tokens(&self, text: &str) -> Vec<String> {
+        let lowered = text.to_ascii_lowercase();
+        let chars: Vec<char> = lowered.chars().collect();
+        if chars.is_empty() {
+            return Vec::new();
+        }
+        if chars.len() <= self.n {
+            return vec![lowered];
+        }
+        chars
+            .windows(self.n)
+            .map(|w| w.iter().collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_splitter_basic() {
+        let blob = b"hello world\nfoo bar\nbaz";
+        let spans = LineSplitter.split(blob);
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0], DocSpan { offset: 0, len: 11 });
+        assert_eq!(spans[1], DocSpan { offset: 12, len: 7 });
+        assert_eq!(spans[2], DocSpan { offset: 20, len: 3 });
+        // Slicing back gives the lines.
+        let doc1 = &blob[spans[1].offset as usize..(spans[1].offset + spans[1].len as u64) as usize];
+        assert_eq!(doc1, b"foo bar");
+    }
+
+    #[test]
+    fn line_splitter_skips_empty_lines() {
+        let spans = LineSplitter.split(b"\n\na\n\nb\n");
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].len, 1);
+        assert_eq!(spans[1].len, 1);
+    }
+
+    #[test]
+    fn line_splitter_trailing_newline_and_empty() {
+        assert_eq!(LineSplitter.split(b"one\n").len(), 1);
+        assert!(LineSplitter.split(b"").is_empty());
+        assert!(LineSplitter.split(b"\n").is_empty());
+    }
+
+    #[test]
+    fn whole_blob_splitter() {
+        assert_eq!(
+            WholeBlobSplitter.split(b"entire doc"),
+            vec![DocSpan { offset: 0, len: 10 }]
+        );
+        assert!(WholeBlobSplitter.split(b"").is_empty());
+    }
+
+    #[test]
+    fn whitespace_tokenizer_keeps_case() {
+        let t = WhitespaceTokenizer.tokens("Hello  WORLD\tfoo\nbar");
+        assert_eq!(t, vec!["Hello", "WORLD", "foo", "bar"]);
+        assert!(WhitespaceTokenizer.tokens("   ").is_empty());
+    }
+
+    #[test]
+    fn alnum_tokenizer_normalizes() {
+        let t = AlnumLowerTokenizer.tokens("The quick-brown FOX, (v2)!");
+        assert_eq!(t, vec!["the", "quick", "brown", "fox", "v2"]);
+    }
+
+    #[test]
+    fn tokenizers_preserve_duplicates() {
+        let t = WhitespaceTokenizer.tokens("a b a");
+        assert_eq!(t, vec!["a", "b", "a"]);
+    }
+
+    #[test]
+    fn ngram_tokenizer_trigrams() {
+        let t = NgramTokenizer::new(3).tokens("Hello");
+        assert_eq!(t, vec!["hel", "ell", "llo"]);
+    }
+
+    #[test]
+    fn ngram_tokenizer_short_texts() {
+        let t = NgramTokenizer::new(3);
+        assert_eq!(t.tokens("ab"), vec!["ab"]);
+        assert_eq!(t.tokens("abc"), vec!["abc"]);
+        assert!(t.tokens("").is_empty());
+    }
+
+    #[test]
+    fn ngram_tokenizer_spans_spaces() {
+        // Grams cross word boundaries — that's what makes substring
+        // queries over multi-word patterns work.
+        let t = NgramTokenizer::new(3).tokens("a b");
+        assert_eq!(t, vec!["a b"]);
+        let t = NgramTokenizer::new(2).tokens("a b");
+        assert_eq!(t, vec!["a ", " b"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn ngram_zero_panics() {
+        NgramTokenizer::new(0);
+    }
+}

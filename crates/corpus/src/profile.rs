@@ -1,0 +1,96 @@
+//! Corpus profile: the statistics of Table II, collected in a single pass.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Statistics the Builder collects while profiling (§III-C): "the total
+/// numbers of documents and words, document lengths, and document
+/// frequencies". These drive the IoU structural optimization (§IV-A, §IV-E).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CorpusProfile {
+    /// Number of documents (`#documents` in Table II).
+    pub n_docs: u64,
+    /// Number of distinct words (`#terms`).
+    pub n_terms: u64,
+    /// Total number of words across documents (`#words`).
+    pub n_words: u64,
+    /// Total corpus bytes.
+    pub total_bytes: u64,
+    /// Per-document distinct-word counts `|W_i|`, in document order.
+    pub doc_distinct_sizes: Vec<u64>,
+    /// Document frequency of each word (number of documents containing it).
+    pub doc_freqs: HashMap<String, u64>,
+}
+
+impl CorpusProfile {
+    /// Average distinct words per document.
+    pub fn mean_distinct_words(&self) -> f64 {
+        if self.doc_distinct_sizes.is_empty() {
+            return 0.0;
+        }
+        self.doc_distinct_sizes.iter().sum::<u64>() as f64 / self.doc_distinct_sizes.len() as f64
+    }
+
+    /// Largest per-document distinct-word count.
+    pub fn max_distinct_words(&self) -> u64 {
+        self.doc_distinct_sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The vocabulary, sorted by descending document frequency then word.
+    pub fn vocabulary_by_frequency(&self) -> Vec<(String, u64)> {
+        let mut v: Vec<(String, u64)> = self
+            .doc_freqs
+            .iter()
+            .map(|(w, &f)| (w.clone(), f))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        v
+    }
+
+    /// All distinct words, unsorted.
+    pub fn vocabulary(&self) -> Vec<String> {
+        self.doc_freqs.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CorpusProfile {
+        let mut doc_freqs = HashMap::new();
+        doc_freqs.insert("error".to_string(), 30);
+        doc_freqs.insert("warn".to_string(), 10);
+        doc_freqs.insert("info".to_string(), 60);
+        CorpusProfile {
+            n_docs: 100,
+            n_terms: 3,
+            n_words: 250,
+            total_bytes: 5_000,
+            doc_distinct_sizes: vec![1, 2, 3, 2],
+            doc_freqs,
+        }
+    }
+
+    #[test]
+    fn mean_and_max_distinct() {
+        let p = sample();
+        assert_eq!(p.mean_distinct_words(), 2.0);
+        assert_eq!(p.max_distinct_words(), 3);
+        assert_eq!(CorpusProfile::default().mean_distinct_words(), 0.0);
+    }
+
+    #[test]
+    fn vocabulary_by_frequency_sorted() {
+        let p = sample();
+        let v = p.vocabulary_by_frequency();
+        assert_eq!(
+            v,
+            vec![
+                ("info".to_string(), 60),
+                ("error".to_string(), 30),
+                ("warn".to_string(), 10)
+            ]
+        );
+    }
+}

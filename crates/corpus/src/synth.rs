@@ -1,0 +1,292 @@
+//! Synthetic dataset generators (§V-A): `diag`, `unif`, and `zipf`.
+//!
+//! The paper denotes sizes by `(log10 n_d, log10 n_w, log10 n_l)` for the
+//! numbers of documents, vocabulary words, and words per document:
+//!
+//! * `diag` — document `i` contains only word `w_i` (so `n_l = 1`);
+//! * `unif` — each word uniformly sampled from the `n_w`-word dictionary;
+//! * `zipf` — like `unif` but Zipfian with exponent 1.07.
+//!
+//! "Note that `unif` and `zipf` can under-generate the actual set of
+//! distinct words from `n_w` due to \[the\] Coupon collector's problem" —
+//! our generators reproduce that behaviour faithfully (they sample, they
+//! don't force coverage).
+
+use crate::corpus::Corpus;
+use crate::parse::{LineSplitter, WhitespaceTokenizer};
+use airphant_storage::ObjectStore;
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Size parameters of a synthetic corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyntheticSpec {
+    /// Number of documents `n_d`.
+    pub n_docs: u64,
+    /// Vocabulary size `n_w`.
+    pub n_vocab: u64,
+    /// Words per document `n_l`.
+    pub words_per_doc: u64,
+}
+
+impl SyntheticSpec {
+    /// Construct from the paper's `(log10 n_d, log10 n_w, log10 n_l)`
+    /// notation, e.g. `from_log10(8, 8, 1)` for `zipf(8,8,1)`.
+    pub fn from_log10(d: u32, w: u32, l: u32) -> Self {
+        SyntheticSpec {
+            n_docs: 10u64.pow(d),
+            n_vocab: 10u64.pow(w),
+            words_per_doc: 10u64.pow(l),
+        }
+    }
+
+    /// Display name in the paper's tuple notation.
+    pub fn tuple_name(&self, family: &str) -> String {
+        format!(
+            "{family}({},{},{})",
+            (self.n_docs as f64).log10().round() as u32,
+            (self.n_vocab as f64).log10().round() as u32,
+            (self.words_per_doc as f64).log10().round() as u32,
+        )
+    }
+}
+
+/// Number of documents written per blob. Multiple documents share a blob
+/// (delimited by line breaks), as §III-A describes.
+const DOCS_PER_BLOB: u64 = 50_000;
+
+/// Zero-padded word string for index `j`, so every index is a distinct
+/// whitespace token.
+#[inline]
+pub fn word_token(j: u64) -> String {
+    format!("w{j:07}")
+}
+
+/// A seeded Zipf(α) sampler over ranks `1..=n` using inverse-CDF binary
+/// search on the precomputed cumulative weights.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Build a sampler over `n` ranks with exponent `alpha` (the paper
+    /// uses 1.07).
+    pub fn new(n: u64, alpha: f64) -> Self {
+        assert!(n > 0, "need at least one rank");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for j in 1..=n {
+            acc += 1.0 / (j as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Sample a rank in `[0, n)` (0-based; rank 0 is the most frequent).
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).unwrap())
+        {
+            Ok(idx) | Err(idx) => (idx as u64).min(self.cdf.len() as u64 - 1),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler has no ranks (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+fn write_lines(
+    store: Arc<dyn ObjectStore>,
+    prefix: &str,
+    n_docs: u64,
+    mut line_of: impl FnMut(u64, &mut String),
+) -> Corpus {
+    let mut blobs = Vec::new();
+    let mut buf = String::new();
+    let mut line = String::new();
+    let mut blob_idx = 0u64;
+    for doc in 0..n_docs {
+        line.clear();
+        line_of(doc, &mut line);
+        buf.push_str(&line);
+        buf.push('\n');
+        let last = doc + 1 == n_docs;
+        if (doc + 1) % DOCS_PER_BLOB == 0 || last {
+            let name = format!("{prefix}/part-{blob_idx:05}");
+            store
+                .put(&name, Bytes::from(std::mem::take(&mut buf)))
+                .expect("corpus blob write");
+            blobs.push(name);
+            blob_idx += 1;
+        }
+    }
+    Corpus::new(
+        store,
+        blobs,
+        Arc::new(LineSplitter),
+        Arc::new(WhitespaceTokenizer),
+    )
+}
+
+/// Generate a `diag` corpus: document `i` contains exactly the word `w_i`.
+/// (`words_per_doc` and `n_vocab` are tied to `n_docs` by construction.)
+pub fn diag(spec: SyntheticSpec, store: Arc<dyn ObjectStore>, prefix: &str) -> Corpus {
+    write_lines(store, prefix, spec.n_docs, |doc, line| {
+        line.push_str(&word_token(doc % spec.n_vocab));
+    })
+}
+
+/// Generate a `unif` corpus: each of the `words_per_doc` words is sampled
+/// uniformly from the `n_vocab`-word dictionary.
+pub fn unif(spec: SyntheticSpec, store: Arc<dyn ObjectStore>, prefix: &str, seed: u64) -> Corpus {
+    let mut rng = StdRng::seed_from_u64(seed);
+    write_lines(store, prefix, spec.n_docs, move |_, line| {
+        for k in 0..spec.words_per_doc {
+            if k > 0 {
+                line.push(' ');
+            }
+            line.push_str(&word_token(rng.gen_range(0..spec.n_vocab)));
+        }
+    })
+}
+
+/// Generate a `zipf` corpus: word `w_j` appears with probability
+/// proportional to `1/j^1.07` (the paper's exponent).
+pub fn zipf(spec: SyntheticSpec, store: Arc<dyn ObjectStore>, prefix: &str, seed: u64) -> Corpus {
+    let sampler = ZipfSampler::new(spec.n_vocab, 1.07);
+    let mut rng = StdRng::seed_from_u64(seed);
+    write_lines(store, prefix, spec.n_docs, move |_, line| {
+        for k in 0..spec.words_per_doc {
+            if k > 0 {
+                line.push(' ');
+            }
+            line.push_str(&word_token(sampler.sample(&mut rng)));
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use airphant_storage::InMemoryStore;
+
+    fn mem() -> Arc<dyn ObjectStore> {
+        Arc::new(InMemoryStore::new())
+    }
+
+    #[test]
+    fn spec_from_log10() {
+        let s = SyntheticSpec::from_log10(3, 2, 1);
+        assert_eq!(s.n_docs, 1_000);
+        assert_eq!(s.n_vocab, 100);
+        assert_eq!(s.words_per_doc, 10);
+        assert_eq!(s.tuple_name("zipf"), "zipf(3,2,1)");
+    }
+
+    #[test]
+    fn diag_profile_matches_table_ii_shape() {
+        // diag(x,x,0): #documents = #terms = #words, every |Wi| = 1.
+        let spec = SyntheticSpec {
+            n_docs: 500,
+            n_vocab: 500,
+            words_per_doc: 1,
+        };
+        let corpus = diag(spec, mem(), "diag-test");
+        let p = corpus.profile().unwrap();
+        assert_eq!(p.n_docs, 500);
+        assert_eq!(p.n_terms, 500);
+        assert_eq!(p.n_words, 500);
+        assert!(p.doc_distinct_sizes.iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn unif_profile_undergenerates_vocab() {
+        // Coupon collector: 2000 draws from 1000 words misses some words.
+        let spec = SyntheticSpec {
+            n_docs: 200,
+            n_vocab: 1_000,
+            words_per_doc: 10,
+        };
+        let corpus = unif(spec, mem(), "unif-test", 7);
+        let p = corpus.profile().unwrap();
+        assert_eq!(p.n_docs, 200);
+        assert_eq!(p.n_words, 2_000);
+        assert!(p.n_terms < 1_000, "coupon collector must bite");
+        assert!(p.n_terms > 500, "but most words should appear");
+    }
+
+    #[test]
+    fn zipf_is_more_skewed_than_unif() {
+        let spec = SyntheticSpec {
+            n_docs: 300,
+            n_vocab: 500,
+            words_per_doc: 10,
+        };
+        let pu = unif(spec, mem(), "u", 3).profile().unwrap();
+        let pz = zipf(spec, mem(), "z", 3).profile().unwrap();
+        // Zipf concentrates mass: its most frequent word has a much higher
+        // document frequency, and its realized vocabulary is smaller.
+        let max_u = pu.doc_freqs.values().copied().max().unwrap();
+        let max_z = pz.doc_freqs.values().copied().max().unwrap();
+        assert!(max_z > 2 * max_u, "zipf max df {max_z} vs unif {max_u}");
+        assert!(pz.n_terms < pu.n_terms);
+    }
+
+    #[test]
+    fn zipf_sampler_rank_frequencies_decay() {
+        let sampler = ZipfSampler::new(100, 1.07);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0u64; 100];
+        for _ in 0..20_000 {
+            counts[sampler.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+        // Ratio rank1/rank2 ≈ 2^1.07 ≈ 2.1; allow generous noise.
+        let ratio = counts[0] as f64 / counts[1] as f64;
+        assert!((1.5..3.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let spec = SyntheticSpec {
+            n_docs: 50,
+            n_vocab: 40,
+            words_per_doc: 5,
+        };
+        let c1 = zipf(spec, mem(), "a", 42).profile().unwrap();
+        let c2 = zipf(spec, mem(), "a", 42).profile().unwrap();
+        assert_eq!(c1.doc_freqs, c2.doc_freqs);
+        let c3 = zipf(spec, mem(), "a", 43).profile().unwrap();
+        assert_ne!(c1.doc_freqs, c3.doc_freqs, "different seed differs");
+    }
+
+    #[test]
+    fn blobs_shard_every_50k_docs() {
+        let spec = SyntheticSpec {
+            n_docs: 120_000,
+            n_vocab: 100,
+            words_per_doc: 1,
+        };
+        let corpus = diag(spec, mem(), "shard");
+        assert_eq!(corpus.blobs().len(), 3);
+        let p = corpus.profile().unwrap();
+        assert_eq!(p.n_docs, 120_000);
+    }
+}

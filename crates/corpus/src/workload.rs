@@ -1,0 +1,142 @@
+//! Query workload generation.
+//!
+//! §IV-B: "Airphant assumes a uniform distribution by default; in other
+//! words, a query equally likely contains words in the corpus" — the
+//! benchmarks sample query words uniformly from the realized vocabulary.
+//! A frequency-weighted sampler is provided for the non-uniform prior
+//! variants the paper defers to future work.
+
+use crate::profile::CorpusProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fixed sequence of query words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryWorkload {
+    words: Vec<String>,
+}
+
+impl QueryWorkload {
+    /// Sample `n` query words uniformly from the corpus vocabulary
+    /// (the paper's default prior).
+    pub fn uniform(profile: &CorpusProfile, n: usize, seed: u64) -> Self {
+        let mut vocab = profile.vocabulary();
+        vocab.sort(); // HashMap order is nondeterministic; sort for replay
+        let mut rng = StdRng::seed_from_u64(seed);
+        let words = (0..n)
+            .map(|_| vocab[rng.gen_range(0..vocab.len())].clone())
+            .collect();
+        QueryWorkload { words }
+    }
+
+    /// Sample `n` query words proportionally to document frequency
+    /// (§IV-B alternative (a): `p_w = occurrences(w)`).
+    pub fn frequency_weighted(profile: &CorpusProfile, n: usize, seed: u64) -> Self {
+        let vocab = profile.vocabulary_by_frequency();
+        let total: u64 = vocab.iter().map(|(_, f)| f).sum();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let words = (0..n)
+            .map(|_| {
+                let mut target = rng.gen_range(0..total);
+                for (w, f) in &vocab {
+                    if target < *f {
+                        return w.clone();
+                    }
+                    target -= f;
+                }
+                vocab.last().expect("non-empty vocab").0.clone()
+            })
+            .collect();
+        QueryWorkload { words }
+    }
+
+    /// An explicit word list.
+    pub fn from_words(words: Vec<String>) -> Self {
+        QueryWorkload { words }
+    }
+
+    /// The query words, in order.
+    pub fn words(&self) -> &[String] {
+        &self.words
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Iterate the query words.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.words.iter().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn profile() -> CorpusProfile {
+        let mut doc_freqs = HashMap::new();
+        doc_freqs.insert("alpha".to_string(), 100);
+        doc_freqs.insert("beta".to_string(), 10);
+        doc_freqs.insert("gamma".to_string(), 1);
+        CorpusProfile {
+            n_docs: 100,
+            n_terms: 3,
+            n_words: 111,
+            total_bytes: 0,
+            doc_distinct_sizes: vec![],
+            doc_freqs,
+        }
+    }
+
+    #[test]
+    fn uniform_draws_only_vocab_words() {
+        let w = QueryWorkload::uniform(&profile(), 50, 1);
+        assert_eq!(w.len(), 50);
+        assert!(w
+            .iter()
+            .all(|q| ["alpha", "beta", "gamma"].contains(&q)));
+    }
+
+    #[test]
+    fn uniform_is_deterministic_per_seed() {
+        let p = profile();
+        assert_eq!(QueryWorkload::uniform(&p, 20, 9), QueryWorkload::uniform(&p, 20, 9));
+        assert_ne!(
+            QueryWorkload::uniform(&p, 20, 9),
+            QueryWorkload::uniform(&p, 20, 10)
+        );
+    }
+
+    #[test]
+    fn frequency_weighted_prefers_common_words() {
+        let w = QueryWorkload::frequency_weighted(&profile(), 300, 5);
+        let alpha = w.iter().filter(|&q| q == "alpha").count();
+        let gamma = w.iter().filter(|&q| q == "gamma").count();
+        assert!(alpha > 200, "alpha drawn {alpha}/300");
+        assert!(gamma < 30, "gamma drawn {gamma}/300");
+    }
+
+    #[test]
+    fn uniform_covers_vocabulary_roughly_evenly() {
+        let w = QueryWorkload::uniform(&profile(), 600, 3);
+        for word in ["alpha", "beta", "gamma"] {
+            let c = w.iter().filter(|&q| q == word).count();
+            assert!((120..280).contains(&c), "{word} drawn {c}/600");
+        }
+    }
+
+    #[test]
+    fn explicit_words() {
+        let w = QueryWorkload::from_words(vec!["x".into()]);
+        assert_eq!(w.words(), ["x"]);
+        assert!(!w.is_empty());
+    }
+}

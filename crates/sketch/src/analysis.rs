@@ -1,0 +1,380 @@
+//! Expected-false-positive analysis of the IoU Sketch (§IV-A).
+//!
+//! For a corpus of `n` documents where document `i` holds `|W_i|` distinct
+//! words, a sketch with `B` bins split across `L` layers makes document `i`
+//! a false positive for an irrelevant query word with probability
+//! (Equation 1):
+//!
+//! ```text
+//! q_i(L) = [1 − (1 − 1/(B/L))^{|W_i|}]^L  ≈  [1 − e^{−|W_i|·L/B}]^L = q̂_i(L)
+//! ```
+//!
+//! The expected number of false positives per query (Equation 2) is
+//! `F(L) = Σ_i c_i·q_i(L)` where `c_i = Σ_{w∉W_i} p_w` is the probability
+//! mass of query words not in document `i`. [`FalsePositiveModel`] evaluates
+//! `F`, its approximation `F̂`, the per-document minimizers of Lemma 1, and
+//! the fast/slow region boundaries of Lemmas 2–3 that drive Algorithm 1
+//! ([`crate::optimizer`]).
+
+use serde::{Deserialize, Serialize};
+
+/// One group of documents sharing the same distinct-word count.
+///
+/// Documents are grouped by `|W_i|` so `F(L)` evaluation costs
+/// `O(#distinct sizes)` instead of `O(n)` — essential for the paper-scale
+/// corpora where `n` reaches 10^8.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SizeGroup {
+    /// The shared distinct-word count `|W_i|` (> 0).
+    pub size: u64,
+    /// Number of documents in the group.
+    pub docs: u64,
+    /// Sum of the coefficients `c_i` over the group.
+    pub ci_sum: f64,
+}
+
+/// The corpus statistics the analysis needs: the histogram of per-document
+/// distinct-word counts and the associated `c_i` mass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorpusShape {
+    groups: Vec<SizeGroup>,
+    n_docs: u64,
+    n_terms: u64,
+}
+
+impl CorpusShape {
+    /// Build under the paper's default *uniform* query-word distribution
+    /// (`p_w = 1/|W|`, §IV-B): `c_i = (|W| − |W_i|)/|W|`.
+    ///
+    /// `doc_sizes` yields each document's distinct-word count `|W_i|`;
+    /// `n_terms` is the corpus vocabulary size `|W|`. Documents with zero
+    /// distinct words are skipped (they can never be false positives).
+    pub fn uniform(doc_sizes: impl IntoIterator<Item = u64>, n_terms: u64) -> Self {
+        let mut hist = std::collections::BTreeMap::<u64, u64>::new();
+        let mut n_docs = 0u64;
+        for s in doc_sizes {
+            if s == 0 {
+                continue;
+            }
+            *hist.entry(s).or_insert(0) += 1;
+            n_docs += 1;
+        }
+        let w = n_terms.max(1) as f64;
+        let groups = hist
+            .into_iter()
+            .map(|(size, docs)| SizeGroup {
+                size,
+                docs,
+                ci_sum: docs as f64 * ((w - size as f64).max(0.0) / w),
+            })
+            .collect();
+        CorpusShape {
+            groups,
+            n_docs,
+            n_terms,
+        }
+    }
+
+    /// Build from explicit `(|W_i|, c_i)` pairs — for non-uniform query
+    /// priors (the paper's §IV-B alternatives (a) and (b)).
+    pub fn with_coefficients(pairs: impl IntoIterator<Item = (u64, f64)>, n_terms: u64) -> Self {
+        let mut hist = std::collections::BTreeMap::<u64, (u64, f64)>::new();
+        let mut n_docs = 0u64;
+        for (s, ci) in pairs {
+            if s == 0 {
+                continue;
+            }
+            let e = hist.entry(s).or_insert((0, 0.0));
+            e.0 += 1;
+            e.1 += ci;
+            n_docs += 1;
+        }
+        let groups = hist
+            .into_iter()
+            .map(|(size, (docs, ci_sum))| SizeGroup { size, docs, ci_sum })
+            .collect();
+        CorpusShape {
+            groups,
+            n_docs,
+            n_terms,
+        }
+    }
+
+    /// Number of documents with at least one word.
+    pub fn n_docs(&self) -> u64 {
+        self.n_docs
+    }
+
+    /// Vocabulary size `|W|`.
+    pub fn n_terms(&self) -> u64 {
+        self.n_terms
+    }
+
+    /// The size histogram.
+    pub fn groups(&self) -> &[SizeGroup] {
+        &self.groups
+    }
+
+    /// Largest `|W_i|` (0 for an empty corpus).
+    pub fn max_size(&self) -> u64 {
+        self.groups.last().map(|g| g.size).unwrap_or(0)
+    }
+
+    /// Smallest `|W_i|` (0 for an empty corpus).
+    pub fn min_size(&self) -> u64 {
+        self.groups.first().map(|g| g.size).unwrap_or(0)
+    }
+}
+
+/// Evaluates `F(L)` and friends for a fixed bin budget `B` over a corpus.
+#[derive(Debug, Clone)]
+pub struct FalsePositiveModel {
+    shape: CorpusShape,
+    /// Bin budget available to the sketch layers (excludes common bins).
+    bins: f64,
+}
+
+impl FalsePositiveModel {
+    /// Create a model with `bins` total sketch bins.
+    pub fn new(shape: CorpusShape, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        FalsePositiveModel {
+            shape,
+            bins: bins as f64,
+        }
+    }
+
+    /// The corpus shape.
+    pub fn shape(&self) -> &CorpusShape {
+        &self.shape
+    }
+
+    /// The bin budget `B`.
+    pub fn bins(&self) -> f64 {
+        self.bins
+    }
+
+    /// Exact per-document false-positive probability `q_i(L)` for a
+    /// document with `size` distinct words (Equation 1, left).
+    ///
+    /// `L` is treated as continuous per the paper's relaxation.
+    pub fn q(&self, l: f64, size: u64) -> f64 {
+        let bins_per_layer = self.bins / l;
+        if bins_per_layer <= 1.0 {
+            return 1.0; // every word shares the single bin
+        }
+        // (1 - 1/(B/L))^{|Wi|} computed in log-space for stability.
+        let keep = (size as f64) * (-1.0 / bins_per_layer).ln_1p();
+        let collide_one_layer = -keep.exp_m1(); // 1 - e^{keep}
+        collide_one_layer.max(0.0).powf(l)
+    }
+
+    /// Approximate probability `q̂_i(L) = [1 − e^{−|W_i|L/B}]^L`
+    /// (Equation 1, right).
+    pub fn q_hat(&self, l: f64, size: u64) -> f64 {
+        let z = self.z(l, size);
+        z.powf(l)
+    }
+
+    /// `z_i(L) = 1 − exp(−|W_i|·L/B)` — the substitution used in
+    /// Equation 3.
+    pub fn z(&self, l: f64, size: u64) -> f64 {
+        -(-(size as f64) * l / self.bins).exp_m1()
+    }
+
+    /// Derivative `q̂'_i(L)` per Equation 3:
+    /// `z^{L−1}[z·ln z − (1−z)·ln(1−z)]`.
+    pub fn q_hat_derivative(&self, l: f64, size: u64) -> f64 {
+        let z = self.z(l, size);
+        if z <= 0.0 || z >= 1.0 {
+            return 0.0;
+        }
+        z.powf(l - 1.0) * (z * z.ln() - (1.0 - z) * (1.0 - z).ln())
+    }
+
+    /// Expected false positives per query `F(L)` (Equation 2), exact form.
+    pub fn expected_fp(&self, l: f64) -> f64 {
+        self.shape
+            .groups
+            .iter()
+            .map(|g| g.ci_sum * self.q(l, g.size))
+            .sum()
+    }
+
+    /// Approximate expected false positives `F̂(L)`.
+    pub fn expected_fp_hat(&self, l: f64) -> f64 {
+        self.shape
+            .groups
+            .iter()
+            .map(|g| g.ci_sum * self.q_hat(l, g.size))
+            .sum()
+    }
+
+    /// Lemma 1 minimizer for one document: `L*_i = (B/|W_i|)·ln 2`.
+    pub fn l_star(&self, size: u64) -> f64 {
+        self.bins / size.max(1) as f64 * std::f64::consts::LN_2
+    }
+
+    /// `L_min = min_i L*_i` — below it `F̂` is strictly decreasing
+    /// (Lemma 2: the *fast region* where binary search applies).
+    pub fn l_min(&self) -> f64 {
+        self.l_star(self.shape.max_size().max(1))
+    }
+
+    /// `L_max = max_i L*_i` — above it `F̂` is strictly increasing
+    /// (Lemma 3), so search never needs to look past it.
+    pub fn l_max(&self) -> f64 {
+        self.l_star(self.shape.min_size().max(1))
+    }
+
+    /// Lemma 1 lower bound: `F̂(L) ≥ Σ_i c_i·2^{−L*_i}` — the feasibility
+    /// check at the top of Algorithm 1.
+    pub fn lower_bound(&self) -> f64 {
+        self.shape
+            .groups
+            .iter()
+            .map(|g| {
+                let l_star = self.l_star(g.size);
+                g.ci_sum * (-l_star * std::f64::consts::LN_2).exp()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_shape(sizes: &[u64], terms: u64) -> CorpusShape {
+        CorpusShape::uniform(sizes.iter().copied(), terms)
+    }
+
+    #[test]
+    fn shape_groups_histogram() {
+        let shape = uniform_shape(&[3, 3, 5, 0, 5, 5], 100);
+        assert_eq!(shape.n_docs(), 5); // zero-size doc skipped
+        assert_eq!(shape.groups().len(), 2);
+        assert_eq!(shape.min_size(), 3);
+        assert_eq!(shape.max_size(), 5);
+        let g3 = shape.groups()[0];
+        assert_eq!((g3.size, g3.docs), (3, 2));
+        // ci for |Wi|=3, |W|=100: 97/100 each, two docs.
+        assert!((g3.ci_sum - 1.94).abs() < 1e-12);
+    }
+
+    #[test]
+    fn q_exact_matches_brute_force_single_layer() {
+        // For L=1, q_i = 1 - (1 - 1/B)^{|Wi|}.
+        let shape = uniform_shape(&[10], 100);
+        let m = FalsePositiveModel::new(shape, 50);
+        let expect = 1.0 - (1.0 - 1.0 / 50.0f64).powi(10);
+        assert!((m.q(1.0, 10) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn q_hat_approximates_q() {
+        let shape = uniform_shape(&[20], 1000);
+        let m = FalsePositiveModel::new(shape, 500);
+        for l in [1.0, 2.0, 4.0, 8.0] {
+            let q = m.q(l, 20);
+            let qh = m.q_hat(l, 20);
+            assert!(
+                (q - qh).abs() < 0.05,
+                "q={q} q_hat={qh} diverge at L={l}"
+            );
+            // Paper remark after Lemma 1: F(L) > F̂(L), i.e. the exact
+            // probability dominates the approximation (1−x < e^{−x}).
+            assert!(q >= qh - 1e-12, "q should dominate q_hat");
+        }
+    }
+
+    #[test]
+    fn q_saturates_when_bins_per_layer_collapse() {
+        let shape = uniform_shape(&[5], 100);
+        let m = FalsePositiveModel::new(shape, 8);
+        // L = B: one bin per layer → collision certain.
+        assert_eq!(m.q(8.0, 5), 1.0);
+    }
+
+    #[test]
+    fn expected_fp_decreases_then_increases() {
+        // The U-shape of Figure 5: decreasing before L_min, increasing
+        // after L_max.
+        let sizes: Vec<u64> = (0..200).map(|i| 20 + (i % 30)).collect();
+        let shape = uniform_shape(&sizes, 5_000);
+        let m = FalsePositiveModel::new(shape, 2_000);
+        let lmin = m.l_min();
+        let lmax = m.l_max();
+        assert!(lmin >= 1.0 && lmin < lmax);
+        // Strictly decreasing inside the fast region.
+        let f1 = m.expected_fp_hat(1.0);
+        let f_mid = m.expected_fp_hat(lmin * 0.8);
+        assert!(f_mid < f1);
+        // Increasing past the slow region.
+        let f_hi = m.expected_fp_hat(lmax + 5.0);
+        let f_hi2 = m.expected_fp_hat(lmax + 15.0);
+        assert!(f_hi2 > f_hi);
+    }
+
+    #[test]
+    fn lemma1_minimizer_and_lower_bound() {
+        let shape = uniform_shape(&[40], 10_000);
+        let m = FalsePositiveModel::new(shape.clone(), 1_000);
+        let l_star = m.l_star(40);
+        assert!((l_star - 1_000.0 / 40.0 * std::f64::consts::LN_2).abs() < 1e-12);
+        // q_hat at the minimizer equals 2^{-L*}.
+        let q_min = m.q_hat(l_star, 40);
+        let expect = (2.0f64).powf(-l_star);
+        assert!((q_min - expect).abs() / expect < 1e-9);
+        // Lower bound is below F̂ everywhere we sample.
+        for l in [1.0, 5.0, 10.0, l_star, 30.0] {
+            assert!(m.lower_bound() <= m.expected_fp_hat(l) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn derivative_sign_matches_lemmas_2_and_3() {
+        let shape = uniform_shape(&[25], 1_000);
+        let m = FalsePositiveModel::new(shape, 1_000);
+        let l_star = m.l_star(25); // ≈ 27.7
+        assert!(m.q_hat_derivative(l_star * 0.5, 25) < 0.0, "decreasing before L*");
+        assert!(m.q_hat_derivative(l_star * 1.5, 25) > 0.0, "increasing after L*");
+        // Near the minimizer the derivative is ~0.
+        assert!(m.q_hat_derivative(l_star, 25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let shape = uniform_shape(&[15], 500);
+        let m = FalsePositiveModel::new(shape, 300);
+        for l in [2.0f64, 5.0, 10.0, 20.0] {
+            let eps = 1e-5;
+            let fd = (m.q_hat(l + eps, 15) - m.q_hat(l - eps, 15)) / (2.0 * eps);
+            let an = m.q_hat_derivative(l, 15);
+            assert!(
+                (fd - an).abs() < 1e-4 * (1.0 + an.abs()),
+                "L={l}: finite-diff {fd} vs analytic {an}"
+            );
+        }
+    }
+
+    #[test]
+    fn with_coefficients_supports_skewed_priors() {
+        // Give one document zero query mass: it contributes nothing.
+        let shape =
+            CorpusShape::with_coefficients(vec![(10, 0.0), (10, 1.0)], 100);
+        let m = FalsePositiveModel::new(shape, 100);
+        let f = m.expected_fp(2.0);
+        let shape_single = CorpusShape::with_coefficients(vec![(10, 1.0)], 100);
+        let m_single = FalsePositiveModel::new(shape_single, 100);
+        assert!((f - m_single.expected_fp(2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_corpus_is_all_zeroes() {
+        let shape = CorpusShape::uniform(std::iter::empty(), 10);
+        let m = FalsePositiveModel::new(shape, 10);
+        assert_eq!(m.expected_fp(2.0), 0.0);
+        assert_eq!(m.lower_bound(), 0.0);
+    }
+}

@@ -1,0 +1,142 @@
+//! Exact handling of extremely common words (§IV-E).
+//!
+//! Merging the huge postings lists of very common words into sketch bins
+//! would pollute every co-hashed word's superpost. Instead Airphant "sets
+//! aside 1% of the bins to store the exact postings lists of most common
+//! words": with `B = 10^5` total bins, 99,000 bins form the sketch and
+//! 1,000 carry the 1,000 most document-frequent words exactly.
+
+use crate::postings::PostingsList;
+use std::collections::HashMap;
+
+/// Exact postings storage for the most common words.
+#[derive(Debug, Clone, Default)]
+pub struct CommonWords {
+    exact: HashMap<String, PostingsList>,
+    capacity: usize,
+}
+
+impl CommonWords {
+    /// An empty registry able to hold `capacity` words.
+    pub fn with_capacity(capacity: usize) -> Self {
+        CommonWords {
+            exact: HashMap::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Choose the `capacity` most common words from `(word, document
+    /// frequency)` pairs. Ties break lexicographically so selection is
+    /// deterministic.
+    pub fn select(doc_freqs: impl IntoIterator<Item = (String, u64)>, capacity: usize) -> Self {
+        let mut pairs: Vec<(String, u64)> = doc_freqs.into_iter().collect();
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        pairs.truncate(capacity);
+        CommonWords {
+            exact: pairs
+                .into_iter()
+                .map(|(w, _)| (w, PostingsList::new()))
+                .collect(),
+            capacity,
+        }
+    }
+
+    /// Maximum number of words this registry was sized for.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of words currently registered.
+    pub fn len(&self) -> usize {
+        self.exact.len()
+    }
+
+    /// Whether no words are registered.
+    pub fn is_empty(&self) -> bool {
+        self.exact.is_empty()
+    }
+
+    /// Whether `word` is handled exactly.
+    pub fn is_common(&self, word: &str) -> bool {
+        self.exact.contains_key(word)
+    }
+
+    /// Union `postings` into the exact list for `word` (must be selected).
+    pub fn insert(&mut self, word: &str, postings: &PostingsList) {
+        if let Some(list) = self.exact.get_mut(word) {
+            list.union_with(postings);
+        }
+    }
+
+    /// Exact postings for `word`, if it is a common word.
+    pub fn get(&self, word: &str) -> Option<&PostingsList> {
+        self.exact.get(word)
+    }
+
+    /// Iterate `(word, postings)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &PostingsList)> {
+        self.exact.iter()
+    }
+
+    /// Consume into the underlying map.
+    pub fn into_map(self) -> HashMap<String, PostingsList> {
+        self.exact
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_takes_most_frequent() {
+        let freqs = vec![
+            ("the".to_string(), 1000),
+            ("of".to_string(), 900),
+            ("rare".to_string(), 2),
+            ("error".to_string(), 500),
+        ];
+        let cw = CommonWords::select(freqs, 2);
+        assert!(cw.is_common("the"));
+        assert!(cw.is_common("of"));
+        assert!(!cw.is_common("error"));
+        assert!(!cw.is_common("rare"));
+        assert_eq!(cw.len(), 2);
+    }
+
+    #[test]
+    fn select_breaks_ties_lexicographically() {
+        let freqs = vec![
+            ("beta".to_string(), 10),
+            ("alpha".to_string(), 10),
+            ("gamma".to_string(), 10),
+        ];
+        let cw = CommonWords::select(freqs, 2);
+        assert!(cw.is_common("alpha"));
+        assert!(cw.is_common("beta"));
+        assert!(!cw.is_common("gamma"));
+    }
+
+    #[test]
+    fn insert_unions_postings() {
+        let mut cw = CommonWords::select(vec![("the".to_string(), 5)], 1);
+        cw.insert("the", &PostingsList::from_doc_ids(&[1, 2]));
+        cw.insert("the", &PostingsList::from_doc_ids(&[2, 3]));
+        let got = cw.get("the").unwrap();
+        assert_eq!(got, &PostingsList::from_doc_ids(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn insert_ignores_unselected_words() {
+        let mut cw = CommonWords::select(vec![("the".to_string(), 5)], 1);
+        cw.insert("rare", &PostingsList::from_doc_ids(&[1]));
+        assert!(cw.get("rare").is_none());
+    }
+
+    #[test]
+    fn zero_capacity_is_empty() {
+        let cw = CommonWords::select(vec![("the".to_string(), 5)], 0);
+        assert!(cw.is_empty());
+        assert!(!cw.is_common("the"));
+    }
+}

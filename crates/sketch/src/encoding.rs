@@ -1,0 +1,640 @@
+//! Superpost compaction encoding (§IV-C).
+//!
+//! The paper concatenates all superposts into a single blob (or a few
+//! blocks), serialized compactly, with a *header block* holding bin
+//! pointers, hash seeds, a string-compression table, and metadata. The
+//! header is the one piece the Searcher downloads at initialization; every
+//! superpost is then reachable in a single ranged read via its
+//! `(block, offset, length)` pointer.
+//!
+//! The paper serializes with Protocol Buffers; protobuf is not on the
+//! offline crate allowlist, so we implement an equivalent compact binary
+//! format (see DESIGN.md §4): LEB128 varints, delta-encoded sorted
+//! postings, and interned blob names ("Airphant compresses repeated strings
+//! within postings into integer keys").
+
+use crate::error::SketchError;
+use crate::hash::LayerSeed;
+use crate::postings::{Posting, PostingsList};
+use crate::sketch::SketchConfig;
+use crate::Result;
+use bytes::{BufMut, Bytes, BytesMut};
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------------
+// Varint primitives (LEB128, unsigned)
+// ---------------------------------------------------------------------------
+
+/// Append `v` as a LEB128 varint.
+pub fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// A decoding cursor over a byte slice.
+#[derive(Debug)]
+pub struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Start at the beginning of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Cursor { data, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether the cursor consumed everything.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn corrupt(&self, what: &str) -> SketchError {
+        SketchError::Corrupt {
+            detail: format!("{what} at byte {}", self.pos),
+        }
+    }
+
+    /// Read one LEB128 varint.
+    pub fn varint(&mut self) -> Result<u64> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let byte = *self
+                .data
+                .get(self.pos)
+                .ok_or_else(|| self.corrupt("truncated varint"))?;
+            self.pos += 1;
+            if shift >= 64 {
+                return Err(self.corrupt("varint overflow"));
+            }
+            v |= ((byte & 0x7f) as u64) << shift;
+            if byte & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    /// Read `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(self.corrupt("truncated bytes"));
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String> {
+        let len = self.varint()? as usize;
+        let raw = self.bytes(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| self.corrupt("invalid utf-8"))
+    }
+
+    /// Read an f64 stored as raw little-endian bits.
+    pub fn f64(&mut self) -> Result<f64> {
+        let raw = self.bytes(8)?;
+        Ok(f64::from_le_bytes(raw.try_into().unwrap()))
+    }
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_string(buf: &mut BytesMut, s: &str) {
+    put_varint(buf, s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Append an f64 as raw little-endian bits.
+pub fn put_f64(buf: &mut BytesMut, v: f64) {
+    buf.put_slice(&v.to_le_bytes());
+}
+
+// ---------------------------------------------------------------------------
+// String-compression table
+// ---------------------------------------------------------------------------
+
+/// Interns blob names to `u32` ids (§IV-C's string compression).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StringTable {
+    names: Vec<String>,
+    ids: HashMap<String, u32>,
+}
+
+impl StringTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `name`, returning its stable id.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Resolve an id back to a name.
+    pub fn name(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(|s| s.as_str())
+    }
+
+    /// Look up an already-interned name.
+    pub fn id_of(&self, name: &str) -> Option<u32> {
+        self.ids.get(name).copied()
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    fn encode_into(&self, buf: &mut BytesMut) {
+        put_varint(buf, self.names.len() as u64);
+        for n in &self.names {
+            put_string(buf, n);
+        }
+    }
+
+    fn decode_from(cur: &mut Cursor<'_>) -> Result<Self> {
+        let count = cur.varint()? as usize;
+        let mut table = StringTable::new();
+        for _ in 0..count {
+            let name = cur.string()?;
+            table.intern(&name);
+        }
+        Ok(table)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Superpost codec
+// ---------------------------------------------------------------------------
+
+/// Encode a superpost: varint count, then delta-encoded `(blob, offset,
+/// len)` triples exploiting the sorted order.
+pub fn encode_superpost(list: &PostingsList) -> Bytes {
+    let mut buf = BytesMut::with_capacity(list.approx_bytes());
+    put_varint(&mut buf, list.len() as u64);
+    let mut prev_blob = 0u32;
+    let mut prev_offset = 0u64;
+    for (i, p) in list.iter().enumerate() {
+        let blob_delta = if i == 0 { p.blob } else { p.blob - prev_blob };
+        put_varint(&mut buf, blob_delta as u64);
+        let off = if i > 0 && blob_delta == 0 {
+            p.offset - prev_offset
+        } else {
+            p.offset
+        };
+        put_varint(&mut buf, off);
+        put_varint(&mut buf, p.len as u64);
+        prev_blob = p.blob;
+        prev_offset = p.offset;
+    }
+    buf.freeze()
+}
+
+/// Decode a superpost produced by [`encode_superpost`].
+pub fn decode_superpost(data: &[u8]) -> Result<PostingsList> {
+    let mut cur = Cursor::new(data);
+    let list = decode_superpost_from(&mut cur)?;
+    if !cur.is_exhausted() {
+        return Err(SketchError::Corrupt {
+            detail: format!("{} trailing bytes after superpost", cur.remaining()),
+        });
+    }
+    Ok(list)
+}
+
+/// Decode a superpost from a cursor (for concatenated blocks).
+pub fn decode_superpost_from(cur: &mut Cursor<'_>) -> Result<PostingsList> {
+    let count = cur.varint()? as usize;
+    let mut postings = Vec::with_capacity(count);
+    let mut prev_blob = 0u32;
+    let mut prev_offset = 0u64;
+    for i in 0..count {
+        let blob_delta = cur.varint()?;
+        let blob = if i == 0 {
+            blob_delta as u32
+        } else {
+            prev_blob
+                .checked_add(blob_delta as u32)
+                .ok_or_else(|| SketchError::Corrupt {
+                    detail: "blob id overflow".into(),
+                })?
+        };
+        let raw_off = cur.varint()?;
+        let offset = if i > 0 && blob_delta == 0 {
+            prev_offset + raw_off
+        } else {
+            raw_off
+        };
+        let len = cur.varint()? as u32;
+        postings.push(Posting::new(blob, offset, len));
+        prev_blob = blob;
+        prev_offset = offset;
+    }
+    Ok(PostingsList::from_sorted_unique(postings))
+}
+
+// ---------------------------------------------------------------------------
+// Bin pointers and the header block
+// ---------------------------------------------------------------------------
+
+/// Pointer to one superpost inside the compacted superpost blocks:
+/// "each bin pointer need\[s\] to represent block ID, offset, and byte length
+/// to retrieve the superpost's bytes in a single round-trip" (§IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BinPointer {
+    /// Superpost block id (blob index).
+    pub block: u32,
+    /// Byte offset within the block.
+    pub offset: u64,
+    /// Byte length of the serialized superpost.
+    pub len: u32,
+}
+
+impl BinPointer {
+    /// Construct a pointer.
+    pub fn new(block: u32, offset: u64, len: u32) -> Self {
+        BinPointer { block, offset, len }
+    }
+
+    fn encode_into(&self, buf: &mut BytesMut) {
+        put_varint(buf, self.block as u64);
+        put_varint(buf, self.offset);
+        put_varint(buf, self.len as u64);
+    }
+
+    fn decode_from(cur: &mut Cursor<'_>) -> Result<Self> {
+        Ok(BinPointer {
+            block: cur.varint()? as u32,
+            offset: cur.varint()?,
+            len: cur.varint()? as u32,
+        })
+    }
+}
+
+/// The persistent header block: everything the Searcher needs to
+/// reconstruct the MHT — structure, hash seeds, bin pointers, the exact
+/// common-word dictionary, the string table, and free-form metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeaderBlock {
+    /// Sketch structure.
+    pub config: SketchConfig,
+    /// Per-layer hash seeds.
+    pub seeds: Vec<LayerSeed>,
+    /// Blob-name interning table.
+    pub string_table: StringTable,
+    /// Bin pointers, layer-major: `pointers[layer][bin]`.
+    pub pointers: Vec<Vec<BinPointer>>,
+    /// Exact common-word dictionary: word → pointer to its postings list.
+    pub common: Vec<(String, BinPointer)>,
+    /// Free-form metadata (e.g. accuracy constraint, corpus name).
+    pub meta: Vec<(String, String)>,
+}
+
+const MAGIC: &[u8; 4] = b"AIRP";
+const VERSION: u64 = 1;
+
+impl HeaderBlock {
+    /// Serialize the header to bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(
+            64 + self.pointers.iter().map(|l| l.len() * 6).sum::<usize>(),
+        );
+        buf.put_slice(MAGIC);
+        put_varint(&mut buf, VERSION);
+        put_varint(&mut buf, self.config.total_bins as u64);
+        put_varint(&mut buf, self.config.layers as u64);
+        put_f64(&mut buf, self.config.common_fraction);
+        put_varint(&mut buf, self.seeds.len() as u64);
+        for s in &self.seeds {
+            put_varint(&mut buf, s.a);
+            put_varint(&mut buf, s.b);
+        }
+        self.string_table.encode_into(&mut buf);
+        put_varint(&mut buf, self.pointers.len() as u64);
+        for layer in &self.pointers {
+            put_varint(&mut buf, layer.len() as u64);
+            for p in layer {
+                p.encode_into(&mut buf);
+            }
+        }
+        put_varint(&mut buf, self.common.len() as u64);
+        for (word, ptr) in &self.common {
+            put_string(&mut buf, word);
+            ptr.encode_into(&mut buf);
+        }
+        put_varint(&mut buf, self.meta.len() as u64);
+        for (k, v) in &self.meta {
+            put_string(&mut buf, k);
+            put_string(&mut buf, v);
+        }
+        buf.freeze()
+    }
+
+    /// Deserialize a header produced by [`HeaderBlock::encode`].
+    pub fn decode(data: &[u8]) -> Result<Self> {
+        let mut cur = Cursor::new(data);
+        let magic = cur.bytes(4)?;
+        if magic != MAGIC {
+            return Err(SketchError::Corrupt {
+                detail: "bad magic".into(),
+            });
+        }
+        let version = cur.varint()?;
+        if version != VERSION {
+            return Err(SketchError::Corrupt {
+                detail: format!("unsupported header version {version}"),
+            });
+        }
+        let total_bins = cur.varint()? as usize;
+        let layers = cur.varint()? as usize;
+        let common_fraction = cur.f64()?;
+        let config = SketchConfig {
+            total_bins,
+            layers,
+            common_fraction,
+        };
+        let n_seeds = cur.varint()? as usize;
+        if n_seeds != layers {
+            return Err(SketchError::Corrupt {
+                detail: format!("{n_seeds} seeds for {layers} layers"),
+            });
+        }
+        let mut seeds = Vec::with_capacity(n_seeds);
+        for _ in 0..n_seeds {
+            seeds.push(LayerSeed {
+                a: cur.varint()?,
+                b: cur.varint()?,
+            });
+        }
+        let string_table = StringTable::decode_from(&mut cur)?;
+        let n_layers = cur.varint()? as usize;
+        if n_layers != layers {
+            return Err(SketchError::Corrupt {
+                detail: format!("{n_layers} pointer layers for {layers} layers"),
+            });
+        }
+        let mut pointers = Vec::with_capacity(n_layers);
+        for _ in 0..n_layers {
+            let n_bins = cur.varint()? as usize;
+            let mut layer = Vec::with_capacity(n_bins);
+            for _ in 0..n_bins {
+                layer.push(BinPointer::decode_from(&mut cur)?);
+            }
+            pointers.push(layer);
+        }
+        let n_common = cur.varint()? as usize;
+        let mut common = Vec::with_capacity(n_common);
+        for _ in 0..n_common {
+            let word = cur.string()?;
+            let ptr = BinPointer::decode_from(&mut cur)?;
+            common.push((word, ptr));
+        }
+        let n_meta = cur.varint()? as usize;
+        let mut meta = Vec::with_capacity(n_meta);
+        for _ in 0..n_meta {
+            let k = cur.string()?;
+            let v = cur.string()?;
+            meta.push((k, v));
+        }
+        if !cur.is_exhausted() {
+            return Err(SketchError::Corrupt {
+                detail: format!("{} trailing bytes after header", cur.remaining()),
+            });
+        }
+        Ok(HeaderBlock {
+            config,
+            seeds,
+            string_table,
+            pointers,
+            common,
+            meta,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_roundtrip_edge_values() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut cur = Cursor::new(&buf);
+            assert_eq!(cur.varint().unwrap(), v);
+            assert!(cur.is_exhausted());
+        }
+    }
+
+    #[test]
+    fn varint_truncated_errors() {
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, 1_000_000);
+        let mut cur = Cursor::new(&buf[..1]);
+        assert!(cur.varint().is_err());
+    }
+
+    #[test]
+    fn varint_overlong_errors() {
+        let overlong = [0x80u8; 11];
+        let mut cur = Cursor::new(&overlong);
+        assert!(cur.varint().is_err());
+    }
+
+    #[test]
+    fn string_roundtrip() {
+        let mut buf = BytesMut::new();
+        put_string(&mut buf, "héllo wörld");
+        let mut cur = Cursor::new(&buf);
+        assert_eq!(cur.string().unwrap(), "héllo wörld");
+    }
+
+    #[test]
+    fn string_invalid_utf8_errors() {
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, 2);
+        buf.put_slice(&[0xff, 0xfe]);
+        let mut cur = Cursor::new(&buf);
+        assert!(cur.string().is_err());
+    }
+
+    #[test]
+    fn string_table_interning() {
+        let mut t = StringTable::new();
+        let a = t.intern("logs/part-0");
+        let b = t.intern("logs/part-1");
+        let a2 = t.intern("logs/part-0");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.name(a), Some("logs/part-0"));
+        assert_eq!(t.id_of("logs/part-1"), Some(b));
+        assert_eq!(t.name(99), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn superpost_roundtrip_multi_blob() {
+        let list = PostingsList::from_postings(vec![
+            Posting::new(0, 0, 120),
+            Posting::new(0, 120, 80),
+            Posting::new(0, 200, 4_000),
+            Posting::new(2, 64, 128),
+            Posting::new(2, 1 << 40, 17),
+        ]);
+        let enc = encode_superpost(&list);
+        let dec = decode_superpost(&enc).unwrap();
+        assert_eq!(dec, list);
+    }
+
+    #[test]
+    fn superpost_empty_roundtrip() {
+        let enc = encode_superpost(&PostingsList::new());
+        assert_eq!(enc.len(), 1); // just the zero count
+        assert_eq!(decode_superpost(&enc).unwrap(), PostingsList::new());
+    }
+
+    #[test]
+    fn superpost_delta_encoding_is_compact() {
+        // Consecutive documents in one blob should cost ~3 bytes each, far
+        // below the 13+ bytes of a raw (u32, u64, u32) encoding.
+        let postings: Vec<Posting> = (0..1_000)
+            .map(|i| Posting::new(0, i * 100, 100))
+            .collect();
+        let list = PostingsList::from_sorted_unique(postings);
+        let enc = encode_superpost(&list);
+        assert!(
+            enc.len() < 1_000 * 5,
+            "encoding too large: {} bytes for 1000 postings",
+            enc.len()
+        );
+    }
+
+    #[test]
+    fn superpost_trailing_garbage_errors() {
+        let list = PostingsList::from_doc_ids(&[1, 2, 3]);
+        let mut enc = BytesMut::from(&encode_superpost(&list)[..]);
+        enc.put_u8(0x00);
+        assert!(decode_superpost(&enc).is_err());
+    }
+
+    #[test]
+    fn superpost_truncated_errors() {
+        let list = PostingsList::from_doc_ids(&[1, 2, 3]);
+        let enc = encode_superpost(&list);
+        assert!(decode_superpost(&enc[..enc.len() - 1]).is_err());
+    }
+
+    fn sample_header() -> HeaderBlock {
+        let mut st = StringTable::new();
+        st.intern("corpus/blob-0");
+        st.intern("corpus/blob-1");
+        HeaderBlock {
+            config: SketchConfig {
+                total_bins: 100,
+                layers: 2,
+                common_fraction: 0.01,
+            },
+            seeds: vec![LayerSeed { a: 7, b: 13 }, LayerSeed { a: 99, b: 0 }],
+            string_table: st,
+            pointers: vec![
+                (0..49).map(|i| BinPointer::new(0, i * 10, 10)).collect(),
+                (0..49).map(|i| BinPointer::new(1, i * 20, 20)).collect(),
+            ],
+            common: vec![("the".into(), BinPointer::new(0, 490, 1_000))],
+            meta: vec![("f0".into(), "1.0".into()), ("corpus".into(), "test".into())],
+        }
+    }
+
+    #[test]
+    fn header_roundtrip() {
+        let h = sample_header();
+        let enc = h.encode();
+        let dec = HeaderBlock::decode(&enc).unwrap();
+        assert_eq!(dec, h);
+    }
+
+    #[test]
+    fn header_bad_magic_errors() {
+        let h = sample_header();
+        let mut enc = h.encode().to_vec();
+        enc[0] = b'X';
+        assert!(matches!(
+            HeaderBlock::decode(&enc),
+            Err(SketchError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn header_truncation_errors() {
+        let enc = sample_header().encode();
+        for cut in [3, 10, enc.len() / 2, enc.len() - 1] {
+            assert!(
+                HeaderBlock::decode(&enc[..cut]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn header_seed_layer_mismatch_errors() {
+        let mut h = sample_header();
+        h.seeds.pop();
+        let enc = h.encode();
+        assert!(HeaderBlock::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn header_size_is_small_for_paper_config() {
+        // §V-A0c: B = 1e5 bins → "runtime size about 2 MB". Each pointer
+        // costs ≲ 12 varint bytes; the full header must stay in the
+        // low-megabyte range.
+        let pointers: Vec<Vec<BinPointer>> = vec![(0..99_000u64)
+            .map(|i| BinPointer::new(0, i * 50, 50))
+            .collect()];
+        let h = HeaderBlock {
+            config: SketchConfig {
+                total_bins: 100_000,
+                layers: 1,
+                common_fraction: 0.01,
+            },
+            seeds: vec![LayerSeed { a: 1, b: 2 }],
+            string_table: StringTable::new(),
+            pointers,
+            common: Vec::new(),
+            meta: Vec::new(),
+        };
+        let enc = h.encode();
+        assert!(
+            enc.len() < 2 * 1024 * 1024,
+            "header is {} bytes, expected < 2MB",
+            enc.len()
+        );
+    }
+}

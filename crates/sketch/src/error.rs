@@ -1,0 +1,67 @@
+//! Error type for sketch construction, encoding, and optimization.
+
+use std::fmt;
+
+/// Errors produced by this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SketchError {
+    /// Configuration is structurally invalid (e.g. zero bins or layers).
+    InvalidConfig {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A serialized structure failed to decode.
+    Corrupt {
+        /// What failed and where.
+        detail: String,
+    },
+    /// Algorithm 1 rejected the `(B, F0)` constraint pair as infeasible.
+    Infeasible {
+        /// The lower bound on achievable expected false positives.
+        lower_bound: f64,
+        /// The requested constraint.
+        requested: f64,
+    },
+}
+
+impl fmt::Display for SketchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SketchError::InvalidConfig { reason } => write!(f, "invalid config: {reason}"),
+            SketchError::Corrupt { detail } => write!(f, "corrupt encoding: {detail}"),
+            SketchError::Infeasible {
+                lower_bound,
+                requested,
+            } => write!(
+                f,
+                "infeasible constraint: requested F0={requested} but the lower bound is {lower_bound}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SketchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SketchError::InvalidConfig {
+            reason: "B=0".into()
+        }
+        .to_string()
+        .contains("B=0"));
+        assert!(SketchError::Corrupt {
+            detail: "bad magic".into()
+        }
+        .to_string()
+        .contains("bad magic"));
+        let e = SketchError::Infeasible {
+            lower_bound: 2.5,
+            requested: 0.1,
+        };
+        assert!(e.to_string().contains("2.5"));
+    }
+}

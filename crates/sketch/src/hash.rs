@@ -1,0 +1,229 @@
+//! Seeded pairwise-independent hash family.
+//!
+//! §IV-A of the paper assumes a *family of pairwise independent hash
+//! functions*, one per layer, so that the false-positive events of different
+//! layers multiply (the independence that makes intersection shrink false
+//! positives exponentially). We implement the classic 2-universal
+//! multiply-add-mod-prime scheme over the Mersenne prime `p = 2^61 − 1`:
+//!
+//! ```text
+//! h_{a,b}(x) = ((a · pre(x) + b) mod p) mod m
+//! ```
+//!
+//! where `pre` is a 64-bit FNV-1a prehash of the word bytes and `(a, b)` are
+//! per-layer seeds drawn uniformly from `[1, p) × [0, p)`. Only the seeds
+//! need to be persisted (in the header block) to reconstruct the family at
+//! Searcher initialization — "it retrieves hash seeds … then reconstructs
+//! hash functions, and hence, MHT" (§III-C).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The Mersenne prime `2^61 − 1` used as the field modulus.
+pub const MERSENNE_61: u64 = (1u64 << 61) - 1;
+
+/// Per-layer hash seeds `(a, b)` for the multiply-add-mod-prime scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerSeed {
+    /// Multiplier, in `[1, p)`.
+    pub a: u64,
+    /// Offset, in `[0, p)`.
+    pub b: u64,
+}
+
+/// 64-bit FNV-1a prehash of a byte string.
+///
+/// Maps arbitrary-length words onto the 64-bit domain the 2-universal family
+/// operates on. FNV-1a mixes every byte and is cheap; the universality
+/// guarantee then comes from the outer multiply-add-mod-prime stage.
+#[inline]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// `(a * x + b) mod (2^61 - 1)` without 128-bit division.
+///
+/// Uses the Mersenne-prime folding trick: for `p = 2^61 − 1`,
+/// `y mod p = (y >> 61) + (y & p)`, folded twice.
+#[inline]
+fn mul_add_mod_m61(a: u64, x: u64, b: u64) -> u64 {
+    let prod = (a as u128) * (x as u128) + (b as u128);
+    let lo = (prod & MERSENNE_61 as u128) as u64;
+    let hi = (prod >> 61) as u64;
+    let mut r = lo.wrapping_add(hi & MERSENNE_61).wrapping_add(hi >> 61);
+    while r >= MERSENNE_61 {
+        r -= MERSENNE_61;
+    }
+    r
+}
+
+/// A seeded family of `L` pairwise-independent hash functions, each mapping
+/// words to `[0, bins_per_layer)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HashFamily {
+    seeds: Vec<LayerSeed>,
+    bins_per_layer: usize,
+}
+
+impl HashFamily {
+    /// Draw a fresh family of `layers` functions onto `bins_per_layer` bins,
+    /// deterministically from `seed`.
+    pub fn generate(layers: usize, bins_per_layer: usize, seed: u64) -> Self {
+        assert!(layers > 0, "need at least one layer");
+        assert!(bins_per_layer > 0, "need at least one bin per layer");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let seeds = (0..layers)
+            .map(|_| LayerSeed {
+                a: rng.gen_range(1..MERSENNE_61),
+                b: rng.gen_range(0..MERSENNE_61),
+            })
+            .collect();
+        HashFamily {
+            seeds,
+            bins_per_layer,
+        }
+    }
+
+    /// Reconstruct a family from persisted seeds (Searcher initialization).
+    pub fn from_seeds(seeds: Vec<LayerSeed>, bins_per_layer: usize) -> Self {
+        assert!(!seeds.is_empty(), "need at least one layer seed");
+        assert!(bins_per_layer > 0, "need at least one bin per layer");
+        HashFamily {
+            seeds,
+            bins_per_layer,
+        }
+    }
+
+    /// Number of layers `L`.
+    pub fn layers(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Number of bins per layer (`B / L` in the paper's notation).
+    pub fn bins_per_layer(&self) -> usize {
+        self.bins_per_layer
+    }
+
+    /// The persisted per-layer seeds.
+    pub fn seeds(&self) -> &[LayerSeed] {
+        &self.seeds
+    }
+
+    /// Bin index of `word` in `layer`.
+    #[inline]
+    pub fn bin(&self, layer: usize, word: &str) -> usize {
+        let pre = fnv1a64(word.as_bytes());
+        let s = self.seeds[layer];
+        (mul_add_mod_m61(s.a, pre, s.b) % self.bins_per_layer as u64) as usize
+    }
+
+    /// Bin indices of `word` across all layers, in layer order.
+    pub fn bins(&self, word: &str) -> Vec<usize> {
+        (0..self.layers()).map(|l| self.bin(l, word)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn fnv_distinguishes_words() {
+        assert_ne!(fnv1a64(b"hello"), fnv1a64(b"world"));
+        assert_ne!(fnv1a64(b""), fnv1a64(b"a"));
+        // Known FNV-1a vector: empty string hashes to the offset basis.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn mod_m61_agrees_with_u128_reference() {
+        let cases = [
+            (1u64, 0u64, 0u64),
+            (123_456_789, 987_654_321, 555),
+            (MERSENNE_61 - 1, MERSENNE_61 - 1, MERSENNE_61 - 1),
+            (u64::MAX >> 3, u64::MAX, 17),
+        ];
+        for (a, x, b) in cases {
+            let expect = (((a as u128) * (x as u128) + b as u128) % MERSENNE_61 as u128) as u64;
+            assert_eq!(mul_add_mod_m61(a, x, b), expect, "a={a} x={x} b={b}");
+        }
+    }
+
+    #[test]
+    fn bins_are_in_range_and_deterministic() {
+        let fam = HashFamily::generate(4, 100, 7);
+        for word in ["hello", "airphant", "xyzzy", ""] {
+            let bins = fam.bins(word);
+            assert_eq!(bins.len(), 4);
+            assert!(bins.iter().all(|&b| b < 100));
+            assert_eq!(bins, fam.bins(word), "determinism");
+        }
+    }
+
+    #[test]
+    fn layers_use_different_functions() {
+        let fam = HashFamily::generate(8, 1_000, 3);
+        // The same word should not land in the same bin index in every
+        // layer (overwhelmingly unlikely with independent seeds).
+        let bins = fam.bins("airphant");
+        let distinct: HashSet<_> = bins.iter().collect();
+        assert!(distinct.len() > 1, "bins {bins:?} look layer-correlated");
+    }
+
+    #[test]
+    fn seed_roundtrip_reconstructs_family() {
+        let fam = HashFamily::generate(3, 64, 99);
+        let rebuilt = HashFamily::from_seeds(fam.seeds().to_vec(), fam.bins_per_layer());
+        for word in ["a", "b", "longer-word-with-dashes"] {
+            assert_eq!(fam.bins(word), rebuilt.bins(word));
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_mappings() {
+        let f1 = HashFamily::generate(1, 1_000_000, 1);
+        let f2 = HashFamily::generate(1, 1_000_000, 2);
+        let differs = (0..100)
+            .map(|i| format!("w{i}"))
+            .any(|w| f1.bin(0, &w) != f2.bin(0, &w));
+        assert!(differs);
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        // Chi-square-ish sanity check: hash 10_000 distinct words into 16
+        // bins; each bin should get 625 ± a generous margin.
+        let fam = HashFamily::generate(1, 16, 42);
+        let mut counts = [0usize; 16];
+        for i in 0..10_000 {
+            counts[fam.bin(0, &format!("word-{i}"))] += 1;
+        }
+        for (bin, &c) in counts.iter().enumerate() {
+            assert!(
+                (425..=825).contains(&c),
+                "bin {bin} has suspicious count {c}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn zero_layers_panics() {
+        HashFamily::generate(0, 10, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        HashFamily::generate(1, 0, 1);
+    }
+}

@@ -1,0 +1,114 @@
+//! Concentration of observed false positives (§IV-A0d, Equation 5) and the
+//! corpus coefficient `σ_X` of Table II.
+//!
+//! Each potential false positive is a scaled Bernoulli
+//! `x_{i,w} = p_w·b_i`, so Hoeffding's inequality bounds the deviation of
+//! the observed count `X` from its expectation `F(L)`:
+//!
+//! ```text
+//! Pr[X ≥ F(L) + ε] ≤ exp(−2ε²/σ_X²),   σ_X² = Σ_i Σ_{w∉W_i} p_w²
+//! ```
+//!
+//! Under the default uniform prior `p_w = 1/|W|`, the variance proxy
+//! simplifies to `σ_X² = Σ_i (|W| − |W_i|)/|W|²` — the `σ_X` column the
+//! paper reports per corpus in Table II.
+
+use crate::analysis::CorpusShape;
+
+/// `σ_X²` under the uniform query-word prior.
+pub fn sigma_x_squared(shape: &CorpusShape) -> f64 {
+    let w = shape.n_terms().max(1) as f64;
+    shape
+        .groups()
+        .iter()
+        .map(|g| g.docs as f64 * (w - g.size as f64).max(0.0) / (w * w))
+        .sum()
+}
+
+/// The corpus coefficient `σ_X` (Table II).
+pub fn sigma_x(shape: &CorpusShape) -> f64 {
+    sigma_x_squared(shape).sqrt()
+}
+
+/// Deviation bound: the `ε` such that `Pr[X ≥ F(L) + ε] ≤ δ`, i.e.
+/// `ε = sqrt(σ_X²·ln(1/δ)/2)`.
+pub fn deviation_bound(shape: &CorpusShape, delta: f64) -> f64 {
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+    (sigma_x_squared(shape) * (1.0 / delta).ln() / 2.0).sqrt()
+}
+
+/// Failure probability for a given deviation:
+/// `δ = exp(−2ε²/σ_X²)` (Equation 5).
+pub fn failure_probability(shape: &CorpusShape, epsilon: f64) -> f64 {
+    let s2 = sigma_x_squared(shape);
+    if s2 <= 0.0 {
+        return 0.0;
+    }
+    (-2.0 * epsilon * epsilon / s2).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cranfield_sigma_matches_table_ii() {
+        // Table II: Cranfield has 1.4e3 documents, 5.3e3 terms, σ_X = 0.51.
+        // With |W_i| ≪ |W|, σ_X² ≈ n/|W| = 1398/5300 ≈ 0.264 → σ_X ≈ 0.514.
+        let sizes = vec![60u64; 1398]; // |Wi| ≈ 60 distinct words each
+        let shape = CorpusShape::uniform(sizes, 5_300);
+        let s = sigma_x(&shape);
+        assert!((s - 0.51).abs() < 0.02, "σ_X = {s}, Table II says 0.51");
+    }
+
+    #[test]
+    fn diag_sigma_is_one() {
+        // Table II: diag(8,8,0) has σ_X = 1.00 — n = |W| and |W_i| = 1,
+        // so σ_X² = n(|W|−1)/|W|² ≈ 1. (Scaled down for test runtime.)
+        let n = 100_000u64;
+        let shape = CorpusShape::uniform(vec![1u64; n as usize], n);
+        let s = sigma_x(&shape);
+        assert!((s - 1.0).abs() < 0.01, "σ_X = {s}");
+    }
+
+    #[test]
+    fn skewed_corpora_have_larger_sigma() {
+        // Windows in Table II has σ_X = 11.73: many documents per term
+        // (n ≫ |W|) inflates σ_X² = Σ(…)/|W|² ≈ n/|W|.
+        let windows_like = CorpusShape::uniform(vec![10u64; 110_000], 830);
+        let hdfs_like = CorpusShape::uniform(vec![12u64; 11_000], 3_600);
+        assert!(sigma_x(&windows_like) > 3.0 * sigma_x(&hdfs_like));
+    }
+
+    #[test]
+    fn deviation_bound_inverts_failure_probability() {
+        let shape = CorpusShape::uniform(vec![20u64; 5_000], 10_000);
+        let delta = 1e-4;
+        let eps = deviation_bound(&shape, delta);
+        let back = failure_probability(&shape, eps);
+        assert!((back - delta).abs() / delta < 1e-9);
+    }
+
+    #[test]
+    fn deviation_shrinks_with_vocabulary() {
+        // "the deviation would instead shrink as the number of words
+        // increases: ε = O(sqrt(n/|W|))".
+        let small_vocab = CorpusShape::uniform(vec![10u64; 1_000], 1_000);
+        let large_vocab = CorpusShape::uniform(vec![10u64; 1_000], 100_000);
+        assert!(deviation_bound(&large_vocab, 1e-6) < deviation_bound(&small_vocab, 1e-6));
+    }
+
+    #[test]
+    fn empty_corpus_never_deviates() {
+        let shape = CorpusShape::uniform(std::iter::empty(), 100);
+        assert_eq!(sigma_x(&shape), 0.0);
+        assert_eq!(failure_probability(&shape, 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn invalid_delta_panics() {
+        let shape = CorpusShape::uniform(vec![1u64], 10);
+        deviation_bound(&shape, 1.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! # iou-sketch
+//!
+//! The **IoU Sketch** (Intersection-of-Unions Sketch) — the statistical
+//! inverted index at the core of Airphant (ICDE 2022, §IV).
+//!
+//! An IoU Sketch is an `L`-layer hash table with `L` independent hash
+//! functions over a budget of `B` bins total. Inserting a word unions its
+//! postings list into one bin per layer; that bin's content is a *super
+//! postings list* (superpost). Querying a word fetches its `L` superposts —
+//! **in a single batch of concurrent requests** when the superposts live in
+//! cloud storage — and intersects them. Every relevant posting survives the
+//! intersection (no false negatives); irrelevant postings survive only if
+//! they collide in *all* `L` layers, so false positives decay exponentially
+//! with `L` (Equation 1 of the paper).
+//!
+//! This crate provides:
+//!
+//! * [`Posting`], [`PostingsList`] — `(blob, offset, len)` document
+//!   references with sorted-set union/intersection ([`postings`]).
+//! * [`HashFamily`] — seeded pairwise-independent hashing ([`hash`]).
+//! * [`SketchBuilder`] / [`InMemorySketch`] — construction and in-memory
+//!   querying ([`sketch`]).
+//! * [`Mht`] + [`HeaderBlock`] — the multilayer hash table of bin pointers
+//!   and its persistent header encoding ([`mht`], [`encoding`]).
+//! * [`analysis`] — expected-false-positive formulas `q_i(L)`, `F(L)` and
+//!   their approximations (Equations 1–3, Lemmas 1–3).
+//! * [`optimizer`] — Algorithm 1: minimize the number of layers subject to
+//!   a bin budget `B` and accuracy constraint `F0`.
+//! * [`topk`] — the top-K sampling bound `R_K` (Equation 6).
+//! * [`hoeffding`] — the concentration bound on observed false positives
+//!   (Equation 5) and the corpus coefficient `σ_X` of Table II.
+//! * [`common`] — exact postings for the most common words (§IV-E).
+//!
+//! ## Example
+//!
+//! ```
+//! use iou_sketch::{SketchBuilder, SketchConfig, PostingsList, Posting};
+//!
+//! // 3 layers over 64 bins, no common-word bins.
+//! let config = SketchConfig::new(64, 3).with_common_fraction(0.0);
+//! let mut builder = SketchBuilder::new(config, 42);
+//! builder.insert("hello", &PostingsList::from_doc_ids(&[1, 2]));
+//! builder.insert("world", &PostingsList::from_doc_ids(&[1]));
+//! builder.insert("airphant", &PostingsList::from_doc_ids(&[2, 3]));
+//! let sketch = builder.freeze();
+//!
+//! let result = sketch.query("airphant");
+//! // No false negatives, ever:
+//! assert!(result.contains(&Posting::from_doc_id(2)));
+//! assert!(result.contains(&Posting::from_doc_id(3)));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod common;
+pub mod encoding;
+pub mod error;
+pub mod hash;
+pub mod hoeffding;
+pub mod mht;
+pub mod optimizer;
+pub mod postings;
+pub mod sketch;
+pub mod topk;
+
+pub use analysis::{CorpusShape, FalsePositiveModel};
+pub use common::CommonWords;
+pub use encoding::{BinPointer, HeaderBlock};
+pub use error::SketchError;
+pub use hash::{HashFamily, LayerSeed};
+pub use mht::Mht;
+pub use optimizer::{optimize_layers, OptimizeOutcome, RejectReason};
+pub use postings::{Posting, PostingsList};
+pub use sketch::{InMemorySketch, SketchBuilder, SketchConfig};
+pub use topk::sample_size_for_top_k;
+
+
+/// Convenient `Result` alias.
+pub type Result<T> = std::result::Result<T, SketchError>;

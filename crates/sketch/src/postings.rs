@@ -1,0 +1,352 @@
+//! Postings and postings lists.
+//!
+//! "In each posting, Airphant records (blob name, offset, length) as part of
+//! a document identifier" (§III-A). Blob names are interned into `u32` ids by
+//! the string-compression table (§IV-C, [`crate::encoding`]); a posting is
+//! therefore the triple `(blob, offset, len)`, which is enough to fetch the
+//! document body with one ranged read.
+//!
+//! A [`PostingsList`] is a sorted, deduplicated set of postings. Superposts
+//! are postings lists produced by unions; queries intersect `L` of them.
+
+use serde::{Deserialize, Serialize};
+
+/// A reference to one document: which blob it lives in and the byte range
+/// of its body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Posting {
+    /// Interned blob id (index into the header's string table).
+    pub blob: u32,
+    /// Byte offset of the document inside the blob.
+    pub offset: u64,
+    /// Length of the document in bytes.
+    pub len: u32,
+}
+
+impl Posting {
+    /// Construct a posting.
+    pub fn new(blob: u32, offset: u64, len: u32) -> Self {
+        Posting { blob, offset, len }
+    }
+
+    /// A synthetic posting that stands for a bare document id — used by unit
+    /// tests and the analytical experiments where byte ranges don't matter.
+    pub fn from_doc_id(doc: u64) -> Self {
+        Posting {
+            blob: 0,
+            offset: doc,
+            len: 1,
+        }
+    }
+}
+
+/// A sorted, deduplicated list of [`Posting`]s.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PostingsList {
+    postings: Vec<Posting>,
+}
+
+impl PostingsList {
+    /// The empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from arbitrary postings: sorts and deduplicates.
+    pub fn from_postings(mut postings: Vec<Posting>) -> Self {
+        postings.sort_unstable();
+        postings.dedup();
+        PostingsList { postings }
+    }
+
+    /// Build from postings already sorted and unique (checked in debug).
+    pub fn from_sorted_unique(postings: Vec<Posting>) -> Self {
+        debug_assert!(postings.windows(2).all(|w| w[0] < w[1]));
+        PostingsList { postings }
+    }
+
+    /// Build a synthetic list from bare document ids (test helper).
+    pub fn from_doc_ids(ids: &[u64]) -> Self {
+        Self::from_postings(ids.iter().map(|&d| Posting::from_doc_id(d)).collect())
+    }
+
+    /// Number of postings.
+    pub fn len(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.postings.is_empty()
+    }
+
+    /// Slice of the underlying sorted postings.
+    pub fn as_slice(&self) -> &[Posting] {
+        &self.postings
+    }
+
+    /// Iterate over postings in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Posting> {
+        self.postings.iter()
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, p: &Posting) -> bool {
+        self.postings.binary_search(p).is_ok()
+    }
+
+    /// Insert a single posting, keeping order and uniqueness.
+    pub fn insert(&mut self, p: Posting) {
+        if let Err(idx) = self.postings.binary_search(&p) {
+            self.postings.insert(idx, p);
+        }
+    }
+
+    /// In-place union with another list (sorted merge). This is the
+    /// `insert(word, postings)` aggregation step of the sketch: a bin's
+    /// superpost is the union of the postings lists of all words mapped to
+    /// that bin.
+    pub fn union_with(&mut self, other: &PostingsList) {
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            self.postings = other.postings.clone();
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.postings.len() + other.postings.len());
+        let (a, b) = (&self.postings, &other.postings);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    merged.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&a[i..]);
+        merged.extend_from_slice(&b[j..]);
+        self.postings = merged;
+    }
+
+    /// Union of two lists.
+    pub fn union(&self, other: &PostingsList) -> PostingsList {
+        let mut out = self.clone();
+        out.union_with(other);
+        out
+    }
+
+    /// Intersection of two sorted lists, galloping when the sizes are very
+    /// lopsided (common when intersecting a rare word's superpost with a
+    /// crowded bin).
+    pub fn intersect(&self, other: &PostingsList) -> PostingsList {
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        if small.is_empty() {
+            return PostingsList::new();
+        }
+        // Galloping pays off when one side is much smaller.
+        if large.len() / small.len().max(1) >= 16 {
+            let mut out = Vec::with_capacity(small.len());
+            let mut lo = 0usize;
+            for p in &small.postings {
+                match large.postings[lo..].binary_search(p) {
+                    Ok(idx) => {
+                        out.push(*p);
+                        lo += idx + 1;
+                    }
+                    Err(idx) => lo += idx,
+                }
+                if lo >= large.postings.len() {
+                    break;
+                }
+            }
+            return PostingsList::from_sorted_unique(out);
+        }
+        let mut out = Vec::with_capacity(small.len());
+        let (a, b) = (&small.postings, &large.postings);
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        PostingsList::from_sorted_unique(out)
+    }
+
+    /// K-way intersection: the `query(word)` aggregation of the sketch.
+    /// Intersects smallest-first so intermediate results shrink fastest.
+    pub fn intersect_all(lists: &[&PostingsList]) -> PostingsList {
+        match lists.len() {
+            0 => PostingsList::new(),
+            1 => lists[0].clone(),
+            _ => {
+                let mut order: Vec<&PostingsList> = lists.to_vec();
+                order.sort_by_key(|l| l.len());
+                let mut acc = order[0].intersect(order[1]);
+                for l in &order[2..] {
+                    if acc.is_empty() {
+                        break;
+                    }
+                    acc = acc.intersect(l);
+                }
+                acc
+            }
+        }
+    }
+
+    /// Serialized byte size estimate before encoding (used by compaction
+    /// planning); actual sizes come from [`crate::encoding`].
+    pub fn approx_bytes(&self) -> usize {
+        // Worst-case varint widths: 5 + 10 + 5 bytes per posting.
+        4 + self.len() * 20
+    }
+}
+
+impl FromIterator<Posting> for PostingsList {
+    fn from_iter<T: IntoIterator<Item = Posting>>(iter: T) -> Self {
+        Self::from_postings(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a PostingsList {
+    type Item = &'a Posting;
+    type IntoIter = std::slice::Iter<'a, Posting>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.postings.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pl(ids: &[u64]) -> PostingsList {
+        PostingsList::from_doc_ids(ids)
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let list = pl(&[5, 1, 3, 1, 5]);
+        let ids: Vec<u64> = list.iter().map(|p| p.offset).collect();
+        assert_eq!(ids, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn ordering_is_blob_then_offset() {
+        let a = Posting::new(0, 100, 1);
+        let b = Posting::new(1, 0, 1);
+        assert!(a < b, "blob id dominates ordering");
+    }
+
+    #[test]
+    fn union_merges_sorted() {
+        let a = pl(&[1, 3, 5]);
+        let b = pl(&[2, 3, 6]);
+        let u = a.union(&b);
+        let ids: Vec<u64> = u.iter().map(|p| p.offset).collect();
+        assert_eq!(ids, vec![1, 2, 3, 5, 6]);
+    }
+
+    #[test]
+    fn union_with_empty_is_identity() {
+        let a = pl(&[1, 2]);
+        assert_eq!(a.union(&PostingsList::new()), a);
+        assert_eq!(PostingsList::new().union(&a), a);
+    }
+
+    #[test]
+    fn intersect_basic() {
+        let a = pl(&[1, 2, 3, 4]);
+        let b = pl(&[2, 4, 6]);
+        let i = a.intersect(&b);
+        let ids: Vec<u64> = i.iter().map(|p| p.offset).collect();
+        assert_eq!(ids, vec![2, 4]);
+    }
+
+    #[test]
+    fn intersect_disjoint_is_empty() {
+        assert!(pl(&[1, 3]).intersect(&pl(&[2, 4])).is_empty());
+        assert!(pl(&[]).intersect(&pl(&[1])).is_empty());
+    }
+
+    #[test]
+    fn galloping_matches_merge() {
+        // One tiny list against one large list exercises the galloping path.
+        let small = pl(&[100, 5_000, 99_999]);
+        let large = pl(&(0..100_000).step_by(5).collect::<Vec<u64>>());
+        let got = small.intersect(&large);
+        let ids: Vec<u64> = got.iter().map(|p| p.offset).collect();
+        assert_eq!(ids, vec![100, 5_000]); // 99_999 % 5 != 0
+    }
+
+    #[test]
+    fn intersect_all_smallest_first() {
+        let a = pl(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let b = pl(&[2, 4, 6, 8]);
+        let c = pl(&[4, 8]);
+        let r = PostingsList::intersect_all(&[&a, &b, &c]);
+        let ids: Vec<u64> = r.iter().map(|p| p.offset).collect();
+        assert_eq!(ids, vec![4, 8]);
+    }
+
+    #[test]
+    fn intersect_all_edge_cases() {
+        assert!(PostingsList::intersect_all(&[]).is_empty());
+        let a = pl(&[1, 2]);
+        assert_eq!(PostingsList::intersect_all(&[&a]), a);
+    }
+
+    #[test]
+    fn figure4_worked_example() {
+        // Figure 4 of the paper: querying w2 over the three superposts
+        // yields {d2,d3,d4} ∩ {d2,d3,d4,d5} ∩ {d1,d2,d3,d4} = {d2,d3,d4},
+        // containing the false positive d4.
+        let sp1 = pl(&[2, 3, 4]);
+        let sp2 = pl(&[2, 3, 4, 5]);
+        let sp3 = pl(&[1, 2, 3, 4]);
+        let q = PostingsList::intersect_all(&[&sp1, &sp2, &sp3]);
+        assert_eq!(q, pl(&[2, 3, 4]));
+        // w2's true postings list is {d2, d3}: d4 is a false positive, but
+        // both true postings are present (no false negatives).
+        assert!(q.contains(&Posting::from_doc_id(2)));
+        assert!(q.contains(&Posting::from_doc_id(3)));
+        assert!(q.contains(&Posting::from_doc_id(4)));
+    }
+
+    #[test]
+    fn insert_keeps_sorted_unique() {
+        let mut l = pl(&[5]);
+        l.insert(Posting::from_doc_id(1));
+        l.insert(Posting::from_doc_id(5)); // duplicate
+        l.insert(Posting::from_doc_id(9));
+        let ids: Vec<u64> = l.iter().map(|p| p.offset).collect();
+        assert_eq!(ids, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn contains_uses_binary_search() {
+        let l = pl(&[10, 20, 30]);
+        assert!(l.contains(&Posting::from_doc_id(20)));
+        assert!(!l.contains(&Posting::from_doc_id(25)));
+    }
+}

@@ -1,0 +1,433 @@
+//! In-memory IoU Sketch: configuration, construction, querying.
+//!
+//! [`SketchBuilder`] implements the `insert(word, postings)` operation of
+//! §IV-A: hash the word to one bin per layer and union its postings list
+//! into each bin's superpost. [`InMemorySketch`] implements `query(word)`:
+//! retrieve the `L` superposts and intersect them. The cloud-resident
+//! variant (superposts on object storage, pointers in an [`crate::Mht`])
+//! lives in the `airphant` crate; this in-memory form powers index
+//! construction and the statistical experiments (Figures 5, 10a, 16a).
+
+use crate::common::CommonWords;
+use crate::error::SketchError;
+use crate::hash::HashFamily;
+use crate::postings::PostingsList;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// Structural configuration of an IoU Sketch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SketchConfig {
+    /// Total bin budget `B` across all layers (including common-word bins).
+    pub total_bins: usize,
+    /// Number of layers `L`.
+    pub layers: usize,
+    /// Fraction of `B` set aside for exact common-word postings (§IV-E).
+    /// The paper uses 1%.
+    pub common_fraction: f64,
+}
+
+impl SketchConfig {
+    /// Config with the paper's default 1% common-word allocation.
+    pub fn new(total_bins: usize, layers: usize) -> Self {
+        SketchConfig {
+            total_bins,
+            layers,
+            common_fraction: 0.01,
+        }
+    }
+
+    /// Override the common-word fraction (0 disables exact bins).
+    pub fn with_common_fraction(mut self, fraction: f64) -> Self {
+        self.common_fraction = fraction;
+        self
+    }
+
+    /// Number of bins reserved for common words.
+    pub fn common_bins(&self) -> usize {
+        (self.total_bins as f64 * self.common_fraction).floor() as usize
+    }
+
+    /// Number of bins available to the sketch layers
+    /// (`B − common_bins`, the paper's 99,000 of 100,000).
+    pub fn sketch_bins(&self) -> usize {
+        self.total_bins - self.common_bins()
+    }
+
+    /// Bins per layer (`sketch_bins / L`, at least 1).
+    pub fn bins_per_layer(&self) -> usize {
+        (self.sketch_bins() / self.layers).max(1)
+    }
+
+    /// Validate structural invariants.
+    pub fn validate(&self) -> Result<()> {
+        if self.layers == 0 {
+            return Err(SketchError::InvalidConfig {
+                reason: "layers must be >= 1".into(),
+            });
+        }
+        if self.total_bins == 0 {
+            return Err(SketchError::InvalidConfig {
+                reason: "total_bins must be >= 1".into(),
+            });
+        }
+        if !(0.0..1.0).contains(&self.common_fraction) {
+            return Err(SketchError::InvalidConfig {
+                reason: format!("common_fraction {} not in [0, 1)", self.common_fraction),
+            });
+        }
+        if self.sketch_bins() < self.layers {
+            return Err(SketchError::InvalidConfig {
+                reason: format!(
+                    "sketch bins ({}) fewer than layers ({})",
+                    self.sketch_bins(),
+                    self.layers
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Accumulates insertions into layer bins, then freezes into a sketch.
+#[derive(Debug, Clone)]
+pub struct SketchBuilder {
+    config: SketchConfig,
+    family: HashFamily,
+    /// `bins[layer][bin]` is the superpost under construction.
+    bins: Vec<Vec<PostingsList>>,
+    common: CommonWords,
+    words_inserted: u64,
+}
+
+impl SketchBuilder {
+    /// Start building with the given structure; hash seeds derive from
+    /// `seed` deterministically.
+    pub fn new(config: SketchConfig, seed: u64) -> Self {
+        config.validate().expect("invalid sketch config");
+        let family = HashFamily::generate(config.layers, config.bins_per_layer(), seed);
+        let bins = vec![vec![PostingsList::new(); config.bins_per_layer()]; config.layers];
+        SketchBuilder {
+            common: CommonWords::with_capacity(config.common_bins()),
+            config,
+            family,
+            bins,
+            words_inserted: 0,
+        }
+    }
+
+    /// Designate the common-word set (selected from profiled document
+    /// frequencies) before inserting. Words in this set bypass the sketch
+    /// and keep exact postings.
+    pub fn set_common_words(&mut self, common: CommonWords) {
+        self.common = common;
+    }
+
+    /// The structural configuration.
+    pub fn config(&self) -> &SketchConfig {
+        &self.config
+    }
+
+    /// The hash family (e.g. to persist its seeds).
+    pub fn family(&self) -> &HashFamily {
+        &self.family
+    }
+
+    /// `insert(word, postings)` of §IV-A: for each layer, hash the word to
+    /// its bin and union the postings into that bin's superpost. Common
+    /// words go to exact storage instead.
+    pub fn insert(&mut self, word: &str, postings: &PostingsList) {
+        self.words_inserted += 1;
+        if self.common.is_common(word) {
+            self.common.insert(word, postings);
+            return;
+        }
+        for layer in 0..self.config.layers {
+            let bin = self.family.bin(layer, word);
+            self.bins[layer][bin].union_with(postings);
+        }
+    }
+
+    /// Insert with explicit bin choices, one per layer — the advanced API
+    /// used by tests to reproduce worked examples (Figure 4) and by
+    /// simulation studies exploring adversarial mappings.
+    pub fn insert_at_bins(&mut self, bins: &[usize], postings: &PostingsList) {
+        assert_eq!(bins.len(), self.config.layers, "one bin per layer");
+        for (layer, &bin) in bins.iter().enumerate() {
+            self.bins[layer][bin].union_with(postings);
+        }
+    }
+
+    /// Number of `insert` calls so far.
+    pub fn words_inserted(&self) -> u64 {
+        self.words_inserted
+    }
+
+    /// Finish construction.
+    pub fn freeze(self) -> InMemorySketch {
+        InMemorySketch {
+            config: self.config,
+            family: self.family,
+            bins: self.bins,
+            common: self.common,
+        }
+    }
+}
+
+/// A frozen, queryable in-memory IoU Sketch.
+#[derive(Debug, Clone)]
+pub struct InMemorySketch {
+    config: SketchConfig,
+    family: HashFamily,
+    bins: Vec<Vec<PostingsList>>,
+    common: CommonWords,
+}
+
+impl InMemorySketch {
+    /// The structural configuration.
+    pub fn config(&self) -> &SketchConfig {
+        &self.config
+    }
+
+    /// The hash family.
+    pub fn family(&self) -> &HashFamily {
+        &self.family
+    }
+
+    /// The common-word registry.
+    pub fn common(&self) -> &CommonWords {
+        &self.common
+    }
+
+    /// The superpost stored at `(layer, bin)`.
+    pub fn superpost(&self, layer: usize, bin: usize) -> &PostingsList {
+        &self.bins[layer][bin]
+    }
+
+    /// All superposts of `word`, one per layer, in layer order.
+    pub fn superposts_of(&self, word: &str) -> Vec<&PostingsList> {
+        (0..self.config.layers)
+            .map(|l| &self.bins[l][self.family.bin(l, word)])
+            .collect()
+    }
+
+    /// `query(word)` of §IV-A: intersect the word's `L` superposts. Common
+    /// words return their exact postings list.
+    pub fn query(&self, word: &str) -> PostingsList {
+        if let Some(exact) = self.common.get(word) {
+            return exact.clone();
+        }
+        let sps = self.superposts_of(word);
+        PostingsList::intersect_all(&sps)
+    }
+
+    /// Count of false positives a query for `word` would return, given the
+    /// word's true postings list — the measurement behind Figures 5a, 10a,
+    /// and 16a.
+    pub fn false_positives(&self, word: &str, truth: &PostingsList) -> usize {
+        let got = self.query(word);
+        got.iter().filter(|p| !truth.contains(p)).count()
+    }
+
+    /// Decompose into `(config, family, layer bins, common words)` — used
+    /// by the Airphant Builder to persist superposts and the MHT.
+    pub fn into_parts(
+        self,
+    ) -> (
+        SketchConfig,
+        HashFamily,
+        Vec<Vec<PostingsList>>,
+        CommonWords,
+    ) {
+        (self.config, self.family, self.bins, self.common)
+    }
+
+    /// Total postings stored across all superposts (storage-size studies;
+    /// each inserted posting appears in up to `L` bins, Figure 16d).
+    pub fn stored_postings(&self) -> u64 {
+        self.bins
+            .iter()
+            .flat_map(|layer| layer.iter())
+            .map(|sp| sp.len() as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::postings::Posting;
+
+    #[test]
+    fn config_bin_accounting_matches_paper_example() {
+        // §IV-E: B = 1e5 → 99,000 sketch bins + 1,000 common-word bins.
+        let c = SketchConfig::new(100_000, 2);
+        assert_eq!(c.common_bins(), 1_000);
+        assert_eq!(c.sketch_bins(), 99_000);
+        assert_eq!(c.bins_per_layer(), 49_500);
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate() {
+        assert!(SketchConfig::new(0, 1).validate().is_err());
+        assert!(SketchConfig::new(10, 0).validate().is_err());
+        assert!(SketchConfig::new(4, 8).validate().is_err());
+        let mut c = SketchConfig::new(100, 2);
+        c.common_fraction = 1.5;
+        assert!(c.validate().is_err());
+        assert!(SketchConfig::new(100, 2).validate().is_ok());
+    }
+
+    #[test]
+    fn no_false_negatives_ever() {
+        let config = SketchConfig::new(32, 3).with_common_fraction(0.0);
+        let mut b = SketchBuilder::new(config, 1);
+        // Insert 200 words over 50 docs into a tiny sketch: collisions
+        // guaranteed, but recall must stay perfect.
+        let mut truths = Vec::new();
+        for w in 0..200u64 {
+            let docs: Vec<u64> = (0..5).map(|k| (w * 7 + k * 13) % 50).collect();
+            let list = PostingsList::from_doc_ids(&docs);
+            b.insert(&format!("word-{w}"), &list);
+            truths.push(list);
+        }
+        let sketch = b.freeze();
+        for (w, truth) in truths.iter().enumerate() {
+            let got = sketch.query(&format!("word-{w}"));
+            for p in truth.iter() {
+                assert!(got.contains(p), "missing posting for word-{w}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_layers_reduce_false_positives() {
+        // Fixed B, growing L: false positives should drop rapidly at first
+        // (Figure 5 trend). We average over many query words.
+        let n_words = 500u64;
+        let n_docs = 200u64;
+        let total_bins = 400;
+        let mut fp_by_layers = Vec::new();
+        for layers in [1usize, 2, 4] {
+            let config = SketchConfig::new(total_bins, layers).with_common_fraction(0.0);
+            let mut b = SketchBuilder::new(config, 42);
+            let mut truths = Vec::new();
+            for w in 0..n_words {
+                let docs: Vec<u64> = (0..3).map(|k| (w * 11 + k * 29) % n_docs).collect();
+                let list = PostingsList::from_doc_ids(&docs);
+                b.insert(&format!("w{w}"), &list);
+                truths.push(list);
+            }
+            let sketch = b.freeze();
+            let total_fp: usize = (0..n_words)
+                .map(|w| sketch.false_positives(&format!("w{w}"), &truths[w as usize]))
+                .sum();
+            fp_by_layers.push(total_fp as f64 / n_words as f64);
+        }
+        assert!(
+            fp_by_layers[1] < fp_by_layers[0] / 2.0,
+            "L=2 ({}) should more than halve L=1 ({})",
+            fp_by_layers[1],
+            fp_by_layers[0]
+        );
+        assert!(fp_by_layers[2] <= fp_by_layers[1]);
+    }
+
+    #[test]
+    fn figure4_example_reproduced_with_explicit_bins() {
+        // The paper's Figure 4: 4 words, 5 documents, 3 layers, bins per
+        // layer: layer1 {w1}, {w2,w3}, {w4}; layer2 {w2,w4}, {w1,w3};
+        // layer3 {w1,w2,w3}, {w4}.
+        let config = SketchConfig {
+            total_bins: 9,
+            layers: 3,
+            common_fraction: 0.0,
+        };
+        let mut b = SketchBuilder::new(config, 0);
+        let w1 = PostingsList::from_doc_ids(&[1]);
+        let w2 = PostingsList::from_doc_ids(&[2, 3]);
+        let w3 = PostingsList::from_doc_ids(&[2, 3, 4]);
+        let w4 = PostingsList::from_doc_ids(&[2, 3, 4, 5]);
+        b.insert_at_bins(&[0, 1, 0], &w1);
+        b.insert_at_bins(&[1, 0, 0], &w2);
+        b.insert_at_bins(&[1, 1, 0], &w3);
+        b.insert_at_bins(&[2, 0, 1], &w4);
+        let s = b.freeze();
+        // Querying w2's bins: layer1 bin1 = w2∪w3 = {2,3,4};
+        // layer2 bin0 = w2∪w4 = {2,3,4,5}; layer3 bin0 = w1∪w2∪w3 = {1,2,3,4}.
+        let sp_l1 = s.superpost(0, 1);
+        let sp_l2 = s.superpost(1, 0);
+        let sp_l3 = s.superpost(2, 0);
+        assert_eq!(sp_l1, &PostingsList::from_doc_ids(&[2, 3, 4]));
+        assert_eq!(sp_l2, &PostingsList::from_doc_ids(&[2, 3, 4, 5]));
+        assert_eq!(sp_l3, &PostingsList::from_doc_ids(&[1, 2, 3, 4]));
+        let q = PostingsList::intersect_all(&[sp_l1, sp_l2, sp_l3]);
+        // {2,3,4}: one false positive (d4) relative to w2's truth {2,3}.
+        assert_eq!(q, PostingsList::from_doc_ids(&[2, 3, 4]));
+        // Querying w1's bins: layer1 bin0 = {1}; intersection = {1}, exact.
+        let q1 = PostingsList::intersect_all(&[s.superpost(0, 0), s.superpost(1, 1), s.superpost(2, 0)]);
+        assert_eq!(q1, PostingsList::from_doc_ids(&[1]));
+    }
+
+    #[test]
+    fn common_words_bypass_sketch() {
+        let config = SketchConfig::new(100, 2).with_common_fraction(0.05);
+        let mut b = SketchBuilder::new(config, 9);
+        b.set_common_words(CommonWords::select(
+            vec![("the".to_string(), 1_000_000)],
+            5,
+        ));
+        let the_docs = PostingsList::from_doc_ids(&(0..500).collect::<Vec<u64>>());
+        b.insert("the", &the_docs);
+        b.insert("rare", &PostingsList::from_doc_ids(&[3]));
+        let s = b.freeze();
+        // Exact retrieval for "the".
+        assert_eq!(s.query("the"), the_docs);
+        // "the"'s 500 postings never polluted the sketch bins.
+        assert!(s.stored_postings() <= 2, "sketch holds only 'rare'");
+        // And "rare" still resolves.
+        assert!(s.query("rare").contains(&Posting::from_doc_id(3)));
+    }
+
+    #[test]
+    fn stored_postings_grow_with_layers() {
+        // Each posting is replicated into L layers (Figure 16d's near-linear
+        // storage growth).
+        let count_for = |layers: usize| {
+            let config = SketchConfig::new(1000, layers).with_common_fraction(0.0);
+            let mut b = SketchBuilder::new(config, 5);
+            for w in 0..100u64 {
+                b.insert(&format!("w{w}"), &PostingsList::from_doc_ids(&[w, w + 1]));
+            }
+            b.freeze().stored_postings()
+        };
+        let one = count_for(1);
+        let four = count_for(4);
+        assert!(four > 3 * one, "4 layers should store ~4x the postings");
+        assert!(four <= 4 * one, "cannot exceed exact replication");
+    }
+
+    #[test]
+    fn query_unknown_word_returns_plausible_bin_intersection() {
+        let config = SketchConfig::new(16, 2).with_common_fraction(0.0);
+        let mut b = SketchBuilder::new(config, 3);
+        b.insert("known", &PostingsList::from_doc_ids(&[1, 2, 3]));
+        let s = b.freeze();
+        // An un-inserted word maps to bins anyway; result may contain false
+        // positives but must be a subset of each layer's superpost.
+        let q = s.query("unknown");
+        for p in q.iter() {
+            for sp in s.superposts_of("unknown") {
+                assert!(sp.contains(p));
+            }
+        }
+    }
+
+    #[test]
+    fn builder_word_count_tracks_inserts() {
+        let mut b = SketchBuilder::new(SketchConfig::new(64, 2), 1);
+        b.insert("a", &PostingsList::from_doc_ids(&[1]));
+        b.insert("b", &PostingsList::from_doc_ids(&[2]));
+        assert_eq!(b.words_inserted(), 2);
+    }
+}

@@ -1,0 +1,101 @@
+//! Top-K query sampling (§IV-D, Equation 6).
+//!
+//! Instead of retrieving every document referenced by the final postings
+//! list, the Searcher may fetch a sampled subset guaranteed (with
+//! probability ≥ 1 − δ) to contain at least `K` relevant documents. With a
+//! superpost of `R` postings of which at most `F0` are false positives in
+//! expectation, each posting is relevant with probability
+//! `p = 1 − F0/R`; Hoeffding's inequality then yields the required sample
+//! size `R_K` of Equation 6.
+
+/// Compute the sample size `R_K` of Equation 6.
+///
+/// * `k` — number of relevant documents required.
+/// * `r` — size of the final postings list (superpost intersection).
+/// * `f0` — expected number of false positives in the list.
+/// * `delta` — acceptable failure probability.
+///
+/// Returns the number of postings to fetch (≤ `r`). If `k ≥ r − f0` the
+/// whole list must be fetched.
+pub fn sample_size_for_top_k(k: usize, r: usize, f0: f64, delta: f64) -> usize {
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+    if r == 0 {
+        return 0;
+    }
+    let (kf, rf) = (k as f64, r as f64);
+    if kf >= rf - f0 {
+        return r; // fetch everything
+    }
+    let p = 1.0 - f0 / rf;
+    if p <= 0.0 {
+        return r;
+    }
+    let half_log = 0.5 * (1.0 / delta).ln();
+    let a = 2.0 * p * kf + half_log;
+    let disc = (a * a - 4.0 * p * p * kf * kf).max(0.0);
+    let rk = ((a + disc.sqrt()) / (2.0 * p * p)).ceil() as usize;
+    rk.clamp(k, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_23_samples_for_top_10() {
+        // §V-A0c: with δ = 1e-6 and K = 10 the "conservative setting …
+        // selects about 23 samples to answer top-10 query".
+        // (p ≈ 1 with F0 = 1 and a large R.)
+        let rk = sample_size_for_top_k(10, 10_000, 1.0, 1e-6);
+        assert!(
+            (21..=25).contains(&rk),
+            "expected ≈23 samples, got {rk}"
+        );
+    }
+
+    #[test]
+    fn fetch_all_when_k_close_to_r() {
+        // K ≥ R − F0 → fetch all R.
+        assert_eq!(sample_size_for_top_k(10, 10, 1.0, 1e-6), 10);
+        assert_eq!(sample_size_for_top_k(9, 10, 1.0, 1e-6), 10);
+        assert_eq!(sample_size_for_top_k(100, 50, 0.0, 1e-6), 50);
+    }
+
+    #[test]
+    fn sample_never_below_k_nor_above_r() {
+        for k in [1usize, 5, 20] {
+            for r in [30usize, 100, 100_000] {
+                for f0 in [0.0, 1.0, 10.0] {
+                    let rk = sample_size_for_top_k(k, r, f0, 1e-6);
+                    assert!(rk >= k.min(r), "k={k} r={r} f0={f0} rk={rk}");
+                    assert!(rk <= r, "k={k} r={r} f0={f0} rk={rk}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_delta_needs_more_samples() {
+        let loose = sample_size_for_top_k(10, 100_000, 1.0, 1e-2);
+        let tight = sample_size_for_top_k(10, 100_000, 1.0, 1e-9);
+        assert!(tight > loose, "tight={tight} loose={loose}");
+    }
+
+    #[test]
+    fn more_false_positives_need_more_samples() {
+        let clean = sample_size_for_top_k(10, 1_000, 0.5, 1e-6);
+        let dirty = sample_size_for_top_k(10, 1_000, 200.0, 1e-6);
+        assert!(dirty > clean, "dirty={dirty} clean={clean}");
+    }
+
+    #[test]
+    fn zero_r_is_zero() {
+        assert_eq!(sample_size_for_top_k(10, 0, 1.0, 1e-6), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn invalid_delta_panics() {
+        sample_size_for_top_k(10, 100, 1.0, 0.0);
+    }
+}

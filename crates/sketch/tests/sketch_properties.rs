@@ -1,0 +1,105 @@
+//! Property tests for the IoU Sketch analysis and optimizer: probability
+//! bounds, monotonicities, and constraint satisfaction over randomized
+//! corpora and structures.
+
+use iou_sketch::analysis::CorpusShape;
+use iou_sketch::optimizer::brute_force_layers;
+use iou_sketch::{optimize_layers, sample_size_for_top_k, FalsePositiveModel};
+use proptest::prelude::*;
+
+fn shape(sizes: &[u64], terms: u64) -> CorpusShape {
+    CorpusShape::uniform(sizes.iter().copied(), terms)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// q and q̂ are probabilities, and the exact form dominates the
+    /// approximation (the paper's F > F̂ remark).
+    #[test]
+    fn q_is_a_probability_and_dominates_qhat(
+        size in 1u64..500,
+        bins in 2usize..10_000,
+        l in 1u32..64,
+    ) {
+        let m = FalsePositiveModel::new(shape(&[size], 1_000), bins);
+        let l = l as f64;
+        let q = m.q(l, size);
+        let qh = m.q_hat(l, size);
+        prop_assert!((0.0..=1.0).contains(&q), "q = {q}");
+        prop_assert!((0.0..=1.0).contains(&qh), "q_hat = {qh}");
+        prop_assert!(q >= qh - 1e-12, "q {q} must dominate q_hat {qh}");
+    }
+
+    /// More bins never hurt: F(L) is non-increasing in B.
+    #[test]
+    fn expected_fp_non_increasing_in_bins(
+        sizes in prop::collection::vec(1u64..100, 1..50),
+        small_bins in 2usize..1_000,
+        extra in 1usize..1_000,
+        l in 1u32..16,
+    ) {
+        let s = shape(&sizes, 10_000);
+        let small = FalsePositiveModel::new(s.clone(), small_bins);
+        let large = FalsePositiveModel::new(s, small_bins + extra);
+        prop_assert!(
+            large.expected_fp(l as f64) <= small.expected_fp(l as f64) + 1e-9
+        );
+    }
+
+    /// Whatever Algorithm 1 returns satisfies the constraint, and no
+    /// smaller layer count does.
+    #[test]
+    fn optimizer_result_is_minimal_and_feasible(
+        sizes in prop::collection::vec(1u64..60, 1..80),
+        bins in 50usize..3_000,
+        f0_exp in -4.0f64..1.0,
+    ) {
+        let m = FalsePositiveModel::new(shape(&sizes, 5_000), bins);
+        let f0 = 10f64.powf(f0_exp);
+        if let Ok(outcome) = optimize_layers(&m, f0) {
+            prop_assert!(outcome.expected_fp <= f0);
+            prop_assert!(m.expected_fp(outcome.layers as f64) <= f0);
+            if outcome.layers > 1 {
+                // Minimality: L* − 1 must violate the constraint whenever
+                // brute force agrees the optimum is L*.
+                if let Some(brute) = brute_force_layers(&m, f0, bins as u32) {
+                    prop_assert_eq!(outcome.layers, brute);
+                    prop_assert!(m.expected_fp((brute - 1) as f64) > f0);
+                }
+            }
+        }
+    }
+
+    /// Lemma boundaries: L_min ≤ L_max, and the lower bound is below F̂ at
+    /// every sampled L.
+    #[test]
+    fn lemma_boundaries_hold(
+        sizes in prop::collection::vec(1u64..200, 1..60),
+        bins in 10usize..5_000,
+        l in 1u32..32,
+    ) {
+        let m = FalsePositiveModel::new(shape(&sizes, 10_000), bins);
+        prop_assert!(m.l_min() <= m.l_max() + 1e-12);
+        prop_assert!(m.lower_bound() <= m.expected_fp_hat(l as f64) + 1e-9);
+    }
+
+    /// R_K bounds: K ≤ R_K ≤ R; tightening δ or adding false positives
+    /// never shrinks the sample.
+    #[test]
+    fn topk_sample_bounds_and_monotonicity(
+        k in 1usize..50,
+        r in 1usize..100_000,
+        f0 in 0.0f64..50.0,
+        delta_exp in -9.0f64..-1.0,
+    ) {
+        let delta = 10f64.powf(delta_exp);
+        let rk = sample_size_for_top_k(k, r, f0, delta);
+        prop_assert!(rk <= r);
+        prop_assert!(rk >= k.min(r));
+        let tighter = sample_size_for_top_k(k, r, f0, delta / 10.0);
+        prop_assert!(tighter >= rk);
+        let dirtier = sample_size_for_top_k(k, r, f0 + 5.0, delta);
+        prop_assert!(dirtier >= rk);
+    }
+}

@@ -1,0 +1,317 @@
+//! Client-side read cache.
+//!
+//! The paper notes that "node caching may reduce communications, [but]
+//! allocating a large enough cache to store the entire index is
+//! prohibitively expensive" (§I), and its scalability study (Appendix B-B)
+//! points at "a more aggressive caching policy" as future work for small
+//! corpora. [`CachedStore`] is that extension: a byte-budgeted LRU over
+//! ranged reads. Cache hits cost zero simulated latency — they never leave
+//! the client.
+
+use crate::latency::{LatencySample, SimDuration};
+use crate::object_store::{BatchFetch, Fetched, ObjectStore, RangeRequest};
+use crate::Result;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cache key: one exact ranged read.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct RangeKey {
+    name: String,
+    offset: u64,
+    len: u64,
+}
+
+/// LRU state: entries plus a monotone use counter.
+#[derive(Debug, Default)]
+struct LruState {
+    entries: HashMap<RangeKey, (Bytes, u64)>,
+    bytes: usize,
+    tick: u64,
+}
+
+impl LruState {
+    fn get(&mut self, key: &RangeKey) -> Option<Bytes> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|(data, used)| {
+            *used = tick;
+            data.clone()
+        })
+    }
+
+    fn insert(&mut self, key: RangeKey, data: Bytes, budget: usize) {
+        if data.len() > budget {
+            return; // larger than the whole cache: don't thrash
+        }
+        self.tick += 1;
+        self.bytes += data.len();
+        self.entries.insert(key, (data, self.tick));
+        while self.bytes > budget {
+            // Evict the least recently used entry.
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty over budget");
+            if let Some((data, _)) = self.entries.remove(&victim) {
+                self.bytes -= data.len();
+            }
+        }
+    }
+}
+
+/// An [`ObjectStore`] decorator that caches ranged reads in client memory.
+///
+/// Whole-object `get`s are treated as ranged reads of the full length so
+/// repeated header fetches also hit. Writes and deletes invalidate the
+/// touched blob's entries.
+pub struct CachedStore<S> {
+    inner: S,
+    budget: usize,
+    lru: Mutex<LruState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<S: ObjectStore> CachedStore<S> {
+    /// Wrap `inner` with a cache holding at most `budget_bytes`.
+    pub fn new(inner: S, budget_bytes: usize) -> Self {
+        CachedStore {
+            inner,
+            budget: budget_bytes,
+            lru: Mutex::new(LruState::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn hit_stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Bytes currently cached.
+    pub fn cached_bytes(&self) -> usize {
+        self.lru.lock().bytes
+    }
+
+    fn invalidate(&self, name: &str) {
+        let mut lru = self.lru.lock();
+        let victims: Vec<RangeKey> = lru
+            .entries
+            .keys()
+            .filter(|k| k.name == name)
+            .cloned()
+            .collect();
+        for k in victims {
+            if let Some((data, _)) = lru.entries.remove(&k) {
+                lru.bytes -= data.len();
+            }
+        }
+    }
+
+    fn lookup(&self, key: &RangeKey) -> Option<Fetched> {
+        let cached = self.lru.lock().get(key);
+        match cached {
+            Some(bytes) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Fetched {
+                    bytes,
+                    latency: LatencySample::ZERO,
+                })
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn admit(&self, key: RangeKey, bytes: &Bytes) {
+        self.lru.lock().insert(key, bytes.clone(), self.budget);
+    }
+}
+
+impl<S: ObjectStore> ObjectStore for CachedStore<S> {
+    fn put(&self, name: &str, data: Bytes) -> Result<()> {
+        self.invalidate(name);
+        self.inner.put(name, data)
+    }
+
+    fn get(&self, name: &str) -> Result<Fetched> {
+        let size = self.inner.size_of(name)?;
+        self.get_range(name, 0, size)
+    }
+
+    fn get_range(&self, name: &str, offset: u64, len: u64) -> Result<Fetched> {
+        let key = RangeKey {
+            name: name.to_owned(),
+            offset,
+            len,
+        };
+        if let Some(hit) = self.lookup(&key) {
+            return Ok(hit);
+        }
+        let fetched = self.inner.get_range(name, offset, len)?;
+        self.admit(key, &fetched.bytes);
+        Ok(fetched)
+    }
+
+    fn get_ranges(&self, requests: &[RangeRequest]) -> Result<BatchFetch> {
+        // Serve hits locally; fetch only the misses as one (smaller) batch.
+        let mut parts: Vec<Option<Fetched>> = Vec::with_capacity(requests.len());
+        let mut missing: Vec<(usize, RangeRequest)> = Vec::new();
+        for (i, r) in requests.iter().enumerate() {
+            let key = RangeKey {
+                name: r.name.clone(),
+                offset: r.offset,
+                len: r.len,
+            };
+            match self.lookup(&key) {
+                Some(hit) => parts.push(Some(hit)),
+                None => {
+                    parts.push(None);
+                    missing.push((i, r.clone()));
+                }
+            }
+        }
+        let (mut wait, mut download) = (SimDuration::ZERO, SimDuration::ZERO);
+        if !missing.is_empty() {
+            let reqs: Vec<RangeRequest> = missing.iter().map(|(_, r)| r.clone()).collect();
+            let batch = self.inner.get_ranges(&reqs)?;
+            wait = batch.batch_wait;
+            download = batch.batch_download;
+            for ((i, r), fetched) in missing.into_iter().zip(batch.parts) {
+                self.admit(
+                    RangeKey {
+                        name: r.name,
+                        offset: r.offset,
+                        len: r.len,
+                    },
+                    &fetched.bytes,
+                );
+                parts[i] = Some(fetched);
+            }
+        }
+        Ok(BatchFetch {
+            parts: parts.into_iter().map(|p| p.expect("all filled")).collect(),
+            batch_latency: wait + download,
+            batch_wait: wait,
+            batch_download: download,
+        })
+    }
+
+    fn size_of(&self, name: &str) -> Result<u64> {
+        self.inner.size_of(name)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        self.inner.list(prefix)
+    }
+
+    fn delete(&self, name: &str) -> Result<()> {
+        self.invalidate(name);
+        self.inner.delete(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InMemoryStore, LatencyModel, SimulatedCloudStore};
+
+    fn cloud() -> SimulatedCloudStore<InMemoryStore> {
+        let inner = InMemoryStore::new();
+        inner.put("blob", Bytes::from(vec![9u8; 1 << 16])).unwrap();
+        SimulatedCloudStore::new(inner, LatencyModel::gcs_like(), 1)
+    }
+
+    #[test]
+    fn repeated_reads_hit_cache_and_cost_nothing() {
+        let store = CachedStore::new(cloud(), 1 << 20);
+        let cold = store.get_range("blob", 0, 1024).unwrap();
+        assert!(cold.latency.total() > SimDuration::ZERO);
+        let warm = store.get_range("blob", 0, 1024).unwrap();
+        assert_eq!(warm.latency.total(), SimDuration::ZERO);
+        assert_eq!(warm.bytes, cold.bytes);
+        assert_eq!(store.hit_stats(), (1, 1));
+    }
+
+    #[test]
+    fn different_ranges_are_distinct_entries() {
+        let store = CachedStore::new(cloud(), 1 << 20);
+        store.get_range("blob", 0, 100).unwrap();
+        let miss = store.get_range("blob", 0, 200).unwrap();
+        assert!(miss.latency.total() > SimDuration::ZERO);
+        assert_eq!(store.hit_stats(), (0, 2));
+    }
+
+    #[test]
+    fn lru_evicts_under_budget_pressure() {
+        let store = CachedStore::new(cloud(), 300);
+        store.get_range("blob", 0, 100).unwrap(); // A
+        store.get_range("blob", 100, 100).unwrap(); // B
+        store.get_range("blob", 200, 100).unwrap(); // C — budget full
+        store.get_range("blob", 0, 100).unwrap(); // A hits, refreshes
+        store.get_range("blob", 300, 100).unwrap(); // D — evicts B (LRU)
+        assert!(store.cached_bytes() <= 300);
+        let a = store.get_range("blob", 0, 100).unwrap();
+        assert_eq!(a.latency.total(), SimDuration::ZERO, "A survived");
+        let b = store.get_range("blob", 100, 100).unwrap();
+        assert!(b.latency.total() > SimDuration::ZERO, "B was evicted");
+    }
+
+    #[test]
+    fn oversized_objects_bypass_cache() {
+        let store = CachedStore::new(cloud(), 128);
+        store.get_range("blob", 0, 1024).unwrap();
+        assert_eq!(store.cached_bytes(), 0);
+    }
+
+    #[test]
+    fn writes_invalidate() {
+        let store = CachedStore::new(cloud(), 1 << 20);
+        store.get_range("blob", 0, 16).unwrap();
+        store.put("blob", Bytes::from(vec![1u8; 1 << 16])).unwrap();
+        let refetched = store.get_range("blob", 0, 16).unwrap();
+        assert!(refetched.latency.total() > SimDuration::ZERO);
+        assert_eq!(&refetched.bytes[..], &[1u8; 16]);
+    }
+
+    #[test]
+    fn batch_fetches_only_misses() {
+        let store = CachedStore::new(cloud(), 1 << 20);
+        store.get_range("blob", 0, 64).unwrap();
+        let reqs = vec![
+            RangeRequest::new("blob", 0, 64),   // hit
+            RangeRequest::new("blob", 64, 64),  // miss
+            RangeRequest::new("blob", 128, 64), // miss
+        ];
+        let batch = store.get_ranges(&reqs).unwrap();
+        assert_eq!(batch.parts.len(), 3);
+        assert_eq!(store.hit_stats().0, 1);
+        // A fully-warm batch is free.
+        let batch = store.get_ranges(&reqs).unwrap();
+        assert_eq!(batch.batch_latency, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn whole_get_caches_as_full_range() {
+        let store = CachedStore::new(cloud(), 1 << 20);
+        store.get("blob").unwrap();
+        let warm = store.get("blob").unwrap();
+        assert_eq!(warm.latency.total(), SimDuration::ZERO);
+    }
+}

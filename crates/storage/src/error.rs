@@ -1,0 +1,104 @@
+//! Error type shared by every storage backend.
+
+use std::fmt;
+
+/// Errors produced by [`crate::ObjectStore`] implementations.
+#[derive(Debug)]
+pub enum StorageError {
+    /// The named blob does not exist in the store.
+    BlobNotFound {
+        /// Name of the missing blob.
+        name: String,
+    },
+    /// A ranged read extended past the end of the blob.
+    RangeOutOfBounds {
+        /// Name of the blob.
+        name: String,
+        /// Requested start offset.
+        offset: u64,
+        /// Requested length in bytes.
+        len: u64,
+        /// Actual size of the blob.
+        blob_size: u64,
+    },
+    /// A request timed out (used by the straggler-mitigation path, §IV-G).
+    Timeout {
+        /// Name of the blob whose fetch timed out.
+        name: String,
+    },
+    /// An underlying I/O failure (local-filesystem backend).
+    Io(std::io::Error),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::BlobNotFound { name } => write!(f, "blob not found: {name}"),
+            StorageError::RangeOutOfBounds {
+                name,
+                offset,
+                len,
+                blob_size,
+            } => write!(
+                f,
+                "range [{offset}, {}) out of bounds for blob {name} of size {blob_size}",
+                offset + len
+            ),
+            StorageError::Timeout { name } => write!(f, "request timed out for blob {name}"),
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_blob_not_found() {
+        let e = StorageError::BlobNotFound {
+            name: "corpus/doc.txt".into(),
+        };
+        assert_eq!(e.to_string(), "blob not found: corpus/doc.txt");
+    }
+
+    #[test]
+    fn display_range_out_of_bounds() {
+        let e = StorageError::RangeOutOfBounds {
+            name: "b".into(),
+            offset: 10,
+            len: 20,
+            blob_size: 15,
+        };
+        assert_eq!(e.to_string(), "range [10, 30) out of bounds for blob b of size 15");
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let io = std::io::Error::other("disk on fire");
+        let e: StorageError = io.into();
+        assert!(e.to_string().contains("disk on fire"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn timeout_display() {
+        let e = StorageError::Timeout { name: "sp/3".into() };
+        assert!(e.to_string().contains("timed out"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Local-filesystem object store.
+//!
+//! Maps blob names to files under a root directory, with `/` in blob names
+//! creating subdirectories — the same naming convention the paper gets from
+//! mounting a bucket with `gcsfuse`. Useful for persisting built indexes
+//! across runs and for the runnable examples.
+
+use crate::object_store::{Fetched, ObjectStore};
+use crate::{Result, StorageError};
+use bytes::Bytes;
+use std::fs;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Component, Path, PathBuf};
+
+/// An [`ObjectStore`] over a directory tree.
+#[derive(Debug)]
+pub struct LocalFsStore {
+    root: PathBuf,
+}
+
+impl LocalFsStore {
+    /// Open (creating if needed) a store rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(LocalFsStore { root })
+    }
+
+    /// The root directory of this store.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Resolve a blob name to a path, rejecting traversal outside the root.
+    fn path_for(&self, name: &str) -> Result<PathBuf> {
+        let rel = Path::new(name);
+        let safe = rel.components().all(|c| matches!(c, Component::Normal(_)));
+        if !safe || name.is_empty() {
+            return Err(StorageError::BlobNotFound {
+                name: name.to_owned(),
+            });
+        }
+        Ok(self.root.join(rel))
+    }
+
+    fn walk(&self, dir: &Path, out: &mut Vec<String>) -> Result<()> {
+        if !dir.exists() {
+            return Ok(());
+        }
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.is_dir() {
+                self.walk(&path, out)?;
+            } else if let Ok(rel) = path.strip_prefix(&self.root) {
+                out.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl ObjectStore for LocalFsStore {
+    fn put(&self, name: &str, data: Bytes) -> Result<()> {
+        let path = self.path_for(name)?;
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, &data)?;
+        Ok(())
+    }
+
+    fn get(&self, name: &str) -> Result<Fetched> {
+        let path = self.path_for(name)?;
+        let data = fs::read(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                StorageError::BlobNotFound {
+                    name: name.to_owned(),
+                }
+            } else {
+                StorageError::Io(e)
+            }
+        })?;
+        Ok(Fetched::instant(Bytes::from(data)))
+    }
+
+    fn get_range(&self, name: &str, offset: u64, len: u64) -> Result<Fetched> {
+        let path = self.path_for(name)?;
+        let mut file = fs::File::open(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                StorageError::BlobNotFound {
+                    name: name.to_owned(),
+                }
+            } else {
+                StorageError::Io(e)
+            }
+        })?;
+        let blob_size = file.metadata()?.len();
+        let end = offset.checked_add(len).filter(|&e| e <= blob_size);
+        if end.is_none() {
+            return Err(StorageError::RangeOutOfBounds {
+                name: name.to_owned(),
+                offset,
+                len,
+                blob_size,
+            });
+        }
+        file.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len as usize];
+        file.read_exact(&mut buf)?;
+        Ok(Fetched::instant(Bytes::from(buf)))
+    }
+
+    fn size_of(&self, name: &str) -> Result<u64> {
+        let path = self.path_for(name)?;
+        let meta = fs::metadata(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                StorageError::BlobNotFound {
+                    name: name.to_owned(),
+                }
+            } else {
+                StorageError::Io(e)
+            }
+        })?;
+        Ok(meta.len())
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        let mut out = Vec::new();
+        self.walk(&self.root.clone(), &mut out)?;
+        out.retain(|n| n.starts_with(prefix));
+        out.sort();
+        Ok(out)
+    }
+
+    fn delete(&self, name: &str) -> Result<()> {
+        let path = self.path_for(name)?;
+        fs::remove_file(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                StorageError::BlobNotFound {
+                    name: name.to_owned(),
+                }
+            } else {
+                StorageError::Io(e)
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "airphant-localfs-{tag}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn put_get_roundtrip_with_subdirs() {
+        let dir = tempdir("roundtrip");
+        let store = LocalFsStore::new(&dir).unwrap();
+        store
+            .put("index/superposts/block-0", Bytes::from_static(b"payload"))
+            .unwrap();
+        let f = store.get("index/superposts/block-0").unwrap();
+        assert_eq!(&f.bytes[..], b"payload");
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn ranged_read_matches_memory_semantics() {
+        let dir = tempdir("range");
+        let store = LocalFsStore::new(&dir).unwrap();
+        store.put("b", Bytes::from_static(b"0123456789")).unwrap();
+        assert_eq!(&store.get_range("b", 2, 3).unwrap().bytes[..], b"234");
+        assert!(store.get_range("b", 9, 5).is_err());
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn list_and_delete() {
+        let dir = tempdir("list");
+        let store = LocalFsStore::new(&dir).unwrap();
+        store.put("a/1", Bytes::from_static(b"x")).unwrap();
+        store.put("a/2", Bytes::from_static(b"y")).unwrap();
+        store.put("b/1", Bytes::from_static(b"z")).unwrap();
+        assert_eq!(store.list("a/").unwrap(), vec!["a/1", "a/2"]);
+        store.delete("a/1").unwrap();
+        assert_eq!(store.list("a/").unwrap(), vec!["a/2"]);
+        assert!(store.delete("a/1").is_err());
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_path_traversal() {
+        let dir = tempdir("traversal");
+        let store = LocalFsStore::new(&dir).unwrap();
+        assert!(store.put("../escape", Bytes::from_static(b"no")).is_err());
+        assert!(store.get("..").is_err());
+        assert!(store.get("").is_err());
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn missing_blob_maps_to_not_found() {
+        let dir = tempdir("missing");
+        let store = LocalFsStore::new(&dir).unwrap();
+        match store.get("nope") {
+            Err(StorageError::BlobNotFound { name }) => assert_eq!(name, "nope"),
+            other => panic!("expected BlobNotFound, got {other:?}"),
+        }
+        fs::remove_dir_all(dir).unwrap();
+    }
+}

@@ -1,0 +1,198 @@
+//! In-memory object store: the zero-latency reference backend.
+
+use crate::object_store::{Fetched, ObjectStore};
+use crate::{Result, StorageError};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// A thread-safe, in-memory blob store.
+///
+/// Used directly in unit tests and as the data backend beneath
+/// [`crate::SimulatedCloudStore`] in every experiment: the simulation layer
+/// supplies the latency, this type supplies the bytes.
+#[derive(Debug, Default)]
+pub struct InMemoryStore {
+    blobs: RwLock<BTreeMap<String, Bytes>>,
+}
+
+impl InMemoryStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of blobs currently stored.
+    pub fn blob_count(&self) -> usize {
+        self.blobs.read().len()
+    }
+}
+
+impl ObjectStore for InMemoryStore {
+    fn put(&self, name: &str, data: Bytes) -> Result<()> {
+        self.blobs.write().insert(name.to_owned(), data);
+        Ok(())
+    }
+
+    fn get(&self, name: &str) -> Result<Fetched> {
+        let blobs = self.blobs.read();
+        let data = blobs.get(name).ok_or_else(|| StorageError::BlobNotFound {
+            name: name.to_owned(),
+        })?;
+        Ok(Fetched::instant(data.clone()))
+    }
+
+    fn get_range(&self, name: &str, offset: u64, len: u64) -> Result<Fetched> {
+        let blobs = self.blobs.read();
+        let data = blobs.get(name).ok_or_else(|| StorageError::BlobNotFound {
+            name: name.to_owned(),
+        })?;
+        let end = offset
+            .checked_add(len)
+            .filter(|&e| e <= data.len() as u64)
+            .ok_or_else(|| StorageError::RangeOutOfBounds {
+                name: name.to_owned(),
+                offset,
+                len,
+                blob_size: data.len() as u64,
+            })?;
+        Ok(Fetched::instant(data.slice(offset as usize..end as usize)))
+    }
+
+    fn size_of(&self, name: &str) -> Result<u64> {
+        let blobs = self.blobs.read();
+        blobs
+            .get(name)
+            .map(|d| d.len() as u64)
+            .ok_or_else(|| StorageError::BlobNotFound {
+                name: name.to_owned(),
+            })
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        let blobs = self.blobs.read();
+        Ok(blobs
+            .range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect())
+    }
+
+    fn delete(&self, name: &str) -> Result<()> {
+        let removed = self.blobs.write().remove(name);
+        if removed.is_none() {
+            return Err(StorageError::BlobNotFound {
+                name: name.to_owned(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let store = InMemoryStore::new();
+        store.put("greeting", Bytes::from_static(b"hello")).unwrap();
+        let f = store.get("greeting").unwrap();
+        assert_eq!(&f.bytes[..], b"hello");
+    }
+
+    #[test]
+    fn get_missing_blob_errors() {
+        let store = InMemoryStore::new();
+        match store.get("ghost") {
+            Err(StorageError::BlobNotFound { name }) => assert_eq!(name, "ghost"),
+            other => panic!("expected BlobNotFound, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ranged_read_returns_slice() {
+        let store = InMemoryStore::new();
+        store.put("b", Bytes::from_static(b"0123456789")).unwrap();
+        let f = store.get_range("b", 3, 4).unwrap();
+        assert_eq!(&f.bytes[..], b"3456");
+    }
+
+    #[test]
+    fn ranged_read_at_exact_end_is_ok() {
+        let store = InMemoryStore::new();
+        store.put("b", Bytes::from_static(b"0123456789")).unwrap();
+        let f = store.get_range("b", 8, 2).unwrap();
+        assert_eq!(&f.bytes[..], b"89");
+        // Zero-length read at the end is also fine.
+        let f = store.get_range("b", 10, 0).unwrap();
+        assert!(f.bytes.is_empty());
+    }
+
+    #[test]
+    fn ranged_read_past_end_errors() {
+        let store = InMemoryStore::new();
+        store.put("b", Bytes::from_static(b"0123456789")).unwrap();
+        match store.get_range("b", 8, 5) {
+            Err(StorageError::RangeOutOfBounds { blob_size, .. }) => assert_eq!(blob_size, 10),
+            other => panic!("expected RangeOutOfBounds, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ranged_read_overflow_offset_errors() {
+        let store = InMemoryStore::new();
+        store.put("b", Bytes::from_static(b"01")).unwrap();
+        assert!(store.get_range("b", u64::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn put_overwrites() {
+        let store = InMemoryStore::new();
+        store.put("k", Bytes::from_static(b"one")).unwrap();
+        store.put("k", Bytes::from_static(b"two")).unwrap();
+        assert_eq!(&store.get("k").unwrap().bytes[..], b"two");
+        assert_eq!(store.blob_count(), 1);
+    }
+
+    #[test]
+    fn list_respects_prefix_and_order() {
+        let store = InMemoryStore::new();
+        for name in ["z", "a/2", "a/1", "a/10", "b/1"] {
+            store.put(name, Bytes::new()).unwrap();
+        }
+        assert_eq!(store.list("a/").unwrap(), vec!["a/1", "a/10", "a/2"]);
+        assert_eq!(store.list("").unwrap().len(), 5);
+        assert!(store.list("missing/").unwrap().is_empty());
+    }
+
+    #[test]
+    fn delete_removes_and_errors_on_missing() {
+        let store = InMemoryStore::new();
+        store.put("k", Bytes::from_static(b"v")).unwrap();
+        store.delete("k").unwrap();
+        assert!(!store.exists("k"));
+        assert!(store.delete("k").is_err());
+    }
+
+    #[test]
+    fn concurrent_writers_and_readers() {
+        use std::sync::Arc;
+        let store = Arc::new(InMemoryStore::new());
+        crossbeam::scope(|s| {
+            for t in 0..8 {
+                let store = Arc::clone(&store);
+                s.spawn(move |_| {
+                    for i in 0..50 {
+                        let name = format!("t{t}/b{i}");
+                        store.put(&name, Bytes::from(vec![t as u8; 16])).unwrap();
+                        let f = store.get(&name).unwrap();
+                        assert_eq!(f.bytes.len(), 16);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(store.blob_count(), 400);
+    }
+}

@@ -1,0 +1,215 @@
+//! The [`ObjectStore`] trait: the blob-store API every component of the
+//! reproduction reads and writes through.
+//!
+//! The paper assumes (§III-A) that cloud storage offers *random reads* —
+//! fetching bytes from an arbitrary offset without a full-object read — which
+//! all major vendors support via HTTP `Range` headers. The Airphant Builder
+//! relies on this to pack many superposts into a single blob while the
+//! Searcher retrieves any one of them in a single round-trip.
+
+use crate::latency::{LatencySample, SimDuration};
+use crate::Result;
+use bytes::Bytes;
+
+/// A blob payload together with the simulated latency its retrieval cost.
+#[derive(Debug, Clone)]
+pub struct Fetched {
+    /// The fetched bytes.
+    pub bytes: Bytes,
+    /// Simulated request latency (zero for local backends).
+    pub latency: LatencySample,
+}
+
+impl Fetched {
+    /// Wrap raw bytes with zero latency.
+    pub fn instant(bytes: Bytes) -> Self {
+        Fetched {
+            bytes,
+            latency: LatencySample::ZERO,
+        }
+    }
+}
+
+/// A single ranged read request within a concurrent batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeRequest {
+    /// Blob name.
+    pub name: String,
+    /// Byte offset of the first byte to read.
+    pub offset: u64,
+    /// Number of bytes to read.
+    pub len: u64,
+}
+
+impl RangeRequest {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, offset: u64, len: u64) -> Self {
+        RangeRequest {
+            name: name.into(),
+            offset,
+            len,
+        }
+    }
+}
+
+/// The result of one concurrent batch of ranged reads.
+///
+/// `batch_latency` is the *wall-clock* cost of the whole batch under the
+/// parallel-request semantics of §II-C: all requests are issued at once, so
+/// the batch completes when the slowest stream finishes, while transfers
+/// share link bandwidth.
+#[derive(Debug, Clone)]
+pub struct BatchFetch {
+    /// Per-request payloads, in request order.
+    pub parts: Vec<Fetched>,
+    /// Simulated latency of the whole concurrent batch.
+    pub batch_latency: SimDuration,
+    /// Wait component of the batch (max time-to-first-byte).
+    pub batch_wait: SimDuration,
+    /// Download component of the batch (shared-bandwidth transfer).
+    pub batch_download: SimDuration,
+}
+
+impl BatchFetch {
+    /// Total bytes fetched across all parts.
+    pub fn total_bytes(&self) -> u64 {
+        self.parts.iter().map(|p| p.bytes.len() as u64).sum()
+    }
+}
+
+/// Abstraction over named-blob storage with ranged and batched reads.
+///
+/// Implementations must be safe to share across threads; the Builder uploads
+/// concurrently and the Searcher issues concurrent read batches.
+pub trait ObjectStore: Send + Sync {
+    /// Store (create or replace) a blob under `name`.
+    fn put(&self, name: &str, data: Bytes) -> Result<()>;
+
+    /// Fetch an entire blob.
+    fn get(&self, name: &str) -> Result<Fetched>;
+
+    /// Fetch `len` bytes starting at `offset`.
+    fn get_range(&self, name: &str, offset: u64, len: u64) -> Result<Fetched>;
+
+    /// Issue a *single batch of concurrent ranged reads* and return all
+    /// payloads plus the simulated latency of the batch.
+    ///
+    /// The default implementation executes requests back-to-back but
+    /// combines their simulated latencies with parallel semantics:
+    /// `max(first_byte_i) + sum(transfer_i)` — a conservative model for
+    /// backends that do not define their own contention behaviour.
+    /// [`crate::SimulatedCloudStore`] overrides this with the calibrated
+    /// shared-bandwidth model.
+    fn get_ranges(&self, requests: &[RangeRequest]) -> Result<BatchFetch> {
+        let mut parts = Vec::with_capacity(requests.len());
+        let mut max_fb = SimDuration::ZERO;
+        let mut total_transfer = SimDuration::ZERO;
+        for r in requests {
+            let f = self.get_range(&r.name, r.offset, r.len)?;
+            max_fb = max_fb.max(f.latency.first_byte);
+            total_transfer += f.latency.transfer;
+            parts.push(f);
+        }
+        Ok(BatchFetch {
+            parts,
+            batch_latency: max_fb + total_transfer,
+            batch_wait: max_fb,
+            batch_download: total_transfer,
+        })
+    }
+
+    /// Size of a blob in bytes.
+    fn size_of(&self, name: &str) -> Result<u64>;
+
+    /// Whether a blob exists.
+    fn exists(&self, name: &str) -> bool {
+        self.size_of(name).is_ok()
+    }
+
+    /// List blob names with the given prefix, in lexicographic order.
+    fn list(&self, prefix: &str) -> Result<Vec<String>>;
+
+    /// Delete a blob. Deleting a missing blob is an error.
+    fn delete(&self, name: &str) -> Result<()>;
+
+    /// Total bytes stored across blobs matching `prefix` (used for the
+    /// storage-usage experiments, Figures 15 and 16d).
+    fn usage(&self, prefix: &str) -> Result<u64> {
+        let mut total = 0;
+        for name in self.list(prefix)? {
+            total += self.size_of(&name)?;
+        }
+        Ok(total)
+    }
+}
+
+/// Blanket implementation so `Arc<S>`, `Box<S>`, `&S` all work as stores.
+impl<S: ObjectStore + ?Sized> ObjectStore for std::sync::Arc<S> {
+    fn put(&self, name: &str, data: Bytes) -> Result<()> {
+        (**self).put(name, data)
+    }
+    fn get(&self, name: &str) -> Result<Fetched> {
+        (**self).get(name)
+    }
+    fn get_range(&self, name: &str, offset: u64, len: u64) -> Result<Fetched> {
+        (**self).get_range(name, offset, len)
+    }
+    fn get_ranges(&self, requests: &[RangeRequest]) -> Result<BatchFetch> {
+        (**self).get_ranges(requests)
+    }
+    fn size_of(&self, name: &str) -> Result<u64> {
+        (**self).size_of(name)
+    }
+    fn exists(&self, name: &str) -> bool {
+        (**self).exists(name)
+    }
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        (**self).list(prefix)
+    }
+    fn delete(&self, name: &str) -> Result<()> {
+        (**self).delete(name)
+    }
+    fn usage(&self, prefix: &str) -> Result<u64> {
+        (**self).usage(prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InMemoryStore;
+
+    #[test]
+    fn default_batch_combines_latencies() {
+        let store = InMemoryStore::new();
+        store.put("a", Bytes::from_static(b"hello world")).unwrap();
+        store.put("b", Bytes::from_static(b"goodbye")).unwrap();
+        let batch = store
+            .get_ranges(&[RangeRequest::new("a", 0, 5), RangeRequest::new("b", 0, 7)])
+            .unwrap();
+        assert_eq!(batch.parts.len(), 2);
+        assert_eq!(&batch.parts[0].bytes[..], b"hello");
+        assert_eq!(&batch.parts[1].bytes[..], b"goodbye");
+        assert_eq!(batch.batch_latency, SimDuration::ZERO);
+        assert_eq!(batch.total_bytes(), 12);
+    }
+
+    #[test]
+    fn arc_blanket_impl_works() {
+        let store = std::sync::Arc::new(InMemoryStore::new());
+        store.put("x", Bytes::from_static(b"12345")).unwrap();
+        assert_eq!(store.size_of("x").unwrap(), 5);
+        assert!(store.exists("x"));
+        assert!(!store.exists("y"));
+    }
+
+    #[test]
+    fn usage_sums_over_prefix() {
+        let store = InMemoryStore::new();
+        store.put("idx/header", Bytes::from_static(b"1234")).unwrap();
+        store.put("idx/sp/0", Bytes::from_static(b"123456")).unwrap();
+        store.put("docs/a", Bytes::from_static(b"xx")).unwrap();
+        assert_eq!(store.usage("idx/").unwrap(), 10);
+        assert_eq!(store.usage("").unwrap(), 12);
+    }
+}

@@ -1,0 +1,75 @@
+//! Log search at (scaled) production shape: build an index over an
+//! HDFS-like log corpus, put it behind a simulated GCS link, and compare
+//! Airphant's single-batch lookups against the SQLite-style B+tree — the
+//! workload the paper's introduction motivates.
+//!
+//! ```sh
+//! cargo run --release --example log_search
+//! ```
+
+use airphant::{AirphantConfig, Builder, SearchEngine, Searcher};
+use airphant_baselines::{BTreeBuilder, BTreeEngine};
+use airphant_corpus::{hdfs_like, LogCorpusSpec, QueryWorkload};
+use airphant_storage::{InMemoryStore, LatencyModel, ObjectStore, SimulatedCloudStore};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Generate 20k HDFS-like log lines (Table II shape: terms ~ docs/3.5).
+    let inner = Arc::new(InMemoryStore::new());
+    let corpus = hdfs_like(
+        LogCorpusSpec::new(20_000, 42),
+        inner.clone(),
+        "corpora/hdfs",
+    );
+    let profile = corpus.profile()?;
+    println!(
+        "corpus: {} docs, {} terms, {} words",
+        profile.n_docs, profile.n_terms, profile.n_words
+    );
+
+    // Build both indexes against the raw store (builds are offline).
+    let report = Builder::new(AirphantConfig::default().with_total_bins(500))
+        .build_with_profile(&corpus, "index/airphant", profile.clone())?;
+    println!(
+        "airphant: L* = {} layers, expected FP = {:.3}/query, {} KB on storage",
+        report.optimal_layers,
+        report.expected_fp.unwrap_or(f64::NAN),
+        report.index_bytes() / 1024
+    );
+    BTreeBuilder::build(&corpus, "index/sqlite")?;
+
+    // Query through a simulated cloud link (Figure 2's latency curve).
+    let cloud: Arc<dyn ObjectStore> = Arc::new(SimulatedCloudStore::new(
+        inner,
+        LatencyModel::gcs_like(),
+        7,
+    ));
+    let airphant = Searcher::open(cloud.clone(), "index/airphant")?;
+    let sqlite = BTreeEngine::open(cloud, "index/sqlite")?;
+
+    let workload = QueryWorkload::uniform(&profile, 20, 3);
+    let mut a_total = 0.0;
+    let mut s_total = 0.0;
+    println!("\n{:<32} {:>12} {:>12}", "query", "airphant", "sqlite");
+    for word in workload.iter() {
+        let a = airphant.search(word, Some(10))?;
+        let s = sqlite.search(word, Some(10))?;
+        assert_eq!(a.hits.len(), s.hits.len(), "engines must agree on {word}");
+        a_total += a.latency().as_millis_f64();
+        s_total += s.latency().as_millis_f64();
+        println!(
+            "{:<32} {:>10.1}ms {:>10.1}ms",
+            word,
+            a.latency().as_millis_f64(),
+            s.latency().as_millis_f64()
+        );
+    }
+    let n = workload.len() as f64;
+    println!(
+        "\nmean: airphant {:.1} ms vs sqlite {:.1} ms  ({:.2}x)",
+        a_total / n,
+        s_total / n,
+        s_total / a_total
+    );
+    Ok(())
+}

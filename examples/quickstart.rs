@@ -1,0 +1,75 @@
+//! Quickstart: index a handful of documents and search them — the
+//! reproduction of the paper's Figure 1 user interface.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use airphant::{AirphantConfig, Builder, Searcher};
+use airphant_corpus::{Corpus, LineSplitter, WhitespaceTokenizer};
+use airphant_storage::{InMemoryStore, ObjectStore};
+use bytes::Bytes;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // "Cloud storage": an in-memory object store for the demo. Swap in
+    // LocalFsStore (or a SimulatedCloudStore wrapper) without touching the
+    // rest of the code.
+    let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+
+    // Index two documents, like the paper's Figure 1:
+    //   Document doc1 = new Document("hello world");
+    //   Document doc2 = new Document("hello airphant");
+    store.put(
+        "corpus/docs",
+        Bytes::from_static(b"hello world\nhello airphant"),
+    )?;
+    let corpus = Corpus::new(
+        store.clone(),
+        vec!["corpus/docs".into()],
+        Arc::new(LineSplitter),
+        Arc::new(WhitespaceTokenizer),
+    );
+
+    // Builder: profile -> optimize (Algorithm 1) -> superposts -> header.
+    let config = AirphantConfig::default().with_total_bins(256);
+    let report = Builder::new(config).build(&corpus, "index/quickstart")?;
+    println!(
+        "built IoU Sketch: {} layer(s), {} words, {} docs, {} bytes on storage",
+        report.layers,
+        report.words,
+        report.docs,
+        report.index_bytes()
+    );
+
+    // Searcher: download the header once, then query.
+    let searcher = Searcher::open(store, "index/quickstart")?;
+    println!(
+        "searcher initialized, MHT footprint ~ {} bytes",
+        searcher.memory_bytes()
+    );
+
+    // index.search("airphant")
+    let result = searcher.search("airphant", None)?;
+    println!(
+        "search(\"airphant\"): {} hit(s) in {} simulated",
+        result.hits.len(),
+        result.latency()
+    );
+    for hit in &result.hits {
+        println!(
+            "  {}@{}..{}  {:?}",
+            hit.blob,
+            hit.offset,
+            hit.offset + hit.len as u64,
+            hit.text
+        );
+    }
+    assert_eq!(result.hits.len(), 1);
+    assert_eq!(result.hits[0].text, "hello airphant");
+
+    let both = searcher.search("hello", None)?;
+    println!("search(\"hello\"): {} hit(s)", both.hits.len());
+    assert_eq!(both.hits.len(), 2);
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Serverless-style deployment (§III-A): many corpora persisted in one
+//! bucket, ephemeral Searchers spun up on demand per request — "the
+//! deployment manager can quickly scale up or down based on the current
+//! demand across different corpuses".
+//!
+//! This example builds three differently-shaped corpora, then simulates a
+//! function-as-a-service request loop: each request opens a fresh Searcher
+//! (paying only the small header download), answers one query, and exits.
+//!
+//! ```sh
+//! cargo run --release --example serverless_multi_corpus
+//! ```
+
+use airphant::{AirphantConfig, Builder, Searcher};
+use airphant_corpus::{cranfield_like, spark_like, windows_like, LogCorpusSpec, QueryWorkload};
+use airphant_storage::{InMemoryStore, LatencyModel, ObjectStore, SimulatedCloudStore};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let inner = Arc::new(InMemoryStore::new());
+
+    // Three tenants with different corpora share the bucket.
+    let tenants = ["cranfield", "spark", "windows"];
+    let mut profiles = Vec::new();
+    for name in tenants {
+        let corpus = match name {
+            "cranfield" => cranfield_like(1, inner.clone(), "corpora/cranfield"),
+            "spark" => spark_like(LogCorpusSpec::new(10_000, 2), inner.clone(), "corpora/spark"),
+            _ => windows_like(LogCorpusSpec::new(10_000, 3), inner.clone(), "corpora/windows"),
+        };
+        let profile = corpus.profile()?;
+        let bins = if name == "cranfield" { 20_000 } else { 500 };
+        let report = Builder::new(AirphantConfig::default().with_total_bins(bins))
+            .build_with_profile(&corpus, &format!("index/{name}"), profile.clone())?;
+        println!(
+            "tenant {name:<10} {} docs, {} terms -> L*={}, index {} KB",
+            profile.n_docs,
+            profile.n_terms,
+            report.optimal_layers,
+            report.index_bytes() / 1024
+        );
+        profiles.push((name, profile));
+    }
+
+    // FaaS request loop: every request cold-starts a Searcher.
+    let cloud: Arc<dyn ObjectStore> = Arc::new(SimulatedCloudStore::new(
+        inner,
+        LatencyModel::gcs_like(),
+        11,
+    ));
+    println!("\n{:<10} {:>14} {:>12} {:>6}", "tenant", "init_ms", "query_ms", "hits");
+    for round in 0..3 {
+        for (name, profile) in &profiles {
+            let searcher = Searcher::open(cloud.clone(), &format!("index/{name}"))?;
+            let init_ms = searcher.init_trace().total().as_millis_f64();
+            let word = QueryWorkload::uniform(profile, 1, 100 + round).words()[0].clone();
+            let result = searcher.search(&word, Some(10))?;
+            println!(
+                "{:<10} {:>12.1}ms {:>10.1}ms {:>6}",
+                name,
+                init_ms,
+                result.latency().as_millis_f64(),
+                result.hits.len()
+            );
+            // The cold-start cost is one header fetch: a few dozen ms and a
+            // few hundred KB at most — that is what makes the serverless
+            // deployment viable.
+            assert!(init_ms < 500.0, "cold start should be one small fetch");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,14 @@
+//! # airphant-suite
+//!
+//! Umbrella crate for the Airphant reproduction: re-exports the workspace
+//! crates and hosts the runnable examples (`examples/`) and cross-crate
+//! integration tests (`tests/`).
+//!
+//! See the repository README for the architecture overview and DESIGN.md
+//! for the system inventory and per-experiment index.
+
+pub use airphant;
+pub use airphant_baselines;
+pub use airphant_corpus;
+pub use airphant_storage;
+pub use iou_sketch;

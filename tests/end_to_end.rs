@@ -1,0 +1,355 @@
+//! Cross-crate integration tests: the full pipeline — generate corpus,
+//! build every engine, query through the simulated cloud — checked for
+//! exactness, agreement, and the paper's headline latency ordering.
+
+use airphant::{AirphantConfig, BoolQuery, Builder, SearchEngine, Searcher};
+use airphant_baselines::{
+    BTreeBuilder, BTreeEngine, ElasticBuilder, ElasticEngine, HashTableEngine, SkipListBuilder,
+    SkipListEngine,
+};
+use airphant_corpus::{zipf, Corpus, QueryWorkload, SyntheticSpec};
+use airphant_storage::{
+    InMemoryStore, LatencyModel, LocalFsStore, ObjectStore, SimulatedCloudStore,
+};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+fn build_zipf_env() -> (Arc<InMemoryStore>, Corpus) {
+    let inner = Arc::new(InMemoryStore::new());
+    let spec = SyntheticSpec {
+        n_docs: 3_000,
+        n_vocab: 2_000,
+        words_per_doc: 8,
+    };
+    let corpus = zipf(spec, inner.clone(), "corpora/zipf", 99);
+    (inner, corpus)
+}
+
+/// Ground truth by linear scan: the set of doc texts containing `word`.
+fn truth_texts(corpus: &Corpus, word: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    corpus
+        .for_each_document(|doc| {
+            if doc.text.split_ascii_whitespace().any(|t| t == word) {
+                out.insert(doc.text.clone());
+            }
+        })
+        .unwrap();
+    out
+}
+
+#[test]
+fn airphant_results_are_exact_against_ground_truth() {
+    let (inner, corpus) = build_zipf_env();
+    let profile = corpus.profile().unwrap();
+    Builder::new(AirphantConfig::default().with_total_bins(400).with_seed(5))
+        .build_with_profile(&corpus, "idx/a", profile.clone())
+        .unwrap();
+    let store: Arc<dyn ObjectStore> = inner.clone();
+    let searcher = Searcher::open(store, "idx/a").unwrap();
+
+    for word in QueryWorkload::uniform(&profile, 25, 3).iter() {
+        let expected = truth_texts(&corpus, word);
+        let got: BTreeSet<String> = searcher
+            .search(word, None)
+            .unwrap()
+            .hits
+            .into_iter()
+            .map(|h| h.text)
+            .collect();
+        assert_eq!(got, expected, "word {word}: results must be exact");
+    }
+}
+
+#[test]
+fn all_engines_agree_on_results() {
+    let (inner, corpus) = build_zipf_env();
+    let profile = corpus.profile().unwrap();
+    let config = AirphantConfig::default().with_total_bins(400).with_seed(5);
+    Builder::new(config.clone())
+        .build_with_profile(&corpus, "idx/a", profile.clone())
+        .unwrap();
+    HashTableEngine::build(&corpus, "idx/h", &config).unwrap();
+    BTreeBuilder::build(&corpus, "idx/b").unwrap();
+    SkipListBuilder::build(&corpus, "idx/s").unwrap();
+    ElasticBuilder::build(&corpus, "idx/e").unwrap();
+
+    let store: Arc<dyn ObjectStore> = inner.clone();
+    let engines: Vec<Box<dyn SearchEngine>> = vec![
+        Box::new(Searcher::open(store.clone(), "idx/a").unwrap()),
+        Box::new(HashTableEngine::open(store.clone(), "idx/h").unwrap()),
+        Box::new(BTreeEngine::open(store.clone(), "idx/b").unwrap()),
+        Box::new(SkipListEngine::open(store.clone(), "idx/s").unwrap()),
+        Box::new(ElasticEngine::open(store, "idx/e").unwrap()),
+    ];
+    for word in QueryWorkload::uniform(&profile, 15, 7).iter() {
+        let reference: BTreeSet<String> = engines[0]
+            .search(word, None)
+            .unwrap()
+            .hits
+            .into_iter()
+            .map(|h| h.text)
+            .collect();
+        for engine in &engines[1..] {
+            let got: BTreeSet<String> = engine
+                .search(word, None)
+                .unwrap()
+                .hits
+                .into_iter()
+                .map(|h| h.text)
+                .collect();
+            assert_eq!(got, reference, "{} disagrees on {word}", engine.name());
+        }
+    }
+}
+
+#[test]
+fn paper_latency_ordering_holds_on_simulated_cloud() {
+    let (inner, corpus) = build_zipf_env();
+    let profile = corpus.profile().unwrap();
+    let config = AirphantConfig::default().with_total_bins(400).with_seed(5);
+    Builder::new(config.clone())
+        .build_with_profile(&corpus, "idx/a", profile.clone())
+        .unwrap();
+    BTreeBuilder::build(&corpus, "idx/b").unwrap();
+    SkipListBuilder::build(&corpus, "idx/s").unwrap();
+
+    let mean = |engine: &dyn SearchEngine| -> f64 {
+        let workload = QueryWorkload::uniform(&profile, 25, 9);
+        let total: f64 = workload
+            .iter()
+            .map(|w| {
+                engine
+                    .search(w, Some(10))
+                    .unwrap()
+                    .latency()
+                    .as_millis_f64()
+            })
+            .sum();
+        total / workload.len() as f64
+    };
+
+    let cloud = |seed: u64| -> Arc<dyn ObjectStore> {
+        Arc::new(SimulatedCloudStore::new(
+            inner.clone(),
+            LatencyModel::gcs_like(),
+            seed,
+        ))
+    };
+    let airphant = mean(&Searcher::open(cloud(1), "idx/a").unwrap());
+    let sqlite = mean(&BTreeEngine::open(cloud(2), "idx/b").unwrap());
+    let lucene = mean(&SkipListEngine::open(cloud(3), "idx/s").unwrap());
+
+    assert!(
+        airphant < sqlite && sqlite < lucene,
+        "expected AIRPHANT ({airphant:.0}ms) < SQLite ({sqlite:.0}ms) < Lucene ({lucene:.0}ms)"
+    );
+    // The paper keeps Airphant under 300 ms within-region on every corpus.
+    assert!(airphant < 300.0, "AIRPHANT mean {airphant:.0}ms");
+}
+
+#[test]
+fn index_persists_across_processes_via_local_fs() {
+    let dir = std::env::temp_dir().join(format!(
+        "airphant-e2e-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    {
+        let store: Arc<dyn ObjectStore> = Arc::new(LocalFsStore::new(&dir).unwrap());
+        store
+            .put(
+                "corpus/docs",
+                bytes::Bytes::from_static(b"alpha beta\ngamma alpha\ndelta"),
+            )
+            .unwrap();
+        let corpus = Corpus::new(
+            store,
+            vec!["corpus/docs".into()],
+            Arc::new(airphant_corpus::LineSplitter),
+            Arc::new(airphant_corpus::WhitespaceTokenizer),
+        );
+        Builder::new(AirphantConfig::default().with_total_bins(64))
+            .build(&corpus, "index")
+            .unwrap();
+    } // everything dropped: simulate a new process
+    {
+        let store: Arc<dyn ObjectStore> = Arc::new(LocalFsStore::new(&dir).unwrap());
+        let searcher = Searcher::open(store, "index").unwrap();
+        let r = searcher.search("alpha", None).unwrap();
+        assert_eq!(r.hits.len(), 2);
+    }
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn boolean_queries_match_scan_semantics() {
+    let (inner, corpus) = build_zipf_env();
+    let profile = corpus.profile().unwrap();
+    Builder::new(AirphantConfig::default().with_total_bins(400).with_seed(5))
+        .build_with_profile(&corpus, "idx/a", profile.clone())
+        .unwrap();
+    let store: Arc<dyn ObjectStore> = inner.clone();
+    let searcher = Searcher::open(store, "idx/a").unwrap();
+
+    let words: Vec<String> = QueryWorkload::uniform(&profile, 4, 13)
+        .words()
+        .to_vec();
+    let query = BoolQuery::or([
+        BoolQuery::and([BoolQuery::term(&words[0]), BoolQuery::term(&words[1])]),
+        BoolQuery::and([BoolQuery::term(&words[2]), BoolQuery::term(&words[3])]),
+    ]);
+    let got: BTreeSet<String> = searcher
+        .search_boolean(&query)
+        .unwrap()
+        .hits
+        .into_iter()
+        .map(|h| h.text)
+        .collect();
+
+    let mut expected = BTreeSet::new();
+    corpus
+        .for_each_document(|doc| {
+            let tokens: Vec<&str> = doc.text.split_ascii_whitespace().collect();
+            let has = |w: &str| tokens.contains(&w);
+            if (has(&words[0]) && has(&words[1])) || (has(&words[2]) && has(&words[3])) {
+                expected.insert(doc.text.clone());
+            }
+        })
+        .unwrap();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn top_k_returns_k_relevant_documents() {
+    let (inner, corpus) = build_zipf_env();
+    let profile = corpus.profile().unwrap();
+    Builder::new(AirphantConfig::default().with_total_bins(400).with_seed(5))
+        .build_with_profile(&corpus, "idx/a", profile.clone())
+        .unwrap();
+    let store: Arc<dyn ObjectStore> = inner.clone();
+    let searcher = Searcher::open(store, "idx/a").unwrap();
+
+    // The most frequent words have plenty of matches; top-10 must return
+    // exactly 10 relevant documents (δ = 1e-6 failure never observed).
+    let by_freq = profile.vocabulary_by_frequency();
+    for (word, df) in by_freq.iter().take(5) {
+        assert!(*df >= 10, "frequent word {word} has df {df}");
+        let r = searcher.search(word, Some(10)).unwrap();
+        assert_eq!(r.hits.len(), 10, "top-10 for {word}");
+        for h in &r.hits {
+            assert!(
+                h.text.split_ascii_whitespace().any(|t| t == word),
+                "top-k hit must be relevant"
+            );
+        }
+    }
+}
+
+#[test]
+fn searcher_survives_transient_storage_failures() {
+    // Failure injection: a flaky link behind a retrying decorator must not
+    // change any result, only add backoff latency.
+    use airphant_storage::{FlakyStore, RetryingStore, SimDuration};
+    let (inner, corpus) = build_zipf_env();
+    let profile = corpus.profile().unwrap();
+    Builder::new(AirphantConfig::default().with_total_bins(400).with_seed(5))
+        .build_with_profile(&corpus, "idx/a", profile.clone())
+        .unwrap();
+
+    let flaky = FlakyStore::new(
+        SimulatedCloudStore::new(inner.clone(), LatencyModel::gcs_like(), 1),
+        0.25,
+        99,
+    );
+    let resilient = Arc::new(RetryingStore::new(
+        flaky,
+        10,
+        SimDuration::from_millis(20),
+    ));
+    let store: Arc<dyn ObjectStore> = resilient.clone();
+    let searcher = Searcher::open(store, "idx/a").unwrap();
+
+    let plain_store: Arc<dyn ObjectStore> = inner.clone();
+    let reference = Searcher::open(plain_store, "idx/a").unwrap();
+    for word in QueryWorkload::uniform(&profile, 20, 31).iter() {
+        let got: BTreeSet<String> = searcher
+            .search(word, None)
+            .unwrap()
+            .hits
+            .into_iter()
+            .map(|h| h.text)
+            .collect();
+        let expected: BTreeSet<String> = reference
+            .search(word, None)
+            .unwrap()
+            .hits
+            .into_iter()
+            .map(|h| h.text)
+            .collect();
+        assert_eq!(got, expected, "retried results must match for {word}");
+    }
+    assert!(
+        resilient.retries() > 0,
+        "the flaky link should have forced retries"
+    );
+}
+
+#[test]
+fn segmented_index_matches_monolithic_index() {
+    use airphant::SegmentManager;
+    let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+
+    // Two halves of one corpus, indexed (a) as two segments and (b) as one
+    // monolithic index; results must agree word for word.
+    let half1: Vec<String> = (0..300).map(|i| format!("w{} h1-{}", i % 40, i)).collect();
+    let half2: Vec<String> = (0..300).map(|i| format!("w{} h2-{}", i % 40, i)).collect();
+    let mk_corpus = |blob: &str, lines: &[String]| {
+        store
+            .put(blob, bytes::Bytes::from(lines.join("\n")))
+            .unwrap();
+        Corpus::new(
+            store.clone(),
+            vec![blob.to_owned()],
+            Arc::new(airphant_corpus::LineSplitter),
+            Arc::new(airphant_corpus::WhitespaceTokenizer),
+        )
+    };
+    let config = AirphantConfig::default()
+        .with_total_bins(128)
+        .with_common_fraction(0.0);
+
+    let manager = SegmentManager::new(store.clone(), "seg");
+    manager.append(&mk_corpus("c/h1", &half1), &config).unwrap();
+    manager.append(&mk_corpus("c/h2", &half2), &config).unwrap();
+    let segmented = manager.open().unwrap();
+
+    let mut all = half1.clone();
+    all.extend(half2.clone());
+    Builder::new(config)
+        .build(&mk_corpus("c/all", &all), "mono")
+        .unwrap();
+    let monolithic = Searcher::open(store.clone(), "mono").unwrap();
+
+    for w in 0..44 {
+        let word = format!("w{w}");
+        let a: BTreeSet<String> = segmented
+            .search(&word, None)
+            .unwrap()
+            .hits
+            .into_iter()
+            .map(|h| h.text)
+            .collect();
+        let b: BTreeSet<String> = monolithic
+            .search(&word, None)
+            .unwrap()
+            .hits
+            .into_iter()
+            .map(|h| h.text)
+            .collect();
+        assert_eq!(a, b, "segmented vs monolithic disagree on {word}");
+    }
+}

@@ -1,0 +1,206 @@
+//! Property-based cross-crate tests: invariants of the IoU Sketch and its
+//! encodings under randomized corpora and structures.
+
+use airphant::{AirphantConfig, Builder, Searcher};
+use airphant_corpus::{Corpus, LineSplitter, WhitespaceTokenizer};
+use airphant_storage::{InMemoryStore, ObjectStore};
+use bytes::Bytes;
+use iou_sketch::encoding::{decode_superpost, encode_superpost, HeaderBlock};
+use iou_sketch::{Posting, PostingsList, SketchBuilder, SketchConfig};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Strategy: a small random corpus as (doc -> words) with a bounded vocab.
+fn corpus_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    // Up to 40 documents, each with up to 8 words drawn from a 30-word
+    // vocabulary (word = index).
+    prop::collection::vec(prop::collection::vec(0u8..30, 1..8), 1..40)
+}
+
+fn docs_to_corpus(docs: &[Vec<u8>], store: Arc<dyn ObjectStore>) -> Corpus {
+    let text = docs
+        .iter()
+        .map(|ws| {
+            ws.iter()
+                .map(|w| format!("w{w}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    store.put("c/docs", Bytes::from(text)).unwrap();
+    Corpus::new(
+        store,
+        vec!["c/docs".into()],
+        Arc::new(LineSplitter),
+        Arc::new(WhitespaceTokenizer),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The headline invariant of §IV-A: no false negatives, ever, for any
+    /// corpus and any (valid) structure; and after document filtering, no
+    /// false positives either.
+    #[test]
+    fn search_is_exact_for_any_corpus_and_structure(
+        docs in corpus_strategy(),
+        total_bins in 8usize..64,
+        layers in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(total_bins >= layers);
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let corpus = docs_to_corpus(&docs, store.clone());
+        let config = AirphantConfig::default()
+            .with_total_bins(total_bins)
+            .with_manual_layers(layers)
+            .with_common_fraction(0.0)
+            .with_seed(seed);
+        Builder::new(config).build(&corpus, "idx").unwrap();
+        let searcher = Searcher::open(store, "idx").unwrap();
+
+        // Query every vocabulary word plus some absent ones.
+        for w in 0u8..32 {
+            let word = format!("w{w}");
+            let expected: BTreeSet<usize> = docs
+                .iter()
+                .enumerate()
+                .filter(|(_, ws)| ws.contains(&w))
+                .map(|(i, _)| i)
+                .collect();
+            let got = searcher.search(&word, None).unwrap();
+            let got_texts: BTreeSet<String> =
+                got.hits.into_iter().map(|h| h.text).collect();
+            let expected_texts: BTreeSet<String> = expected
+                .iter()
+                .map(|&i| {
+                    docs[i]
+                        .iter()
+                        .map(|w| format!("w{w}"))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                })
+                .collect();
+            prop_assert_eq!(got_texts, expected_texts, "word {}", word);
+        }
+    }
+
+    /// Superpost codec: encode/decode is the identity for any postings.
+    #[test]
+    fn superpost_codec_roundtrips(
+        raw in prop::collection::vec((0u32..4, 0u64..1_000_000, 1u32..10_000), 0..200)
+    ) {
+        let list = PostingsList::from_postings(
+            raw.into_iter().map(|(b, o, l)| Posting::new(b, o, l)).collect(),
+        );
+        let encoded = encode_superpost(&list);
+        let decoded = decode_superpost(&encoded).unwrap();
+        prop_assert_eq!(decoded, list);
+    }
+
+    /// Set algebra: union/intersection of postings lists behave like the
+    /// corresponding BTreeSet operations.
+    #[test]
+    fn postings_set_algebra_matches_btreeset(
+        a in prop::collection::vec(0u64..200, 0..100),
+        b in prop::collection::vec(0u64..200, 0..100),
+    ) {
+        let pa = PostingsList::from_doc_ids(&a);
+        let pb = PostingsList::from_doc_ids(&b);
+        let sa: BTreeSet<u64> = a.iter().copied().collect();
+        let sb: BTreeSet<u64> = b.iter().copied().collect();
+
+        let union: Vec<u64> = pa.union(&pb).iter().map(|p| p.offset).collect();
+        let expect_union: Vec<u64> = sa.union(&sb).copied().collect();
+        prop_assert_eq!(union, expect_union);
+
+        let inter: Vec<u64> = pa.intersect(&pb).iter().map(|p| p.offset).collect();
+        let expect_inter: Vec<u64> = sa.intersection(&sb).copied().collect();
+        prop_assert_eq!(inter, expect_inter);
+    }
+
+    /// The in-memory sketch's query is always a superset of the true
+    /// postings and a subset of every layer superpost.
+    #[test]
+    fn sketch_query_is_sandwiched(
+        words in prop::collection::vec(
+            (0u16..100, prop::collection::vec(0u64..50, 1..6)), 1..60),
+        layers in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        let config = SketchConfig {
+            total_bins: 24,
+            layers,
+            common_fraction: 0.0,
+        };
+        let mut builder = SketchBuilder::new(config, seed);
+        let mut truth: std::collections::HashMap<String, PostingsList> =
+            std::collections::HashMap::new();
+        for (w, docs) in &words {
+            let word = format!("w{w}");
+            let list = PostingsList::from_doc_ids(docs);
+            truth
+                .entry(word.clone())
+                .or_default()
+                .union_with(&list);
+            builder.insert(&word, &list);
+        }
+        // NB: inserting the same word twice unions in the sketch as well,
+        // so `truth` accumulates with union_with above.
+        let sketch = builder.freeze();
+        for (word, expect) in &truth {
+            let got = sketch.query(word);
+            for p in expect.iter() {
+                prop_assert!(got.contains(p), "false negative for {}", word);
+            }
+            for sp in sketch.superposts_of(word) {
+                for p in got.iter() {
+                    prop_assert!(sp.contains(p), "query not a subset of superpost");
+                }
+            }
+        }
+    }
+
+    /// Header encode/decode is the identity (fuzzing the config surface).
+    #[test]
+    fn header_roundtrips(
+        total_bins in 2usize..2_000,
+        layers in 1usize..6,
+        n_common in 0usize..10,
+        seed in 0u64..1_000,
+    ) {
+        prop_assume!(total_bins / layers >= 1);
+        let config = SketchConfig {
+            total_bins,
+            layers,
+            common_fraction: 0.0,
+        };
+        let bins_per_layer = config.bins_per_layer();
+        let family = iou_sketch::HashFamily::generate(layers, bins_per_layer, seed);
+        let pointers: Vec<Vec<iou_sketch::BinPointer>> = (0..layers)
+            .map(|l| {
+                (0..bins_per_layer)
+                    .map(|b| iou_sketch::BinPointer::new(l as u32, b as u64 * 10, 10))
+                    .collect()
+            })
+            .collect();
+        let mut st = iou_sketch::encoding::StringTable::new();
+        st.intern("blob-a");
+        let common: Vec<(String, iou_sketch::BinPointer)> = (0..n_common)
+            .map(|i| (format!("common{i}"), iou_sketch::BinPointer::new(9, i as u64, 5)))
+            .collect();
+        let header = HeaderBlock {
+            config,
+            seeds: family.seeds().to_vec(),
+            string_table: st,
+            pointers,
+            common,
+            meta: vec![("k".into(), "v".into())],
+        };
+        let decoded = HeaderBlock::decode(&header.encode()).unwrap();
+        prop_assert_eq!(decoded, header);
+    }
+}
