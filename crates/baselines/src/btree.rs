@@ -23,8 +23,7 @@
 //! cached B-tree traversal", Appendix B-A).
 
 use crate::inverted::InvertedIndex;
-use airphant::retrieval::{contains_word, fetch_and_filter};
-use airphant::{AirphantError, SearchEngine, SearchResult};
+use airphant::{AirphantError, Query, QueryOptions, SearchEngine, SearchResult};
 use airphant_corpus::{Tokenizer, WhitespaceTokenizer};
 use airphant_storage::{ObjectStore, PhaseKind, QueryTrace, SimDuration};
 use bytes::{BufMut, Bytes, BytesMut};
@@ -181,10 +180,9 @@ impl BTreeBuilder {
             .enumerate()
             .map(|(i, p)| {
                 let first = match p {
-                    Page::Leaf(entries) => entries
-                        .first()
-                        .map(|(w, _)| w.clone())
-                        .unwrap_or_default(),
+                    Page::Leaf(entries) => {
+                        entries.first().map(|(w, _)| w.clone()).unwrap_or_default()
+                    }
                     Page::Internal { .. } => unreachable!(),
                 };
                 (first, i as u32)
@@ -450,26 +448,20 @@ impl SearchEngine for BTreeEngine {
         Ok((postings, trace))
     }
 
-    fn search(&self, word: &str, top_k: Option<usize>) -> airphant::Result<SearchResult> {
-        let (postings, mut trace) = self.lookup(word)?;
-        let mut to_fetch: Vec<iou_sketch::Posting> = postings.iter().copied().collect();
-        if let Some(k) = top_k {
-            to_fetch.truncate(k); // exact postings: the first k are relevant
-        }
-        let predicate = contains_word(self.tokenizer.as_ref(), word);
-        let (hits, dropped) = fetch_and_filter(
+    fn execute(&self, query: &Query, opts: &QueryOptions) -> airphant::Result<SearchResult> {
+        // One B-tree descent per distinct term/gram — the dependent
+        // round-trip structure the paper attributes SQLite's latency to —
+        // then one shared fetch-and-filter pass. Exact postings allow the
+        // truncated top-k fetch on single-term queries.
+        airphant::execute_with_lookup(
+            &|w| SearchEngine::lookup(self, w),
             self.store.as_ref(),
             &self.string_table,
-            &to_fetch,
-            &predicate,
-            &mut trace,
-        )?;
-        Ok(SearchResult {
-            hits,
-            trace,
-            candidates: postings.len(),
-            false_positives_removed: dropped,
-        })
+            self.tokenizer.as_ref(),
+            true,
+            query,
+            opts,
+        )
     }
 
     fn index_bytes(&self) -> u64 {
@@ -487,7 +479,9 @@ mod tests {
     use std::sync::Arc;
 
     fn corpus(store: Arc<dyn ObjectStore>, n: usize) -> Corpus {
-        let lines: Vec<String> = (0..n).map(|i| format!("term{i:05} payload{}", i % 5)).collect();
+        let lines: Vec<String> = (0..n)
+            .map(|i| format!("term{i:05} payload{}", i % 5))
+            .collect();
         store.put("c/b", Bytes::from(lines.join("\n"))).unwrap();
         Corpus::new(
             store,
@@ -568,8 +562,7 @@ mod tests {
         }
         // Cold cache: each level is a dependent round trip, so lookup wait
         // far exceeds a single round trip.
-        let engine =
-            BTreeEngine::open_with_options(store.clone(), "idx", false).unwrap();
+        let engine = BTreeEngine::open_with_options(store.clone(), "idx", false).unwrap();
         let (_, trace) = engine.lookup("term10000").unwrap();
         assert!(trace.requests() >= 3);
         assert!(

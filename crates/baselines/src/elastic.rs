@@ -15,8 +15,8 @@
 //! 3. **Coordination overhead per query** — REST layer, shard routing, and
 //!    query phase bookkeeping.
 
-use crate::skiplist::{SkipListBuilder, SkipListBuildReport, SkipListEngine};
-use airphant::{SearchEngine, SearchResult};
+use crate::skiplist::{SkipListBuildReport, SkipListBuilder, SkipListEngine};
+use airphant::{Query, QueryOptions, SearchEngine, SearchResult};
 use airphant_storage::{ObjectStore, PhaseKind, QueryTrace, SimDuration};
 use iou_sketch::PostingsList;
 use std::sync::Arc;
@@ -95,8 +95,8 @@ impl SearchEngine for ElasticEngine {
         self.inner.lookup(word)
     }
 
-    fn search(&self, word: &str, top_k: Option<usize>) -> airphant::Result<SearchResult> {
-        self.inner.search(word, top_k)
+    fn execute(&self, query: &Query, opts: &QueryOptions) -> airphant::Result<SearchResult> {
+        self.inner.execute(query, opts)
     }
 
     fn index_bytes(&self) -> u64 {

@@ -10,7 +10,7 @@
 //! query's candidate list carries every co-hashed word's postings — the
 //! download-heavy extreme of Figure 8/11.
 
-use airphant::{AirphantConfig, BuildReport, Builder, SearchEngine, Searcher};
+use airphant::{AirphantConfig, BuildReport, Builder, Query, QueryOptions, SearchEngine, Searcher};
 use airphant_corpus::Corpus;
 use airphant_storage::{ObjectStore, QueryTrace};
 use iou_sketch::PostingsList;
@@ -59,12 +59,14 @@ impl SearchEngine for HashTableEngine {
         self.inner.lookup(word)
     }
 
-    fn search(
+    fn execute(
         &self,
-        word: &str,
-        top_k: Option<usize>,
+        query: &Query,
+        opts: &QueryOptions,
     ) -> airphant::Result<airphant::SearchResult> {
-        self.inner.search(word, top_k)
+        // The single-layer structure still benefits from the planner: any
+        // compound query is one superpost batch, just with L = 1 per atom.
+        self.inner.execute(query, opts)
     }
 
     fn index_bytes(&self) -> u64 {
@@ -134,9 +136,7 @@ mod tests {
         // Documents carry a fat payload so false-positive fetches dominate.
         let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
         let filler = "lorem-ipsum-padding ".repeat(20);
-        let lines: Vec<String> = (0..100)
-            .map(|i| format!("unique{i} {filler}"))
-            .collect();
+        let lines: Vec<String> = (0..100).map(|i| format!("unique{i} {filler}")).collect();
         let c = corpus(store.clone(), &lines);
         let config = AirphantConfig::default()
             .with_total_bins(40)

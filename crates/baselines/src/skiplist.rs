@@ -19,14 +19,11 @@
 //! Every traversal hop reads one node window — a dependent ranged read.
 
 use crate::inverted::InvertedIndex;
-use airphant::retrieval::{contains_word, fetch_and_filter};
-use airphant::{AirphantError, SearchEngine, SearchResult};
+use airphant::{AirphantError, Query, QueryOptions, SearchEngine, SearchResult};
 use airphant_corpus::{Tokenizer, WhitespaceTokenizer};
 use airphant_storage::{ObjectStore, PhaseKind, QueryTrace, SimDuration};
 use bytes::{BufMut, BytesMut};
-use iou_sketch::encoding::{
-    decode_superpost, put_string, put_varint, Cursor, StringTable,
-};
+use iou_sketch::encoding::{decode_superpost, put_string, put_varint, Cursor, StringTable};
 use iou_sketch::{PostingsList, SketchError};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -419,26 +416,18 @@ impl SearchEngine for SkipListEngine {
         Ok((postings, trace))
     }
 
-    fn search(&self, word: &str, top_k: Option<usize>) -> airphant::Result<SearchResult> {
-        let (postings, mut trace) = self.lookup(word)?;
-        let mut to_fetch: Vec<iou_sketch::Posting> = postings.iter().copied().collect();
-        if let Some(k) = top_k {
-            to_fetch.truncate(k);
-        }
-        let predicate = contains_word(self.tokenizer.as_ref(), word);
-        let (hits, dropped) = fetch_and_filter(
+    fn execute(&self, query: &Query, opts: &QueryOptions) -> airphant::Result<SearchResult> {
+        // One skip-list traversal per distinct term/gram (dependent hops,
+        // Appendix A), then one shared fetch-and-filter pass.
+        airphant::execute_with_lookup(
+            &|w| SearchEngine::lookup(self, w),
             self.store.as_ref(),
             &self.string_table,
-            &to_fetch,
-            &predicate,
-            &mut trace,
-        )?;
-        Ok(SearchResult {
-            hits,
-            trace,
-            candidates: postings.len(),
-            false_positives_removed: dropped,
-        })
+            self.tokenizer.as_ref(),
+            true,
+            query,
+            opts,
+        )
     }
 
     fn index_bytes(&self) -> u64 {
@@ -452,8 +441,8 @@ impl SearchEngine for SkipListEngine {
 mod tests {
     use super::*;
     use airphant_corpus::{Corpus, LineSplitter};
-    use bytes::Bytes;
     use airphant_storage::{InMemoryStore, LatencyModel, SimulatedCloudStore};
+    use bytes::Bytes;
 
     fn corpus(store: Arc<dyn ObjectStore>, n: usize) -> Corpus {
         let lines: Vec<String> = (0..n).map(|i| format!("term{i:05} tag{}", i % 3)).collect();

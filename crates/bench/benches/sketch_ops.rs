@@ -7,14 +7,12 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use iou_sketch::analysis::CorpusShape;
 use iou_sketch::encoding::{decode_superpost, encode_superpost};
 use iou_sketch::{
-    optimize_layers, sample_size_for_top_k, FalsePositiveModel, HashFamily, Posting,
-    PostingsList, SketchBuilder, SketchConfig,
+    optimize_layers, sample_size_for_top_k, FalsePositiveModel, HashFamily, Posting, PostingsList,
+    SketchBuilder, SketchConfig,
 };
 
 fn postings(n: u64, stride: u64) -> PostingsList {
-    PostingsList::from_sorted_unique(
-        (0..n).map(|i| Posting::new(0, i * stride, 64)).collect(),
-    )
+    PostingsList::from_sorted_unique((0..n).map(|i| Posting::new(0, i * stride, 64)).collect())
 }
 
 fn bench_hashing(c: &mut Criterion) {

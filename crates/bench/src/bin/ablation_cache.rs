@@ -25,14 +25,16 @@ fn main() {
 
     let mut report = Report::new(
         "ablation_cache",
-        &["config", "mean_ms", "p99_ms", "cache_hits", "bytes_from_cloud"],
+        &[
+            "config",
+            "mean_ms",
+            "p99_ms",
+            "cache_hits",
+            "bytes_from_cloud",
+        ],
     );
     for (label, budget) in [("no-cache", 0usize), ("lru-4MB", 4 << 20)] {
-        let cloud = SimulatedCloudStore::new(
-            env.raw_store(),
-            LatencyModel::gcs_like(),
-            42,
-        );
+        let cloud = SimulatedCloudStore::new(env.raw_store(), LatencyModel::gcs_like(), 42);
         let cached = Arc::new(CachedStore::new(cloud, budget));
         let store: Arc<dyn ObjectStore> = cached.clone();
         let searcher = Searcher::open(store, "idx/airphant").expect("open");

@@ -13,7 +13,9 @@ fn main() {
         .into_iter()
         .find(|s| s.kind == DatasetKind::Windows)
         .unwrap();
-    let base = AirphantConfig::default().with_total_bins(1_000).with_seed(1);
+    let base = AirphantConfig::default()
+        .with_total_bins(1_000)
+        .with_seed(1);
     let env = BenchEnv::prepare(spec, &base);
 
     // Split the vocabulary: the 10 most document-frequent words vs 30 rare.
@@ -28,7 +30,13 @@ fn main() {
 
     let mut report = Report::new(
         "ablation_common_words",
-        &["config", "word_class", "search_ms", "bytes/query", "fp/query"],
+        &[
+            "config",
+            "word_class",
+            "search_ms",
+            "bytes/query",
+            "fp/query",
+        ],
     );
     for (label, fraction) in [("with-common-bins", 0.01f64), ("no-common-bins", 0.0)] {
         let prefix = format!("idx/{label}");

@@ -12,7 +12,9 @@ fn main() {
         .into_iter()
         .find(|s| s.kind == DatasetKind::Hdfs)
         .unwrap();
-    let base = AirphantConfig::default().with_total_bins(2_000).with_seed(1);
+    let base = AirphantConfig::default()
+        .with_total_bins(2_000)
+        .with_seed(1);
     let env = BenchEnv::prepare(spec, &base);
     let workload = env.workload(40, 7);
 

@@ -22,19 +22,14 @@ fn main() {
             .map(|_| model.sample(size, &mut rng).total().as_millis_f64())
             .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>()
-            / samples.len() as f64;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64;
         let (min, max) = samples
             .iter()
-            .fold((f64::INFINITY, 0.0f64), |(lo, hi), &s| (lo.min(s), hi.max(s)));
+            .fold((f64::INFINITY, 0.0f64), |(lo, hi), &s| {
+                (lo.min(s), hi.max(s))
+            });
         report.push(
-            vec![
-                human_size(size),
-                ms(mean),
-                ms(var.sqrt()),
-                ms(min),
-                ms(max),
-            ],
+            vec![human_size(size), ms(mean), ms(var.sqrt()), ms(min), ms(max)],
             serde_json::json!({
                 "bytes": size,
                 "mean_ms": mean,

@@ -8,9 +8,7 @@ use airphant_bench::report::ms;
 use airphant_bench::{build_dataset, paper_datasets, DatasetKind, Report};
 use airphant_corpus::QueryWorkload;
 use airphant_storage::InMemoryStore;
-use iou_sketch::{
-    CorpusShape, FalsePositiveModel, PostingsList, SketchBuilder, SketchConfig,
-};
+use iou_sketch::{CorpusShape, FalsePositiveModel, PostingsList, SketchBuilder, SketchConfig};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -65,7 +63,9 @@ fn main() {
             let total_fp: usize = workload
                 .iter()
                 .map(|w| {
-                    let t = PostingsList::from_doc_ids(truth.get(w).map(|v| v.as_slice()).unwrap_or(&[]));
+                    let t = PostingsList::from_doc_ids(
+                        truth.get(w).map(|v| v.as_slice()).unwrap_or(&[]),
+                    );
                     sketch.false_positives(w, &t)
                 })
                 .sum();

@@ -4,7 +4,7 @@
 use airphant::AirphantConfig;
 use airphant_bench::report::ms;
 use airphant_bench::{
-    build_all_engines, paper_datasets, search_latencies, summarize, Report,
+    build_all_engines, mean_round_trips, paper_datasets, search_latencies, summarize, Report,
 };
 use airphant_storage::LatencyModel;
 
@@ -12,29 +12,31 @@ fn main() {
     let queries = n_queries();
     let mut report = Report::new(
         "fig06_end_to_end",
-        &["corpus", "engine", "mean_ms", "p99_ms"],
+        &["corpus", "engine", "mean_ms", "p99_ms", "round_trips"],
     );
     for spec in paper_datasets() {
         let config = AirphantConfig::default()
             .with_total_bins(airphant_bench::engines::default_bins(spec.kind))
             .with_seed(1);
-        let (env, engines) =
-            build_all_engines(spec, &config, &LatencyModel::gcs_like(), 42);
+        let (env, engines) = build_all_engines(spec, &config, &LatencyModel::gcs_like(), 42);
         let workload = env.workload(queries, 7);
         for (kind, engine) in &engines {
             let stats = summarize(&search_latencies(engine.as_ref(), &workload, Some(10)));
+            let trips = mean_round_trips(engine.as_ref(), &workload, Some(10));
             report.push(
                 vec![
                     spec.name(),
                     kind.label().to_string(),
                     ms(stats.mean_ms),
                     ms(stats.p99_ms),
+                    format!("{trips:.1}"),
                 ],
                 serde_json::json!({
                     "corpus": spec.name(),
                     "engine": kind.label(),
                     "mean_ms": stats.mean_ms,
                     "p99_ms": stats.p99_ms,
+                    "round_trips": trips,
                     "queries": stats.n,
                 }),
             );

@@ -4,9 +4,7 @@
 
 use airphant::AirphantConfig;
 use airphant_bench::report::ms;
-use airphant_bench::{
-    paper_datasets, search_latencies, summarize, BenchEnv, DatasetKind, Report,
-};
+use airphant_bench::{paper_datasets, search_latencies, summarize, BenchEnv, DatasetKind, Report};
 use airphant_storage::{LatencyModel, RegionProfile};
 
 fn main() {
@@ -15,8 +13,8 @@ fn main() {
         .find(|s| s.kind == DatasetKind::Windows)
         .unwrap();
     let config = AirphantConfig::default()
-            .with_total_bins(airphant_bench::engines::default_bins(spec.kind))
-            .with_seed(1);
+        .with_total_bins(airphant_bench::engines::default_bins(spec.kind))
+        .with_seed(1);
     let env = BenchEnv::prepare(spec, &config);
     let workload = env.workload(30, 7);
 

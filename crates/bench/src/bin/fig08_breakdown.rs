@@ -4,9 +4,7 @@
 
 use airphant::AirphantConfig;
 use airphant_bench::report::ms;
-use airphant_bench::{
-    build_all_engines, paper_datasets, wait_download_pairs, DatasetKind, Report,
-};
+use airphant_bench::{build_all_engines, paper_datasets, wait_download_pairs, DatasetKind, Report};
 use airphant_storage::LatencyModel;
 
 fn main() {
@@ -15,8 +13,8 @@ fn main() {
         .find(|s| s.kind == DatasetKind::Spark)
         .unwrap();
     let config = AirphantConfig::default()
-            .with_total_bins(airphant_bench::engines::default_bins(spec.kind))
-            .with_seed(1);
+        .with_total_bins(airphant_bench::engines::default_bins(spec.kind))
+        .with_seed(1);
     let (env, engines) = build_all_engines(spec, &config, &LatencyModel::gcs_like(), 42);
     // The paper samples 32 queries per method.
     let workload = env.workload(32, 7);

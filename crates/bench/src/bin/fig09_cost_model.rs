@@ -7,7 +7,9 @@ use airphant_bench::{relative_cost, CostParams, Report};
 fn main() {
     let mut report = Report::new(
         "fig09_cost_model",
-        &["size", "tau=0.05", "tau=0.2", "tau=0.4", "tau=0.6", "tau=0.8", "tau=1.0"],
+        &[
+            "size", "tau=0.05", "tau=0.2", "tau=0.4", "tau=0.6", "tau=0.8", "tau=1.0",
+        ],
     );
     let peak = 154.08; // throughput of one Elasticsearch server
     let trough = peak / 20.0;

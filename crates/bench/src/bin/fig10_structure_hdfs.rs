@@ -7,8 +7,8 @@
 use airphant::{AirphantConfig, Searcher};
 use airphant_bench::report::ms;
 use airphant_bench::{
-    lookup_latencies, mean_false_positives, paper_datasets, search_latencies, summarize,
-    BenchEnv, DatasetKind, Report,
+    lookup_latencies, mean_false_positives, paper_datasets, search_latencies, summarize, BenchEnv,
+    DatasetKind, Report,
 };
 use airphant_storage::LatencyModel;
 
@@ -19,7 +19,9 @@ fn main() {
         .unwrap();
     // Prepare raw data once (BenchEnv also builds default engines; we
     // rebuild Airphant per-structure below).
-    let base_config = AirphantConfig::default().with_total_bins(2_000).with_seed(1);
+    let base_config = AirphantConfig::default()
+        .with_total_bins(2_000)
+        .with_seed(1);
     let env = BenchEnv::prepare(spec, &base_config);
     let workload = env.workload(n_queries(), 7);
 

@@ -3,9 +3,7 @@
 
 use airphant::AirphantConfig;
 use airphant_bench::report::ms;
-use airphant_bench::{
-    build_all_engines, paper_datasets, wait_download_pairs, DatasetKind, Report,
-};
+use airphant_bench::{build_all_engines, paper_datasets, wait_download_pairs, DatasetKind, Report};
 use airphant_storage::LatencyModel;
 
 fn main() {
@@ -14,23 +12,28 @@ fn main() {
         .find(|s| s.kind == DatasetKind::Spark)
         .unwrap();
     let config = AirphantConfig::default()
-            .with_total_bins(airphant_bench::engines::default_bins(spec.kind))
-            .with_seed(1);
+        .with_total_bins(airphant_bench::engines::default_bins(spec.kind))
+        .with_seed(1);
     let (env, engines) = build_all_engines(spec, &config, &LatencyModel::gcs_like(), 42);
     let workload = env.workload(32, 7);
 
     let mut report = Report::new(
         "fig11_breakdown_scatter",
-        &["engine", "wait_min..max_ms", "download_min..max_ms", "points"],
+        &[
+            "engine",
+            "wait_min..max_ms",
+            "download_min..max_ms",
+            "points",
+        ],
     );
     for (kind, engine) in &engines {
         let pairs = wait_download_pairs(engine.as_ref(), &workload, Some(10));
-        let (wmin, wmax) = pairs
-            .iter()
-            .fold((f64::INFINITY, 0.0f64), |(lo, hi), p| (lo.min(p.0), hi.max(p.0)));
-        let (dmin, dmax) = pairs
-            .iter()
-            .fold((f64::INFINITY, 0.0f64), |(lo, hi), p| (lo.min(p.1), hi.max(p.1)));
+        let (wmin, wmax) = pairs.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), p| {
+            (lo.min(p.0), hi.max(p.0))
+        });
+        let (dmin, dmax) = pairs.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), p| {
+            (lo.min(p.1), hi.max(p.1))
+        });
         report.push(
             vec![
                 kind.label().to_string(),

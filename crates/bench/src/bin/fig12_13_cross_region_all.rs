@@ -3,9 +3,7 @@
 
 use airphant::AirphantConfig;
 use airphant_bench::report::ms;
-use airphant_bench::{
-    paper_datasets, search_latencies, summarize, BenchEnv, Report,
-};
+use airphant_bench::{paper_datasets, search_latencies, summarize, BenchEnv, Report};
 use airphant_storage::{LatencyModel, RegionProfile};
 
 fn main() {
@@ -23,8 +21,7 @@ fn main() {
         for region in [RegionProfile::london(), RegionProfile::singapore()] {
             let model = LatencyModel::gcs_like().with_region(region.clone());
             for (kind, engine) in env.open_all(&model, 42) {
-                let stats =
-                    summarize(&search_latencies(engine.as_ref(), &workload, Some(10)));
+                let stats = summarize(&search_latencies(engine.as_ref(), &workload, Some(10)));
                 report.push(
                     vec![
                         region.name.clone(),

@@ -4,9 +4,7 @@
 
 use airphant::AirphantConfig;
 use airphant_bench::report::ms;
-use airphant_bench::{
-    lookup_latencies, paper_datasets, summarize, BenchEnv, EngineKind, Report,
-};
+use airphant_bench::{lookup_latencies, paper_datasets, summarize, BenchEnv, EngineKind, Report};
 use airphant_storage::LatencyModel;
 
 fn main() {

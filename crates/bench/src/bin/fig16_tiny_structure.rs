@@ -5,8 +5,8 @@
 use airphant::{AirphantConfig, Searcher};
 use airphant_bench::report::ms;
 use airphant_bench::{
-    lookup_latencies, mean_false_positives, paper_datasets, search_latencies, summarize,
-    BenchEnv, DatasetKind, Report,
+    lookup_latencies, mean_false_positives, paper_datasets, search_latencies, summarize, BenchEnv,
+    DatasetKind, Report,
 };
 use airphant_storage::LatencyModel;
 
@@ -15,13 +15,22 @@ fn main() {
         .into_iter()
         .find(|s| s.kind == DatasetKind::Cranfield)
         .unwrap();
-    let base = AirphantConfig::default().with_total_bins(2_000).with_seed(1);
+    let base = AirphantConfig::default()
+        .with_total_bins(2_000)
+        .with_seed(1);
     let env = BenchEnv::prepare(spec, &base);
     let workload = env.workload(30, 7);
 
     let mut report = Report::new(
         "fig16_tiny_structure",
-        &["bins", "layers", "mean_fp", "search_ms", "lookup_ms", "storage_bytes"],
+        &[
+            "bins",
+            "layers",
+            "mean_fp",
+            "search_ms",
+            "lookup_ms",
+            "storage_bytes",
+        ],
     );
     for bins in [1_000usize, 1_500, 2_000, 2_500, 3_000] {
         for layers in [1usize, 2, 4, 8, 12, 16] {

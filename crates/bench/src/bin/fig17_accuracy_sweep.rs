@@ -4,8 +4,7 @@
 use airphant::{AirphantConfig, Searcher};
 use airphant_bench::report::ms;
 use airphant_bench::{
-    lookup_latencies, paper_datasets, search_latencies, summarize, BenchEnv, DatasetKind,
-    Report,
+    lookup_latencies, paper_datasets, search_latencies, summarize, BenchEnv, DatasetKind, Report,
 };
 use airphant_storage::LatencyModel;
 
@@ -16,7 +15,9 @@ fn main() {
         .into_iter()
         .find(|s| s.kind == DatasetKind::Hdfs)
         .unwrap();
-    let base = AirphantConfig::default().with_total_bins(4_000).with_seed(1);
+    let base = AirphantConfig::default()
+        .with_total_bins(4_000)
+        .with_seed(1);
     let env = BenchEnv::prepare(spec, &base);
     let workload = env.workload(30, 7);
 

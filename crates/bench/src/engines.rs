@@ -193,8 +193,7 @@ mod tests {
         let config = AirphantConfig::default()
             .with_total_bins(1_000)
             .with_seed(1);
-        let (env, engines) =
-            build_all_engines(spec, &config, &LatencyModel::instantaneous(), 3);
+        let (env, engines) = build_all_engines(spec, &config, &LatencyModel::instantaneous(), 3);
         let workload = env.workload(10, 9);
         for word in workload.iter() {
             let mut counts = Vec::new();

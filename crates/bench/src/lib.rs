@@ -22,7 +22,7 @@ pub use cost::{airphant_monthly_cost, elastic_monthly_cost, relative_cost, CostP
 pub use datasets::{build_dataset, paper_datasets, DatasetKind, DatasetSpec};
 pub use engines::{build_all_engines, BenchEnv, EngineKind};
 pub use measure::{
-    lookup_latencies, mean_false_positives, percentile, search_latencies, summarize,
-    wait_download_pairs, LatencyStats,
+    lookup_latencies, mean_false_positives, mean_round_trips, percentile, search_latencies,
+    summarize, wait_download_pairs, LatencyStats,
 };
 pub use report::Report;

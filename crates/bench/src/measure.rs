@@ -96,14 +96,31 @@ pub fn wait_download_pairs(
         .collect()
 }
 
-/// Average observed false positives per query for a sketch-backed engine.
-pub fn mean_false_positives(
+/// Mean dependent storage round trips per query — the single-batch
+/// guarantee metric: ~2 for Airphant (one superpost batch + one document
+/// batch) regardless of query shape, higher for hierarchical indexes.
+pub fn mean_round_trips(
     engine: &dyn SearchEngine,
     workload: &QueryWorkload,
+    top_k: Option<usize>,
 ) -> f64 {
+    let total: u64 = workload
+        .iter()
+        .map(|w| engine.search(w, top_k).expect("search").trace.round_trips())
+        .sum();
+    total as f64 / workload.len().max(1) as f64
+}
+
+/// Average observed false positives per query for a sketch-backed engine.
+pub fn mean_false_positives(engine: &dyn SearchEngine, workload: &QueryWorkload) -> f64 {
     let total: usize = workload
         .iter()
-        .map(|w| engine.search(w, None).expect("search").false_positives_removed)
+        .map(|w| {
+            engine
+                .search(w, None)
+                .expect("search")
+                .false_positives_removed
+        })
         .sum();
     total as f64 / workload.len().max(1) as f64
 }

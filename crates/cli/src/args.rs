@@ -29,7 +29,7 @@ impl Args {
             let arg = &argv[i];
             if let Some(name) = arg.strip_prefix("--") {
                 // Boolean flags take no value; everything else takes one.
-                if matches!(name, "simulate-cloud") {
+                if matches!(name, "simulate-cloud" | "or") {
                     flags.push(arg.clone());
                     i += 1;
                 } else {
@@ -139,8 +139,7 @@ mod tests {
 
     #[test]
     fn boolean_flag_takes_no_value() {
-        let mut a =
-            Args::parse(&argv("search --simulate-cloud --store /tmp w")).unwrap();
+        let mut a = Args::parse(&argv("search --simulate-cloud --store /tmp w")).unwrap();
         assert!(a.flag("--simulate-cloud"));
         assert_eq!(a.required("--store").unwrap(), "/tmp");
         assert_eq!(a.positional(), vec!["w"]);

@@ -4,13 +4,16 @@
 //! to file paths, the way the paper's gcsfuse mount exposes a bucket.
 //!
 //! ```text
-//! airphant build  --store DIR --corpus PREFIX --index PREFIX [--bins N] [--f0 F] [--layers L]
-//! airphant search --store DIR --index PREFIX WORD... [--top K] [--simulate-cloud]
+//! airphant build  --store DIR --corpus PREFIX --index PREFIX
+//!                 [--bins N] [--f0 F] [--layers L] [--ngram N]
+//! airphant search --store DIR --index PREFIX [WORD...]
+//!                 [--or] [--ngram N] [--substring PATTERN] [--gram N]
+//!                 [--top K] [--simulate-cloud]
 //! airphant stats  --store DIR --corpus PREFIX
 //! ```
 
-use airphant::{AirphantConfig, BoolQuery, Builder, Searcher};
-use airphant_corpus::{Corpus, LineSplitter, WhitespaceTokenizer};
+use airphant::{AirphantConfig, Builder, Query, QueryOptions, Searcher};
+use airphant_corpus::{Corpus, LineSplitter, NgramTokenizer, Tokenizer, WhitespaceTokenizer};
 use airphant_storage::{LatencyModel, LocalFsStore, ObjectStore, SimulatedCloudStore};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -20,14 +23,20 @@ use args::Args;
 
 const USAGE: &str = "usage:
   airphant build  --store DIR --corpus PREFIX --index PREFIX
-                  [--bins N] [--f0 F] [--layers L] [--common FRAC]
-  airphant search --store DIR --index PREFIX WORD...
+                  [--bins N] [--f0 F] [--layers L] [--common FRAC] [--ngram N]
+  airphant search --store DIR --index PREFIX [WORD...]
+                  [--or] [--ngram N] [--substring PATTERN] [--gram N]
                   [--top K] [--simulate-cloud] [--timeout-ms MS]
   airphant stats  --store DIR --corpus PREFIX
 
-Multiple WORDs are combined with AND. The store directory is a local
-object store (one file per blob); a corpus PREFIX selects every blob under
-it, parsed as newline-delimited documents of whitespace keywords.";
+Multiple WORDs are combined with AND (--or combines them with OR).
+--substring adds a literal-substring predicate; it needs an index built
+with --ngram N, and search must pass the same --ngram N (the pattern's
+gram size defaults to it, override with --gram). However the query is
+composed, its index lookup is a single batch of concurrent reads. The
+store directory is a local object store (one file per blob); a corpus
+PREFIX selects every blob under it, parsed as newline-delimited
+documents of whitespace keywords (or N-grams under --ngram).";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -57,23 +66,33 @@ fn open_store(args: &mut Args) -> Result<Arc<dyn ObjectStore>, String> {
     Ok(Arc::new(store))
 }
 
-fn open_corpus(args: &mut Args, store: Arc<dyn ObjectStore>) -> Result<Corpus, String> {
+/// The document-word parser selected by `--ngram N` (whitespace keywords
+/// when absent). Build and search must agree on it.
+fn tokenizer_for(ngram: Option<usize>) -> Result<Arc<dyn Tokenizer>, String> {
+    match ngram {
+        None => Ok(Arc::new(WhitespaceTokenizer)),
+        Some(0) => Err("--ngram must be at least 1".into()),
+        Some(n) => Ok(Arc::new(NgramTokenizer::new(n))),
+    }
+}
+
+fn open_corpus(
+    args: &mut Args,
+    store: Arc<dyn ObjectStore>,
+    tokenizer: Arc<dyn Tokenizer>,
+) -> Result<Corpus, String> {
     let prefix = args.required("--corpus")?;
     let blobs = store.list(&prefix).map_err(|e| e.to_string())?;
     if blobs.is_empty() {
         return Err(format!("no blobs under corpus prefix {prefix}"));
     }
-    Ok(Corpus::new(
-        store,
-        blobs,
-        Arc::new(LineSplitter),
-        Arc::new(WhitespaceTokenizer),
-    ))
+    Ok(Corpus::new(store, blobs, Arc::new(LineSplitter), tokenizer))
 }
 
 fn build(args: &mut Args) -> Result<(), String> {
     let store = open_store(args)?;
-    let corpus = open_corpus(args, store)?;
+    let ngram = args.optional_parse::<usize>("--ngram")?;
+    let corpus = open_corpus(args, store, tokenizer_for(ngram)?)?;
     let index = args.required("--index")?;
     let mut config = AirphantConfig::default();
     if let Some(bins) = args.optional_parse::<usize>("--bins")? {
@@ -113,17 +132,61 @@ fn build(args: &mut Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Compose the [`Query`] AST from the command line's words and options.
+///
+/// Under `--ngram N` the index holds grams, not whole words, so a bare
+/// WORD becomes a substring predicate (its grams prefilter, the verify
+/// pass does the exact `contains`); without it, WORDs are exact terms.
+fn compose_query(
+    words: &[String],
+    any: bool,
+    substring: Option<String>,
+    ngram: Option<usize>,
+    gram: usize,
+) -> Result<Query, String> {
+    let mut parts: Vec<Query> = Vec::new();
+    if !words.is_empty() {
+        let terms: Vec<Query> = words
+            .iter()
+            .map(|w| match ngram {
+                Some(n) => Query::substring(w, n),
+                None => Query::term(w),
+            })
+            .collect();
+        parts.push(if any {
+            Query::or(terms)
+        } else {
+            Query::and(terms)
+        });
+    }
+    if let Some(pattern) = substring {
+        parts.push(Query::substring(pattern, gram));
+    }
+    match parts.len() {
+        0 => Err("search needs at least one WORD or --substring".into()),
+        1 => Ok(parts.pop().expect("one part")),
+        _ => Ok(Query::and(parts)),
+    }
+}
+
 fn search(args: &mut Args) -> Result<(), String> {
     let store = open_store(args)?;
     let index = args.required("--index")?;
     let top_k = args.optional_parse::<usize>("--top")?;
     let simulate = args.flag("--simulate-cloud");
+    let any = args.flag("--or");
+    let ngram = args.optional_parse::<usize>("--ngram")?;
+    let substring = args.optional_parse::<String>("--substring")?;
+    let gram = args
+        .optional_parse::<usize>("--gram")?
+        .or(ngram)
+        .unwrap_or(3);
     let timeout_ms = args.optional_parse::<u64>("--timeout-ms")?;
     let words = args.positional();
-    if words.is_empty() {
-        return Err("search needs at least one WORD".into());
-    }
     args.finish()?;
+    if substring.is_some() && ngram.is_none() {
+        return Err("--substring needs an N-gram index: pass --ngram N matching the build".into());
+    }
 
     let store: Arc<dyn ObjectStore> = if simulate {
         Arc::new(SimulatedCloudStore::new(
@@ -134,41 +197,37 @@ fn search(args: &mut Args) -> Result<(), String> {
     } else {
         store
     };
-    let searcher = Searcher::open(store, &index).map_err(|e| e.to_string())?;
+    let searcher = Searcher::open_with_tokenizer(store, &index, tokenizer_for(ngram)?)
+        .map_err(|e| e.to_string())?;
 
-    let result = if words.len() == 1 {
-        match timeout_ms {
-            Some(_) if top_k.is_some() => {
-                return Err("--timeout-ms and --top cannot be combined".into())
-            }
-            Some(ms) => {
-                let (postings, trace) = searcher
-                    .lookup_with_timeout(
-                        &words[0],
-                        airphant_storage::SimDuration::from_millis(ms),
-                    )
-                    .map_err(|e| e.to_string())?;
-                println!(
-                    "lookup({:?}) with {ms}ms timeout: {} candidate(s) in {}",
-                    words[0],
-                    postings.len(),
-                    trace.total()
-                );
-                return Ok(());
-            }
-            None => searcher
-                .search(&words[0], top_k)
-                .map_err(|e| e.to_string())?,
+    if let Some(ms) = timeout_ms {
+        if top_k.is_some() {
+            return Err("--timeout-ms and --top cannot be combined".into());
         }
-    } else {
-        let query = BoolQuery::and(words.iter().map(BoolQuery::term));
-        searcher.search_boolean(&query).map_err(|e| e.to_string())?
-    };
+        if words.len() != 1 || substring.is_some() {
+            return Err("--timeout-ms applies to a single WORD lookup".into());
+        }
+        let (postings, trace) = searcher
+            .lookup_with_timeout(&words[0], airphant_storage::SimDuration::from_millis(ms))
+            .map_err(|e| e.to_string())?;
+        println!(
+            "lookup({:?}) with {ms}ms timeout: {} candidate(s) in {}",
+            words[0],
+            postings.len(),
+            trace.total()
+        );
+        return Ok(());
+    }
+
+    let query = compose_query(&words, any, substring, ngram, gram)?;
+    let opts = QueryOptions::new().with_top_k(top_k);
+    let result = searcher.execute(&query, &opts).map_err(|e| e.to_string())?;
 
     println!(
-        "{} hit(s) in {} simulated ({} requests, {} bytes, {} FP filtered)",
+        "{} hit(s) in {} simulated ({} round trip(s), {} requests, {} bytes, {} FP filtered)",
         result.hits.len(),
         result.latency(),
+        result.trace.round_trips(),
         result.trace.requests(),
         result.trace.bytes(),
         result.false_positives_removed,
@@ -181,7 +240,7 @@ fn search(args: &mut Args) -> Result<(), String> {
 
 fn stats(args: &mut Args) -> Result<(), String> {
     let store = open_store(args)?;
-    let corpus = open_corpus(args, store)?;
+    let corpus = open_corpus(args, store, Arc::new(WhitespaceTokenizer))?;
     args.finish()?;
     let p = corpus.profile().map_err(|e| e.to_string())?;
     println!("documents: {}", p.n_docs);
@@ -195,4 +254,44 @@ fn stats(args: &mut Args) -> Result<(), String> {
         println!("  {df:>8}  {word}");
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn owned(words: &[&str]) -> Vec<String> {
+        words.iter().map(|w| w.to_string()).collect()
+    }
+
+    #[test]
+    fn compose_words_default_and() {
+        let q = compose_query(&owned(&["a", "b"]), false, None, None, 3).unwrap();
+        assert_eq!(q, Query::and([Query::term("a"), Query::term("b")]));
+    }
+
+    #[test]
+    fn compose_words_or_flag() {
+        let q = compose_query(&owned(&["a", "b"]), true, None, None, 3).unwrap();
+        assert_eq!(q, Query::or([Query::term("a"), Query::term("b")]));
+    }
+
+    #[test]
+    fn compose_substring_alone_and_mixed() {
+        let q = compose_query(&[], false, Some("blk_".into()), Some(3), 3).unwrap();
+        assert_eq!(q, Query::substring("blk_", 3));
+        let q = compose_query(&owned(&["err"]), false, Some("disk".into()), None, 4).unwrap();
+        assert_eq!(
+            q,
+            Query::and([
+                Query::and([Query::term("err")]),
+                Query::substring("disk", 4)
+            ])
+        );
+    }
+
+    #[test]
+    fn compose_empty_is_an_error() {
+        assert!(compose_query(&[], false, None, None, 3).is_err());
+    }
 }

@@ -1,143 +1,39 @@
-//! Boolean queries over the IoU Sketch (§IV-F).
+//! Boolean-query compatibility shims (§IV-F).
 //!
-//! "IoU Sketch executes any Boolean query by distributing its query
-//! function to each term predicate: `Q(⋁_i ⋀_j w_ij) = ⋃_i ⋂_j Q(w_ij)`".
-//! Intersections reduce false positives, unions add them; the document
-//! content filter at the end restores exact results either way.
+//! The boolean surface now lives on the unified [`Query`] AST and the
+//! [`Searcher::execute`] planner, which resolves *every* term of a
+//! compound query in one superpost batch (the old `search_boolean` issued
+//! one batch per term). This module keeps the old names alive as thin,
+//! deprecated wrappers so existing callers migrate at their own pace; the
+//! tests below double as equivalence tests between the two surfaces.
+//! See `docs/adr/001-unified-query-api.md` for the deprecation path.
 
+use crate::query::{Query, QueryOptions};
 use crate::result::SearchResult;
-use crate::retrieval::fetch_and_filter;
 use crate::searcher::Searcher;
 use crate::Result;
-use airphant_storage::QueryTrace;
-use iou_sketch::PostingsList;
 
-/// A Boolean keyword query.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum BoolQuery {
-    /// A single keyword.
-    Term(String),
-    /// All sub-queries must match.
-    And(Vec<BoolQuery>),
-    /// Any sub-query may match.
-    Or(Vec<BoolQuery>),
-}
-
-impl BoolQuery {
-    /// Convenience constructor for a term.
-    pub fn term(word: impl Into<String>) -> Self {
-        BoolQuery::Term(word.into())
-    }
-
-    /// Conjunction of queries.
-    pub fn and(queries: impl IntoIterator<Item = BoolQuery>) -> Self {
-        BoolQuery::And(queries.into_iter().collect())
-    }
-
-    /// Disjunction of queries.
-    pub fn or(queries: impl IntoIterator<Item = BoolQuery>) -> Self {
-        BoolQuery::Or(queries.into_iter().collect())
-    }
-
-    /// All distinct terms mentioned by the query, in first-appearance order.
-    pub fn terms(&self) -> Vec<&str> {
-        let mut out = Vec::new();
-        self.collect_terms(&mut out);
-        out
-    }
-
-    fn collect_terms<'a>(&'a self, out: &mut Vec<&'a str>) {
-        match self {
-            BoolQuery::Term(w) => {
-                if !out.contains(&w.as_str()) {
-                    out.push(w);
-                }
-            }
-            BoolQuery::And(qs) | BoolQuery::Or(qs) => {
-                for q in qs {
-                    q.collect_terms(out);
-                }
-            }
-        }
-    }
-
-    /// Evaluate the query over per-term postings (the `⋃⋂Q(w)` identity).
-    /// Unknown terms resolve to the empty list.
-    pub fn evaluate(
-        &self,
-        postings_of: &dyn Fn(&str) -> PostingsList,
-    ) -> PostingsList {
-        match self {
-            BoolQuery::Term(w) => postings_of(w),
-            BoolQuery::And(qs) => {
-                let mut lists = qs.iter().map(|q| q.evaluate(postings_of));
-                let first = lists.next().unwrap_or_default();
-                lists.fold(first, |acc, l| acc.intersect(&l))
-            }
-            BoolQuery::Or(qs) => qs
-                .iter()
-                .map(|q| q.evaluate(postings_of))
-                .fold(PostingsList::new(), |acc, l| acc.union(&l)),
-        }
-    }
-
-    /// Whether a document's *exact* word set satisfies the query —
-    /// the content-filter predicate.
-    pub fn matches(&self, has_word: &dyn Fn(&str) -> bool) -> bool {
-        match self {
-            BoolQuery::Term(w) => has_word(w),
-            BoolQuery::And(qs) => qs.iter().all(|q| q.matches(has_word)),
-            BoolQuery::Or(qs) => qs.iter().any(|q| q.matches(has_word)),
-        }
-    }
-}
+/// The pre-0.2 name of the query AST.
+///
+/// `BoolQuery`'s `Term` / `And` / `Or` variants and its `term` / `and` /
+/// `or` constructors are all still available — they are [`Query`]'s.
+#[deprecated(since = "0.2.0", note = "use `airphant::Query`")]
+pub type BoolQuery = Query;
 
 impl Searcher {
-    /// Execute a Boolean query: one lookup per distinct term (each a single
-    /// concurrent superpost batch), set algebra over the per-term postings,
-    /// then document fetch + exact Boolean filtering.
-    pub fn search_boolean(&self, query: &BoolQuery) -> Result<SearchResult> {
-        let mut trace = QueryTrace::new();
-        // Resolve every distinct term once.
-        let mut term_postings: Vec<(String, PostingsList)> = Vec::new();
-        for term in query.terms() {
-            let (list, t) = self.lookup(term)?;
-            trace.extend(&t);
-            term_postings.push((term.to_owned(), list));
-        }
-        let lookup = |w: &str| -> PostingsList {
-            term_postings
-                .iter()
-                .find(|(t, _)| t == w)
-                .map(|(_, l)| l.clone())
-                .unwrap_or_default()
-        };
-        let candidates_list = query.evaluate(&lookup);
-        let candidates: Vec<iou_sketch::Posting> =
-            candidates_list.iter().copied().collect();
-
-        let tokenizer = self.tokenizer().clone();
-        let predicate = move |text: &str| {
-            let tokens = tokenizer.tokens(text);
-            query.matches(&|w| tokens.iter().any(|t| t == w))
-        };
-        let (hits, dropped) = fetch_and_filter(
-            self.store_dyn(),
-            self.mht().string_table(),
-            &candidates,
-            &predicate,
-            &mut trace,
-        )?;
-        Ok(SearchResult {
-            hits,
-            trace,
-            candidates: candidates.len(),
-            false_positives_removed: dropped,
-        })
+    /// Execute a Boolean query.
+    ///
+    /// Deprecated shim over [`Searcher::execute`] with default
+    /// [`QueryOptions`]; the planner fetches all terms' superposts in a
+    /// single batch instead of one batch per term.
+    #[deprecated(since = "0.2.0", note = "use `Searcher::execute`")]
+    pub fn search_boolean(&self, query: &Query) -> Result<SearchResult> {
+        self.execute(query, &QueryOptions::new())
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::builder::Builder;
@@ -145,6 +41,7 @@ mod tests {
     use airphant_corpus::{Corpus, LineSplitter, WhitespaceTokenizer};
     use airphant_storage::{InMemoryStore, ObjectStore};
     use bytes::Bytes;
+    use iou_sketch::PostingsList;
     use std::sync::Arc;
 
     fn hits_texts(r: &SearchResult) -> Vec<&str> {
@@ -220,6 +117,19 @@ mod tests {
     }
 
     #[test]
+    fn shim_agrees_with_execute() {
+        let s = searcher();
+        let q = Query::or([
+            Query::and([Query::term("error"), Query::term("disk")]),
+            Query::term("info"),
+        ]);
+        let old = s.search_boolean(&q).unwrap();
+        let new = s.execute(&q, &QueryOptions::new()).unwrap();
+        assert_eq!(hits_texts(&old), hits_texts(&new));
+        assert_eq!(old.candidates, new.candidates);
+    }
+
+    #[test]
     fn unknown_terms_resolve_empty() {
         let s = searcher();
         let q = BoolQuery::and([BoolQuery::term("error"), BoolQuery::term("zzz-missing")]);
@@ -265,7 +175,25 @@ mod tests {
         let lookup = |_: &str| PostingsList::from_doc_ids(&[1]);
         assert!(BoolQuery::And(vec![]).evaluate(&lookup).is_empty());
         assert!(BoolQuery::Or(vec![]).evaluate(&lookup).is_empty());
-        assert!(BoolQuery::And(vec![]).matches(&|_| false));
+        // Empty groups match nothing — candidates and verify agree (the
+        // pre-0.2 vacuously-true empty AND let sketch false positives
+        // through the verify pass when nested under an OR).
+        assert!(!BoolQuery::And(vec![]).matches(&|_| false));
         assert!(!BoolQuery::Or(vec![]).matches(&|_| true));
+    }
+
+    #[test]
+    fn empty_and_under_or_keeps_perfect_precision() {
+        // Regression: Or([And([]), term]) must behave exactly like the
+        // bare term — no false positives admitted by the empty group.
+        let s = searcher();
+        let bare = s.search("error", None).unwrap();
+        let wrapped = s
+            .execute(
+                &Query::or([Query::And(vec![]), Query::term("error")]),
+                &QueryOptions::new(),
+            )
+            .unwrap();
+        assert_eq!(hits_texts(&bare), hits_texts(&wrapped));
     }
 }

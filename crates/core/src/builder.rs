@@ -14,8 +14,8 @@ use airphant_corpus::{Corpus, CorpusProfile};
 use bytes::BytesMut;
 use iou_sketch::encoding::{encode_superpost, BinPointer, StringTable};
 use iou_sketch::{
-    optimize_layers, CommonWords, CorpusShape, FalsePositiveModel, Mht, PostingsList,
-    RejectReason, SketchBuilder, SketchConfig,
+    optimize_layers, CommonWords, CorpusShape, FalsePositiveModel, Mht, PostingsList, RejectReason,
+    SketchBuilder, SketchConfig,
 };
 use std::collections::HashMap;
 
@@ -98,7 +98,11 @@ impl<'a> BlockWriter<'a> {
         if !self.current.is_empty() && self.current.len() + encoded.len() > self.target {
             self.flush()?;
         }
-        let ptr = BinPointer::new(self.block_idx, self.current.len() as u64, encoded.len() as u32);
+        let ptr = BinPointer::new(
+            self.block_idx,
+            self.current.len() as u64,
+            encoded.len() as u32,
+        );
         self.current.extend_from_slice(encoded);
         Ok(ptr)
     }
@@ -130,20 +134,17 @@ fn encode_layers_parallel(bins: &[Vec<PostingsList>]) -> Vec<Vec<bytes::Bytes>> 
             }
             let chunk = layer.len().div_ceil(workers);
             let mut out: Vec<bytes::Bytes> = Vec::with_capacity(layer.len());
-            crossbeam::scope(|s| {
+            std::thread::scope(|s| {
                 let handles: Vec<_> = layer
                     .chunks(chunk)
                     .map(|part| {
-                        s.spawn(move |_| {
-                            part.iter().map(encode_superpost).collect::<Vec<_>>()
-                        })
+                        s.spawn(move || part.iter().map(encode_superpost).collect::<Vec<_>>())
                     })
                     .collect();
                 for h in handles {
                     out.extend(h.join().expect("encode worker"));
                 }
-            })
-            .expect("encode scope");
+            });
             out
         })
         .collect()
@@ -184,10 +185,8 @@ impl Builder {
             common_fraction: self.config.common_fraction,
         };
         let sketch_bins = sketch_cfg_probe.sketch_bins();
-        let shape = CorpusShape::uniform(
-            profile.doc_distinct_sizes.iter().copied(),
-            profile.n_terms,
-        );
+        let shape =
+            CorpusShape::uniform(profile.doc_distinct_sizes.iter().copied(), profile.n_terms);
         let model = FalsePositiveModel::new(shape, sketch_bins.max(1));
         let optimal_layers = match self.config.manual_layers {
             Some(l) => l,
@@ -261,11 +260,7 @@ impl Builder {
         // 32-vCPU VM); block layout stays deterministic because append
         // order is preserved after the parallel encode.
         let store = corpus.store();
-        let mut writer = BlockWriter::new(
-            store.as_ref(),
-            prefix,
-            self.config.block_target_bytes,
-        );
+        let mut writer = BlockWriter::new(store.as_ref(), prefix, self.config.block_target_bytes);
         let encoded_layers = encode_layers_parallel(&bins);
         let mut pointers: Vec<Vec<BinPointer>> = Vec::with_capacity(layers);
         for encoded_layer in &encoded_layers {

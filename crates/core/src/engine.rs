@@ -3,10 +3,15 @@
 //! SQLite-like, HashTable).
 //!
 //! Each engine indexes the same parsed corpus, persists its structures in
-//! the same object store, and answers keyword queries, reporting a
-//! [`QueryTrace`] so the experiments can compare end-to-end latency, term
-//! lookup latency, and the wait/download breakdown across systems.
+//! the same object store, and answers [`Query`] ASTs through
+//! [`SearchEngine::execute`], reporting a [`QueryTrace`] so the
+//! experiments can compare end-to-end latency, term lookup latency, the
+//! wait/download breakdown, and — via
+//! [`QueryTrace::round_trips`](airphant_storage::QueryTrace::round_trips)
+//! — the dependent round-trip structure that the paper's analysis
+//! attributes the latency differences to.
 
+use crate::query::{Query, QueryOptions};
 use crate::result::SearchResult;
 use crate::Result;
 use airphant_storage::QueryTrace;
@@ -28,9 +33,20 @@ pub trait SearchEngine {
     /// approximate) postings list. This is what Figure 14 measures.
     fn lookup(&self, word: &str) -> Result<(PostingsList, QueryTrace)>;
 
-    /// Full search: lookup, fetch documents, filter. `top_k = Some(k)`
-    /// bounds the result set.
-    fn search(&self, word: &str, top_k: Option<usize>) -> Result<SearchResult>;
+    /// Execute a full [`Query`] AST: resolve every term/gram, evaluate
+    /// the boolean algebra, fetch candidate documents, and filter to
+    /// exact results. Airphant's implementation resolves the *whole*
+    /// query in a single superpost batch; hierarchical baselines pay
+    /// their per-atom round-trip structure.
+    fn execute(&self, query: &Query, opts: &QueryOptions) -> Result<SearchResult>;
+
+    /// Single-keyword search; `top_k = Some(k)` bounds the result set.
+    ///
+    /// Default shim over [`SearchEngine::execute`] with a bare
+    /// [`Query::Term`] — engines only implement `execute`.
+    fn search(&self, word: &str, top_k: Option<usize>) -> Result<SearchResult> {
+        self.execute(&Query::term(word), &QueryOptions::new().with_top_k(top_k))
+    }
 
     /// Total bytes of index structures this engine persisted (for the
     /// storage-usage comparisons, Figure 15b).
@@ -50,8 +66,8 @@ impl SearchEngine for crate::Searcher {
         crate::Searcher::lookup(self, word)
     }
 
-    fn search(&self, word: &str, top_k: Option<usize>) -> Result<SearchResult> {
-        crate::Searcher::search(self, word, top_k)
+    fn execute(&self, query: &Query, opts: &QueryOptions) -> Result<SearchResult> {
+        crate::Searcher::execute(self, query, opts)
     }
 
     fn index_bytes(&self) -> u64 {
@@ -86,8 +102,7 @@ mod tests {
         Builder::new(AirphantConfig::default().with_total_bins(64))
             .build(&corpus, "idx")
             .unwrap();
-        let engine: Box<dyn SearchEngine> =
-            Box::new(Searcher::open(store, "idx").unwrap());
+        let engine: Box<dyn SearchEngine> = Box::new(Searcher::open(store, "idx").unwrap());
         assert_eq!(engine.name(), "AIRPHANT");
         let r = engine.search("alpha", None).unwrap();
         assert_eq!(r.hits.len(), 1);
@@ -95,5 +110,33 @@ mod tests {
         assert!(!postings.is_empty());
         assert!(engine.index_bytes() > 0);
         assert!(engine.init_trace().bytes() > 0);
+    }
+
+    #[test]
+    fn trait_search_shim_equals_execute() {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        store
+            .put("c/b", Bytes::from_static(b"alpha beta\nalpha gamma\nbeta"))
+            .unwrap();
+        let corpus = Corpus::new(
+            store.clone(),
+            vec!["c/b".into()],
+            Arc::new(LineSplitter),
+            Arc::new(WhitespaceTokenizer),
+        );
+        Builder::new(AirphantConfig::default().with_total_bins(64))
+            .build(&corpus, "idx")
+            .unwrap();
+        let engine: Box<dyn SearchEngine> = Box::new(Searcher::open(store, "idx").unwrap());
+        let via_shim = engine.search("alpha", Some(5)).unwrap();
+        let via_execute = engine
+            .execute(&Query::term("alpha"), &QueryOptions::new().top_k(5))
+            .unwrap();
+        let texts = |r: &crate::SearchResult| {
+            let mut v: Vec<String> = r.hits.iter().map(|h| h.text.clone()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(texts(&via_shim), texts(&via_execute));
     }
 }

@@ -19,6 +19,16 @@ pub enum AirphantError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A substring pattern shorter than the index's gram size: it cannot
+    /// be prefiltered through the N-gram index, so instead of silently
+    /// returning nothing (or degrading to a corpus scan) the query is
+    /// rejected with this typed error.
+    PatternTooShort {
+        /// The offending pattern.
+        pattern: String,
+        /// The gram size the query targeted.
+        n: usize,
+    },
 }
 
 impl fmt::Display for AirphantError {
@@ -30,6 +40,10 @@ impl fmt::Display for AirphantError {
                 write!(f, "no index found under prefix {prefix}")
             }
             AirphantError::InvalidConfig { reason } => write!(f, "invalid config: {reason}"),
+            AirphantError::PatternTooShort { pattern, n } => write!(
+                f,
+                "substring pattern {pattern:?} is shorter than the index gram size {n}"
+            ),
         }
     }
 }
@@ -62,10 +76,8 @@ mod tests {
 
     #[test]
     fn conversions_and_display() {
-        let e: AirphantError = airphant_storage::StorageError::BlobNotFound {
-            name: "x".into(),
-        }
-        .into();
+        let e: AirphantError =
+            airphant_storage::StorageError::BlobNotFound { name: "x".into() }.into();
         assert!(e.to_string().contains("blob not found"));
         let e: AirphantError = iou_sketch::SketchError::InvalidConfig {
             reason: "bad".into(),
@@ -77,5 +89,11 @@ mod tests {
         }
         .to_string()
         .contains("idx"));
+        let e = AirphantError::PatternTooShort {
+            pattern: "ab".into(),
+            n: 3,
+        };
+        assert!(e.to_string().contains("\"ab\""));
+        assert!(e.to_string().contains('3'));
     }
 }

@@ -16,15 +16,25 @@
 //!
 //! ## Quick start
 //!
+//! Every lookup goes through one API: build a [`Query`] (a term, a
+//! boolean combination, a phrase, or a substring pattern), then
+//! [`Searcher::execute`] it. The planner resolves *all* of the query's
+//! terms and grams from the in-memory MHT and fetches every superpost in
+//! a **single** concurrent batch — compound queries pay the same one
+//! round-trip wait as single keywords.
+//!
 //! ```
 //! use std::sync::Arc;
-//! use airphant::{AirphantConfig, Builder, Searcher};
+//! use airphant::{AirphantConfig, Builder, Query, QueryOptions, Searcher};
 //! use airphant_corpus::{Corpus, LineSplitter, WhitespaceTokenizer};
 //! use airphant_storage::{InMemoryStore, ObjectStore};
 //! use bytes::Bytes;
 //!
 //! let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
-//! store.put("corpus/blob-0", Bytes::from_static(b"hello world\nhello airphant")).unwrap();
+//! store.put(
+//!     "corpus/blob-0",
+//!     Bytes::from_static(b"hello world\nhello airphant\nbye airphant"),
+//! ).unwrap();
 //! let corpus = Corpus::new(
 //!     store.clone(),
 //!     vec!["corpus/blob-0".into()],
@@ -36,9 +46,26 @@
 //! let built = Builder::new(config).build(&corpus, "index").unwrap();
 //!
 //! let searcher = Searcher::open(store, "index").unwrap();
+//!
+//! // Single keyword — the convenience shim over `execute`.
 //! let result = searcher.search("airphant", None).unwrap();
+//! assert_eq!(result.hits.len(), 2);
+//!
+//! // Compound query: both terms' superposts arrive in ONE storage batch.
+//! let query = Query::and([Query::term("hello"), Query::term("airphant")]);
+//! let result = searcher.execute(&query, &QueryOptions::new()).unwrap();
 //! assert_eq!(result.hits.len(), 1);
-//! assert!(result.hits[0].text.contains("airphant"));
+//! assert!(result.hits[0].text.contains("hello airphant"));
+//! assert_eq!(
+//!     result.trace.round_trips_of(airphant_storage::PhaseKind::Postings),
+//!     1,
+//! );
+//!
+//! // Top-k with the sampled fetch of Equation 6.
+//! let top = searcher
+//!     .execute(&Query::term("hello"), &QueryOptions::new().top_k(1))
+//!     .unwrap();
+//! assert_eq!(top.hits.len(), 1);
 //! # let _ = built;
 //! ```
 
@@ -49,17 +76,22 @@ pub mod builder;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod plan;
+pub mod query;
 pub mod result;
 pub mod retrieval;
 pub mod searcher;
 pub mod segments;
 pub mod substring;
 
+#[allow(deprecated)]
 pub use boolean::BoolQuery;
 pub use builder::{BuildReport, Builder};
 pub use config::AirphantConfig;
 pub use engine::SearchEngine;
 pub use error::AirphantError;
+pub use plan::execute_with_lookup;
+pub use query::{Query, QueryOptions};
 pub use result::{SearchHit, SearchResult};
 pub use searcher::Searcher;
 pub use segments::{SegmentManager, SegmentedSearcher};

@@ -1,0 +1,499 @@
+//! Two-stage query planning and execution.
+//!
+//! **Stage 1 — plan.** Walk the [`Query`] AST and collect every distinct
+//! lookup atom (terms, phrase words, substring grams) via
+//! [`Query::atoms`]. For each segment's in-memory MHT, resolve every
+//! atom to its superpost pointers and coalesce *all* resulting ranged
+//! reads — across atoms, layers, and segments — into a single request
+//! vector, deduplicating identical ranges.
+//!
+//! **Stage 2 — execute.** Issue the whole vector as **one**
+//! [`ObjectStore::get_ranges`] batch (one storage round trip, §III-C),
+//! decode each atom's superposts, intersect per atom, evaluate the
+//! boolean algebra over the per-atom postings, then fetch the surviving
+//! candidate documents in one more batch and run the exact verify pass.
+//!
+//! The old per-term execution paid one lookup round trip per term/gram
+//! (and per segment); the planner pays exactly one regardless of query
+//! shape — `trace.round_trips_of(PhaseKind::Postings) == 1` is asserted
+//! in the test suite.
+
+use crate::query::{Query, QueryOptions};
+use crate::result::{SearchHit, SearchResult};
+use crate::retrieval::BlobResolver;
+use crate::searcher::{sample_postings, seed_for, Searcher};
+use crate::Result;
+use airphant_corpus::Tokenizer;
+use airphant_storage::{ObjectStore, PhaseKind, QueryTrace, RangeRequest, SimDuration};
+use iou_sketch::encoding::decode_superpost;
+use iou_sketch::mht::WordLookup;
+use iou_sketch::{sample_size_for_top_k, Posting, PostingsList};
+use std::collections::HashMap;
+
+/// Per-atom postings for each segment, resolved in one storage batch.
+type SegmentAtomPostings = Vec<HashMap<String, PostingsList>>;
+
+/// Resolve `atoms` against every segment's MHT and fetch all superposts
+/// in a single concurrent batch, recording one [`PhaseKind::Postings`]
+/// phase on `trace`. Returns, per segment, each atom's intersected
+/// postings list.
+pub(crate) fn lookup_atoms(
+    segments: &[&Searcher],
+    atoms: &[String],
+    trace: &mut QueryTrace,
+) -> Result<SegmentAtomPostings> {
+    // --- Plan: coalesce every pointer into one deduplicated request vec.
+    let mut requests: Vec<RangeRequest> = Vec::new();
+    let mut request_index: HashMap<(String, u64, u64), usize> = HashMap::new();
+    let mut push_request = |req: RangeRequest, requests: &mut Vec<RangeRequest>| -> usize {
+        let key = (req.name.clone(), req.offset, req.len);
+        *request_index.entry(key).or_insert_with(|| {
+            requests.push(req);
+            requests.len() - 1
+        })
+    };
+
+    // Per segment, per atom: the request indices whose decoded superposts
+    // intersect to the atom's postings.
+    let mut fetch_plan: Vec<Vec<(usize, Vec<usize>)>> = Vec::with_capacity(segments.len());
+    for searcher in segments {
+        let mut seg_plan = Vec::with_capacity(atoms.len());
+        for (atom_idx, atom) in atoms.iter().enumerate() {
+            let indices: Vec<usize> = match searcher.mht().lookup(atom) {
+                WordLookup::Common(ptr) => vec![push_request(
+                    RangeRequest::new(
+                        searcher.resolve_block(ptr.block),
+                        ptr.offset,
+                        ptr.len as u64,
+                    ),
+                    &mut requests,
+                )],
+                WordLookup::Sketched(ptrs) => ptrs
+                    .iter()
+                    .map(|p| {
+                        push_request(
+                            RangeRequest::new(
+                                searcher.resolve_block(p.block),
+                                p.offset,
+                                p.len as u64,
+                            ),
+                            &mut requests,
+                        )
+                    })
+                    .collect(),
+            };
+            seg_plan.push((atom_idx, indices));
+        }
+        fetch_plan.push(seg_plan);
+    }
+
+    if requests.is_empty() {
+        return Ok(segments.iter().map(|_| HashMap::new()).collect());
+    }
+
+    // --- Execute: one batch of concurrent ranged reads for everything.
+    let batch = segments[0].store_dyn().get_ranges(&requests)?;
+    trace.record_batch(PhaseKind::Postings, &batch);
+
+    let compute_start = std::time::Instant::now();
+    // Decode each distinct range at most once, even when shared between
+    // atoms (hash collisions) or repeated across the query; atoms then
+    // intersect over references, never cloning the decoded superposts.
+    let mut decoded: Vec<Option<PostingsList>> = vec![None; requests.len()];
+    for seg_plan in &fetch_plan {
+        for (_, indices) in seg_plan {
+            for &i in indices {
+                if decoded[i].is_none() {
+                    decoded[i] = Some(decode_superpost(&batch.parts[i].bytes)?);
+                }
+            }
+        }
+    }
+
+    let mut out: SegmentAtomPostings = Vec::with_capacity(segments.len());
+    for seg_plan in &fetch_plan {
+        let mut map = HashMap::with_capacity(atoms.len());
+        for (atom_idx, indices) in seg_plan {
+            let refs: Vec<&PostingsList> = indices
+                .iter()
+                .map(|&i| decoded[i].as_ref().expect("pre-decoded"))
+                .collect();
+            let postings = PostingsList::intersect_all(&refs);
+            map.insert(atoms[*atom_idx].clone(), postings);
+        }
+        out.push(map);
+    }
+    trace.record_compute(SimDuration::from_secs_f64(
+        compute_start.elapsed().as_secs_f64(),
+    ));
+    Ok(out)
+}
+
+/// Evaluate `query` over one segment's atom postings.
+fn evaluate_segment(query: &Query, atom_postings: &HashMap<String, PostingsList>) -> PostingsList {
+    query.evaluate(&|w| atom_postings.get(w).cloned().unwrap_or_default())
+}
+
+/// Index-lookup phase only: plan, fetch one superpost batch, evaluate
+/// the boolean algebra. Returns the union of every segment's candidate
+/// postings and the lookup trace (exactly one round trip).
+pub(crate) fn lookup_over(
+    segments: &[&Searcher],
+    query: &Query,
+) -> Result<(PostingsList, QueryTrace)> {
+    let atoms = query.atoms()?;
+    let mut trace = QueryTrace::new();
+    let maps = lookup_atoms(segments, &atoms, &mut trace)?;
+    let mut out = PostingsList::new();
+    for map in &maps {
+        out.union_with(&evaluate_segment(query, map));
+    }
+    Ok((out, trace))
+}
+
+/// Full planned execution over one or more segments: one superpost batch,
+/// boolean evaluation, one document batch, exact verify.
+pub(crate) fn execute_over(
+    segments: &[&Searcher],
+    query: &Query,
+    opts: &QueryOptions,
+) -> Result<SearchResult> {
+    let atoms = query.atoms()?;
+    let mut trace = QueryTrace::new();
+    let maps = lookup_atoms(segments, &atoms, &mut trace)?;
+
+    // Candidate selection per segment, with the legacy sampled fetch on
+    // the single-keyword + top-k fast path (Equation 6).
+    let mut candidates_total = 0usize;
+    let mut doc_requests: Vec<RangeRequest> = Vec::new();
+    let mut doc_segments: Vec<usize> = Vec::new();
+    for (seg_idx, (searcher, map)) in segments.iter().zip(&maps).enumerate() {
+        let candidates = evaluate_segment(query, map);
+        candidates_total += candidates.len();
+        let to_fetch: Vec<Posting> = match (query.as_single_term(), opts.top_k) {
+            (Some(word), Some(k)) => {
+                let is_common = matches!(searcher.mht().lookup(word), WordLookup::Common(_));
+                let f0 = if is_common {
+                    0.0
+                } else {
+                    searcher.expected_fp()
+                };
+                let delta = opts.delta.unwrap_or_else(|| searcher.topk_delta());
+                let rk = sample_size_for_top_k(k, candidates.len(), f0, delta);
+                sample_postings(&candidates, rk, seed_for(word))
+            }
+            _ => candidates.iter().copied().collect(),
+        };
+        let resolver = searcher.mht().string_table();
+        for p in &to_fetch {
+            let name = resolver.resolve(p.blob).unwrap_or_default().to_owned();
+            doc_requests.push(RangeRequest::new(name, p.offset, p.len as u64));
+            doc_segments.push(seg_idx);
+        }
+    }
+
+    // Fetch-and-filter: one concurrent document batch, then the exact
+    // match against document content (perfect precision, §III-C). This
+    // intentionally does not reuse `retrieval::fetch_and_filter`: that
+    // helper issues its own `get_ranges` per call with a single blob
+    // resolver, while this pass must keep documents from *all* segments
+    // (each with its own string table and tokenizer) in one coalesced
+    // batch.
+    let mut hits = Vec::new();
+    let mut dropped = 0usize;
+    if !doc_requests.is_empty() {
+        let batch = segments[0].store_dyn().get_ranges(&doc_requests)?;
+        trace.record_batch(PhaseKind::Documents, &batch);
+        let filter_start = std::time::Instant::now();
+        for ((req, part), &seg_idx) in doc_requests
+            .iter()
+            .zip(batch.parts.iter())
+            .zip(&doc_segments)
+        {
+            let text = String::from_utf8_lossy(&part.bytes).into_owned();
+            let tokenizer = segments[seg_idx].tokenizer();
+            let tokens = tokenizer.tokens(&text);
+            let has_word = |w: &str| tokens.iter().any(|t| t == w);
+            if query.matches_doc(&has_word, &text) {
+                hits.push(SearchHit {
+                    blob: req.name.clone(),
+                    offset: req.offset,
+                    len: req.len as u32,
+                    text,
+                });
+            } else {
+                dropped += 1;
+            }
+        }
+        trace.record_compute(SimDuration::from_secs_f64(
+            filter_start.elapsed().as_secs_f64(),
+        ));
+    }
+
+    if let Some(k) = opts.top_k {
+        hits.truncate(k);
+    }
+    Ok(SearchResult {
+        hits,
+        trace: if opts.capture_trace {
+            trace
+        } else {
+            QueryTrace::new()
+        },
+        candidates: candidates_total,
+        false_positives_removed: dropped,
+    })
+}
+
+/// Generic executor for engines without a coalescing planner (the
+/// baselines): resolve each atom through the engine's own `lookup` —
+/// paying whatever round-trip structure that index imposes — then
+/// evaluate the algebra and run one fetch-and-filter verify pass.
+///
+/// `exact_postings` marks engines whose postings carry no false
+/// positives (B-tree, skip list); for a bare top-k term query they may
+/// fetch just the first `k` candidates.
+pub fn execute_with_lookup(
+    lookup: &dyn Fn(&str) -> Result<(PostingsList, QueryTrace)>,
+    store: &dyn ObjectStore,
+    resolver: &dyn BlobResolver,
+    tokenizer: &dyn Tokenizer,
+    exact_postings: bool,
+    query: &Query,
+    opts: &QueryOptions,
+) -> Result<SearchResult> {
+    let atoms = query.atoms()?;
+    let mut trace = QueryTrace::new();
+    let mut atom_postings: HashMap<String, PostingsList> = HashMap::with_capacity(atoms.len());
+    let mut atom_traces: Vec<QueryTrace> = Vec::with_capacity(atoms.len());
+    for atom in &atoms {
+        let (list, t) = lookup(atom)?;
+        atom_traces.push(t);
+        atom_postings.insert(atom.clone(), list);
+    }
+    // Per-atom lookups carry no data dependency on each other, so a real
+    // client issues them concurrently: their waits overlap (max) while
+    // each atom's internal chain of dependent reads keeps its depth —
+    // the same convention `QueryTrace::merge_parallel` applies to
+    // segment fan-out. The baseline still pays its per-atom hierarchy;
+    // it just isn't additionally serialized across atoms.
+    trace.extend(&QueryTrace::merge_parallel(&atom_traces));
+    let candidates = evaluate_segment(query, &atom_postings);
+
+    let mut to_fetch: Vec<Posting> = candidates.iter().copied().collect();
+    if exact_postings && query.as_single_term().is_some() {
+        if let Some(k) = opts.top_k {
+            to_fetch.truncate(k);
+        }
+    }
+    let has = |w: &str, tokens: &[String]| tokens.iter().any(|t| t == w);
+    let predicate = |text: &str| {
+        let tokens = tokenizer.tokens(text);
+        query.matches_doc(&|w| has(w, &tokens), text)
+    };
+    let (mut hits, dropped) =
+        crate::retrieval::fetch_and_filter(store, resolver, &to_fetch, &predicate, &mut trace)?;
+    if let Some(k) = opts.top_k {
+        hits.truncate(k);
+    }
+    Ok(SearchResult {
+        hits,
+        trace: if opts.capture_trace {
+            trace
+        } else {
+            QueryTrace::new()
+        },
+        candidates: candidates.len(),
+        false_positives_removed: dropped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::config::AirphantConfig;
+    use airphant_corpus::{Corpus, LineSplitter, NgramTokenizer, WhitespaceTokenizer};
+    use airphant_storage::{InMemoryStore, LatencyModel, SimulatedCloudStore};
+    use bytes::Bytes;
+    use std::sync::Arc;
+
+    fn build(lines: &[&str]) -> (Arc<InMemoryStore>, Searcher) {
+        let inner = Arc::new(InMemoryStore::new());
+        let store: Arc<dyn ObjectStore> = inner.clone();
+        store.put("c/b", Bytes::from(lines.join("\n"))).unwrap();
+        let corpus = Corpus::new(
+            store.clone(),
+            vec!["c/b".into()],
+            Arc::new(LineSplitter),
+            Arc::new(WhitespaceTokenizer),
+        );
+        Builder::new(
+            AirphantConfig::default()
+                .with_total_bins(128)
+                .with_manual_layers(2)
+                .with_common_fraction(0.0),
+        )
+        .build(&corpus, "idx")
+        .unwrap();
+        let searcher = Searcher::open(store, "idx").unwrap();
+        (inner, searcher)
+    }
+
+    fn texts(r: &SearchResult) -> Vec<&str> {
+        let mut v: Vec<&str> = r.hits.iter().map(|h| h.text.as_str()).collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn compound_query_is_one_lookup_round_trip() {
+        let (_, searcher) = build(&[
+            "error disk sda",
+            "error network eth0",
+            "warn disk sdb",
+            "info all good",
+        ]);
+        let query = Query::and([Query::term("error"), Query::term("disk")]);
+        let r = searcher.execute(&query, &QueryOptions::new()).unwrap();
+        assert_eq!(texts(&r), vec!["error disk sda"]);
+        assert_eq!(
+            r.trace.round_trips_of(PhaseKind::Postings),
+            1,
+            "all terms' superposts in one batch"
+        );
+        assert_eq!(r.trace.round_trips(), 2, "lookup batch + document batch");
+    }
+
+    #[test]
+    fn planner_batch_matches_store_accounting() {
+        let inner = InMemoryStore::new();
+        let store = Arc::new(SimulatedCloudStore::new(
+            inner,
+            LatencyModel::gcs_like(),
+            11,
+        ));
+        {
+            let s: Arc<dyn ObjectStore> = store.clone();
+            s.put(
+                "c/b",
+                Bytes::from_static(b"alpha beta gamma\nbeta gamma delta\ngamma delta"),
+            )
+            .unwrap();
+            let corpus = Corpus::new(
+                s.clone(),
+                vec!["c/b".into()],
+                Arc::new(LineSplitter),
+                Arc::new(WhitespaceTokenizer),
+            );
+            Builder::new(
+                AirphantConfig::default()
+                    .with_total_bins(64)
+                    .with_manual_layers(3)
+                    .with_common_fraction(0.0),
+            )
+            .build(&corpus, "idx")
+            .unwrap();
+        }
+        let searcher = Searcher::open(store.clone(), "idx").unwrap();
+        store.reset_stats();
+        let query = Query::and([
+            Query::term("alpha"),
+            Query::term("beta"),
+            Query::or([Query::term("gamma"), Query::term("delta")]),
+        ]);
+        let (postings, trace) = searcher.execute_lookup(&query).unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.batches, 1, "planner issues exactly one batch");
+        assert_eq!(trace.round_trips(), 1);
+        assert!(!postings.is_empty());
+        // Four distinct sketched atoms x 3 layers, minus any shared bins.
+        assert!(stats.read_requests <= 12);
+        assert!(stats.read_requests >= 3);
+    }
+
+    #[test]
+    fn shared_bins_are_fetched_once() {
+        // One term queried under two names that collide into the same bins
+        // would be pathological to arrange; instead assert the dedup path
+        // directly: the same term twice in the AST plans no extra reads.
+        let (_, searcher) = build(&["x y", "y z"]);
+        let single = searcher.execute_lookup(&Query::term("y")).unwrap().1;
+        let double = searcher
+            .execute_lookup(&Query::or([Query::term("y"), Query::term("y")]))
+            .unwrap()
+            .1;
+        assert_eq!(single.requests(), double.requests());
+    }
+
+    #[test]
+    fn substring_inside_boolean_query() {
+        let (_, _) = build(&["unused"]);
+        // N-gram index for substring + term mixing.
+        let inner = Arc::new(InMemoryStore::new());
+        let store: Arc<dyn ObjectStore> = inner.clone();
+        store
+            .put(
+                "c/b",
+                Bytes::from_static(b"blk_12345 received\nblk_99 deleted\npacket drop"),
+            )
+            .unwrap();
+        let corpus = Corpus::new(
+            store.clone(),
+            vec!["c/b".into()],
+            Arc::new(LineSplitter),
+            Arc::new(NgramTokenizer::new(3)),
+        );
+        Builder::new(
+            AirphantConfig::default()
+                .with_total_bins(256)
+                .with_manual_layers(2)
+                .with_common_fraction(0.0),
+        )
+        .build(&corpus, "ng")
+        .unwrap();
+        let searcher =
+            Searcher::open_with_tokenizer(store, "ng", Arc::new(NgramTokenizer::new(3))).unwrap();
+        let q = Query::and([Query::substring("blk_", 3), Query::substring("received", 3)]);
+        let r = searcher.execute(&q, &QueryOptions::new()).unwrap();
+        assert_eq!(r.hits.len(), 1);
+        assert!(r.hits[0].text.contains("blk_12345"));
+        assert_eq!(r.trace.round_trips_of(PhaseKind::Postings), 1);
+    }
+
+    #[test]
+    fn pattern_too_short_is_typed() {
+        let (_, searcher) = build(&["hello world"]);
+        let err = searcher
+            .execute(&Query::substring("he", 3), &QueryOptions::new())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::AirphantError::PatternTooShort { ref pattern, n: 3 } if pattern == "he"
+        ));
+    }
+
+    #[test]
+    fn options_trace_capture_toggle() {
+        let (_, searcher) = build(&["a b", "b c"]);
+        let on = searcher
+            .execute(&Query::term("b"), &QueryOptions::new())
+            .unwrap();
+        assert!(on.trace.requests() > 0);
+        let off = searcher
+            .execute(&Query::term("b"), &QueryOptions::new().without_trace())
+            .unwrap();
+        assert_eq!(off.trace.requests(), 0);
+        assert_eq!(texts(&on), texts(&off));
+    }
+
+    #[test]
+    fn empty_query_shapes_return_empty() {
+        let (_, searcher) = build(&["a b"]);
+        for q in [Query::And(vec![]), Query::Or(vec![]), Query::Phrase(vec![])] {
+            let r = searcher.execute(&q, &QueryOptions::new()).unwrap();
+            assert!(r.hits.is_empty(), "{q:?} must match nothing");
+            assert_eq!(r.trace.round_trips(), 0, "no atoms, no storage traffic");
+        }
+    }
+}

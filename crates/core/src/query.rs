@@ -1,0 +1,464 @@
+//! The unified query AST — the single entry point for every kind of
+//! lookup Airphant supports.
+//!
+//! Historically the crate exposed one method per query shape
+//! (`search(word, top_k)`, `search_boolean(&BoolQuery)`,
+//! `search_substring(pattern, n)`), and each issued its own storage
+//! round trips. A [`Query`] value instead describes the *whole* predicate
+//! up front, which lets the planner ([`crate::plan`]) resolve every
+//! term's and gram's superpost pointers from the in-memory MHT and fetch
+//! them all in **one** concurrent batch — the paper's single-batch
+//! guarantee (§III-C), extended from single keywords to arbitrary
+//! boolean/phrase/substring compositions.
+//!
+//! Semantics follow §IV-F: the query function distributes over the
+//! predicate, `Q(⋁_i ⋀_j w_ij) = ⋃_i ⋂_j Q(w_ij)`; substring predicates
+//! use the trigram filter-then-verify pipeline; the final document filter
+//! restores exactness either way.
+
+use crate::error::AirphantError;
+use airphant_corpus::{NgramTokenizer, Tokenizer};
+use iou_sketch::PostingsList;
+
+/// A composable search predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// A single keyword (exact token match under the index's tokenizer).
+    Term(String),
+    /// All words must occur in the document. Evaluated as a conjunction
+    /// (the index stores no positions, so a phrase is its word-set AND;
+    /// the document filter still sees the full text).
+    Phrase(Vec<String>),
+    /// All sub-queries must match.
+    And(Vec<Query>),
+    /// Any sub-query may match.
+    Or(Vec<Query>),
+    /// The document text contains `pattern` as a case-insensitive
+    /// substring. Requires the index to have been built with an
+    /// [`NgramTokenizer`] of size `n`; the planner prefilters on the
+    /// pattern's `n`-grams and the verify pass does the exact match.
+    Substring {
+        /// The literal substring to find.
+        pattern: String,
+        /// The gram size the index was built with.
+        n: usize,
+    },
+}
+
+impl Query {
+    /// A single-keyword query.
+    pub fn term(word: impl Into<String>) -> Self {
+        Query::Term(word.into())
+    }
+
+    /// A phrase query (conjunction of its words).
+    pub fn phrase<I, S>(words: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Query::Phrase(words.into_iter().map(Into::into).collect())
+    }
+
+    /// Conjunction of sub-queries.
+    pub fn and(queries: impl IntoIterator<Item = Query>) -> Self {
+        Query::And(queries.into_iter().collect())
+    }
+
+    /// Disjunction of sub-queries.
+    pub fn or(queries: impl IntoIterator<Item = Query>) -> Self {
+        Query::Or(queries.into_iter().collect())
+    }
+
+    /// A literal-substring query over an `n`-gram index. Matching is
+    /// case-insensitive, so the pattern is stored case-folded (a
+    /// directly constructed [`Query::Substring`] with uppercase letters
+    /// behaves identically, just without the pre-folding).
+    pub fn substring(pattern: impl Into<String>, n: usize) -> Self {
+        Query::Substring {
+            pattern: pattern.into().to_ascii_lowercase(),
+            n,
+        }
+    }
+
+    /// All distinct keyword terms mentioned by the query (Term and Phrase
+    /// words), in first-appearance order. Substring grams are not terms;
+    /// see [`Query::atoms`].
+    pub fn terms(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_terms(&mut out);
+        out
+    }
+
+    fn collect_terms<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Query::Term(w) => {
+                if !out.contains(&w.as_str()) {
+                    out.push(w);
+                }
+            }
+            Query::Phrase(ws) => {
+                for w in ws {
+                    if !out.contains(&w.as_str()) {
+                        out.push(w);
+                    }
+                }
+            }
+            Query::And(qs) | Query::Or(qs) => {
+                for q in qs {
+                    q.collect_terms(out);
+                }
+            }
+            Query::Substring { .. } => {}
+        }
+    }
+
+    /// Every distinct index lookup key the query needs — terms, phrase
+    /// words, and substring grams — in first-appearance order. This is the
+    /// planner's fetch list: resolving each atom's superpost pointers and
+    /// batching them is what keeps any query at one lookup round trip.
+    ///
+    /// Fails with [`AirphantError::PatternTooShort`] if a substring
+    /// pattern is shorter than its gram size (it could not be prefiltered
+    /// and would silently degrade to a full scan).
+    pub fn atoms(&self) -> crate::Result<Vec<String>> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out)?;
+        Ok(out)
+    }
+
+    fn collect_atoms(&self, out: &mut Vec<String>) -> crate::Result<()> {
+        let push = |w: &str, out: &mut Vec<String>| {
+            if !out.iter().any(|have| have == w) {
+                out.push(w.to_owned());
+            }
+        };
+        match self {
+            Query::Term(w) => push(w, out),
+            Query::Phrase(ws) => {
+                for w in ws {
+                    push(w, out);
+                }
+            }
+            Query::And(qs) | Query::Or(qs) => {
+                for q in qs {
+                    q.collect_atoms(out)?;
+                }
+            }
+            Query::Substring { pattern, n } => {
+                for gram in substring_grams(pattern, *n)? {
+                    push(&gram, out);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluate the query over per-atom postings (the `⋃⋂Q(w)` identity).
+    /// Unknown atoms resolve to the empty list. Substring patterns too
+    /// short to carry grams evaluate to the empty list (use
+    /// [`Query::atoms`] up front for the typed error).
+    pub fn evaluate(&self, postings_of: &dyn Fn(&str) -> PostingsList) -> PostingsList {
+        match self {
+            Query::Term(w) => postings_of(w),
+            Query::Phrase(ws) => intersect_words(ws.iter().map(String::as_str), postings_of),
+            Query::And(qs) => {
+                let mut lists = qs.iter().map(|q| q.evaluate(postings_of));
+                let first = lists.next().unwrap_or_default();
+                lists.fold(first, |acc, l| {
+                    if acc.is_empty() {
+                        acc
+                    } else {
+                        acc.intersect(&l)
+                    }
+                })
+            }
+            Query::Or(qs) => qs
+                .iter()
+                .map(|q| q.evaluate(postings_of))
+                .fold(PostingsList::new(), |acc, l| acc.union(&l)),
+            Query::Substring { pattern, n } => match substring_grams(pattern, *n) {
+                Ok(grams) => intersect_words(grams.iter().map(String::as_str), postings_of),
+                Err(_) => PostingsList::new(),
+            },
+        }
+    }
+
+    /// Whether a document satisfies the query, given its exact word set
+    /// and raw text. This is the verify-phase predicate that restores
+    /// perfect precision after the statistical prefilter.
+    pub fn matches_doc(&self, has_word: &dyn Fn(&str) -> bool, text: &str) -> bool {
+        // The case-folded text is shared across every Substring node of
+        // the AST and only computed when one is actually reached.
+        let mut lowered: Option<String> = None;
+        self.matches_doc_inner(has_word, text, &mut lowered)
+    }
+
+    fn matches_doc_inner(
+        &self,
+        has_word: &dyn Fn(&str) -> bool,
+        text: &str,
+        lowered: &mut Option<String>,
+    ) -> bool {
+        match self {
+            Query::Term(w) => has_word(w),
+            // Empty groups match NOTHING, mirroring `evaluate` (which
+            // resolves them to the empty postings list). Were an empty
+            // AND vacuously true here, `Or([And([]), term])` would let
+            // every sketch false positive through the verify pass.
+            Query::Phrase(ws) => !ws.is_empty() && ws.iter().all(|w| has_word(w)),
+            Query::And(qs) => {
+                !qs.is_empty()
+                    && qs
+                        .iter()
+                        .all(|q| q.matches_doc_inner(has_word, text, lowered))
+            }
+            Query::Or(qs) => qs
+                .iter()
+                .any(|q| q.matches_doc_inner(has_word, text, lowered)),
+            Query::Substring { pattern, .. } => {
+                let text_l = lowered.get_or_insert_with(|| text.to_ascii_lowercase());
+                if pattern.bytes().any(|b| b.is_ascii_uppercase()) {
+                    text_l.contains(&pattern.to_ascii_lowercase())
+                } else {
+                    text_l.contains(pattern.as_str())
+                }
+            }
+        }
+    }
+
+    /// Term-level view of [`Query::matches_doc`] for queries without
+    /// substring predicates (kept for the `BoolQuery` compatibility shim).
+    pub fn matches(&self, has_word: &dyn Fn(&str) -> bool) -> bool {
+        self.matches_doc(has_word, "")
+    }
+
+    /// Whether any node of the query is a [`Query::Substring`].
+    pub fn has_substring(&self) -> bool {
+        match self {
+            Query::Substring { .. } => true,
+            Query::And(qs) | Query::Or(qs) => qs.iter().any(Query::has_substring),
+            Query::Term(_) | Query::Phrase(_) => false,
+        }
+    }
+
+    /// The single word of a bare `Term` query, if that is the whole query.
+    /// (The planner uses this to keep the legacy top-k sampled fetch on
+    /// the single-keyword fast path.)
+    pub fn as_single_term(&self) -> Option<&str> {
+        match self {
+            Query::Term(w) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+fn intersect_words<'a>(
+    words: impl Iterator<Item = &'a str>,
+    postings_of: &dyn Fn(&str) -> PostingsList,
+) -> PostingsList {
+    let mut acc: Option<PostingsList> = None;
+    for w in words {
+        let next = match acc {
+            Some(prev) if prev.is_empty() => return prev,
+            Some(prev) => prev.intersect(&postings_of(w)),
+            None => postings_of(w),
+        };
+        acc = Some(next);
+    }
+    acc.unwrap_or_default()
+}
+
+/// The distinct, sorted `n`-grams of a substring pattern, or
+/// [`AirphantError::PatternTooShort`] when the pattern cannot be
+/// prefiltered (`pattern` shorter than `n`, or `n == 0`).
+pub(crate) fn substring_grams(pattern: &str, n: usize) -> crate::Result<Vec<String>> {
+    if n == 0 || pattern.chars().count() < n {
+        return Err(AirphantError::PatternTooShort {
+            pattern: pattern.to_owned(),
+            n,
+        });
+    }
+    let mut grams = NgramTokenizer::new(n).tokens(pattern);
+    grams.sort_unstable();
+    grams.dedup();
+    debug_assert!(!grams.is_empty(), "pattern of >= n chars yields grams");
+    Ok(grams)
+}
+
+/// Per-query execution options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOptions {
+    /// Return at most this many hits. For single-term queries the planner
+    /// uses the paper's sampled fetch (Equation 6) to pull far fewer
+    /// candidate documents; compound queries fetch all candidates and
+    /// truncate after the verify pass.
+    pub top_k: Option<usize>,
+    /// Override the index's top-K failure probability δ (Equation 6).
+    pub delta: Option<f64>,
+    /// Capture the per-phase latency trace (on by default). When off, the
+    /// returned [`crate::SearchResult::trace`] is empty.
+    pub capture_trace: bool,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            top_k: None,
+            delta: None,
+            capture_trace: true,
+        }
+    }
+}
+
+impl QueryOptions {
+    /// Default options (no top-k bound, trace captured).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bound the result set to `k` hits.
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.top_k = Some(k);
+        self
+    }
+
+    /// Set an optional top-k bound (`None` keeps all hits).
+    pub fn with_top_k(mut self, k: Option<usize>) -> Self {
+        self.top_k = k;
+        self
+    }
+
+    /// Override the sampling failure probability δ.
+    pub fn delta(mut self, delta: f64) -> Self {
+        self.delta = Some(delta);
+        self
+    }
+
+    /// Skip trace capture.
+    pub fn without_trace(mut self) -> Self {
+        self.capture_trace = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iou_sketch::PostingsList;
+
+    #[test]
+    fn constructors_build_expected_shapes() {
+        let q = Query::and([
+            Query::term("a"),
+            Query::or([Query::term("b"), Query::phrase(["c", "d"])]),
+            Query::substring("abc", 3),
+        ]);
+        assert_eq!(
+            q.terms(),
+            vec!["a", "b", "c", "d"],
+            "terms skip substring grams"
+        );
+        assert!(q.has_substring());
+        assert_eq!(
+            q.atoms().unwrap(),
+            vec!["a", "b", "c", "d", "abc"],
+            "atoms include grams"
+        );
+    }
+
+    #[test]
+    fn atoms_deduplicate_across_branches() {
+        let q = Query::or([
+            Query::term("x"),
+            Query::and([Query::term("x"), Query::term("y")]),
+            Query::phrase(["y", "z"]),
+        ]);
+        assert_eq!(q.atoms().unwrap(), vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn substring_atoms_are_sorted_distinct_grams() {
+        let q = Query::substring("abab", 3);
+        assert_eq!(q.atoms().unwrap(), vec!["aba", "bab"]);
+        // Case-folded like the NgramTokenizer at build time.
+        let q = Query::substring("AbA", 3);
+        assert_eq!(q.atoms().unwrap(), vec!["aba"]);
+    }
+
+    #[test]
+    fn short_pattern_is_a_typed_error() {
+        for (pattern, n) in [("ab", 3), ("", 3), ("abc", 0)] {
+            match Query::substring(pattern, n).atoms() {
+                Err(AirphantError::PatternTooShort { pattern: p, n: m }) => {
+                    assert_eq!(p, pattern);
+                    assert_eq!(m, n);
+                }
+                other => panic!("expected PatternTooShort, got {other:?}"),
+            }
+        }
+        // Nested under boolean operators too.
+        let q = Query::and([Query::term("ok"), Query::substring("x", 3)]);
+        assert!(matches!(
+            q.atoms(),
+            Err(AirphantError::PatternTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn evaluate_distributes_over_the_predicate() {
+        let pa = PostingsList::from_doc_ids(&[1, 2, 3]);
+        let pb = PostingsList::from_doc_ids(&[2, 3, 4]);
+        let pc = PostingsList::from_doc_ids(&[5]);
+        let lookup = |w: &str| match w {
+            "a" => pa.clone(),
+            "b" => pb.clone(),
+            "c" => pc.clone(),
+            _ => PostingsList::new(),
+        };
+        let q = Query::or([
+            Query::and([Query::term("a"), Query::term("b")]),
+            Query::term("c"),
+        ]);
+        assert_eq!(q.evaluate(&lookup), PostingsList::from_doc_ids(&[2, 3, 5]));
+        // Phrase behaves as AND of its words.
+        let q = Query::phrase(["a", "b"]);
+        assert_eq!(q.evaluate(&lookup), PostingsList::from_doc_ids(&[2, 3]));
+        // Empty operands.
+        assert!(Query::And(vec![]).evaluate(&lookup).is_empty());
+        assert!(Query::Or(vec![]).evaluate(&lookup).is_empty());
+    }
+
+    #[test]
+    fn matches_doc_handles_all_variants() {
+        let tokens = ["error", "disk"];
+        let has = |w: &str| tokens.contains(&w);
+        let text = "ERROR Disk sda1 failing";
+        assert!(Query::term("error").matches_doc(&has, text));
+        assert!(!Query::term("warn").matches_doc(&has, text));
+        assert!(Query::phrase(["error", "disk"]).matches_doc(&has, text));
+        assert!(Query::substring("disk sda", 3).matches_doc(&has, text));
+        assert!(!Query::substring("disk sdb", 3).matches_doc(&has, text));
+        let q = Query::and([
+            Query::term("error"),
+            Query::or([Query::term("nope"), Query::substring("FAIL", 3)]),
+        ]);
+        assert!(q.matches_doc(&has, text));
+        // Empty groups match nothing, agreeing with evaluate(): otherwise
+        // Or([And([]), term]) would admit every false positive.
+        assert!(!Query::And(vec![]).matches(&|_| false));
+        assert!(!Query::Phrase(vec![]).matches(&|_| true));
+        assert!(!Query::Or(vec![]).matches(&|_| true));
+        let q = Query::or([Query::And(vec![]), Query::term("absent")]);
+        assert!(!q.matches_doc(&has, text), "empty AND must not leak FPs");
+    }
+
+    #[test]
+    fn options_builder() {
+        let o = QueryOptions::new().top_k(10).delta(1e-3).without_trace();
+        assert_eq!(o.top_k, Some(10));
+        assert_eq!(o.delta, Some(1e-3));
+        assert!(!o.capture_trace);
+        assert!(QueryOptions::default().capture_trace);
+    }
+}

@@ -103,8 +103,7 @@ mod tests {
         let mut trace = QueryTrace::new();
         let tok = WhitespaceTokenizer;
         let pred = contains_word(&tok, "hello");
-        let (hits, dropped) =
-            fetch_and_filter(&store, &st, &postings, &pred, &mut trace).unwrap();
+        let (hits, dropped) = fetch_and_filter(&store, &st, &postings, &pred, &mut trace).unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].text, "hello world");
         assert_eq!(dropped, 1);
@@ -116,8 +115,7 @@ mod tests {
     fn empty_postings_is_free() {
         let (store, st, _) = setup();
         let mut trace = QueryTrace::new();
-        let (hits, dropped) =
-            fetch_and_filter(&store, &st, &[], &|_| true, &mut trace).unwrap();
+        let (hits, dropped) = fetch_and_filter(&store, &st, &[], &|_| true, &mut trace).unwrap();
         assert!(hits.is_empty());
         assert_eq!(dropped, 0);
         assert_eq!(trace.requests(), 0);

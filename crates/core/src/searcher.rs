@@ -14,9 +14,7 @@ use crate::result::SearchResult;
 use crate::retrieval::{contains_word, fetch_and_filter};
 use crate::Result;
 use airphant_corpus::{Tokenizer, WhitespaceTokenizer};
-use airphant_storage::{
-    ObjectStore, PhaseKind, QueryTrace, RangeRequest, SimDuration,
-};
+use airphant_storage::{ObjectStore, PhaseKind, QueryTrace, RangeRequest, SimDuration};
 use iou_sketch::encoding::decode_superpost;
 use iou_sketch::mht::WordLookup;
 use iou_sketch::{sample_size_for_top_k, HeaderBlock, Mht, PostingsList};
@@ -125,8 +123,18 @@ impl Searcher {
         self.mht.approx_memory_bytes()
     }
 
-    fn resolve_block(&self, block: u32) -> String {
+    pub(crate) fn resolve_block(&self, block: u32) -> String {
         crate::builder::block_blob(&self.prefix, block)
+    }
+
+    /// Modeled expected false positives per query (drives Equation 6).
+    pub(crate) fn expected_fp(&self) -> f64 {
+        self.expected_fp
+    }
+
+    /// The index's top-K failure probability δ.
+    pub(crate) fn topk_delta(&self) -> f64 {
+        self.topk_delta
     }
 
     /// Crate-internal access to the underlying store (boolean queries,
@@ -175,9 +183,7 @@ impl Searcher {
             WordLookup::Sketched(ptrs) => {
                 let requests: Vec<RangeRequest> = ptrs
                     .iter()
-                    .map(|p| {
-                        RangeRequest::new(self.resolve_block(p.block), p.offset, p.len as u64)
-                    })
+                    .map(|p| RangeRequest::new(self.resolve_block(p.block), p.offset, p.len as u64))
                     .collect();
                 let batch = self.store.get_ranges(&requests)?;
                 let wait_for = wait_for.clamp(1, batch.parts.len().max(1));
@@ -212,7 +218,9 @@ impl Searcher {
                         .iter()
                         .map(|&i| batch.parts[i].bytes.len() as u64)
                         .sum();
-                    trace.record_sequential(
+                    // One concurrent batch was issued; only the fastest
+                    // streams were kept. Still a single round trip.
+                    trace.record_concurrent(
                         PhaseKind::Postings,
                         wait_for as u64,
                         bytes,
@@ -262,9 +270,7 @@ impl Searcher {
             WordLookup::Sketched(ptrs) => {
                 let requests: Vec<RangeRequest> = ptrs
                     .iter()
-                    .map(|p| {
-                        RangeRequest::new(self.resolve_block(p.block), p.offset, p.len as u64)
-                    })
+                    .map(|p| RangeRequest::new(self.resolve_block(p.block), p.offset, p.len as u64))
                     .collect();
                 let batch = self.store.get_ranges(&requests)?;
                 let mut chosen: Vec<usize> = (0..batch.parts.len())
@@ -290,7 +296,9 @@ impl Searcher {
                     .iter()
                     .map(|&i| batch.parts[i].bytes.len() as u64)
                     .sum();
-                trace.record_sequential(
+                // One concurrent batch; stragglers beyond the timeout were
+                // aborted, not re-requested. Still a single round trip.
+                trace.record_concurrent(
                     PhaseKind::Postings,
                     chosen.len() as u64,
                     bytes,
@@ -312,11 +320,39 @@ impl Searcher {
         }
     }
 
+    /// Execute a [`Query`](crate::Query) through the single-batch planner
+    /// (§III-C generalized): every term's and gram's superposts are
+    /// fetched in **one** concurrent batch, the boolean algebra runs over
+    /// the decoded postings, and one fetch-and-filter pass restores exact
+    /// results.
+    pub fn execute(
+        &self,
+        query: &crate::Query,
+        opts: &crate::QueryOptions,
+    ) -> Result<SearchResult> {
+        crate::plan::execute_over(&[self], query, opts)
+    }
+
+    /// Index-lookup phase of [`Searcher::execute`] only: resolve the whole
+    /// query's candidate postings in exactly one storage round trip
+    /// (`trace.round_trips() == 1`). This is the compound-query
+    /// counterpart of [`Searcher::lookup`].
+    pub fn execute_lookup(&self, query: &crate::Query) -> Result<(PostingsList, QueryTrace)> {
+        crate::plan::lookup_over(&[self], query)
+    }
+
     /// Full keyword search (§II-A workflow): lookup, then fetch candidate
     /// documents and filter false positives by content. `top_k = Some(k)`
     /// enables the sampled fetch of §IV-D (Equation 6).
+    ///
+    /// Thin shim over [`Searcher::execute`] with a single
+    /// [`Query::Term`](crate::Query::Term); kept for convenience and
+    /// backward compatibility.
     pub fn search(&self, word: &str, top_k: Option<usize>) -> Result<SearchResult> {
-        self.search_waiting_for(word, self.mht.layers(), top_k)
+        self.execute(
+            &crate::Query::term(word),
+            &crate::QueryOptions::new().with_top_k(top_k),
+        )
     }
 
     /// Search waiting for only the fastest `wait_for` superposts (§IV-G).
@@ -370,13 +406,17 @@ impl Searcher {
 }
 
 /// Deterministic per-word sampling seed.
-fn seed_for(word: &str) -> u64 {
+pub(crate) fn seed_for(word: &str) -> u64 {
     iou_sketch::hash::fnv1a64(word.as_bytes())
 }
 
 /// Uniformly sample `k` postings without replacement (partial
 /// Fisher–Yates), deterministic under `seed`.
-fn sample_postings(list: &PostingsList, k: usize, seed: u64) -> Vec<iou_sketch::Posting> {
+pub(crate) fn sample_postings(
+    list: &PostingsList,
+    k: usize,
+    seed: u64,
+) -> Vec<iou_sketch::Posting> {
     let mut all: Vec<iou_sketch::Posting> = list.iter().copied().collect();
     let k = k.min(all.len());
     let mut rng = StdRng::seed_from_u64(seed);
@@ -629,8 +669,7 @@ mod tests {
             let (postings, trace) = searcher.lookup_with_timeout(&w, timeout).unwrap();
             // Recall is preserved regardless of how many layers survived.
             assert!(
-                postings.contains(&iou_sketch::Posting::new(0, 0, 1))
-                    || !postings.is_empty(),
+                postings.contains(&iou_sketch::Posting::new(0, 0, 1)) || !postings.is_empty(),
                 "word {w} must resolve"
             );
             if trace.requests() < 4 {

@@ -15,7 +15,7 @@ use crate::error::AirphantError;
 use crate::result::SearchResult;
 use crate::searcher::Searcher;
 use crate::Result;
-use airphant_corpus::Corpus;
+use airphant_corpus::{Corpus, Tokenizer, WhitespaceTokenizer};
 use airphant_storage::{ObjectStore, QueryTrace};
 use bytes::Bytes;
 use std::sync::Arc;
@@ -70,8 +70,15 @@ impl SegmentManager {
         Ok((report, prefix))
     }
 
-    /// Open a searcher over every live segment.
+    /// Open a searcher over every live segment (whitespace tokenizer).
     pub fn open(&self) -> Result<SegmentedSearcher> {
+        self.open_with_tokenizer(Arc::new(WhitespaceTokenizer))
+    }
+
+    /// Open with a custom document-word parser (must match the tokenizer
+    /// the segments were indexed with, e.g. an
+    /// [`airphant_corpus::NgramTokenizer`] for substring queries).
+    pub fn open_with_tokenizer(&self, tokenizer: Arc<dyn Tokenizer>) -> Result<SegmentedSearcher> {
         let segments = self.segments()?;
         if segments.is_empty() {
             return Err(AirphantError::IndexNotFound {
@@ -80,7 +87,7 @@ impl SegmentManager {
         }
         let searchers = segments
             .iter()
-            .map(|p| Searcher::open(self.store.clone(), p))
+            .map(|p| Searcher::open_with_tokenizer(self.store.clone(), p, tokenizer.clone()))
             .collect::<Result<Vec<_>>>()?;
         Ok(SegmentedSearcher { searchers })
     }
@@ -102,31 +109,39 @@ impl SegmentedSearcher {
         &self.searchers
     }
 
-    /// Search every segment concurrently and union the results. Segment
-    /// sub-queries are independent, so their waits overlap
-    /// ([`QueryTrace::merge_parallel`]); hits keep append order (older
-    /// segments first).
+    /// Execute a [`Query`](crate::Query) across every segment through the
+    /// single-batch planner: all segments' superpost pointers for all the
+    /// query's terms/grams are coalesced into **one**
+    /// `ObjectStore::get_ranges` batch (one round trip, not one per
+    /// segment), then each segment's candidates are evaluated, fetched in
+    /// one document batch, and filtered exactly. Hits keep append order
+    /// (older segments first).
+    pub fn execute(
+        &self,
+        query: &crate::Query,
+        opts: &crate::QueryOptions,
+    ) -> Result<SearchResult> {
+        let refs: Vec<&Searcher> = self.searchers.iter().collect();
+        crate::plan::execute_over(&refs, query, opts)
+    }
+
+    /// Index-lookup phase only: the whole query's candidate postings,
+    /// unioned across segments, in exactly one storage round trip.
+    pub fn execute_lookup(
+        &self,
+        query: &crate::Query,
+    ) -> Result<(iou_sketch::PostingsList, QueryTrace)> {
+        let refs: Vec<&Searcher> = self.searchers.iter().collect();
+        crate::plan::lookup_over(&refs, query)
+    }
+
+    /// Single-keyword search across all segments; thin shim over
+    /// [`SegmentedSearcher::execute`].
     pub fn search(&self, word: &str, top_k: Option<usize>) -> Result<SearchResult> {
-        let mut hits = Vec::new();
-        let mut traces = Vec::with_capacity(self.searchers.len());
-        let mut candidates = 0;
-        let mut dropped = 0;
-        for searcher in &self.searchers {
-            let r = searcher.search(word, top_k)?;
-            candidates += r.candidates;
-            dropped += r.false_positives_removed;
-            hits.extend(r.hits);
-            traces.push(r.trace);
-        }
-        if let Some(k) = top_k {
-            hits.truncate(k);
-        }
-        Ok(SearchResult {
-            hits,
-            trace: QueryTrace::merge_parallel(&traces),
-            candidates,
-            false_positives_removed: dropped,
-        })
+        self.execute(
+            &crate::Query::term(word),
+            &crate::QueryOptions::new().with_top_k(top_k),
+        )
     }
 }
 
@@ -214,8 +229,7 @@ mod tests {
         let dyn_store: Arc<dyn ObjectStore> = store.clone();
         let mgr = SegmentManager::new(dyn_store.clone(), "idx");
         for day in 0..4 {
-            let lines: Vec<String> =
-                (0..20).map(|i| format!("shared word{day}x{i}")).collect();
+            let lines: Vec<String> = (0..20).map(|i| format!("shared word{day}x{i}")).collect();
             let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
             let c = corpus_of(dyn_store.clone(), &format!("c/day{day}"), &refs);
             mgr.append(&c, &config()).unwrap();
@@ -231,6 +245,50 @@ mod tests {
             "fan-out wait {} should overlap",
             r.trace.wait()
         );
+    }
+
+    #[test]
+    fn compound_query_over_three_segments_is_one_batch() {
+        let store = Arc::new(SimulatedCloudStore::new(
+            InMemoryStore::new(),
+            LatencyModel::gcs_like(),
+            17,
+        ));
+        let dyn_store: Arc<dyn ObjectStore> = store.clone();
+        let mgr = SegmentManager::new(dyn_store.clone(), "idx");
+        for day in 0..3 {
+            let lines: Vec<String> = (0..10)
+                .map(|i| format!("error disk{day} unit{i}"))
+                .collect();
+            let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+            let c = corpus_of(dyn_store.clone(), &format!("c/day{day}"), &refs);
+            mgr.append(&c, &config()).unwrap();
+        }
+        let searcher = mgr.open().unwrap();
+        assert_eq!(searcher.segment_count(), 3);
+
+        store.reset_stats();
+        let query = crate::Query::and([crate::Query::term("error"), crate::Query::term("disk1")]);
+        let (postings, trace) = searcher.execute_lookup(&query).unwrap();
+        let stats = store.stats();
+        assert_eq!(
+            stats.batches, 1,
+            "3 segments x 2 terms coalesce into one batch"
+        );
+        assert_eq!(trace.round_trips(), 1);
+        // Segment 1's 10 docs all survive; other segments may contribute
+        // false-positive candidates (removed later by the verify pass).
+        assert!(postings.len() >= 10, "candidates union across segments");
+
+        // Full execution: one lookup batch + one document batch.
+        store.reset_stats();
+        let r = searcher
+            .execute(&query, &crate::QueryOptions::new())
+            .unwrap();
+        assert_eq!(r.hits.len(), 10);
+        assert!(r.hits.iter().all(|h| h.text.contains("disk1")));
+        assert_eq!(store.stats().batches, 2, "lookup batch + document batch");
+        assert_eq!(r.trace.round_trips(), 2);
     }
 
     #[test]

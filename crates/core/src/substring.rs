@@ -6,80 +6,44 @@
 //! remaining documents with the RegEx to remove false positives. Hence,
 //! superpost's false positives do not affect the final correctness."
 //!
-//! We implement the literal-substring case of that pipeline: index the
-//! corpus with [`airphant_corpus::NgramTokenizer`], then answer
-//! `search_substring(pattern)` by intersecting the pattern's grams'
-//! superposts and verifying candidates with a plain `contains` check —
-//! exactly the filter-then-verify structure trigram regex engines use.
+//! The literal-substring case of that pipeline is now a first-class AST
+//! node — [`Query::Substring`] — executed by the planner: the pattern's
+//! distinct `n`-grams join the query's other atoms in the **single**
+//! superpost batch, and the verify pass does the exact (case-insensitive)
+//! `contains` check. This module keeps the old `search_substring` method
+//! as a deprecated shim.
 
+use crate::query::{Query, QueryOptions};
 use crate::result::SearchResult;
-use crate::retrieval::fetch_and_filter;
 use crate::searcher::Searcher;
 use crate::Result;
-use airphant_corpus::{NgramTokenizer, Tokenizer};
-use airphant_storage::QueryTrace;
-use iou_sketch::PostingsList;
 
 impl Searcher {
     /// Find documents whose text contains `pattern` as a (case-insensitive)
     /// substring. The index must have been built with an
-    /// [`NgramTokenizer`] of size `n`; patterns shorter than `n` cannot be
-    /// pre-filtered and return an empty result.
+    /// [`airphant_corpus::NgramTokenizer`] of size `n`.
+    ///
+    /// Deprecated shim over [`Searcher::execute`] with
+    /// [`Query::substring`]. Unlike the pre-0.2 method, a pattern shorter
+    /// than `n` now fails with
+    /// [`AirphantError::PatternTooShort`](crate::AirphantError::PatternTooShort)
+    /// instead of silently returning an empty result.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Searcher::execute` with `Query::substring`"
+    )]
     pub fn search_substring(&self, pattern: &str, n: usize) -> Result<SearchResult> {
-        let tokenizer = NgramTokenizer::new(n);
-        let mut grams = tokenizer.tokens(pattern);
-        grams.sort_unstable();
-        grams.dedup();
-        if pattern.chars().count() < n || grams.is_empty() {
-            return Ok(SearchResult {
-                hits: Vec::new(),
-                trace: QueryTrace::new(),
-                candidates: 0,
-                false_positives_removed: 0,
-            });
-        }
-
-        // Filter phase: intersect every gram's superpost intersection.
-        let mut trace = QueryTrace::new();
-        let mut acc: Option<PostingsList> = None;
-        for gram in &grams {
-            let (list, t) = self.lookup(gram)?;
-            trace.extend(&t);
-            acc = Some(match acc {
-                Some(prev) => prev.intersect(&list),
-                None => list,
-            });
-            if acc.as_ref().is_some_and(|l| l.is_empty()) {
-                break; // no candidate can survive
-            }
-        }
-        let candidates_list = acc.unwrap_or_default();
-        let candidates: Vec<iou_sketch::Posting> =
-            candidates_list.iter().copied().collect();
-
-        // Verify phase: exact substring match on document content.
-        let needle = pattern.to_ascii_lowercase();
-        let predicate = move |text: &str| text.to_ascii_lowercase().contains(&needle);
-        let (hits, dropped) = fetch_and_filter(
-            self.store_dyn(),
-            self.mht().string_table(),
-            &candidates,
-            &predicate,
-            &mut trace,
-        )?;
-        Ok(SearchResult {
-            hits,
-            trace,
-            candidates: candidates.len(),
-            false_positives_removed: dropped,
-        })
+        self.execute(&Query::substring(pattern, n), &QueryOptions::new())
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use crate::builder::Builder;
     use crate::config::AirphantConfig;
+    use crate::error::AirphantError;
+    use crate::query::{Query, QueryOptions};
     use crate::Searcher;
     use airphant_corpus::{Corpus, LineSplitter, NgramTokenizer};
     use airphant_storage::{InMemoryStore, ObjectStore};
@@ -130,11 +94,8 @@ mod tests {
 
     #[test]
     fn no_false_positives_after_verify() {
-        // "abcxyz" and "xyzabc" share all individual trigram *sets* with
-        // neither containing the other as substring? They don't share all
-        // grams, so craft a sharper case: "aabba" vs pattern "abab" —
-        // grams of "abab" = {aba, bab}; document "xabay babx" contains
-        // both grams but not "abab".
+        // Document "xabay babx" contains both grams of "abab" ({aba, bab})
+        // without containing "abab": the verify pass must drop it.
         let s = ngram_searcher(&["xabay babx", "the abab string"]);
         let r = s.search_substring("abab", 3).unwrap();
         assert_eq!(r.hits.len(), 1);
@@ -146,12 +107,29 @@ mod tests {
     }
 
     #[test]
-    fn short_pattern_returns_empty() {
+    fn shim_agrees_with_execute() {
+        let s = ngram_searcher(&["block blk_42 ok", "packet drop"]);
+        let old = s.search_substring("blk_42", 3).unwrap();
+        let new = s
+            .execute(&Query::substring("blk_42", 3), &QueryOptions::new())
+            .unwrap();
+        assert_eq!(old.hits.len(), 1);
+        assert_eq!(old.hits[0].text, new.hits[0].text);
+        assert_eq!(old.candidates, new.candidates);
+    }
+
+    #[test]
+    fn short_pattern_is_a_typed_error() {
         let s = ngram_searcher(&["hello world"]);
-        let r = s.search_substring("he", 3).unwrap();
-        assert!(r.hits.is_empty());
-        let r = s.search_substring("", 3).unwrap();
-        assert!(r.hits.is_empty());
+        for pattern in ["he", ""] {
+            match s.search_substring(pattern, 3) {
+                Err(AirphantError::PatternTooShort { pattern: p, n }) => {
+                    assert_eq!(p, pattern);
+                    assert_eq!(n, 3);
+                }
+                other => panic!("expected PatternTooShort, got {other:?}"),
+            }
+        }
     }
 
     #[test]

@@ -182,8 +182,8 @@ pub fn cranfield_like(seed: u64, store: Arc<dyn ObjectStore>, prefix: &str) -> C
 /// Cranfield look-alike profiles like prose rather than like opaque ids.
 pub fn pseudo_english_vocab(n: u64, seed: u64) -> Vec<String> {
     const ONSETS: &[&str] = &[
-        "b", "c", "d", "f", "g", "h", "j", "l", "m", "n", "p", "r", "s", "t", "v", "w", "st",
-        "tr", "pl", "fl", "br", "cr",
+        "b", "c", "d", "f", "g", "h", "j", "l", "m", "n", "p", "r", "s", "t", "v", "w", "st", "tr",
+        "pl", "fl", "br", "cr",
     ];
     const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ae", "ou", "io"];
     const CODAS: &[&str] = &["", "n", "r", "s", "t", "l", "m", "x", "nt", "rd"];
@@ -257,8 +257,8 @@ mod tests {
         let p = c.profile().unwrap();
         assert_eq!(p.n_docs, 1_398);
         assert_eq!(p.n_words, 1_398 * 86); // 1.2e5 words
-        // Realized vocabulary ≤ 5300 (Zipf draw misses some tail words),
-        // but should be in the right ballpark.
+                                           // Realized vocabulary ≤ 5300 (Zipf draw misses some tail words),
+                                           // but should be in the right ballpark.
         assert!(p.n_terms <= 5_300);
         assert!(p.n_terms > 2_500, "vocab {} too small", p.n_terms);
         // ~86 words/doc, tens of distinct words per doc.

@@ -135,10 +135,7 @@ impl Tokenizer for NgramTokenizer {
         if chars.len() <= self.n {
             return vec![lowered];
         }
-        chars
-            .windows(self.n)
-            .map(|w| w.iter().collect())
-            .collect()
+        chars.windows(self.n).map(|w| w.iter().collect()).collect()
     }
 }
 
@@ -155,7 +152,8 @@ mod tests {
         assert_eq!(spans[1], DocSpan { offset: 12, len: 7 });
         assert_eq!(spans[2], DocSpan { offset: 20, len: 3 });
         // Slicing back gives the lines.
-        let doc1 = &blob[spans[1].offset as usize..(spans[1].offset + spans[1].len as u64) as usize];
+        let doc1 =
+            &blob[spans[1].offset as usize..(spans[1].offset + spans[1].len as u64) as usize];
         assert_eq!(doc1, b"foo bar");
     }
 

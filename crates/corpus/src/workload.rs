@@ -100,15 +100,16 @@ mod tests {
     fn uniform_draws_only_vocab_words() {
         let w = QueryWorkload::uniform(&profile(), 50, 1);
         assert_eq!(w.len(), 50);
-        assert!(w
-            .iter()
-            .all(|q| ["alpha", "beta", "gamma"].contains(&q)));
+        assert!(w.iter().all(|q| ["alpha", "beta", "gamma"].contains(&q)));
     }
 
     #[test]
     fn uniform_is_deterministic_per_seed() {
         let p = profile();
-        assert_eq!(QueryWorkload::uniform(&p, 20, 9), QueryWorkload::uniform(&p, 20, 9));
+        assert_eq!(
+            QueryWorkload::uniform(&p, 20, 9),
+            QueryWorkload::uniform(&p, 20, 9)
+        );
         assert_ne!(
             QueryWorkload::uniform(&p, 20, 9),
             QueryWorkload::uniform(&p, 20, 10)

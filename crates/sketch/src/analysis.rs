@@ -278,10 +278,7 @@ mod tests {
         for l in [1.0, 2.0, 4.0, 8.0] {
             let q = m.q(l, 20);
             let qh = m.q_hat(l, 20);
-            assert!(
-                (q - qh).abs() < 0.05,
-                "q={q} q_hat={qh} diverge at L={l}"
-            );
+            assert!((q - qh).abs() < 0.05, "q={q} q_hat={qh} diverge at L={l}");
             // Paper remark after Lemma 1: F(L) > F̂(L), i.e. the exact
             // probability dominates the approximation (1−x < e^{−x}).
             assert!(q >= qh - 1e-12, "q should dominate q_hat");
@@ -337,8 +334,14 @@ mod tests {
         let shape = uniform_shape(&[25], 1_000);
         let m = FalsePositiveModel::new(shape, 1_000);
         let l_star = m.l_star(25); // ≈ 27.7
-        assert!(m.q_hat_derivative(l_star * 0.5, 25) < 0.0, "decreasing before L*");
-        assert!(m.q_hat_derivative(l_star * 1.5, 25) > 0.0, "increasing after L*");
+        assert!(
+            m.q_hat_derivative(l_star * 0.5, 25) < 0.0,
+            "decreasing before L*"
+        );
+        assert!(
+            m.q_hat_derivative(l_star * 1.5, 25) > 0.0,
+            "increasing after L*"
+        );
         // Near the minimizer the derivative is ~0.
         assert!(m.q_hat_derivative(l_star, 25).abs() < 1e-6);
     }
@@ -361,8 +364,7 @@ mod tests {
     #[test]
     fn with_coefficients_supports_skewed_priors() {
         // Give one document zero query mass: it contributes nothing.
-        let shape =
-            CorpusShape::with_coefficients(vec![(10, 0.0), (10, 1.0)], 100);
+        let shape = CorpusShape::with_coefficients(vec![(10, 0.0), (10, 1.0)], 100);
         let m = FalsePositiveModel::new(shape, 100);
         let f = m.expected_fp(2.0);
         let shape_single = CorpusShape::with_coefficients(vec![(10, 1.0)], 100);

@@ -322,9 +322,8 @@ const VERSION: u64 = 1;
 impl HeaderBlock {
     /// Serialize the header to bytes.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(
-            64 + self.pointers.iter().map(|l| l.len() * 6).sum::<usize>(),
-        );
+        let mut buf =
+            BytesMut::with_capacity(64 + self.pointers.iter().map(|l| l.len() * 6).sum::<usize>());
         buf.put_slice(MAGIC);
         put_varint(&mut buf, VERSION);
         put_varint(&mut buf, self.config.total_bins as u64);
@@ -524,9 +523,7 @@ mod tests {
     fn superpost_delta_encoding_is_compact() {
         // Consecutive documents in one blob should cost ~3 bytes each, far
         // below the 13+ bytes of a raw (u32, u64, u32) encoding.
-        let postings: Vec<Posting> = (0..1_000)
-            .map(|i| Posting::new(0, i * 100, 100))
-            .collect();
+        let postings: Vec<Posting> = (0..1_000).map(|i| Posting::new(0, i * 100, 100)).collect();
         let list = PostingsList::from_sorted_unique(postings);
         let enc = encode_superpost(&list);
         assert!(
@@ -568,7 +565,10 @@ mod tests {
                 (0..49).map(|i| BinPointer::new(1, i * 20, 20)).collect(),
             ],
             common: vec![("the".into(), BinPointer::new(0, 490, 1_000))],
-            meta: vec![("f0".into(), "1.0".into()), ("corpus".into(), "test".into())],
+            meta: vec![
+                ("f0".into(), "1.0".into()),
+                ("corpus".into(), "test".into()),
+            ],
         }
     }
 

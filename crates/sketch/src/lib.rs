@@ -75,6 +75,5 @@ pub use postings::{Posting, PostingsList};
 pub use sketch::{InMemorySketch, SketchBuilder, SketchConfig};
 pub use topk::sample_size_for_top_k;
 
-
 /// Convenient `Result` alias.
 pub type Result<T> = std::result::Result<T, SketchError>;

@@ -61,12 +61,7 @@ impl Mht {
     /// initialization: "it retrieves hash seeds and postings list pointers
     /// … then reconstructs hash functions, and hence, MHT").
     pub fn from_header(header: HeaderBlock) -> Self {
-        let bins_per_layer = header
-            .pointers
-            .first()
-            .map(|l| l.len())
-            .unwrap_or(1)
-            .max(1);
+        let bins_per_layer = header.pointers.first().map(|l| l.len()).unwrap_or(1).max(1);
         let family = HashFamily::from_seeds(header.seeds, bins_per_layer);
         Mht {
             config: header.config,
@@ -80,11 +75,8 @@ impl Mht {
 
     /// Serialize into a header block for persistence.
     pub fn to_header(&self) -> HeaderBlock {
-        let mut common: Vec<(String, BinPointer)> = self
-            .common
-            .iter()
-            .map(|(w, p)| (w.clone(), *p))
-            .collect();
+        let mut common: Vec<(String, BinPointer)> =
+            self.common.iter().map(|(w, p)| (w.clone(), *p)).collect();
         common.sort_by(|a, b| a.0.cmp(&b.0));
         HeaderBlock {
             config: self.config.clone(),
@@ -155,7 +147,9 @@ impl Mht {
             .map(|l| l.len() * std::mem::size_of::<BinPointer>())
             .sum();
         let common: usize = self
-            .common.keys().map(|w| w.len() + std::mem::size_of::<BinPointer>() + 16)
+            .common
+            .keys()
+            .map(|w| w.len() + std::mem::size_of::<BinPointer>() + 16)
             .sum();
         ptrs + common + self.family.seeds().len() * 16
     }

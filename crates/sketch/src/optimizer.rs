@@ -151,7 +151,10 @@ mod tests {
         assert!(tight >= loose);
         // Figure 17a: L* grows only slightly as F0 drops by orders of
         // magnitude (exponential decay in L).
-        assert!(tight <= loose + 16, "L* should grow slowly: {loose} -> {tight}");
+        assert!(
+            tight <= loose + 16,
+            "L* should grow slowly: {loose} -> {tight}"
+        );
     }
 
     #[test]

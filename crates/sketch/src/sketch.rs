@@ -365,7 +365,8 @@ mod tests {
         // {2,3,4}: one false positive (d4) relative to w2's truth {2,3}.
         assert_eq!(q, PostingsList::from_doc_ids(&[2, 3, 4]));
         // Querying w1's bins: layer1 bin0 = {1}; intersection = {1}, exact.
-        let q1 = PostingsList::intersect_all(&[s.superpost(0, 0), s.superpost(1, 1), s.superpost(2, 0)]);
+        let q1 =
+            PostingsList::intersect_all(&[s.superpost(0, 0), s.superpost(1, 1), s.superpost(2, 0)]);
         assert_eq!(q1, PostingsList::from_doc_ids(&[1]));
     }
 
@@ -373,10 +374,7 @@ mod tests {
     fn common_words_bypass_sketch() {
         let config = SketchConfig::new(100, 2).with_common_fraction(0.05);
         let mut b = SketchBuilder::new(config, 9);
-        b.set_common_words(CommonWords::select(
-            vec![("the".to_string(), 1_000_000)],
-            5,
-        ));
+        b.set_common_words(CommonWords::select(vec![("the".to_string(), 1_000_000)], 5));
         let the_docs = PostingsList::from_doc_ids(&(0..500).collect::<Vec<u64>>());
         b.insert("the", &the_docs);
         b.insert("rare", &PostingsList::from_doc_ids(&[3]));
@@ -396,8 +394,14 @@ mod tests {
         let count_for = |layers: usize| {
             let config = SketchConfig::new(1000, layers).with_common_fraction(0.0);
             let mut b = SketchBuilder::new(config, 5);
+            // Disjoint doc ids per word: bin unions then never deduplicate,
+            // so the stored count is exactly (postings x layers) regardless
+            // of which words collide in a bin.
             for w in 0..100u64 {
-                b.insert(&format!("w{w}"), &PostingsList::from_doc_ids(&[w, w + 1]));
+                b.insert(
+                    &format!("w{w}"),
+                    &PostingsList::from_doc_ids(&[2 * w, 2 * w + 1]),
+                );
             }
             b.freeze().stored_postings()
         };

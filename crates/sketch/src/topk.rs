@@ -47,10 +47,7 @@ mod tests {
         // selects about 23 samples to answer top-10 query".
         // (p ≈ 1 with F0 = 1 and a large R.)
         let rk = sample_size_for_top_k(10, 10_000, 1.0, 1e-6);
-        assert!(
-            (21..=25).contains(&rk),
-            "expected ≈23 samples, got {rk}"
-        );
+        assert!((21..=25).contains(&rk), "expected ≈23 samples, got {rk}");
     }
 
     #[test]

@@ -85,7 +85,10 @@ mod tests {
             len: 20,
             blob_size: 15,
         };
-        assert_eq!(e.to_string(), "range [10, 30) out of bounds for blob b of size 15");
+        assert_eq!(
+            e.to_string(),
+            "range [10, 30) out of bounds for blob b of size 15"
+        );
     }
 
     #[test]
@@ -98,7 +101,9 @@ mod tests {
 
     #[test]
     fn timeout_display() {
-        let e = StorageError::Timeout { name: "sp/3".into() };
+        let e = StorageError::Timeout {
+            name: "sp/3".into(),
+        };
         assert!(e.to_string().contains("timed out"));
     }
 }

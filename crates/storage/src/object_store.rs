@@ -206,8 +206,12 @@ mod tests {
     #[test]
     fn usage_sums_over_prefix() {
         let store = InMemoryStore::new();
-        store.put("idx/header", Bytes::from_static(b"1234")).unwrap();
-        store.put("idx/sp/0", Bytes::from_static(b"123456")).unwrap();
+        store
+            .put("idx/header", Bytes::from_static(b"1234"))
+            .unwrap();
+        store
+            .put("idx/sp/0", Bytes::from_static(b"123456"))
+            .unwrap();
         store.put("docs/a", Bytes::from_static(b"xx")).unwrap();
         assert_eq!(store.usage("idx/").unwrap(), 10);
         assert_eq!(store.usage("").unwrap(), 12);

@@ -113,7 +113,9 @@ impl<S: ObjectStore> SimulatedCloudStore<S> {
     }
 
     fn record_batch(&self, requests: u64, bytes: u64, wait: SimDuration, download: SimDuration) {
-        self.stats.read_requests.fetch_add(requests, Ordering::Relaxed);
+        self.stats
+            .read_requests
+            .fetch_add(requests, Ordering::Relaxed);
         self.stats.batches.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes_read.fetch_add(bytes, Ordering::Relaxed);
         self.stats
@@ -203,7 +205,9 @@ impl<S: ObjectStore> ObjectStore for SimulatedCloudStore<S> {
                 },
             });
         }
-        let download = self.model.contended_transfer_time(total_bytes, requests.len());
+        let download = self
+            .model
+            .contended_transfer_time(total_bytes, requests.len());
         // Attribute transfer time to parts proportionally to size, for
         // per-request introspection; the batch totals are authoritative.
         if total_bytes > 0 {

@@ -49,6 +49,10 @@ pub struct PhaseTrace {
     pub kind: PhaseKind,
     /// Number of concurrent requests in the phase's batch.
     pub requests: u64,
+    /// Number of *dependent* storage round trips the phase represents: 1
+    /// for a concurrent batch (all requests issued at once), `requests`
+    /// for a chain of dependent reads (hierarchical index traversals).
+    pub batches: u64,
     /// Bytes fetched in the phase.
     pub bytes: u64,
     /// Wait component (max time-to-first-byte of the batch).
@@ -78,11 +82,13 @@ impl QueryTrace {
         Self::default()
     }
 
-    /// Record a phase from a [`BatchFetch`].
+    /// Record a phase from a [`BatchFetch`] (one concurrent round trip).
     pub fn record_batch(&mut self, kind: PhaseKind, batch: &BatchFetch) {
+        let requests = batch.parts.len() as u64;
         self.phases.push(PhaseTrace {
             kind,
-            requests: batch.parts.len() as u64,
+            requests,
+            batches: u64::from(requests > 0),
             bytes: batch.total_bytes(),
             wait: batch.batch_wait,
             download: batch.batch_download,
@@ -91,7 +97,8 @@ impl QueryTrace {
     }
 
     /// Record a phase of `n` *sequential* single requests (hierarchical
-    /// index traversals), given their summed wait and download.
+    /// index traversals), given their summed wait and download. Each
+    /// request counts as its own dependent round trip.
     pub fn record_sequential(
         &mut self,
         kind: PhaseKind,
@@ -103,6 +110,30 @@ impl QueryTrace {
         self.phases.push(PhaseTrace {
             kind,
             requests,
+            batches: requests,
+            bytes,
+            wait,
+            download,
+            compute: SimDuration::ZERO,
+        });
+    }
+
+    /// Record a phase of `requests` *concurrent* requests that were issued
+    /// as one batch but whose latency was aggregated by the caller (e.g. a
+    /// straggler-mitigated lookup that kept only the fastest streams).
+    /// Counts as a single round trip.
+    pub fn record_concurrent(
+        &mut self,
+        kind: PhaseKind,
+        requests: u64,
+        bytes: u64,
+        wait: SimDuration,
+        download: SimDuration,
+    ) {
+        self.phases.push(PhaseTrace {
+            kind,
+            requests,
+            batches: u64::from(requests > 0),
             bytes,
             wait,
             download,
@@ -115,6 +146,7 @@ impl QueryTrace {
         self.phases.push(PhaseTrace {
             kind: PhaseKind::Compute,
             requests: 0,
+            batches: 0,
             bytes: 0,
             wait: SimDuration::ZERO,
             download: SimDuration::ZERO,
@@ -162,6 +194,30 @@ impl QueryTrace {
         self.phases.iter().map(|p| p.requests).sum()
     }
 
+    /// Number of dependent storage round trips (batches) the query paid,
+    /// excluding one-time initialization traffic. This is the quantity the
+    /// paper's single-batch guarantee bounds: an Airphant index lookup is
+    /// exactly one round trip no matter how many terms, grams, layers, or
+    /// segments the query touches; hierarchical baselines pay one per
+    /// dependent read.
+    pub fn round_trips(&self) -> u64 {
+        self.phases
+            .iter()
+            .filter(|p| p.kind != PhaseKind::Init)
+            .map(|p| p.batches)
+            .sum()
+    }
+
+    /// Round trips attributed to phases of one kind (e.g.
+    /// [`PhaseKind::Postings`] isolates the index-lookup phase).
+    pub fn round_trips_of(&self, kind: PhaseKind) -> u64 {
+        self.phases
+            .iter()
+            .filter(|p| p.kind == kind)
+            .map(|p| p.batches)
+            .sum()
+    }
+
     /// Sum of phases of a given kind.
     pub fn total_of(&self, kind: PhaseKind) -> SimDuration {
         self.phases
@@ -189,23 +245,30 @@ impl QueryTrace {
             let mut wait = SimDuration::ZERO;
             let mut download = SimDuration::ZERO;
             let mut requests = 0u64;
+            let mut batches = 0u64;
             let mut bytes = 0u64;
             let mut present = false;
             for t in traces {
                 let mut t_wait = SimDuration::ZERO;
+                let mut t_batches = 0u64;
                 for p in t.phases.iter().filter(|p| p.kind == kind) {
                     present = true;
                     t_wait += p.wait;
+                    t_batches += p.batches;
                     download += p.download;
                     requests += p.requests;
                     bytes += p.bytes;
                 }
                 wait = wait.max(t_wait);
+                // Concurrent sub-queries overlap: the effective dependent
+                // depth is the longest chain, not the sum.
+                batches = batches.max(t_batches);
             }
             if present {
                 merged.phases.push(PhaseTrace {
                     kind,
                     requests,
+                    batches,
                     bytes,
                     wait,
                     download,
@@ -257,7 +320,10 @@ mod tests {
         let mut t = QueryTrace::new();
         t.record_batch(PhaseKind::Postings, &fake_batch(2, 10, 40, 5));
         t.record_batch(PhaseKind::Documents, &fake_batch(1, 10, 40, 5));
-        assert_eq!(t.total_of(PhaseKind::Postings), SimDuration::from_millis(45));
+        assert_eq!(
+            t.total_of(PhaseKind::Postings),
+            SimDuration::from_millis(45)
+        );
         assert_eq!(t.total_of(PhaseKind::Lookup), SimDuration::ZERO);
     }
 
@@ -290,6 +356,52 @@ mod tests {
     }
 
     #[test]
+    fn round_trips_counts_dependent_batches() {
+        let mut t = QueryTrace::new();
+        // Init traffic never counts.
+        t.record_batch(PhaseKind::Init, &fake_batch(1, 100, 40, 5));
+        // One concurrent superpost batch: one round trip.
+        t.record_batch(PhaseKind::Postings, &fake_batch(6, 100, 45, 5));
+        // A 4-level dependent traversal: four round trips.
+        t.record_sequential(
+            PhaseKind::Lookup,
+            4,
+            4096,
+            SimDuration::from_millis(160),
+            SimDuration::from_millis(4),
+        );
+        // A straggler-trimmed concurrent batch: still one round trip.
+        t.record_concurrent(
+            PhaseKind::Postings,
+            2,
+            128,
+            SimDuration::from_millis(30),
+            SimDuration::from_millis(1),
+        );
+        // Compute is free.
+        t.record_compute(SimDuration::from_millis(1));
+        assert_eq!(t.round_trips(), 6);
+        assert_eq!(t.round_trips_of(PhaseKind::Postings), 2);
+        assert_eq!(t.round_trips_of(PhaseKind::Lookup), 4);
+        assert_eq!(t.round_trips_of(PhaseKind::Init), 1, "init visible via _of");
+        // Empty batches do not count as round trips.
+        let mut e = QueryTrace::new();
+        e.record_batch(PhaseKind::Postings, &fake_batch(0, 0, 0, 0));
+        assert_eq!(e.round_trips(), 0);
+    }
+
+    #[test]
+    fn merge_parallel_round_trips_take_longest_chain() {
+        let mut a = QueryTrace::new();
+        a.record_batch(PhaseKind::Postings, &fake_batch(2, 100, 50, 10));
+        let mut b = QueryTrace::new();
+        b.record_batch(PhaseKind::Postings, &fake_batch(3, 100, 70, 5));
+        b.record_batch(PhaseKind::Postings, &fake_batch(3, 100, 70, 5));
+        let m = QueryTrace::merge_parallel(&[a, b]);
+        assert_eq!(m.round_trips(), 2, "overlapping fan-out: longest chain");
+    }
+
+    #[test]
     fn phase_kind_labels() {
         assert_eq!(PhaseKind::Lookup.label(), "lookup");
         assert_eq!(PhaseKind::Compute.label(), "compute");
@@ -304,7 +416,11 @@ mod tests {
         b.record_batch(PhaseKind::Postings, &fake_batch(3, 100, 70, 5));
         let m = QueryTrace::merge_parallel(&[a, b]);
         assert_eq!(m.wait(), SimDuration::from_millis(70), "max of waits");
-        assert_eq!(m.download(), SimDuration::from_millis(15), "sum of downloads");
+        assert_eq!(
+            m.download(),
+            SimDuration::from_millis(15),
+            "sum of downloads"
+        );
         assert_eq!(m.compute(), SimDuration::from_millis(1));
         assert_eq!(m.requests(), 5);
         assert_eq!(m.bytes(), 500);

@@ -1,14 +1,15 @@
-//! Boolean queries over the IoU Sketch (§IV-F): the engine distributes its
-//! query function over the predicate — `Q(⋁⋀ w) = ⋃⋂ Q(w)` — and the
-//! document filter restores exactness.
+//! Compound queries through the unified `Query` AST (§IV-F): the engine
+//! distributes its query function over the predicate — `Q(⋁⋀ w) = ⋃⋂ Q(w)`
+//! — the planner fetches every term's superposts in ONE concurrent batch,
+//! and the document filter restores exactness.
 //!
 //! ```sh
 //! cargo run --example boolean_queries
 //! ```
 
-use airphant::{AirphantConfig, BoolQuery, Builder, Searcher};
+use airphant::{AirphantConfig, Builder, Query, QueryOptions, Searcher};
 use airphant_corpus::{Corpus, LineSplitter, WhitespaceTokenizer};
-use airphant_storage::{InMemoryStore, ObjectStore};
+use airphant_storage::{InMemoryStore, ObjectStore, PhaseKind};
 use bytes::Bytes;
 use std::sync::Arc;
 
@@ -27,13 +28,13 @@ INFO disk sda1 recovered";
         Arc::new(LineSplitter),
         Arc::new(WhitespaceTokenizer),
     );
-    Builder::new(AirphantConfig::default().with_total_bins(128))
-        .build(&corpus, "index/log")?;
+    Builder::new(AirphantConfig::default().with_total_bins(128)).build(&corpus, "index/log")?;
     let searcher = Searcher::open(store, "index/log")?;
+    let opts = QueryOptions::new();
 
     // ERROR AND disk
-    let q = BoolQuery::and([BoolQuery::term("ERROR"), BoolQuery::term("disk")]);
-    let r = searcher.search_boolean(&q)?;
+    let q = Query::and([Query::term("ERROR"), Query::term("disk")]);
+    let r = searcher.execute(&q, &opts)?;
     println!("ERROR AND disk -> {} hits:", r.hits.len());
     for h in &r.hits {
         println!("  {}", h.text);
@@ -41,21 +42,25 @@ INFO disk sda1 recovered";
     assert_eq!(r.hits.len(), 2);
 
     // (ERROR AND network) OR WARN
-    let q = BoolQuery::or([
-        BoolQuery::and([BoolQuery::term("ERROR"), BoolQuery::term("network")]),
-        BoolQuery::term("WARN"),
+    let q = Query::or([
+        Query::and([Query::term("ERROR"), Query::term("network")]),
+        Query::term("WARN"),
     ]);
-    let r = searcher.search_boolean(&q)?;
+    let r = searcher.execute(&q, &opts)?;
     println!("(ERROR AND network) OR WARN -> {} hits:", r.hits.len());
     for h in &r.hits {
         println!("  {}", h.text);
     }
     assert_eq!(r.hits.len(), 3);
 
-    // The per-term lookups were each a single concurrent batch; the final
-    // filter guarantees zero false positives in what you see above.
+    // However many terms the AST mentions, the planner resolved all their
+    // superposts in a single concurrent batch: one lookup round trip (plus
+    // one for the documents), and the final filter guarantees zero false
+    // positives in what you see above.
+    assert_eq!(r.trace.round_trips_of(PhaseKind::Postings), 1);
     println!(
-        "\nquery trace: {} requests, {} bytes, {} simulated",
+        "\nquery trace: {} round trip(s), {} requests, {} bytes, {} simulated",
+        r.trace.round_trips(),
         r.trace.requests(),
         r.trace.bytes(),
         r.trace.total()

@@ -28,8 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Build both indexes against the raw store (builds are offline).
-    let report = Builder::new(AirphantConfig::default().with_total_bins(500))
-        .build_with_profile(&corpus, "index/airphant", profile.clone())?;
+    let report = Builder::new(AirphantConfig::default().with_total_bins(500)).build_with_profile(
+        &corpus,
+        "index/airphant",
+        profile.clone(),
+    )?;
     println!(
         "airphant: L* = {} layers, expected FP = {:.3}/query, {} KB on storage",
         report.optimal_layers,
@@ -39,11 +42,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     BTreeBuilder::build(&corpus, "index/sqlite")?;
 
     // Query through a simulated cloud link (Figure 2's latency curve).
-    let cloud: Arc<dyn ObjectStore> = Arc::new(SimulatedCloudStore::new(
-        inner,
-        LatencyModel::gcs_like(),
-        7,
-    ));
+    let cloud: Arc<dyn ObjectStore> =
+        Arc::new(SimulatedCloudStore::new(inner, LatencyModel::gcs_like(), 7));
     let airphant = Searcher::open(cloud.clone(), "index/airphant")?;
     let sqlite = BTreeEngine::open(cloud, "index/sqlite")?;
 

@@ -25,8 +25,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for name in tenants {
         let corpus = match name {
             "cranfield" => cranfield_like(1, inner.clone(), "corpora/cranfield"),
-            "spark" => spark_like(LogCorpusSpec::new(10_000, 2), inner.clone(), "corpora/spark"),
-            _ => windows_like(LogCorpusSpec::new(10_000, 3), inner.clone(), "corpora/windows"),
+            "spark" => spark_like(
+                LogCorpusSpec::new(10_000, 2),
+                inner.clone(),
+                "corpora/spark",
+            ),
+            _ => windows_like(
+                LogCorpusSpec::new(10_000, 3),
+                inner.clone(),
+                "corpora/windows",
+            ),
         };
         let profile = corpus.profile()?;
         let bins = if name == "cranfield" { 20_000 } else { 500 };
@@ -48,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         LatencyModel::gcs_like(),
         11,
     ));
-    println!("\n{:<10} {:>14} {:>12} {:>6}", "tenant", "init_ms", "query_ms", "hits");
+    println!(
+        "\n{:<10} {:>14} {:>12} {:>6}",
+        "tenant", "init_ms", "query_ms", "hits"
+    );
     for round in 0..3 {
         for (name, profile) in &profiles {
             let searcher = Searcher::open(cloud.clone(), &format!("index/{name}"))?;

@@ -2,7 +2,7 @@
 //! build every engine, query through the simulated cloud — checked for
 //! exactness, agreement, and the paper's headline latency ordering.
 
-use airphant::{AirphantConfig, BoolQuery, Builder, SearchEngine, Searcher};
+use airphant::{AirphantConfig, Builder, Query, QueryOptions, SearchEngine, Searcher};
 use airphant_baselines::{
     BTreeBuilder, BTreeEngine, ElasticBuilder, ElasticEngine, HashTableEngine, SkipListBuilder,
     SkipListEngine,
@@ -195,20 +195,16 @@ fn boolean_queries_match_scan_semantics() {
     let store: Arc<dyn ObjectStore> = inner.clone();
     let searcher = Searcher::open(store, "idx/a").unwrap();
 
-    let words: Vec<String> = QueryWorkload::uniform(&profile, 4, 13)
-        .words()
-        .to_vec();
-    let query = BoolQuery::or([
-        BoolQuery::and([BoolQuery::term(&words[0]), BoolQuery::term(&words[1])]),
-        BoolQuery::and([BoolQuery::term(&words[2]), BoolQuery::term(&words[3])]),
+    let words: Vec<String> = QueryWorkload::uniform(&profile, 4, 13).words().to_vec();
+    let query = Query::or([
+        Query::and([Query::term(&words[0]), Query::term(&words[1])]),
+        Query::and([Query::term(&words[2]), Query::term(&words[3])]),
     ]);
-    let got: BTreeSet<String> = searcher
-        .search_boolean(&query)
-        .unwrap()
-        .hits
-        .into_iter()
-        .map(|h| h.text)
-        .collect();
+    let result = searcher.execute(&query, &QueryOptions::new()).unwrap();
+    // However many terms the DNF mentions, one superpost batch resolves
+    // them all (plus one document batch when candidates survive).
+    assert!(result.trace.round_trips() <= 2);
+    let got: BTreeSet<String> = result.hits.into_iter().map(|h| h.text).collect();
 
     let mut expected = BTreeSet::new();
     corpus
@@ -221,6 +217,46 @@ fn boolean_queries_match_scan_semantics() {
         })
         .unwrap();
     assert_eq!(got, expected);
+}
+
+/// The deprecated query surfaces are thin shims over `execute`: on the
+/// zipf corpus they return identical results word for word.
+#[test]
+#[allow(deprecated)]
+fn old_shim_apis_agree_with_execute_on_zipf() {
+    let (inner, corpus) = build_zipf_env();
+    let profile = corpus.profile().unwrap();
+    Builder::new(AirphantConfig::default().with_total_bins(400).with_seed(5))
+        .build_with_profile(&corpus, "idx/a", profile.clone())
+        .unwrap();
+    let store: Arc<dyn ObjectStore> = inner.clone();
+    let searcher = Searcher::open(store, "idx/a").unwrap();
+
+    let texts = |r: airphant::SearchResult| -> BTreeSet<String> {
+        r.hits.into_iter().map(|h| h.text).collect()
+    };
+    let words: Vec<String> = QueryWorkload::uniform(&profile, 8, 21).words().to_vec();
+
+    // search(word, top_k) shim == execute(Term, top_k).
+    for word in &words {
+        for top_k in [None, Some(5)] {
+            let via_shim = texts(searcher.search(word, top_k).unwrap());
+            let via_execute = texts(
+                searcher
+                    .execute(&Query::term(word), &QueryOptions::new().with_top_k(top_k))
+                    .unwrap(),
+            );
+            assert_eq!(via_shim, via_execute, "search() shim for {word}");
+        }
+    }
+
+    // search_boolean shim == execute on a compound query.
+    for pair in words.chunks(2) {
+        let q = Query::and([Query::term(&pair[0]), Query::term(&pair[1])]);
+        let old = texts(searcher.search_boolean(&q).unwrap());
+        let new = texts(searcher.execute(&q, &QueryOptions::new()).unwrap());
+        assert_eq!(old, new, "search_boolean() shim for {pair:?}");
+    }
 }
 
 #[test]
@@ -265,11 +301,7 @@ fn searcher_survives_transient_storage_failures() {
         0.25,
         99,
     );
-    let resilient = Arc::new(RetryingStore::new(
-        flaky,
-        10,
-        SimDuration::from_millis(20),
-    ));
+    let resilient = Arc::new(RetryingStore::new(flaky, 10, SimDuration::from_millis(20)));
     let store: Arc<dyn ObjectStore> = resilient.clone();
     let searcher = Searcher::open(store, "idx/a").unwrap();
 

@@ -1,0 +1,227 @@
+//! Acceptance tests for the unified `Query` API and its single-batch
+//! execution planner: any AST — terms, booleans, phrases, substrings,
+//! across any number of segments — completes its index-lookup phase in
+//! exactly **one** `ObjectStore::get_ranges` batch.
+
+use airphant::{AirphantConfig, Builder, Query, QueryOptions, Searcher, SegmentManager};
+use airphant_corpus::{Corpus, LineSplitter, NgramTokenizer, WhitespaceTokenizer};
+use airphant_storage::{InMemoryStore, LatencyModel, ObjectStore, PhaseKind, SimulatedCloudStore};
+use std::sync::Arc;
+
+fn sim_store(seed: u64) -> Arc<SimulatedCloudStore<InMemoryStore>> {
+    Arc::new(SimulatedCloudStore::new(
+        InMemoryStore::new(),
+        LatencyModel::gcs_like(),
+        seed,
+    ))
+}
+
+fn ngram_corpus(store: Arc<dyn ObjectStore>, blob: &str, lines: &[&str]) -> Corpus {
+    store
+        .put(blob, bytes::Bytes::from(lines.join("\n")))
+        .unwrap();
+    Corpus::new(
+        store,
+        vec![blob.to_owned()],
+        Arc::new(LineSplitter),
+        Arc::new(NgramTokenizer::new(3)),
+    )
+}
+
+fn config() -> AirphantConfig {
+    AirphantConfig::default()
+        .with_total_bins(512)
+        .with_manual_layers(2)
+        .with_common_fraction(0.0)
+}
+
+/// The headline acceptance criterion: `Query::and([term, term,
+/// substring])` against a `SimulatedCloudStore` completes its
+/// index-lookup phase in exactly one `get_ranges` batch.
+#[test]
+fn mixed_term_substring_query_is_one_lookup_batch() {
+    let store = sim_store(42);
+    {
+        let s: Arc<dyn ObjectStore> = store.clone();
+        let corpus = ngram_corpus(
+            s,
+            "c/log",
+            &[
+                "error disk sda1 failing",
+                "error network eth0 down",
+                "warn disk almost full",
+                "info all good",
+            ],
+        );
+        Builder::new(config()).build(&corpus, "idx").unwrap();
+    }
+    let searcher =
+        Searcher::open_with_tokenizer(store.clone(), "idx", Arc::new(NgramTokenizer::new(3)))
+            .unwrap();
+
+    // Two keyword atoms (grams under the index's tokenizer) plus a
+    // substring predicate: five distinct atoms in all.
+    let query = Query::and([
+        Query::term("err"),
+        Query::term("dis"),
+        Query::substring("disk s", 3),
+    ]);
+
+    // Index-lookup phase: exactly ONE concurrent batch.
+    store.reset_stats();
+    let (postings, trace) = searcher.execute_lookup(&query).unwrap();
+    let stats = store.stats();
+    assert_eq!(stats.batches, 1, "one get_ranges batch for the whole AST");
+    assert_eq!(trace.round_trips(), 1);
+    assert!(stats.read_requests >= 2, "batch carries all atoms' reads");
+    assert!(!postings.is_empty());
+
+    // Full execution adds exactly one more batch (the document fetch) and
+    // returns the exact answer.
+    store.reset_stats();
+    let r = searcher.execute(&query, &QueryOptions::new()).unwrap();
+    assert_eq!(store.stats().batches, 2, "lookup batch + document batch");
+    assert_eq!(r.trace.round_trips(), 2);
+    assert_eq!(r.trace.round_trips_of(PhaseKind::Postings), 1);
+    let texts: Vec<&str> = r.hits.iter().map(|h| h.text.as_str()).collect();
+    assert_eq!(texts, vec!["error disk sda1 failing"]);
+}
+
+/// The same mixed query through a 3-segment `SegmentedSearcher` still
+/// uses one lookup batch: segment fan-out is coalesced, not sequential.
+#[test]
+fn segmented_mixed_query_is_one_lookup_batch() {
+    let store = sim_store(7);
+    let dyn_store: Arc<dyn ObjectStore> = store.clone();
+    let mgr = SegmentManager::new(dyn_store.clone(), "seg");
+    let days = [
+        ["error disk sda failing", "info boot ok"],
+        ["error disk sdb failing", "warn temp high"],
+        ["error network down", "info disk healthy"],
+    ];
+    for (i, lines) in days.iter().enumerate() {
+        let corpus = ngram_corpus(dyn_store.clone(), &format!("c/day{i}"), lines);
+        mgr.append(&corpus, &config()).unwrap();
+    }
+    let searcher = mgr
+        .open_with_tokenizer(Arc::new(NgramTokenizer::new(3)))
+        .unwrap();
+    assert_eq!(searcher.segment_count(), 3);
+
+    let query = Query::and([
+        Query::term("err"),
+        Query::term("dis"),
+        Query::substring("failing", 3),
+    ]);
+    store.reset_stats();
+    let (_, trace) = searcher.execute_lookup(&query).unwrap();
+    assert_eq!(
+        store.stats().batches,
+        1,
+        "3 segments x 5 atoms x 2 layers coalesce into one batch"
+    );
+    assert_eq!(trace.round_trips(), 1);
+
+    store.reset_stats();
+    let r = searcher.execute(&query, &QueryOptions::new()).unwrap();
+    assert_eq!(store.stats().batches, 2);
+    let texts: Vec<&str> = r.hits.iter().map(|h| h.text.as_str()).collect();
+    assert_eq!(
+        texts,
+        vec!["error disk sda failing", "error disk sdb failing"],
+        "hits keep segment append order"
+    );
+}
+
+/// Compound-query latency stays in the ballpark of single-term latency:
+/// the wait component is one round trip either way, not multiplied by
+/// the term count.
+#[test]
+fn compound_lookup_wait_is_not_multiplied_by_term_count() {
+    let store = sim_store(3);
+    {
+        let s: Arc<dyn ObjectStore> = store.clone();
+        let lines: Vec<String> = (0..60)
+            .map(|i| format!("alpha{} beta{} gamma{}", i % 5, i % 7, i % 11))
+            .collect();
+        let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        s.put("c/b", bytes::Bytes::from(refs.join("\n"))).unwrap();
+        let corpus = Corpus::new(
+            s,
+            vec!["c/b".into()],
+            Arc::new(LineSplitter),
+            Arc::new(WhitespaceTokenizer),
+        );
+        Builder::new(
+            AirphantConfig::default()
+                .with_total_bins(256)
+                .with_manual_layers(3)
+                .with_common_fraction(0.0),
+        )
+        .build(&corpus, "idx")
+        .unwrap();
+    }
+    let searcher = Searcher::open(store, "idx").unwrap();
+
+    let mut single = 0.0;
+    let mut triple = 0.0;
+    for i in 0..20 {
+        let (_, t1) = searcher
+            .execute_lookup(&Query::term(format!("alpha{}", i % 5)))
+            .unwrap();
+        single += t1.wait().as_millis_f64();
+        let q3 = Query::and([
+            Query::term(format!("alpha{}", i % 5)),
+            Query::term(format!("beta{}", i % 7)),
+            Query::term(format!("gamma{}", i % 11)),
+        ]);
+        let (_, t3) = searcher.execute_lookup(&q3).unwrap();
+        assert_eq!(t3.round_trips(), 1);
+        triple += t3.wait().as_millis_f64();
+    }
+    // One batch either way: the 3-term wait is the max over 9 concurrent
+    // draws instead of 3 — slightly higher, never ~3x.
+    assert!(
+        triple < 2.0 * single,
+        "3-term wait {triple:.1}ms should stay near single-term {single:.1}ms"
+    );
+    assert!(triple >= single * 0.8, "sanity: both are one round trip");
+}
+
+/// Old shim surfaces and the new API agree hit-for-hit.
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_agree_with_execute() {
+    let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+    let corpus = ngram_corpus(
+        store.clone(),
+        "c/b",
+        &[
+            "block blk_123 received",
+            "packet drop",
+            "block blk_999 lost",
+        ],
+    );
+    Builder::new(config()).build(&corpus, "idx").unwrap();
+    let searcher =
+        Searcher::open_with_tokenizer(store, "idx", Arc::new(NgramTokenizer::new(3))).unwrap();
+
+    let old = searcher.search_substring("blk_123", 3).unwrap();
+    let new = searcher
+        .execute(&Query::substring("blk_123", 3), &QueryOptions::new())
+        .unwrap();
+    assert_eq!(old.hits.len(), 1);
+    assert_eq!(old.hits[0].text, new.hits[0].text);
+
+    let old = searcher
+        .search_boolean(&Query::or([Query::term("blo"), Query::term("pac")]))
+        .unwrap();
+    let new = searcher
+        .execute(
+            &Query::or([Query::term("blo"), Query::term("pac")]),
+            &QueryOptions::new(),
+        )
+        .unwrap();
+    assert_eq!(old.hits.len(), new.hits.len());
+    assert_eq!(old.candidates, new.candidates);
+}

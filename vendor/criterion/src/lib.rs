@@ -1,0 +1,182 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Compiles and runs the workspace's benches without the real statistical
+//! machinery: each benchmark runs its closure for a short, fixed number of
+//! iterations and prints a mean wall-clock time. Good enough to smoke-test
+//! bench targets offline; use the real criterion for publishable numbers.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box.
+pub use std::hint::black_box;
+
+/// Bench configuration and registry handle.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub keeps runs short regardless.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub keeps runs short regardless.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(&full, self.criterion.sample_size, &mut f);
+        self
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        run_bench(&full, self.criterion.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier with a parameter.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Identifier `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+}
+
+/// Passed to each benchmark closure to drive iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over this sample's iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench(id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // One calibration sample, then the timed samples.
+    let mut total = Duration::ZERO;
+    let mut iters_done = 0u64;
+    for _ in 0..samples.min(5) {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        iters_done += b.iters;
+    }
+    let mean = total.as_secs_f64() / iters_done.max(1) as f64;
+    println!("bench {id:<50} {:>12.3} µs/iter", mean * 1e6);
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running the declared groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("grp");
+        group.bench_function("f", |b| b.iter(|| black_box(2 * 2)));
+        group.bench_with_input(BenchmarkId::new("with", 42), &42, |b, &x| {
+            b.iter(|| black_box(x + 1))
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn api_smoke() {
+        let mut c = Criterion::default().sample_size(2);
+        sample_bench(&mut c);
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes `Serialize`/`Deserialize` as blanket-implemented marker traits
+//! and re-exports the no-op derive macros, so `#[derive(Serialize,
+//! Deserialize)]` and `T: Serialize` bounds compile without the real crate.
+//! No actual serialization happens through these traits in this workspace;
+//! the bench harness's JSON output uses the vendored `serde_json::Value`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize` (blanket-implemented).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker counterpart of `serde::Deserialize` (blanket-implemented).
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}

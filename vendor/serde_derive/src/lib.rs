@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config and stats
+//! types, but nothing in the offline build actually serializes those types
+//! through serde (the JSON the bench harness writes goes through the
+//! vendored `serde_json` stub's `Value`). These derives therefore expand to
+//! the marker-trait impls of the vendored `serde` and nothing more.
+
+use proc_macro::TokenStream;
+
+/// Emit `impl serde::Serialize` for the decorated type.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    // The vendored `serde::Serialize` is blanket-implemented, so there is
+    // nothing to emit; the derive exists so `#[derive(Serialize)]` parses.
+    TokenStream::new()
+}
+
+/// Emit `impl serde::Deserialize` for the decorated type.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

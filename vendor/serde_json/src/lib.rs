@@ -1,0 +1,273 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Provides the subset the bench harness uses: a [`Value`] tree, the
+//! [`json!`] object/array macro, and [`to_vec_pretty`]. Conversion into
+//! `Value` goes through the [`ToJson`] trait (instead of serde's
+//! `Serialize`) so `json!` can take interpolated expressions by reference.
+
+use std::fmt;
+
+/// A JSON value tree. Object keys keep insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (stored as `f64`; integers within `2^53` print exactly).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+/// Conversion into a [`Value`] by reference (`json!`'s interpolation hook).
+pub trait ToJson {
+    /// Build the JSON value.
+    fn to_json(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! num_to_json {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+    )*};
+}
+num_to_json!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(|v| v.to_json()).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(|v| v.to_json()).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Value {
+        self[..].to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+/// Convert anything [`ToJson`] into a [`Value`].
+pub fn to_value<T: ToJson + ?Sized>(value: &T) -> Value {
+    value.to_json()
+}
+
+/// Build a [`Value`] with JSON-like syntax:
+/// `json!({"key": expr, ...})`, `json!([a, b])`, `json!(expr)`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({}) => { $crate::Value::Object(Vec::new()) };
+    ({ $($k:literal : $v:expr),+ $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (($k).to_string(), $crate::to_value(&$v)) ),+
+        ])
+    };
+    ([ $($v:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$v) ),* ])
+    };
+    ($v:expr) => { $crate::to_value(&$v) };
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn number_to_string(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: usize, pretty: bool) {
+    let (nl, pad, pad_in) = if pretty {
+        ("\n", "  ".repeat(indent), "  ".repeat(indent + 1))
+    } else {
+        ("", String::new(), String::new())
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&number_to_string(*n)),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                write_value(out, item, indent + 1, pretty);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(nl);
+                out.push_str(&pad_in);
+                escape_into(out, k);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(out, val, indent + 1, pretty);
+            }
+            out.push_str(nl);
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_value(&mut out, self, 0, false);
+        f.write_str(&out)
+    }
+}
+
+/// Serialization error (never produced by this stub; kept for signature
+/// compatibility with `serde_json`).
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json stub error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Pretty-print with two-space indentation, as `serde_json::to_vec_pretty`.
+pub fn to_vec_pretty<T: ToJson + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_json(), 0, true);
+    Ok(out.into_bytes())
+}
+
+/// Compact string form, as `serde_json::to_string`.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_objects_and_arrays() {
+        let name = String::from("fig");
+        let rows = vec![json!({"a": 1u64}), json!({"a": 2u64})];
+        let v = json!({
+            "experiment": name,
+            "rows": rows,
+            "mean_ms": 12.5,
+            "ok": true,
+            "label": "x",
+        });
+        let s = v.to_string();
+        assert!(s.contains("\"experiment\":\"fig\""));
+        assert!(s.contains("\"rows\":[{\"a\":1},{\"a\":2}]"));
+        assert!(s.contains("\"mean_ms\":12.5"));
+        // `name` and `rows` were interpolated by reference and still usable.
+        assert_eq!(name, "fig");
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = json!({"k": json!([1u32, 2u32]), "empty": json!({})});
+        let bytes = to_vec_pretty(&v).unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("{\n  \"k\": [\n    1,\n    2\n  ]"));
+        assert!(text.contains("\"empty\": {}"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = json!({"s": "a\"b\\c\nd"});
+        assert_eq!(v.to_string(), r#"{"s":"a\"b\\c\nd"}"#);
+    }
+}
