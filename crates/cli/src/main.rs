@@ -4,17 +4,23 @@
 //! to file paths, the way the paper's gcsfuse mount exposes a bucket.
 //!
 //! ```text
-//! airphant build  --store DIR --corpus PREFIX --index PREFIX
-//!                 [--bins N] [--f0 F] [--layers L] [--ngram N]
-//! airphant search --store DIR --index PREFIX [WORD...]
-//!                 [--or] [--ngram N] [--substring PATTERN] [--gram N]
-//!                 [--top K] [--simulate-cloud]
-//! airphant stats  --store DIR --corpus PREFIX
+//! airphant build       --store DIR --corpus PREFIX --index PREFIX
+//!                      [--bins N] [--f0 F] [--layers L] [--ngram N]
+//! airphant search      --store DIR --index PREFIX [WORD...]
+//!                      [--or] [--ngram N] [--substring PATTERN] [--gram N]
+//!                      [--top K] [--simulate-cloud]
+//! airphant bench-serve --store DIR --index PREFIX [WORD...]
+//!                      [--corpus PREFIX] [--workers N] [--queue CAP]
+//!                      [--queries M] [--cache-kb KB] [--deadline-ms MS]
+//!                      [--ngram N] [--top K]
+//! airphant stats       --store DIR --corpus PREFIX
 //! ```
 
-use airphant::{AirphantConfig, Builder, Query, QueryOptions, Searcher};
+use airphant::{AirphantConfig, Builder, Query, QueryOptions, QueryServer, Searcher, ServerConfig};
 use airphant_corpus::{Corpus, LineSplitter, NgramTokenizer, Tokenizer, WhitespaceTokenizer};
-use airphant_storage::{LatencyModel, LocalFsStore, ObjectStore, SimulatedCloudStore};
+use airphant_storage::{
+    CachedStore, LatencyModel, LocalFsStore, ObjectStore, SimDuration, SimulatedCloudStore,
+};
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -22,12 +28,16 @@ mod args;
 use args::Args;
 
 const USAGE: &str = "usage:
-  airphant build  --store DIR --corpus PREFIX --index PREFIX
-                  [--bins N] [--f0 F] [--layers L] [--common FRAC] [--ngram N]
-  airphant search --store DIR --index PREFIX [WORD...]
-                  [--or] [--ngram N] [--substring PATTERN] [--gram N]
-                  [--top K] [--simulate-cloud] [--timeout-ms MS]
-  airphant stats  --store DIR --corpus PREFIX
+  airphant build       --store DIR --corpus PREFIX --index PREFIX
+                       [--bins N] [--f0 F] [--layers L] [--common FRAC] [--ngram N]
+  airphant search      --store DIR --index PREFIX [WORD...]
+                       [--or] [--ngram N] [--substring PATTERN] [--gram N]
+                       [--top K] [--simulate-cloud] [--timeout-ms MS]
+  airphant bench-serve --store DIR --index PREFIX [WORD...]
+                       [--corpus PREFIX] [--workers N] [--queue CAP]
+                       [--queries M] [--cache-kb KB] [--deadline-ms MS]
+                       [--ngram N] [--top K]
+  airphant stats       --store DIR --corpus PREFIX
 
 Multiple WORDs are combined with AND (--or combines them with OR).
 --substring adds a literal-substring predicate; it needs an index built
@@ -36,7 +46,13 @@ gram size defaults to it, override with --gram). However the query is
 composed, its index lookup is a single batch of concurrent reads. The
 store directory is a local object store (one file per blob); a corpus
 PREFIX selects every blob under it, parsed as newline-delimited
-documents of whitespace keywords (or N-grams under --ngram).";
+documents of whitespace keywords (or N-grams under --ngram).
+
+bench-serve drives a closed-loop workload through a QueryServer (a fixed
+worker pool over one shared Searcher and one shared byte-budgeted cache,
+on a simulated gcs-like cloud link) and prints throughput + tail latency.
+The workload cycles the given WORDs, or samples the vocabulary of
+--corpus PREFIX when no WORDs are given.";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -55,6 +71,7 @@ fn run(argv: &[String]) -> Result<(), String> {
     match args.command() {
         "build" => build(&mut args),
         "search" => search(&mut args),
+        "bench-serve" => bench_serve(&mut args),
         "stats" => stats(&mut args),
         other => Err(format!("unknown command: {other}")),
     }
@@ -234,6 +251,124 @@ fn search(args: &mut Args) -> Result<(), String> {
     );
     for hit in &result.hits {
         println!("{}@{}+{}\t{}", hit.blob, hit.offset, hit.len, hit.text);
+    }
+    Ok(())
+}
+
+fn bench_serve(args: &mut Args) -> Result<(), String> {
+    let store = open_store(args)?;
+    let index = args.required("--index")?;
+    let corpus_prefix = args.optional_parse::<String>("--corpus")?;
+    let workers = args.optional_parse::<usize>("--workers")?.unwrap_or(4);
+    let queue = args
+        .optional_parse::<usize>("--queue")?
+        .unwrap_or(workers * 4);
+    let queries = args.optional_parse::<usize>("--queries")?.unwrap_or(200);
+    let cache_kb = args.optional_parse::<usize>("--cache-kb")?.unwrap_or(1024);
+    let deadline_ms = args.optional_parse::<u64>("--deadline-ms")?;
+    let top_k = args.optional_parse::<usize>("--top")?;
+    let ngram = args.optional_parse::<usize>("--ngram")?;
+    let mut words = args.positional();
+
+    // No explicit WORDs: sample the vocabulary of --corpus.
+    if words.is_empty() {
+        let prefix = corpus_prefix
+            .clone()
+            .ok_or("bench-serve needs WORDs or --corpus PREFIX to draw a workload from")?;
+        let blobs = store.list(&prefix).map_err(|e| e.to_string())?;
+        if blobs.is_empty() {
+            return Err(format!("no blobs under corpus prefix {prefix}"));
+        }
+        let corpus = Corpus::new(
+            store.clone(),
+            blobs,
+            Arc::new(LineSplitter),
+            tokenizer_for(ngram)?,
+        );
+        let profile = corpus.profile().map_err(|e| e.to_string())?;
+        if profile.n_terms == 0 {
+            return Err(format!(
+                "corpus under {prefix} has no words to sample a workload from"
+            ));
+        }
+        words = airphant_corpus::QueryWorkload::frequency_weighted(&profile, queries, 7)
+            .words()
+            .to_vec();
+    }
+    args.finish()?;
+
+    // The serving stack: local blobs → simulated cloud link → one shared
+    // byte-budgeted cache → one shared Searcher → the worker pool.
+    let sim = SimulatedCloudStore::new(store, LatencyModel::gcs_like(), 0xC0FFEE);
+    let cache = Arc::new(CachedStore::new(sim, cache_kb << 10));
+    let searcher = Searcher::open_with_tokenizer(
+        cache.clone() as Arc<dyn ObjectStore>,
+        &index,
+        tokenizer_for(ngram)?,
+    )
+    .map_err(|e| e.to_string())?;
+
+    let mut config = ServerConfig::new()
+        .with_workers(workers)
+        .with_queue_capacity(queue);
+    if let Some(ms) = deadline_ms {
+        config = config.with_deadline(SimDuration::from_millis(ms));
+    }
+    let cache_for_stats = cache.clone();
+    let server = QueryServer::start(Arc::new(searcher), config)
+        .with_cache_stats(move || cache_for_stats.hit_stats());
+
+    let opts = QueryOptions::new().with_top_k(top_k);
+    let mut tickets = Vec::with_capacity(queries);
+    for i in 0..queries {
+        let word = &words[i % words.len()];
+        tickets.push(
+            server
+                .submit(Query::term(word), opts.clone())
+                .map_err(|e| e.to_string())?,
+        );
+    }
+    let mut timeouts = 0usize;
+    for t in tickets {
+        if t.wait().is_err() {
+            timeouts += 1;
+        }
+    }
+    let stats = server.shutdown();
+
+    println!(
+        "served {} queries on {} worker(s) (queue {queue}, cache {cache_kb} KiB)",
+        stats.completed + stats.timed_out + stats.failed,
+        stats.workers,
+    );
+    println!(
+        "throughput: {:.1} q/s simulated ({:.1} q/s wall), makespan {}",
+        stats.qps_sim, stats.qps_wall, stats.sim_makespan,
+    );
+    println!(
+        "latency ms: p50 {:.1}  p95 {:.1}  p99 {:.1}  (lookup wait p50 {:.1}, p99 {:.1})",
+        stats.latency_p50_ms,
+        stats.latency_p95_ms,
+        stats.latency_p99_ms,
+        stats.wait_p50_ms,
+        stats.wait_p99_ms,
+    );
+    match stats.cache_hit_rate() {
+        Some(rate) => {
+            let (h, m) = stats.cache.expect("rate implies counters");
+            println!(
+                "shared cache: {:.1}% hit rate ({h} hits / {m} misses)",
+                rate * 100.0
+            );
+        }
+        None => println!("shared cache: no traffic"),
+    }
+    println!(
+        "outcomes: {} ok, {} past deadline, {} failed, {} rejected",
+        stats.completed, stats.timed_out, stats.failed, stats.rejected,
+    );
+    if timeouts != (stats.timed_out + stats.failed) as usize {
+        return Err("ticket outcomes disagree with server counters".into());
     }
     Ok(())
 }

@@ -18,7 +18,15 @@ use airphant_storage::QueryTrace;
 use iou_sketch::PostingsList;
 
 /// A keyword-search engine under benchmark.
-pub trait SearchEngine {
+///
+/// Engines are `Send + Sync`: one engine instance (over one shared,
+/// byte-budgeted cache) is driven concurrently by every worker of a
+/// [`QueryServer`](crate::serve::QueryServer), so the whole read path must
+/// be shareable across threads. Per-query state (the
+/// [`QueryTrace`], candidate postings, sampled fetches) lives on the
+/// calling thread's stack — implementations must not route it through
+/// shared mutable cells.
+pub trait SearchEngine: Send + Sync {
     /// Engine name as it appears in the paper's figures
     /// (e.g. `"AIRPHANT"`, `"Lucene"`, `"SQLite"`).
     fn name(&self) -> &'static str;

@@ -82,6 +82,7 @@ pub mod result;
 pub mod retrieval;
 pub mod searcher;
 pub mod segments;
+pub mod serve;
 pub mod substring;
 
 #[allow(deprecated)]
@@ -95,6 +96,7 @@ pub use query::{Query, QueryOptions};
 pub use result::{SearchHit, SearchResult};
 pub use searcher::Searcher;
 pub use segments::{SegmentManager, SegmentedSearcher};
+pub use serve::{QueryServer, ServerConfig, ServerStats, SubmitError, Ticket};
 
 /// Convenient `Result` alias.
 pub type Result<T> = std::result::Result<T, AirphantError>;

@@ -438,6 +438,15 @@ impl WordLookupExt for WordLookup {
     }
 }
 
+// The whole read path is shared across query threads through a single
+// `Arc<Searcher>`: per-query state (trace, candidates, samples) lives on
+// the calling thread's stack, and the only shared mutability sits behind
+// the store's own synchronization (cache LRU, RNG, counters).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Searcher>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

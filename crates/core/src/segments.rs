@@ -145,6 +145,14 @@ impl SegmentedSearcher {
     }
 }
 
+// Segment fan-out shares the same thread-safety contract as a single
+// Searcher: a `SegmentedSearcher` behind one `Arc` serves N query threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SegmentManager>();
+    assert_send_sync::<SegmentedSearcher>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,836 @@
+//! Concurrent query serving: a worker pool over one shared read path.
+//!
+//! The paper positions Airphant as a cloud index for read-oriented
+//! workloads under "heavy traffic from millions of users": Searchers are
+//! lightweight and stateless, so a serving node scales by pointing many
+//! query threads at one shared [`SearchEngine`] (usually a
+//! [`Searcher`](crate::Searcher) over a shared byte-budgeted
+//! [`CachedStore`](airphant_storage::CachedStore)). [`QueryServer`] is
+//! that serving node:
+//!
+//! * a **fixed worker pool** drains a **bounded submission queue**; when
+//!   the queue is full, [`QueryServer::try_submit`] rejects with the typed
+//!   [`SubmitError::QueueFull`] (backpressure instead of unbounded memory);
+//! * an optional **per-query deadline** on the simulated clock: queries
+//!   whose end-to-end simulated latency exceeds it surface
+//!   [`StorageError::Timeout`] to the caller and count as timed out;
+//! * aggregate [`ServerStats`]: throughput, tail latency, cache hit rate,
+//!   rejected/timed-out counts.
+//!
+//! ## Throughput on the virtual clock
+//!
+//! Storage latencies in this reproduction are *data, not sleeps* (see
+//! `airphant-storage`), so serving throughput is also reported on the
+//! simulated clock: the server replays the completed queries' simulated
+//! latencies through `workers` model servers (each serving one query at a
+//! time, every finished query immediately replaced by the next — a closed
+//! loop) and derives QPS from that makespan. This keeps throughput
+//! numbers deterministic under a seed and independent of the host's core
+//! count; wall-clock QPS is reported alongside.
+
+use crate::engine::SearchEngine;
+use crate::error::AirphantError;
+use crate::query::{Query, QueryOptions};
+use crate::result::SearchResult;
+use crate::Result;
+use airphant_storage::{SimDuration, StorageError};
+use std::collections::BinaryHeap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Sizing and policy knobs for a [`QueryServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads draining the queue (each runs whole queries).
+    pub workers: usize,
+    /// Bounded submission-queue capacity; a full queue rejects.
+    pub queue_capacity: usize,
+    /// Per-query deadline on the simulated clock; `None` disables it.
+    pub deadline: Option<SimDuration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_capacity: 64,
+            deadline: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Default configuration (4 workers, queue of 64, no deadline).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the worker-pool size.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Set the bounded queue capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Set the per-query simulated-clock deadline.
+    pub fn with_deadline(mut self, deadline: SimDuration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Typed rejection from [`QueryServer::try_submit`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded submission queue is full — shed load or retry later.
+    QueueFull {
+        /// The configured queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The server has shut down and accepts no further queries.
+    ShutDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "submission queue full (capacity {capacity})")
+            }
+            SubmitError::ShutDown => write!(f, "query server is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A pending query's completion handle.
+pub struct Ticket {
+    rx: Receiver<Result<SearchResult>>,
+}
+
+impl Ticket {
+    /// Block until the query completes and return its result. Deadline
+    /// violations arrive as [`StorageError::Timeout`].
+    pub fn wait(self) -> Result<SearchResult> {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| panic!("query server worker dropped the reply channel"))
+    }
+}
+
+struct Job {
+    query: Query,
+    opts: QueryOptions,
+    reply: SyncSender<Result<SearchResult>>,
+}
+
+/// State shared between the handle and the worker threads.
+struct Shared {
+    engine: Arc<dyn SearchEngine>,
+    deadline: Option<SimDuration>,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    timed_out: AtomicU64,
+    failed: AtomicU64,
+    /// Per-completed-query `(lookup wait, end-to-end)` simulated samples.
+    samples: Mutex<Vec<(SimDuration, SimDuration)>>,
+}
+
+impl Shared {
+    fn serve(&self, job: Job) {
+        // Contain engine panics: the worker must survive (a 1-worker pool
+        // would otherwise stop serving and strand every queued ticket)
+        // and the caller gets an error, not a dropped reply channel.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.engine.execute(&job.query, &job.opts)
+        }))
+        .unwrap_or_else(|panic| {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            Err(AirphantError::Storage(StorageError::Io(
+                std::io::Error::other(format!("query execution panicked: {msg}")),
+            )))
+        });
+        let reply = match outcome {
+            Ok(result) => {
+                let total = result.trace.total();
+                // The worker spent this simulated time whether or not the
+                // query beat its deadline, so timed-out queries stay in
+                // the samples: percentiles report the true served tail
+                // (not censored at the deadline) and the closed-loop
+                // makespan charges the wasted service time.
+                self.samples
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push((result.trace.wait(), total));
+                match self.deadline {
+                    Some(deadline) if total > deadline => {
+                        self.timed_out.fetch_add(1, Ordering::Relaxed);
+                        Err(AirphantError::Storage(StorageError::Timeout {
+                            name: format!("query missed its {deadline} deadline (took {total})"),
+                        }))
+                    }
+                    _ => {
+                        self.completed.fetch_add(1, Ordering::Relaxed);
+                        Ok(result)
+                    }
+                }
+            }
+            Err(e) => {
+                self.failed.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        };
+        // The ticket may have been dropped; serving already happened.
+        let _ = job.reply.send(reply);
+    }
+}
+
+/// Aggregate serving statistics (see the module docs for the throughput
+/// model).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerStats {
+    /// Worker-pool size the numbers are modeled for.
+    pub workers: usize,
+    /// Queries answered successfully.
+    pub completed: u64,
+    /// Submissions rejected by backpressure ([`SubmitError::QueueFull`]).
+    pub rejected: u64,
+    /// Queries past the simulated deadline.
+    pub timed_out: u64,
+    /// Queries that failed with an engine/storage error.
+    pub failed: u64,
+    /// Simulated closed-loop makespan of every *served* query — including
+    /// timed-out ones, whose service time the workers still spent.
+    pub sim_makespan: SimDuration,
+    /// Successfully completed queries per simulated second (timed-out
+    /// service time counts against the makespan but not the numerator).
+    pub qps_sim: f64,
+    /// Completed queries per wall-clock second (host-dependent).
+    pub qps_wall: f64,
+    /// Median simulated lookup wait, ms (all served queries).
+    pub wait_p50_ms: f64,
+    /// 95th-percentile simulated lookup wait, ms.
+    pub wait_p95_ms: f64,
+    /// 99th-percentile simulated lookup wait, ms.
+    pub wait_p99_ms: f64,
+    /// Median simulated end-to-end latency, ms.
+    pub latency_p50_ms: f64,
+    /// 95th-percentile simulated end-to-end latency, ms.
+    pub latency_p95_ms: f64,
+    /// 99th-percentile simulated end-to-end latency, ms.
+    pub latency_p99_ms: f64,
+    /// `(hits, misses)` of the shared cache, when one is attached.
+    pub cache: Option<(u64, u64)>,
+}
+
+impl ServerStats {
+    /// Shared-cache hit rate in `[0, 1]`, when a cache is attached and saw
+    /// traffic.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        self.cache.and_then(|(h, m)| {
+            let total = h + m;
+            (total > 0).then(|| h as f64 / total as f64)
+        })
+    }
+}
+
+/// Nearest-rank percentile of an ascending sample, `q ∈ [0, 1]`.
+fn percentile(sorted: &[SimDuration], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1].as_millis_f64()
+}
+
+/// Closed-loop makespan of serving `latencies` on `workers` model servers:
+/// each query goes to the earliest-free server, in completion order.
+fn closed_loop_makespan(latencies: &[SimDuration], workers: usize) -> SimDuration {
+    let workers = workers.max(1);
+    // Min-heap of server free times (BinaryHeap is a max-heap: reverse).
+    let mut free: BinaryHeap<std::cmp::Reverse<SimDuration>> = (0..workers)
+        .map(|_| std::cmp::Reverse(SimDuration::ZERO))
+        .collect();
+    let mut makespan = SimDuration::ZERO;
+    for &lat in latencies {
+        let std::cmp::Reverse(t) = free.pop().expect("workers >= 1");
+        let done = t + lat;
+        makespan = makespan.max(done);
+        free.push(std::cmp::Reverse(done));
+    }
+    makespan
+}
+
+/// A fixed pool of query workers over one shared engine.
+///
+/// Dropping the server shuts it down: the queue closes and the workers are
+/// joined (pending queries are still served first).
+pub struct QueryServer {
+    shared: Arc<Shared>,
+    sender: Option<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    queue_capacity: usize,
+    started: Instant,
+    cache_stats: Option<Box<dyn Fn() -> (u64, u64) + Send + Sync>>,
+    config_workers: usize,
+}
+
+impl QueryServer {
+    /// Spawn the worker pool over `engine`.
+    pub fn start(engine: Arc<dyn SearchEngine>, config: ServerConfig) -> Self {
+        assert!(config.workers >= 1, "a server needs at least one worker");
+        assert!(config.queue_capacity >= 1, "queue capacity must be >= 1");
+        let shared = Arc::new(Shared {
+            engine,
+            deadline: config.deadline,
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            samples: Mutex::new(Vec::new()),
+        });
+        let (tx, rx) = sync_channel::<Job>(config.queue_capacity);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = shared.clone();
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("airphant-serve-{i}"))
+                    .spawn(move || loop {
+                        // Hold the receiver lock only for the dequeue; the
+                        // query itself runs unlocked, so workers overlap.
+                        let job = {
+                            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
+                            guard.recv()
+                        };
+                        match job {
+                            Ok(job) => shared.serve(job),
+                            Err(_) => return, // queue closed: shut down
+                        }
+                    })
+                    .expect("spawn query worker")
+            })
+            .collect();
+        QueryServer {
+            shared,
+            sender: Some(tx),
+            workers,
+            queue_capacity: config.queue_capacity,
+            started: Instant::now(),
+            cache_stats: None,
+            config_workers: config.workers,
+        }
+    }
+
+    /// Attach a shared-cache counter source (e.g.
+    /// `move || cache.hit_stats()`) so [`ServerStats::cache`] is populated.
+    pub fn with_cache_stats(
+        mut self,
+        stats: impl Fn() -> (u64, u64) + Send + Sync + 'static,
+    ) -> Self {
+        self.cache_stats = Some(Box::new(stats));
+        self
+    }
+
+    /// Enqueue a query without blocking. A full queue rejects with
+    /// [`SubmitError::QueueFull`] and counts toward
+    /// [`ServerStats::rejected`].
+    pub fn try_submit(
+        &self,
+        query: Query,
+        opts: QueryOptions,
+    ) -> std::result::Result<Ticket, SubmitError> {
+        let (reply, rx) = sync_channel(1);
+        let job = Job { query, opts, reply };
+        let sender = self.sender.as_ref().ok_or(SubmitError::ShutDown)?;
+        match sender.try_send(job) {
+            Ok(()) => Ok(Ticket { rx }),
+            Err(TrySendError::Full(_)) => {
+                self.shared.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::QueueFull {
+                    capacity: self.queue_capacity,
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::ShutDown),
+        }
+    }
+
+    /// Enqueue a query, blocking while the queue is full (closed-loop
+    /// submission: the caller inherits the backpressure).
+    pub fn submit(
+        &self,
+        query: Query,
+        opts: QueryOptions,
+    ) -> std::result::Result<Ticket, SubmitError> {
+        let (reply, rx) = sync_channel(1);
+        let job = Job { query, opts, reply };
+        let sender = self.sender.as_ref().ok_or(SubmitError::ShutDown)?;
+        sender.send(job).map_err(|_| SubmitError::ShutDown)?;
+        Ok(Ticket { rx })
+    }
+
+    /// Submit and wait: the blocking convenience used by tests and the
+    /// CLI.
+    pub fn execute(&self, query: &Query, opts: &QueryOptions) -> Result<SearchResult> {
+        self.submit(query.clone(), opts.clone())
+            .expect("server alive while the handle is held")
+            .wait()
+    }
+
+    /// Snapshot the aggregate serving statistics.
+    pub fn stats(&self) -> ServerStats {
+        let samples = self
+            .shared
+            .samples
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        let mut waits: Vec<SimDuration> = samples.iter().map(|&(w, _)| w).collect();
+        let mut totals: Vec<SimDuration> = samples.iter().map(|&(_, t)| t).collect();
+        waits.sort();
+        totals.sort();
+        let completed = self.shared.completed.load(Ordering::Relaxed);
+        let sim_makespan = closed_loop_makespan(&totals, self.config_workers);
+        let sim_secs = sim_makespan.as_secs_f64();
+        let wall_secs = self.started.elapsed().as_secs_f64();
+        ServerStats {
+            workers: self.config_workers,
+            completed,
+            rejected: self.shared.rejected.load(Ordering::Relaxed),
+            timed_out: self.shared.timed_out.load(Ordering::Relaxed),
+            failed: self.shared.failed.load(Ordering::Relaxed),
+            sim_makespan,
+            qps_sim: if sim_secs > 0.0 {
+                completed as f64 / sim_secs
+            } else {
+                0.0
+            },
+            qps_wall: if wall_secs > 0.0 {
+                completed as f64 / wall_secs
+            } else {
+                0.0
+            },
+            wait_p50_ms: percentile(&waits, 0.50),
+            wait_p95_ms: percentile(&waits, 0.95),
+            wait_p99_ms: percentile(&waits, 0.99),
+            latency_p50_ms: percentile(&totals, 0.50),
+            latency_p95_ms: percentile(&totals, 0.95),
+            latency_p99_ms: percentile(&totals, 0.99),
+            cache: self.cache_stats.as_ref().map(|f| f()),
+        }
+    }
+
+    /// Drain the queue, stop the workers, and return the final statistics.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.join_workers();
+        self.stats()
+    }
+
+    fn join_workers(&mut self) {
+        self.sender.take(); // close the queue: workers drain then exit
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for QueryServer {
+    fn drop(&mut self) {
+        self.join_workers();
+    }
+}
+
+// The server handle itself can be shared (e.g. one handle per frontend
+// thread submitting into the same pool).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QueryServer>();
+    assert_send_sync::<ServerStats>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Builder;
+    use crate::config::AirphantConfig;
+    use crate::Searcher;
+    use airphant_corpus::{Corpus, LineSplitter, WhitespaceTokenizer};
+    use airphant_storage::{
+        BatchFetch, CachedStore, Fetched, InMemoryStore, LatencyModel, ObjectStore, RangeRequest,
+        SimulatedCloudStore,
+    };
+    use bytes::Bytes;
+    use std::sync::Condvar;
+
+    fn build_index(store: Arc<dyn ObjectStore>, lines: &[&str]) {
+        let blob = lines.join("\n");
+        store.put("c/blob-0", Bytes::from(blob)).unwrap();
+        let corpus = Corpus::new(
+            store.clone(),
+            vec!["c/blob-0".into()],
+            Arc::new(LineSplitter),
+            Arc::new(WhitespaceTokenizer),
+        );
+        Builder::new(
+            AirphantConfig::default()
+                .with_total_bins(128)
+                .with_manual_layers(2)
+                .with_common_fraction(0.0),
+        )
+        .build(&corpus, "idx")
+        .unwrap();
+    }
+
+    fn lines(n: usize) -> Vec<String> {
+        (0..n)
+            .map(|i| format!("word{i} shared{} common", i % 5))
+            .collect()
+    }
+
+    #[test]
+    fn pooled_results_match_direct_execution() {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let docs = lines(60);
+        let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        build_index(store.clone(), &refs);
+        let searcher = Arc::new(Searcher::open(store, "idx").unwrap());
+        let server = QueryServer::start(
+            searcher.clone(),
+            ServerConfig::new().with_workers(4).with_queue_capacity(16),
+        );
+        for i in 0..30 {
+            let q = Query::and([
+                Query::term(format!("word{i}")),
+                Query::term(format!("shared{}", i % 5)),
+            ]);
+            let served = server.execute(&q, &QueryOptions::new()).unwrap();
+            let direct = searcher.execute(&q, &QueryOptions::new()).unwrap();
+            let texts = |r: &SearchResult| {
+                let mut v: Vec<&str> = r.hits.iter().map(|h| h.text.as_str()).collect();
+                v.sort();
+                v.join("|")
+            };
+            assert_eq!(texts(&served), texts(&direct), "query {i}");
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 30);
+        assert_eq!(stats.rejected + stats.timed_out + stats.failed, 0);
+    }
+
+    /// A store whose reads park on a gate until the test opens it — makes
+    /// queue-full states deterministic. Flags when a read has parked so
+    /// tests can handshake instead of sleeping.
+    struct GatedStore<S> {
+        inner: S,
+        gate: Mutex<bool>,
+        cv: Condvar,
+        parked: Mutex<bool>,
+        parked_cv: Condvar,
+    }
+
+    impl<S> GatedStore<S> {
+        fn new(inner: S) -> Self {
+            GatedStore {
+                inner,
+                gate: Mutex::new(false),
+                cv: Condvar::new(),
+                parked: Mutex::new(false),
+                parked_cv: Condvar::new(),
+            }
+        }
+
+        fn open(&self) {
+            *self.gate.lock().unwrap() = true;
+            self.cv.notify_all();
+        }
+
+        fn wait_until_parked(&self) {
+            let mut parked = self.parked.lock().unwrap();
+            while !*parked {
+                parked = self.parked_cv.wait(parked).unwrap();
+            }
+        }
+
+        fn block(&self) {
+            {
+                *self.parked.lock().unwrap() = true;
+                self.parked_cv.notify_all();
+            }
+            let mut open = self.gate.lock().unwrap();
+            while !*open {
+                open = self.cv.wait(open).unwrap();
+            }
+        }
+    }
+
+    impl<S: ObjectStore> ObjectStore for GatedStore<S> {
+        fn put(&self, name: &str, data: Bytes) -> airphant_storage::Result<()> {
+            self.inner.put(name, data)
+        }
+        fn get(&self, name: &str) -> airphant_storage::Result<Fetched> {
+            self.inner.get(name)
+        }
+        fn get_range(&self, name: &str, o: u64, l: u64) -> airphant_storage::Result<Fetched> {
+            self.block();
+            self.inner.get_range(name, o, l)
+        }
+        fn get_ranges(&self, reqs: &[RangeRequest]) -> airphant_storage::Result<BatchFetch> {
+            self.block();
+            self.inner.get_ranges(reqs)
+        }
+        fn size_of(&self, name: &str) -> airphant_storage::Result<u64> {
+            self.inner.size_of(name)
+        }
+        fn list(&self, prefix: &str) -> airphant_storage::Result<Vec<String>> {
+            self.inner.list(prefix)
+        }
+        fn delete(&self, name: &str) -> airphant_storage::Result<()> {
+            self.inner.delete(name)
+        }
+    }
+
+    #[test]
+    fn full_queue_rejects_with_typed_error() {
+        let plain: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let docs = lines(10);
+        let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        build_index(plain.clone(), &refs);
+        // Open the searcher over the *ungated* store (init must not park),
+        // then serve through a gate that stalls the single worker.
+        let gated = Arc::new(GatedStore::new(plain.clone()));
+        let searcher = {
+            // Re-point the searcher's store at the gated stack.
+            Arc::new(Searcher::open(gated.clone() as Arc<dyn ObjectStore>, "idx").unwrap())
+        };
+        let server = QueryServer::start(
+            searcher,
+            ServerConfig::new().with_workers(1).with_queue_capacity(2),
+        );
+        // One query occupies the worker (parked on the gate); two fill the
+        // queue; the next must be rejected with the typed error.
+        let mut tickets = Vec::new();
+        let mut accepted = 0;
+        let mut rejected = None;
+        for i in 0..8 {
+            match server.try_submit(Query::term(format!("word{}", i % 10)), QueryOptions::new()) {
+                Ok(t) => {
+                    accepted += 1;
+                    tickets.push(t);
+                }
+                Err(e) => {
+                    rejected = Some(e);
+                    break;
+                }
+            }
+            // Handshake: only count the worker as occupied once it has
+            // actually parked on the gate, so the tallies below are
+            // deterministic (1 in flight + 2 queued) on any scheduler.
+            if i == 0 {
+                gated.wait_until_parked();
+            }
+        }
+        assert_eq!(rejected, Some(SubmitError::QueueFull { capacity: 2 }));
+        assert_eq!(accepted, 3, "1 serving + 2 queued");
+        gated.open();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.rejected, 1);
+    }
+
+    #[test]
+    fn wait_on_open_gate_is_not_required_for_shutdown() {
+        // Dropping the server with no traffic must join cleanly.
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        build_index(store.clone(), &["alpha beta"]);
+        let searcher = Arc::new(Searcher::open(store, "idx").unwrap());
+        let server = QueryServer::start(searcher, ServerConfig::new());
+        drop(server);
+    }
+
+    #[test]
+    fn deadline_surfaces_storage_timeout() {
+        let sim = Arc::new(SimulatedCloudStore::new(
+            InMemoryStore::new(),
+            LatencyModel::gcs_like(),
+            5,
+        ));
+        {
+            let s: Arc<dyn ObjectStore> = sim.clone();
+            let docs = lines(20);
+            let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+            build_index(s, &refs);
+        }
+        let searcher =
+            Arc::new(Searcher::open(sim.clone() as Arc<dyn ObjectStore>, "idx").unwrap());
+        // gcs-like round trips are ~45 ms; a 1 ms deadline always trips.
+        let server = QueryServer::start(
+            searcher,
+            ServerConfig::new()
+                .with_workers(2)
+                .with_deadline(SimDuration::from_millis(1)),
+        );
+        let err = server
+            .execute(&Query::term("word3"), &QueryOptions::new())
+            .unwrap_err();
+        assert!(
+            matches!(err, AirphantError::Storage(StorageError::Timeout { .. })),
+            "expected Timeout, got {err:?}"
+        );
+        let stats = server.shutdown();
+        assert_eq!(stats.timed_out, 1);
+        assert_eq!(stats.completed, 0);
+        // The timed-out query's true latency stays in the samples: the
+        // tail is not censored at the deadline and the worker's spent
+        // service time still shows up in the makespan.
+        assert!(stats.latency_p99_ms > 1.0, "tail must exceed the deadline");
+        assert!(stats.sim_makespan > SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn stats_percentiles_and_throughput_model() {
+        let sim = Arc::new(SimulatedCloudStore::new(
+            InMemoryStore::new(),
+            LatencyModel::gcs_like(),
+            9,
+        ));
+        {
+            let s: Arc<dyn ObjectStore> = sim.clone();
+            let docs = lines(40);
+            let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+            build_index(s, &refs);
+        }
+        let cache = Arc::new(CachedStore::new(
+            sim.clone() as Arc<dyn ObjectStore>,
+            1 << 20,
+        ));
+        let searcher =
+            Arc::new(Searcher::open(cache.clone() as Arc<dyn ObjectStore>, "idx").unwrap());
+        let cache_for_stats = cache.clone();
+        let server = QueryServer::start(
+            searcher,
+            ServerConfig::new().with_workers(4).with_queue_capacity(32),
+        )
+        .with_cache_stats(move || cache_for_stats.hit_stats());
+        let tickets: Vec<Ticket> = (0..40)
+            .map(|i| {
+                server
+                    .submit(Query::term(format!("word{}", i % 40)), QueryOptions::new())
+                    .unwrap()
+            })
+            .collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let stats = server.stats();
+        assert_eq!(stats.completed, 40);
+        assert!(stats.qps_sim > 0.0);
+        assert!(stats.latency_p50_ms > 0.0);
+        assert!(stats.latency_p50_ms <= stats.latency_p95_ms);
+        assert!(stats.latency_p95_ms <= stats.latency_p99_ms);
+        assert!(stats.wait_p50_ms <= stats.wait_p99_ms);
+        assert!(stats.cache.is_some());
+        assert!(stats.cache_hit_rate().is_some());
+        // The closed-loop model: 4 workers serve 40 queries at least ~4x
+        // faster than one worker would (same samples, fewer servers).
+        let one = closed_loop_makespan(
+            &{
+                let samples = server.shared.samples.lock().unwrap().clone();
+                let mut totals: Vec<SimDuration> = samples.iter().map(|&(_, t)| t).collect();
+                totals.sort();
+                totals
+            },
+            1,
+        );
+        assert!(
+            stats.sim_makespan < one,
+            "4 workers {} must beat 1 worker {one}",
+            stats.sim_makespan
+        );
+        drop(server);
+    }
+
+    /// Panics on the first query, answers normally afterwards.
+    struct PanicOnceEngine {
+        inner: Searcher,
+        panicked: std::sync::atomic::AtomicBool,
+    }
+
+    impl SearchEngine for PanicOnceEngine {
+        fn name(&self) -> &'static str {
+            "PanicOnce"
+        }
+        fn lookup(
+            &self,
+            word: &str,
+        ) -> Result<(iou_sketch::PostingsList, airphant_storage::QueryTrace)> {
+            self.inner.lookup(word)
+        }
+        fn execute(&self, query: &Query, opts: &QueryOptions) -> Result<SearchResult> {
+            if !self.panicked.swap(true, Ordering::SeqCst) {
+                panic!("injected engine panic");
+            }
+            self.inner.execute(query, opts)
+        }
+        fn index_bytes(&self) -> u64 {
+            self.inner.index_usage_bytes()
+        }
+    }
+
+    #[test]
+    fn engine_panic_fails_the_query_but_not_the_worker() {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        build_index(store.clone(), &["alpha beta", "beta gamma"]);
+        let engine = Arc::new(PanicOnceEngine {
+            inner: Searcher::open(store, "idx").unwrap(),
+            panicked: std::sync::atomic::AtomicBool::new(false),
+        });
+        // One worker: if the panic killed it, the second query would hang.
+        let server = QueryServer::start(engine, ServerConfig::new().with_workers(1));
+        let err = server
+            .execute(&Query::term("beta"), &QueryOptions::new())
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("panicked"),
+            "caller sees an error, got {err}"
+        );
+        let ok = server
+            .execute(&Query::term("beta"), &QueryOptions::new())
+            .unwrap();
+        assert_eq!(ok.hits.len(), 2, "the worker survived the panic");
+        let stats = server.shutdown();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn closed_loop_makespan_is_monotone_in_workers() {
+        let latencies: Vec<SimDuration> = (0..100)
+            .map(|i| SimDuration::from_millis(40 + (i * 13) % 30))
+            .collect();
+        let mut prev = SimDuration::from_nanos(u64::MAX);
+        for workers in [1usize, 2, 4, 8, 16, 32] {
+            let m = closed_loop_makespan(&latencies, workers);
+            assert!(m <= prev, "makespan must not grow with workers");
+            prev = m;
+        }
+        assert_eq!(closed_loop_makespan(&[], 4), SimDuration::ZERO);
+    }
+}

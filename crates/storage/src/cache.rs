@@ -7,6 +7,12 @@
 //! corpora. [`CachedStore`] is that extension: a byte-budgeted LRU over
 //! ranged reads. Cache hits cost zero simulated latency — they never leave
 //! the client.
+//!
+//! The cache is safe to share across query threads (one budget serving a
+//! whole worker pool), and concurrent fetches of the *same* range are
+//! single-flighted: one thread performs the network read while the others
+//! wait for the cached bytes, so a popular range is charged its cold
+//! latency exactly once and the store underneath sees one request.
 
 use crate::latency::{LatencySample, SimDuration};
 use crate::object_store::{BatchFetch, Fetched, ObjectStore, RangeRequest};
@@ -15,6 +21,7 @@ use bytes::Bytes;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 
 /// Cache key: one exact ranged read.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -24,12 +31,15 @@ struct RangeKey {
     len: u64,
 }
 
-/// LRU state: entries plus a monotone use counter.
+/// LRU state: entries plus a monotone use counter, and a per-blob
+/// invalidation epoch (bumped by every write/delete of the blob) that
+/// in-flight fetches check before admitting bytes.
 #[derive(Debug, Default)]
 struct LruState {
     entries: HashMap<RangeKey, (Bytes, u64)>,
     bytes: usize,
     tick: u64,
+    epochs: HashMap<String, u64>,
 }
 
 impl LruState {
@@ -64,6 +74,56 @@ impl LruState {
     }
 }
 
+/// One in-flight fetch of a range: followers block on the condvar until
+/// the leader publishes (or abandons) the bytes.
+struct Flight {
+    done: StdMutex<bool>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Self {
+        Flight {
+            done: StdMutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wait(&self) {
+        let mut done = self.done.lock().unwrap_or_else(|e| e.into_inner());
+        while !*done {
+            done = self.cv.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn finish(&self) {
+        *self.done.lock().unwrap_or_else(|e| e.into_inner()) = true;
+        self.cv.notify_all();
+    }
+}
+
+/// Outcome of registering interest in a missing range.
+enum Claim<'a, S: ObjectStore> {
+    /// This thread fetches; the guard releases the flight on drop (so a
+    /// panicking backend can never strand followers on the condvar).
+    Leader(ClaimGuard<'a, S>),
+    /// Another thread is already fetching; wait on its flight.
+    Follower(Arc<Flight>),
+}
+
+/// Releases a leader's claim when dropped — on success, error, or unwind.
+struct ClaimGuard<'a, S: ObjectStore> {
+    store: &'a CachedStore<S>,
+    key: RangeKey,
+    flight: Arc<Flight>,
+}
+
+impl<S: ObjectStore> Drop for ClaimGuard<'_, S> {
+    fn drop(&mut self) {
+        self.store.release(&self.key, &self.flight);
+    }
+}
+
 /// An [`ObjectStore`] decorator that caches ranged reads in client memory.
 ///
 /// Whole-object `get`s are treated as ranged reads of the full length so
@@ -73,6 +133,7 @@ pub struct CachedStore<S> {
     inner: S,
     budget: usize,
     lru: Mutex<LruState>,
+    in_flight: StdMutex<HashMap<RangeKey, Arc<Flight>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -84,6 +145,7 @@ impl<S: ObjectStore> CachedStore<S> {
             inner,
             budget: budget_bytes,
             lru: Mutex::new(LruState::default()),
+            in_flight: StdMutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -109,6 +171,10 @@ impl<S: ObjectStore> CachedStore<S> {
 
     fn invalidate(&self, name: &str) {
         let mut lru = self.lru.lock();
+        // Bumped under the LRU lock, the same lock admits take: an admit
+        // either lands before this (and is removed below) or observes the
+        // new epoch and skips.
+        *lru.epochs.entry(name.to_owned()).or_insert(0) += 1;
         let victims: Vec<RangeKey> = lru
             .entries
             .keys()
@@ -122,32 +188,77 @@ impl<S: ObjectStore> CachedStore<S> {
         }
     }
 
-    fn lookup(&self, key: &RangeKey) -> Option<Fetched> {
+    /// The blob's current invalidation epoch (leaders snapshot this
+    /// before fetching).
+    fn epoch_of(&self, name: &str) -> u64 {
+        self.lru.lock().epochs.get(name).copied().unwrap_or(0)
+    }
+
+    /// Cache probe that counts a hit; a miss is counted by whoever ends up
+    /// leading the fetch, so every logical read increments exactly one of
+    /// the two counters exactly once.
+    fn probe(&self, key: &RangeKey) -> Option<Fetched> {
         let cached = self.lru.lock().get(key);
-        match cached {
-            Some(bytes) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(Fetched {
-                    bytes,
-                    latency: LatencySample::ZERO,
-                })
+        cached.map(|bytes| {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            Fetched {
+                bytes,
+                latency: LatencySample::ZERO,
             }
+        })
+    }
+
+    /// Admit fetched bytes unless an invalidation of the same blob landed
+    /// since the fetch started (`epoch` is the leader's pre-fetch
+    /// snapshot).
+    fn admit_if_current(&self, key: RangeKey, bytes: &Bytes, epoch: u64) {
+        let mut lru = self.lru.lock();
+        if lru.epochs.get(&key.name).copied().unwrap_or(0) == epoch {
+            lru.insert(key, bytes.clone(), self.budget);
+        }
+    }
+
+    /// Register interest in fetching `key`: the first caller becomes the
+    /// leader, everyone else follows its flight.
+    fn claim(&self, key: &RangeKey) -> Claim<'_, S> {
+        let mut map = self.in_flight.lock().unwrap_or_else(|e| e.into_inner());
+        match map.get(key) {
+            Some(flight) => Claim::Follower(flight.clone()),
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                None
+                let flight = Arc::new(Flight::new());
+                map.insert(key.clone(), flight.clone());
+                Claim::Leader(ClaimGuard {
+                    store: self,
+                    key: key.clone(),
+                    flight,
+                })
             }
         }
     }
 
-    fn admit(&self, key: RangeKey, bytes: &Bytes) {
-        self.lru.lock().insert(key, bytes.clone(), self.budget);
+    /// Leader hand-off: unpark followers after the bytes were admitted (or
+    /// the fetch failed — followers re-probe and fetch for themselves).
+    fn release(&self, key: &RangeKey, flight: &Flight) {
+        self.in_flight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(key);
+        flight.finish();
     }
 }
 
 impl<S: ObjectStore> ObjectStore for CachedStore<S> {
     fn put(&self, name: &str, data: Bytes) -> Result<()> {
         self.invalidate(name);
-        self.inner.put(name, data)
+        let result = self.inner.put(name, data);
+        // Invalidate again once the write has applied: a fetch that
+        // snapshotted its epoch after the first invalidation could still
+        // have read pre-write bytes and admitted them in the meantime —
+        // this pass evicts that entry and fails any still-in-flight
+        // admit's epoch check, so stale bytes can never outlive the
+        // write.
+        self.invalidate(name);
+        result
     }
 
     fn get(&self, name: &str) -> Result<Fetched> {
@@ -161,50 +272,119 @@ impl<S: ObjectStore> ObjectStore for CachedStore<S> {
             offset,
             len,
         };
-        if let Some(hit) = self.lookup(&key) {
-            return Ok(hit);
+        loop {
+            if let Some(hit) = self.probe(&key) {
+                return Ok(hit);
+            }
+            match self.claim(&key) {
+                Claim::Leader(guard) => {
+                    // Re-probe: a prior leader may have admitted and
+                    // released between our probe and our claim, and its
+                    // admit happens-before its release happens-before
+                    // this claim — don't re-fetch what just landed.
+                    if let Some(hit) = self.probe(&key) {
+                        drop(guard);
+                        return Ok(hit);
+                    }
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    let epoch = self.epoch_of(name);
+                    let result = self.inner.get_range(name, offset, len);
+                    if let Ok(fetched) = &result {
+                        self.admit_if_current(key.clone(), &fetched.bytes, epoch);
+                    }
+                    drop(guard); // publish to followers
+                    return result;
+                }
+                // Re-probe once the leader lands: usually a free hit. If
+                // the leader failed (or the bytes were too big to admit),
+                // the next iteration claims leadership and fetches.
+                Claim::Follower(flight) => flight.wait(),
+            }
         }
-        let fetched = self.inner.get_range(name, offset, len)?;
-        self.admit(key, &fetched.bytes);
-        Ok(fetched)
     }
 
     fn get_ranges(&self, requests: &[RangeRequest]) -> Result<BatchFetch> {
-        // Serve hits locally; fetch only the misses as one (smaller) batch.
-        let mut parts: Vec<Option<Fetched>> = Vec::with_capacity(requests.len());
-        let mut missing: Vec<(usize, RangeRequest)> = Vec::new();
+        // Serve hits locally; fetch only the misses this thread leads as
+        // one (smaller) batch; ranges already being fetched by another
+        // thread are awaited instead of re-requested.
+        let mut parts: Vec<Option<Fetched>> = vec![None; requests.len()];
+        let mut leading: Vec<(usize, RangeRequest, u64)> = Vec::new();
+        let mut claims: Vec<ClaimGuard<'_, S>> = Vec::new();
+        let mut following: Vec<(usize, Arc<Flight>)> = Vec::new();
         for (i, r) in requests.iter().enumerate() {
             let key = RangeKey {
                 name: r.name.clone(),
                 offset: r.offset,
                 len: r.len,
             };
-            match self.lookup(&key) {
-                Some(hit) => parts.push(Some(hit)),
-                None => {
-                    parts.push(None);
-                    missing.push((i, r.clone()));
+            if let Some(hit) = self.probe(&key) {
+                parts[i] = Some(hit);
+                continue;
+            }
+            match self.claim(&key) {
+                Claim::Leader(guard) => {
+                    // Same probe→claim window as in `get_range`: a prior
+                    // leader may have admitted and released in between.
+                    if let Some(hit) = self.probe(&key) {
+                        drop(guard);
+                        parts[i] = Some(hit);
+                        continue;
+                    }
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    leading.push((i, r.clone(), self.epoch_of(&r.name)));
+                    claims.push(guard);
                 }
+                Claim::Follower(flight) => following.push((i, flight)),
             }
         }
+
         let (mut wait, mut download) = (SimDuration::ZERO, SimDuration::ZERO);
-        if !missing.is_empty() {
-            let reqs: Vec<RangeRequest> = missing.iter().map(|(_, r)| r.clone()).collect();
+        if !leading.is_empty() {
+            let reqs: Vec<RangeRequest> = leading.iter().map(|(_, r, _)| r.clone()).collect();
+            // Errors (and panics) drop `claims`, releasing every flight.
             let batch = self.inner.get_ranges(&reqs)?;
             wait = batch.batch_wait;
             download = batch.batch_download;
-            for ((i, r), fetched) in missing.into_iter().zip(batch.parts) {
-                self.admit(
+            for ((i, r, epoch), fetched) in leading.into_iter().zip(batch.parts) {
+                self.admit_if_current(
                     RangeKey {
                         name: r.name,
                         offset: r.offset,
                         len: r.len,
                     },
                     &fetched.bytes,
+                    epoch,
                 );
                 parts[i] = Some(fetched);
             }
         }
+        // Publish our claims *before* waiting on anyone else's flight:
+        // every batch completes its own fetches without blocking on other
+        // threads, so there is no wait cycle to deadlock on.
+        drop(claims);
+
+        for (i, flight) in following {
+            flight.wait();
+            let r = &requests[i];
+            let key = RangeKey {
+                name: r.name.clone(),
+                offset: r.offset,
+                len: r.len,
+            };
+            if let Some(hit) = self.probe(&key) {
+                parts[i] = Some(hit);
+                continue;
+            }
+            // The other thread's fetch failed or was not admitted: fall
+            // back to the single-range path (which claims and charges its
+            // own latency). Concurrent semantics: its wait overlaps the
+            // batch wait, its transfer shares the link.
+            let fetched = self.get_range(&r.name, r.offset, r.len)?;
+            wait = wait.max(fetched.latency.first_byte);
+            download += fetched.latency.transfer;
+            parts[i] = Some(fetched);
+        }
+
         Ok(BatchFetch {
             parts: parts.into_iter().map(|p| p.expect("all filled")).collect(),
             batch_latency: wait + download,
@@ -223,9 +403,18 @@ impl<S: ObjectStore> ObjectStore for CachedStore<S> {
 
     fn delete(&self, name: &str) -> Result<()> {
         self.invalidate(name);
-        self.inner.delete(name)
+        let result = self.inner.delete(name);
+        self.invalidate(name); // see `put`
+        result
     }
 }
+
+// One shared cache serves a whole worker pool; the LRU and the in-flight
+// table are the only mutable state and both sit behind their own locks.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CachedStore<crate::InMemoryStore>>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -313,5 +502,427 @@ mod tests {
         store.get("blob").unwrap();
         let warm = store.get("blob").unwrap();
         assert_eq!(warm.latency.total(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn hit_miss_accounting_is_exact() {
+        // Every read counts exactly once: hits + misses == logical reads,
+        // whether issued singly or batched.
+        let store = CachedStore::new(cloud(), 1 << 20);
+        store.get_range("blob", 0, 64).unwrap(); // miss
+        store.get_range("blob", 0, 64).unwrap(); // hit
+        let reqs = vec![
+            RangeRequest::new("blob", 0, 64),   // hit
+            RangeRequest::new("blob", 64, 64),  // miss
+            RangeRequest::new("blob", 128, 64), // miss
+        ];
+        store.get_ranges(&reqs).unwrap();
+        let (hits, misses) = store.hit_stats();
+        assert_eq!((hits, misses), (2, 3));
+        assert_eq!(hits + misses, 5, "one count per logical read");
+    }
+
+    #[test]
+    fn failed_fetches_do_not_poison_the_cache() {
+        let store = CachedStore::new(cloud(), 1 << 20);
+        assert!(store.get_range("missing", 0, 8).is_err());
+        // The failed flight was released: the same key can be retried and
+        // a later failure still surfaces (no deadlock, no cached error).
+        assert!(store.get_range("missing", 0, 8).is_err());
+        // Real data still works afterwards.
+        store.get_range("blob", 0, 8).unwrap();
+        assert_eq!(store.hit_stats().0, 0);
+    }
+
+    #[test]
+    fn lru_eviction_order_survives_interleaved_readers() {
+        // Four threads interleave reads over three hot ranges while the
+        // budget only holds three entries; afterwards the entry no reader
+        // refreshed is the one that a new insert evicts.
+        let store = std::sync::Arc::new(CachedStore::new(cloud(), 300));
+        store.get_range("blob", 0, 100).unwrap(); // A
+        store.get_range("blob", 100, 100).unwrap(); // B
+        store.get_range("blob", 200, 100).unwrap(); // C — budget full
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let store = store.clone();
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        // Touch A and C, never B.
+                        assert_eq!(
+                            store.get_range("blob", 0, 100).unwrap().latency.total(),
+                            SimDuration::ZERO
+                        );
+                        assert_eq!(
+                            store.get_range("blob", 200, 100).unwrap().latency.total(),
+                            SimDuration::ZERO
+                        );
+                    }
+                });
+            }
+        });
+        store.get_range("blob", 300, 100).unwrap(); // D — evicts B (LRU)
+        assert!(store.cached_bytes() <= 300);
+        assert_eq!(
+            store.get_range("blob", 0, 100).unwrap().latency.total(),
+            SimDuration::ZERO,
+            "A stayed hot"
+        );
+        assert!(
+            store.get_range("blob", 100, 100).unwrap().latency.total() > SimDuration::ZERO,
+            "B was the LRU victim"
+        );
+    }
+
+    #[test]
+    fn concurrent_same_range_is_single_flighted() {
+        // Eight threads race on one cold range: exactly one pays the
+        // simulated cold latency, the rest are served from the cache for
+        // free, and the store underneath sees exactly one request.
+        for round in 0..20 {
+            let inner = InMemoryStore::new();
+            inner.put("blob", Bytes::from(vec![9u8; 1 << 16])).unwrap();
+            let sim = SimulatedCloudStore::new(inner, LatencyModel::gcs_like(), round);
+            let store = std::sync::Arc::new(CachedStore::new(sim, 1 << 20));
+            let charged: Vec<SimDuration> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..8)
+                    .map(|_| {
+                        let store = store.clone();
+                        s.spawn(move || store.get_range("blob", 0, 1024).unwrap().latency.total())
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            let paid: Vec<&SimDuration> =
+                charged.iter().filter(|l| **l > SimDuration::ZERO).collect();
+            assert_eq!(paid.len(), 1, "exactly one cold fetch is charged");
+            assert_eq!(
+                store.hit_stats(),
+                (7, 1),
+                "7 followers hit, 1 leader missed"
+            );
+            assert_eq!(
+                store.inner().stats().read_requests,
+                1,
+                "the backend saw a single request"
+            );
+            // All eight observed identical bytes.
+            let reference = store.get_range("blob", 0, 1024).unwrap().bytes;
+            assert_eq!(&reference[..], &[9u8; 1024][..]);
+        }
+    }
+
+    /// Delegates to an [`InMemoryStore`] but parks `get_range` on a gate
+    /// and flags when a fetch has started — lets tests interleave a write
+    /// with an in-flight read deterministically.
+    struct StallingStore {
+        inner: InMemoryStore,
+        started: StdMutex<bool>,
+        started_cv: Condvar,
+        gate: StdMutex<bool>,
+        gate_cv: Condvar,
+    }
+
+    impl StallingStore {
+        fn new(inner: InMemoryStore) -> Self {
+            StallingStore {
+                inner,
+                started: StdMutex::new(false),
+                started_cv: Condvar::new(),
+                gate: StdMutex::new(false),
+                gate_cv: Condvar::new(),
+            }
+        }
+
+        fn wait_for_fetch_start(&self) {
+            let mut started = self.started.lock().unwrap();
+            while !*started {
+                started = self.started_cv.wait(started).unwrap();
+            }
+        }
+
+        fn open_gate(&self) {
+            *self.gate.lock().unwrap() = true;
+            self.gate_cv.notify_all();
+        }
+    }
+
+    impl ObjectStore for StallingStore {
+        fn put(&self, name: &str, data: Bytes) -> crate::Result<()> {
+            self.inner.put(name, data)
+        }
+        fn get(&self, name: &str) -> crate::Result<Fetched> {
+            self.inner.get(name)
+        }
+        fn get_range(&self, name: &str, offset: u64, len: u64) -> crate::Result<Fetched> {
+            // Read first, then park: the caller ends up holding pre-write
+            // bytes across whatever the test interleaves at the gate.
+            let result = self.inner.get_range(name, offset, len);
+            {
+                *self.started.lock().unwrap() = true;
+                self.started_cv.notify_all();
+            }
+            let mut open = self.gate.lock().unwrap();
+            while !*open {
+                open = self.gate_cv.wait(open).unwrap();
+            }
+            drop(open);
+            result
+        }
+        fn size_of(&self, name: &str) -> crate::Result<u64> {
+            self.inner.size_of(name)
+        }
+        fn list(&self, prefix: &str) -> crate::Result<Vec<String>> {
+            self.inner.list(prefix)
+        }
+        fn delete(&self, name: &str) -> crate::Result<()> {
+            self.inner.delete(name)
+        }
+    }
+
+    #[test]
+    fn write_racing_an_in_flight_fetch_is_not_cached_stale() {
+        let inner = InMemoryStore::new();
+        inner.put("blob", Bytes::from(vec![1u8; 64])).unwrap();
+        let stall = StallingStore::new(inner);
+        let store = std::sync::Arc::new(CachedStore::new(stall, 1 << 20));
+        std::thread::scope(|s| {
+            let reader = {
+                let store = store.clone();
+                s.spawn(move || store.get_range("blob", 0, 64).unwrap())
+            };
+            // The fetch is in flight (parked inside the backend) when the
+            // write lands; the fetched pre-write bytes must not be
+            // admitted over it.
+            store.inner().wait_for_fetch_start();
+            store.put("blob", Bytes::from(vec![2u8; 64])).unwrap();
+            store.inner().open_gate();
+            let old = reader.join().unwrap();
+            assert_eq!(&old.bytes[..], &[1u8; 64][..], "read began pre-write");
+        });
+        let fresh = store.get_range("blob", 0, 64).unwrap();
+        assert_eq!(
+            &fresh.bytes[..],
+            &[2u8; 64][..],
+            "stale in-flight bytes must not serve later readers"
+        );
+    }
+
+    /// Delegates to an [`InMemoryStore`] but parks `put` (after flagging
+    /// it started) so a read can be interleaved into the
+    /// invalidate→write window.
+    struct StallingPutStore {
+        inner: InMemoryStore,
+        started: StdMutex<bool>,
+        started_cv: Condvar,
+        gate: StdMutex<bool>,
+        gate_cv: Condvar,
+    }
+
+    impl StallingPutStore {
+        fn new(inner: InMemoryStore) -> Self {
+            StallingPutStore {
+                inner,
+                started: StdMutex::new(false),
+                started_cv: Condvar::new(),
+                gate: StdMutex::new(false),
+                gate_cv: Condvar::new(),
+            }
+        }
+
+        fn wait_for_put_start(&self) {
+            let mut started = self.started.lock().unwrap();
+            while !*started {
+                started = self.started_cv.wait(started).unwrap();
+            }
+        }
+
+        fn open_gate(&self) {
+            *self.gate.lock().unwrap() = true;
+            self.gate_cv.notify_all();
+        }
+    }
+
+    impl ObjectStore for StallingPutStore {
+        fn put(&self, name: &str, data: Bytes) -> crate::Result<()> {
+            {
+                *self.started.lock().unwrap() = true;
+                self.started_cv.notify_all();
+            }
+            let mut open = self.gate.lock().unwrap();
+            while !*open {
+                open = self.gate_cv.wait(open).unwrap();
+            }
+            drop(open);
+            self.inner.put(name, data)
+        }
+        fn get(&self, name: &str) -> crate::Result<Fetched> {
+            self.inner.get(name)
+        }
+        fn get_range(&self, name: &str, offset: u64, len: u64) -> crate::Result<Fetched> {
+            self.inner.get_range(name, offset, len)
+        }
+        fn size_of(&self, name: &str) -> crate::Result<u64> {
+            self.inner.size_of(name)
+        }
+        fn list(&self, prefix: &str) -> crate::Result<Vec<String>> {
+            self.inner.list(prefix)
+        }
+        fn delete(&self, name: &str) -> crate::Result<()> {
+            self.inner.delete(name)
+        }
+    }
+
+    #[test]
+    fn fetch_between_invalidate_and_write_cannot_pin_stale_bytes() {
+        // The nastier half of the write race: a fetch that *starts after*
+        // the write's invalidation but reads the backend *before* the
+        // write applies. Its admit looks current, so only the post-write
+        // invalidation pass evicts what it cached.
+        let inner = InMemoryStore::new();
+        inner.put("blob", Bytes::from(vec![1u8; 64])).unwrap();
+        let store = std::sync::Arc::new(CachedStore::new(StallingPutStore::new(inner), 1 << 20));
+        std::thread::scope(|s| {
+            let writer = {
+                let store = store.clone();
+                // invalidates, then parks inside the backend write
+                s.spawn(move || store.put("blob", Bytes::from(vec![2u8; 64])).unwrap())
+            };
+            store.inner().wait_for_put_start();
+            // Reads pre-write bytes and admits them mid-write.
+            let old = store.get_range("blob", 0, 64).unwrap();
+            assert_eq!(&old.bytes[..], &[1u8; 64][..], "write not yet applied");
+            store.inner().open_gate();
+            writer.join().unwrap();
+        });
+        let fresh = store.get_range("blob", 0, 64).unwrap();
+        assert_eq!(
+            &fresh.bytes[..],
+            &[2u8; 64][..],
+            "mid-write admit must not survive the write"
+        );
+    }
+
+    #[test]
+    fn writes_do_not_block_admission_of_other_blobs() {
+        // Epochs are per blob: hammering writes on one blob must not stop
+        // concurrent fetches of another blob from being admitted.
+        let inner = InMemoryStore::new();
+        inner.put("hot", Bytes::from(vec![7u8; 1 << 12])).unwrap();
+        inner.put("churn", Bytes::from(vec![0u8; 16])).unwrap();
+        let store = std::sync::Arc::new(CachedStore::new(inner, 1 << 20));
+        std::thread::scope(|s| {
+            let store2 = store.clone();
+            let writes = s.spawn(move || {
+                for i in 0..200 {
+                    store2.put("churn", Bytes::from(vec![i as u8; 16])).unwrap();
+                }
+            });
+            for i in 0..50 {
+                store.get_range("hot", i * 64, 64).unwrap();
+            }
+            writes.join().unwrap();
+        });
+        // Every distinct "hot" range was admitted despite the write storm.
+        let (hits_before, _) = store.hit_stats();
+        for i in 0..50 {
+            store.get_range("hot", i * 64, 64).unwrap();
+        }
+        let (hits_after, _) = store.hit_stats();
+        assert_eq!(hits_after - hits_before, 50, "all hot ranges were cached");
+    }
+
+    /// Panics on the first `get_range`, succeeds afterwards.
+    struct PanicOnceStore {
+        inner: InMemoryStore,
+        panicked: std::sync::atomic::AtomicBool,
+    }
+
+    impl ObjectStore for PanicOnceStore {
+        fn put(&self, name: &str, data: Bytes) -> crate::Result<()> {
+            self.inner.put(name, data)
+        }
+        fn get(&self, name: &str) -> crate::Result<Fetched> {
+            self.inner.get(name)
+        }
+        fn get_range(&self, name: &str, offset: u64, len: u64) -> crate::Result<Fetched> {
+            if !self.panicked.swap(true, Ordering::SeqCst) {
+                panic!("injected backend panic");
+            }
+            self.inner.get_range(name, offset, len)
+        }
+        fn size_of(&self, name: &str) -> crate::Result<u64> {
+            self.inner.size_of(name)
+        }
+        fn list(&self, prefix: &str) -> crate::Result<Vec<String>> {
+            self.inner.list(prefix)
+        }
+        fn delete(&self, name: &str) -> crate::Result<()> {
+            self.inner.delete(name)
+        }
+    }
+
+    #[test]
+    fn leader_panic_does_not_strand_followers() {
+        let inner = InMemoryStore::new();
+        inner.put("blob", Bytes::from(vec![3u8; 64])).unwrap();
+        let store = std::sync::Arc::new(CachedStore::new(
+            PanicOnceStore {
+                inner,
+                panicked: std::sync::atomic::AtomicBool::new(false),
+            },
+            1 << 20,
+        ));
+        // Many racers: one leader hits the injected panic; the claim
+        // guard still releases the flight, so the others recover and
+        // complete instead of hanging on the condvar forever.
+        let ok: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let store = store.clone();
+                    s.spawn(move || {
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            store.get_range("blob", 0, 64).unwrap().bytes
+                        }))
+                        .is_ok()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .filter(|&ok| ok)
+                .count()
+        });
+        assert_eq!(ok, 3, "one panicking leader, three recovered followers");
+        // The key is serviceable afterwards.
+        assert_eq!(store.get_range("blob", 0, 64).unwrap().bytes.len(), 64);
+    }
+
+    #[test]
+    fn concurrent_batches_sharing_ranges_do_not_double_fetch() {
+        let store = std::sync::Arc::new(CachedStore::new(cloud(), 1 << 20));
+        let reqs: Vec<RangeRequest> = (0..6)
+            .map(|i| RangeRequest::new("blob", i * 512, 512))
+            .collect();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let store = store.clone();
+                let reqs = reqs.clone();
+                s.spawn(move || {
+                    let batch = store.get_ranges(&reqs).unwrap();
+                    assert_eq!(batch.parts.len(), 6);
+                    for (i, p) in batch.parts.iter().enumerate() {
+                        assert_eq!(p.bytes.len(), 512, "part {i} intact");
+                    }
+                });
+            }
+        });
+        // 8 threads × 6 ranges, but each distinct range was fetched from
+        // the backend exactly once.
+        assert_eq!(store.inner().stats().read_requests, 6);
+        let (hits, misses) = store.hit_stats();
+        assert_eq!(misses, 6);
+        assert_eq!(hits + misses, 8 * 6);
     }
 }

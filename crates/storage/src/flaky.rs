@@ -41,6 +41,11 @@ impl<S: ObjectStore> FlakyStore<S> {
         self.injected.load(Ordering::Relaxed)
     }
 
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
     fn maybe_fail(&self, name: &str) -> Result<()> {
         let roll: f64 = self.rng.lock().gen();
         if roll < self.failure_probability {
@@ -121,6 +126,11 @@ impl<S: ObjectStore> RetryingStore<S> {
         self.retries.load(Ordering::Relaxed)
     }
 
+    /// The wrapped store (e.g. to read a [`FlakyStore`]'s fault counter).
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
     fn is_transient(err: &StorageError) -> bool {
         matches!(err, StorageError::Timeout { .. } | StorageError::Io(_))
     }
@@ -191,6 +201,14 @@ impl<S: ObjectStore> ObjectStore for RetryingStore<S> {
         self.inner.delete(name)
     }
 }
+
+// Failure injection and retries are exercised from parallel lookups; the
+// RNG sits behind a lock and every counter is atomic.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<FlakyStore<crate::InMemoryStore>>();
+    assert_send_sync::<RetryingStore<FlakyStore<crate::InMemoryStore>>>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -270,6 +288,80 @@ mod tests {
             Err(StorageError::BlobNotFound { .. })
         ));
         assert_eq!(store.retries(), 0);
+    }
+
+    #[test]
+    fn concurrent_lookups_all_retried_to_success_with_exact_counters() {
+        // 8 threads × 200 reads through a shared RetryingStore over a 30%
+        // flaky backend: every read must succeed, and the injected/retry
+        // counters must account for every event exactly (no lost updates).
+        let store = std::sync::Arc::new(RetryingStore::new(
+            flaky(0.3, 99),
+            32,
+            SimDuration::from_millis(1),
+        ));
+        let per_thread_reads = 200u64;
+        let threads = 8u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let store = store.clone();
+                s.spawn(move || {
+                    for i in 0..per_thread_reads {
+                        let offset = ((t * per_thread_reads + i) * 7) % 4032;
+                        let f = store.get_range("blob", offset, 64).unwrap();
+                        assert_eq!(f.bytes.len(), 64);
+                    }
+                });
+            }
+        });
+        let injected = store.inner.injected_failures();
+        let retries = store.retries();
+        // With 32 attempts and p=0.3, exhausting retries is impossible in
+        // practice, so every injected failure was followed by exactly one
+        // retry: the two counters must agree event-for-event.
+        assert_eq!(
+            retries, injected,
+            "every injected failure retried exactly once"
+        );
+        let total = threads * per_thread_reads;
+        // ~30% failure rate: the counters also have to be in a sane band,
+        // not just equal (both racing to the same wrong value would hide).
+        let expected = (total as f64 * 0.3 / 0.7) as u64;
+        assert!(
+            injected > expected / 2 && injected < expected * 2,
+            "injected {injected} should be near {expected}"
+        );
+    }
+
+    #[test]
+    fn concurrent_batches_recover_and_count_exactly() {
+        let store = std::sync::Arc::new(RetryingStore::new(
+            flaky(0.25, 1234),
+            32,
+            SimDuration::from_millis(2),
+        ));
+        std::thread::scope(|s| {
+            for _ in 0..6 {
+                let store = store.clone();
+                s.spawn(move || {
+                    let reqs = vec![
+                        RangeRequest::new("blob", 0, 64),
+                        RangeRequest::new("blob", 64, 64),
+                        RangeRequest::new("blob", 128, 64),
+                    ];
+                    for _ in 0..100 {
+                        let b = store.get_ranges(&reqs).unwrap();
+                        assert_eq!(b.parts.len(), 3);
+                        assert_eq!(b.total_bytes(), 192);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            store.retries(),
+            store.inner.injected_failures(),
+            "no lost counter updates under parallel batch retries"
+        );
     }
 
     #[test]
