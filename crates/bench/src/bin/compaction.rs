@@ -1,0 +1,215 @@
+//! Segment-lifecycle benchmark: live-segment count vs lookup wait, and
+//! how compaction restores near-single-segment latency.
+//!
+//! An append-only segmented index trades lookup latency for freshness:
+//! every live segment adds its superpost pointers to the one concurrent
+//! lookup batch, so the batch's wait (max time-to-first-byte over more
+//! parallel streams) and download (shared-bandwidth transfer of more
+//! superposts) both creep up with the segment count. This binary:
+//!
+//! 1. appends `SEGMENTS` daily batches to a [`SegmentManager`] over a
+//!    simulated gcs-like link, measuring mean lookup wait at 1, 2, 4, 8,
+//!    and 16 live segments;
+//! 2. runs the [`Compactor`] down to a single segment and re-measures —
+//!    the acceptance bar is compacted wait within **1.25×** of a fresh
+//!    single-segment build of the same documents;
+//! 3. drives a [`QueryServer`] through the whole lifecycle — queries are
+//!    answered before, during (old generation), and after a
+//!    [`QueryServer::refresh`] without a restart.
+//!
+//! Exit code is non-zero if the acceptance bar fails, so CI can smoke
+//! this binary.
+
+use airphant::{
+    AirphantConfig, Builder, CompactionPolicy, Compactor, Query, QueryOptions, QueryServer,
+    SearchEngine, Searcher, SegmentManager, ServerConfig,
+};
+use airphant_bench::report::ms;
+use airphant_bench::Report;
+use airphant_corpus::{Corpus, LineSplitter, WhitespaceTokenizer};
+use airphant_storage::{InMemoryStore, LatencyModel, ObjectStore, SimulatedCloudStore};
+use bytes::Bytes;
+use std::sync::Arc;
+
+const SEGMENTS: usize = 16;
+const DOCS_PER_SEGMENT: usize = 64;
+const MEASURE_QUERIES: usize = 48;
+
+fn segment_lines(day: usize) -> Vec<String> {
+    (0..DOCS_PER_SEGMENT)
+        .map(|i| {
+            format!(
+                "shared day{day} host{} event{} code{}",
+                i % 7,
+                (day * DOCS_PER_SEGMENT + i) % 97,
+                i % 13,
+            )
+        })
+        .collect()
+}
+
+fn put_corpus(store: &Arc<dyn ObjectStore>, blob: &str, lines: &[String]) -> Corpus {
+    store.put(blob, Bytes::from(lines.join("\n"))).unwrap();
+    Corpus::new(
+        store.clone(),
+        vec![blob.to_owned()],
+        Arc::new(LineSplitter),
+        Arc::new(WhitespaceTokenizer),
+    )
+}
+
+fn config() -> AirphantConfig {
+    AirphantConfig::default()
+        .with_total_bins(512)
+        .with_common_fraction(0.0)
+        .with_seed(5)
+}
+
+/// Mean lookup wait (ms) of the standing query mix against `engine`.
+fn mean_lookup_wait(engine: &dyn SearchEngine) -> f64 {
+    let mut total = 0.0;
+    for q in 0..MEASURE_QUERIES {
+        let query = Query::and([Query::term("shared"), Query::term(format!("host{}", q % 7))]);
+        let r = engine
+            .execute(&query, &QueryOptions::new())
+            .expect("measure query");
+        total += r.trace.wait().as_millis_f64();
+    }
+    total / MEASURE_QUERIES as f64
+}
+
+fn main() {
+    let store: Arc<dyn ObjectStore> = Arc::new(SimulatedCloudStore::new(
+        InMemoryStore::new(),
+        LatencyModel::gcs_like(),
+        77,
+    ));
+    let mgr = SegmentManager::new(store.clone(), "idx");
+    let mut report = Report::new(
+        "compaction",
+        &["phase", "live_segments", "wait_ms", "vs_single"],
+    );
+
+    // --- Phase 1: append-only growth. ---
+    let mut grown_wait_ms = 0.0;
+    for day in 0..SEGMENTS {
+        let corpus = put_corpus(&store, &format!("c/day{day}"), &segment_lines(day));
+        mgr.append(&corpus, &config()).unwrap();
+        let live = day + 1;
+        if live.is_power_of_two() {
+            let searcher = mgr.open().unwrap();
+            let wait = mean_lookup_wait(&searcher);
+            grown_wait_ms = wait;
+            report.push(
+                vec![
+                    "append".into(),
+                    live.to_string(),
+                    ms(wait),
+                    String::from("-"),
+                ],
+                serde_json::json!({
+                    "phase": "append", "live_segments": live, "wait_ms": wait,
+                }),
+            );
+        }
+    }
+
+    // --- Fresh single-segment baseline over the same documents. ---
+    let fresh_store: Arc<dyn ObjectStore> = Arc::new(SimulatedCloudStore::new(
+        InMemoryStore::new(),
+        LatencyModel::gcs_like(),
+        77,
+    ));
+    let all_lines: Vec<String> = (0..SEGMENTS).flat_map(segment_lines).collect();
+    let fresh_corpus = put_corpus(&fresh_store, "c/all", &all_lines);
+    Builder::new(config())
+        .build(&fresh_corpus, "fresh")
+        .unwrap();
+    let fresh = Searcher::open(fresh_store, "fresh").unwrap();
+    let fresh_wait = mean_lookup_wait(&fresh);
+    report.push(
+        vec![
+            "fresh-build".into(),
+            "1".into(),
+            ms(fresh_wait),
+            "1.00x".into(),
+        ],
+        serde_json::json!({
+            "phase": "fresh-build", "live_segments": 1, "wait_ms": fresh_wait,
+        }),
+    );
+
+    // --- Phase 2: the lifecycle through a live QueryServer. ---
+    // Serve before, during, and after the compaction + refresh; the
+    // server never restarts.
+    let server = QueryServer::start(
+        Arc::new(mgr.open().unwrap()),
+        ServerConfig::new().with_workers(4).with_queue_capacity(32),
+    );
+    let probe = |label: &str| {
+        let r = server
+            .execute(&Query::term("shared"), &QueryOptions::new().top_k(10))
+            .unwrap_or_else(|e| panic!("probe {label}: {e}"));
+        assert_eq!(r.hits.len(), 10, "probe {label}");
+    };
+    probe("before-compaction");
+
+    // Deferred GC: publish the compacted generation first, keep the old
+    // segments' blobs until the server has refreshed and drained.
+    let compactor = Compactor::new(&mgr, config()).with_policy(
+        CompactionPolicy::new()
+            .with_max_live_segments(1)
+            .with_merge_factor(SEGMENTS)
+            .with_deferred_gc(true),
+    );
+    let compaction = compactor.compact().unwrap();
+    probe("during (old generation still serving)");
+    server.refresh(Arc::new(mgr.open().unwrap()));
+    probe("after-refresh");
+    let reclaimed = compactor.gc_deferred(&compaction).unwrap();
+    probe("after-gc");
+    let server_stats = server.shutdown();
+    assert_eq!(server_stats.refreshes, 1);
+    assert_eq!(server_stats.failed, 0);
+
+    let compacted = mgr.open().unwrap();
+    assert_eq!(compacted.segment_count(), 1);
+    let compacted_wait = mean_lookup_wait(&compacted);
+    let ratio = compacted_wait / fresh_wait;
+    report.push(
+        vec![
+            "compacted".into(),
+            "1".into(),
+            ms(compacted_wait),
+            format!("{ratio:.2}x"),
+        ],
+        serde_json::json!({
+            "phase": "compacted", "live_segments": 1, "wait_ms": compacted_wait,
+            "vs_single_segment": ratio,
+            "merged_segments": compaction.merged_segment_ids.len(),
+            "blobs_reclaimed": reclaimed,
+            "generation": compaction.generation,
+        }),
+    );
+    report.finish();
+
+    println!(
+        "appended {SEGMENTS} segments: lookup wait grew {} -> {} ms; compaction \
+         ({reclaimed} blobs GC'd after refresh, generation {}) restored {} ms = \
+         {ratio:.2}x a fresh single-segment build",
+        ms(fresh_wait),
+        ms(grown_wait_ms),
+        compaction.generation,
+        ms(compacted_wait),
+    );
+    println!("query server stayed up across the whole lifecycle (no restart, 1 refresh).");
+
+    let ok = ratio <= 1.25;
+    println!(
+        "acceptance (compacted wait within 1.25x of fresh single-segment): {}",
+        if ok { "OK" } else { "FAIL" }
+    );
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -29,7 +29,7 @@ impl Args {
             let arg = &argv[i];
             if let Some(name) = arg.strip_prefix("--") {
                 // Boolean flags take no value; everything else takes one.
-                if matches!(name, "simulate-cloud" | "or") {
+                if matches!(name, "simulate-cloud" | "or" | "append" | "sweep") {
                     flags.push(arg.clone());
                     i += 1;
                 } else {

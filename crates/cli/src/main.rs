@@ -16,7 +16,10 @@
 //! airphant stats       --store DIR --corpus PREFIX
 //! ```
 
-use airphant::{AirphantConfig, Builder, Query, QueryOptions, QueryServer, Searcher, ServerConfig};
+use airphant::{
+    AirphantConfig, Builder, CompactionPolicy, Compactor, Query, QueryOptions, QueryServer,
+    Searcher, SegmentManager, ServerConfig,
+};
 use airphant_corpus::{Corpus, LineSplitter, NgramTokenizer, Tokenizer, WhitespaceTokenizer};
 use airphant_storage::{
     CachedStore, LatencyModel, LocalFsStore, ObjectStore, SimDuration, SimulatedCloudStore,
@@ -28,11 +31,15 @@ mod args;
 use args::Args;
 
 const USAGE: &str = "usage:
-  airphant build       --store DIR --corpus PREFIX --index PREFIX
+  airphant build       --store DIR --corpus PREFIX --index PREFIX [--append]
                        [--bins N] [--f0 F] [--layers L] [--common FRAC] [--ngram N]
   airphant search      --store DIR --index PREFIX [WORD...]
                        [--or] [--ngram N] [--substring PATTERN] [--gram N]
                        [--top K] [--simulate-cloud] [--timeout-ms MS]
+  airphant segments    --store DIR --index PREFIX
+  airphant compact     --store DIR --index PREFIX
+                       [--max-live N] [--merge K] [--sweep] [--ngram N]
+                       [--bins N] [--f0 F] [--layers L] [--common FRAC]
   airphant bench-serve --store DIR --index PREFIX [WORD...]
                        [--corpus PREFIX] [--workers N] [--queue CAP]
                        [--queries M] [--cache-kb KB] [--deadline-ms MS]
@@ -47,6 +54,17 @@ composed, its index lookup is a single batch of concurrent reads. The
 store directory is a local object store (one file per blob); a corpus
 PREFIX selects every blob under it, parsed as newline-delimited
 documents of whitespace keywords (or N-grams under --ngram).
+
+build --append treats --index as a *segmented* index base: the corpus
+becomes a new immutable segment published atomically in the manifest
+(search then opens the whole live set). `segments` shows the manifest —
+generation plus each live segment's id, size, and source blobs.
+`compact` merges the smallest segments until at most --max-live remain
+(--merge at a time, default 4), publishes each swap atomically, then
+garbage-collects the superseded blobs; --sweep additionally reclaims
+orphaned blobs from crashed builds (only use it when nothing is
+appending concurrently). compact's config knobs must match what the
+segments were built with.
 
 bench-serve drives a closed-loop workload through a QueryServer (a fixed
 worker pool over one shared Searcher and one shared byte-budgeted cache,
@@ -71,6 +89,8 @@ fn run(argv: &[String]) -> Result<(), String> {
     match args.command() {
         "build" => build(&mut args),
         "search" => search(&mut args),
+        "segments" => segments(&mut args),
+        "compact" => compact(&mut args),
         "bench-serve" => bench_serve(&mut args),
         "stats" => stats(&mut args),
         other => Err(format!("unknown command: {other}")),
@@ -106,11 +126,9 @@ fn open_corpus(
     Ok(Corpus::new(store, blobs, Arc::new(LineSplitter), tokenizer))
 }
 
-fn build(args: &mut Args) -> Result<(), String> {
-    let store = open_store(args)?;
-    let ngram = args.optional_parse::<usize>("--ngram")?;
-    let corpus = open_corpus(args, store, tokenizer_for(ngram)?)?;
-    let index = args.required("--index")?;
+/// The shared `--bins/--f0/--layers/--common` config knobs (build and
+/// compact must describe the same structure).
+fn config_from(args: &mut Args) -> Result<AirphantConfig, String> {
     let mut config = AirphantConfig::default();
     if let Some(bins) = args.optional_parse::<usize>("--bins")? {
         config = config.with_total_bins(bins);
@@ -124,13 +142,36 @@ fn build(args: &mut Args) -> Result<(), String> {
     if let Some(frac) = args.optional_parse::<f64>("--common")? {
         config = config.with_common_fraction(frac);
     }
+    Ok(config)
+}
+
+fn build(args: &mut Args) -> Result<(), String> {
+    let store = open_store(args)?;
+    let ngram = args.optional_parse::<usize>("--ngram")?;
+    let corpus = open_corpus(args, store.clone(), tokenizer_for(ngram)?)?;
+    let index = args.required("--index")?;
+    let append = args.flag("--append");
+    let config = config_from(args)?;
     args.finish()?;
 
-    let report = Builder::new(config)
-        .build(&corpus, &index)
-        .map_err(|e| e.to_string())?;
+    let (report, built_prefix) = if append {
+        let mgr = SegmentManager::new(store, &index);
+        let (report, prefix) = mgr.append(&corpus, &config).map_err(|e| e.to_string())?;
+        let manifest = mgr.manifest().map_err(|e| e.to_string())?;
+        println!(
+            "appended segment {prefix} (generation {}, {} live segment(s))",
+            manifest.generation,
+            manifest.segments.len(),
+        );
+        (report, prefix)
+    } else {
+        let report = Builder::new(config)
+            .build(&corpus, &index)
+            .map_err(|e| e.to_string())?;
+        (report, index.clone())
+    };
     println!(
-        "built {index}: {} docs, {} words, L = {} (L* = {}), expected FP = {}",
+        "built {built_prefix}: {} docs, {} words, L = {} (L* = {}), expected FP = {}",
         report.docs,
         report.words,
         report.layers,
@@ -145,6 +186,84 @@ fn build(args: &mut Args) -> Result<(), String> {
         report.blocks,
         report.index_bytes(),
         report.header_bytes,
+    );
+    Ok(())
+}
+
+/// `segments` and `compact` are read-modify commands over an existing
+/// segmented index: a missing manifest means a typo'd prefix or a plain
+/// (non-`--append`) index, not a healthy empty one.
+fn require_manifest(store: &Arc<dyn ObjectStore>, index: &str) -> Result<(), String> {
+    if !store.exists(&format!("{index}/manifest")) {
+        return Err(format!(
+            "no segment manifest under {index} (segmented indexes are created with build --append)"
+        ));
+    }
+    Ok(())
+}
+
+fn segments(args: &mut Args) -> Result<(), String> {
+    let store = open_store(args)?;
+    let index = args.required("--index")?;
+    args.finish()?;
+    require_manifest(&store, &index)?;
+    let mgr = SegmentManager::new(store.clone(), &index);
+    let manifest = mgr.manifest().map_err(|e| e.to_string())?;
+    println!(
+        "{index}: generation {}, {} live segment(s)",
+        manifest.generation,
+        manifest.segments.len(),
+    );
+    for seg in &manifest.segments {
+        let prefix = seg.prefix(&index);
+        let bytes = store
+            .usage(&format!("{prefix}/"))
+            .map_err(|e| e.to_string())?;
+        println!(
+            "  {}  {bytes:>10} bytes  {} corpus blob(s): {}",
+            seg.id,
+            seg.corpus_blobs.len(),
+            seg.corpus_blobs.join(", "),
+        );
+    }
+    Ok(())
+}
+
+fn compact(args: &mut Args) -> Result<(), String> {
+    let store = open_store(args)?;
+    let index = args.required("--index")?;
+    let max_live = args.optional_parse::<usize>("--max-live")?.unwrap_or(8);
+    let merge = args.optional_parse::<usize>("--merge")?.unwrap_or(4);
+    let sweep = args.flag("--sweep");
+    let ngram = args.optional_parse::<usize>("--ngram")?;
+    let config = config_from(args)?;
+    args.finish()?;
+    if max_live < 1 {
+        return Err("--max-live must be at least 1".into());
+    }
+    require_manifest(&store, &index)?;
+
+    let mgr = SegmentManager::new(store, &index);
+    let report = Compactor::new(&mgr, config)
+        .with_tokenizer(tokenizer_for(ngram)?)
+        .with_policy(
+            CompactionPolicy::new()
+                .with_max_live_segments(max_live)
+                .with_merge_factor(merge)
+                .with_orphan_sweep(sweep),
+        )
+        .compact()
+        .map_err(|e| e.to_string())?;
+    println!(
+        "compacted {index}: {} -> {} live segment(s) in {} round(s), generation {}",
+        report.live_before, report.live_after, report.rounds, report.generation,
+    );
+    println!(
+        "merged away {} segment(s), built {} replacement(s), deleted {} superseded + {} orphan blob(s)",
+        report.merged_segment_ids.len(),
+        report.new_segment_ids.len(),
+        report.superseded_blobs_deleted,
+        report.orphan_blobs_deleted,
     );
     Ok(())
 }
@@ -214,8 +333,9 @@ fn search(args: &mut Args) -> Result<(), String> {
     } else {
         store
     };
-    let searcher = Searcher::open_with_tokenizer(store, &index, tokenizer_for(ngram)?)
-        .map_err(|e| e.to_string())?;
+    // A manifest under the prefix means a *segmented* index (created via
+    // build --append): open the whole live set instead of one header.
+    let segmented = store.exists(&format!("{index}/manifest"));
 
     if let Some(ms) = timeout_ms {
         if top_k.is_some() {
@@ -224,6 +344,11 @@ fn search(args: &mut Args) -> Result<(), String> {
         if words.len() != 1 || substring.is_some() {
             return Err("--timeout-ms applies to a single WORD lookup".into());
         }
+        if segmented {
+            return Err("--timeout-ms applies to a single-segment index".into());
+        }
+        let searcher = Searcher::open_with_tokenizer(store, &index, tokenizer_for(ngram)?)
+            .map_err(|e| e.to_string())?;
         let (postings, trace) = searcher
             .lookup_with_timeout(&words[0], airphant_storage::SimDuration::from_millis(ms))
             .map_err(|e| e.to_string())?;
@@ -238,7 +363,17 @@ fn search(args: &mut Args) -> Result<(), String> {
 
     let query = compose_query(&words, any, substring, ngram, gram)?;
     let opts = QueryOptions::new().with_top_k(top_k);
-    let result = searcher.execute(&query, &opts).map_err(|e| e.to_string())?;
+    let result = if segmented {
+        let mgr = SegmentManager::new(store, &index);
+        let searcher = mgr
+            .open_with_tokenizer(tokenizer_for(ngram)?)
+            .map_err(|e| e.to_string())?;
+        searcher.execute(&query, &opts).map_err(|e| e.to_string())?
+    } else {
+        let searcher = Searcher::open_with_tokenizer(store, &index, tokenizer_for(ngram)?)
+            .map_err(|e| e.to_string())?;
+        searcher.execute(&query, &opts).map_err(|e| e.to_string())?
+    };
 
     println!(
         "{} hit(s) in {} simulated ({} round trip(s), {} requests, {} bytes, {} FP filtered)",

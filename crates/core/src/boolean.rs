@@ -2,10 +2,11 @@
 //!
 //! The boolean surface now lives on the unified [`Query`] AST and the
 //! [`Searcher::execute`] planner, which resolves *every* term of a
-//! compound query in one superpost batch (the old `search_boolean` issued
-//! one batch per term). This module keeps the old names alive as thin,
-//! deprecated wrappers so existing callers migrate at their own pace; the
-//! tests below double as equivalence tests between the two surfaces.
+//! compound query in one superpost batch. The pre-0.2 `search_boolean`
+//! implementation issued one batch per term; the method survives below
+//! only as a thin deprecated wrapper that builds a [`Query`] and
+//! executes it, so existing callers migrate at their own pace. The
+//! tests double as equivalence tests between the two surfaces.
 //! See `docs/adr/001-unified-query-api.md` for the deprecation path.
 
 use crate::query::{Query, QueryOptions};

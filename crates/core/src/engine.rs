@@ -84,6 +84,36 @@ impl SearchEngine for crate::Searcher {
     }
 }
 
+impl SearchEngine for crate::SegmentedSearcher {
+    fn name(&self) -> &'static str {
+        "AIRPHANT-segmented"
+    }
+
+    fn init_trace(&self) -> QueryTrace {
+        // Segment headers are independent fetches: opening the live set
+        // costs one concurrent round of header downloads.
+        QueryTrace::merge_parallel(
+            &self
+                .segments()
+                .iter()
+                .map(|s| s.init_trace().clone())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    fn lookup(&self, word: &str) -> Result<(PostingsList, QueryTrace)> {
+        self.execute_lookup(&Query::term(word))
+    }
+
+    fn execute(&self, query: &Query, opts: &QueryOptions) -> Result<SearchResult> {
+        crate::SegmentedSearcher::execute(self, query, opts)
+    }
+
+    fn index_bytes(&self) -> u64 {
+        self.segments().iter().map(|s| s.index_usage_bytes()).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,6 +19,17 @@ pub enum AirphantError {
         /// Human-readable reason.
         reason: String,
     },
+    /// The segment manifest under `base` exists but cannot be decoded —
+    /// truncated, non-UTF-8, an unrecognized format version, or a
+    /// malformed generation/segment record. Surfaced as a typed error so
+    /// corruption is diagnosed at the manifest, not as a confusing
+    /// `IndexNotFound`/decode failure on some mangled segment prefix.
+    CorruptManifest {
+        /// The segmented-index base prefix whose manifest is corrupt.
+        base: String,
+        /// What exactly failed to parse.
+        reason: String,
+    },
     /// A substring pattern shorter than the index's gram size: it cannot
     /// be prefiltered through the N-gram index, so instead of silently
     /// returning nothing (or degrading to a corpus scan) the query is
@@ -40,6 +51,9 @@ impl fmt::Display for AirphantError {
                 write!(f, "no index found under prefix {prefix}")
             }
             AirphantError::InvalidConfig { reason } => write!(f, "invalid config: {reason}"),
+            AirphantError::CorruptManifest { base, reason } => {
+                write!(f, "corrupt segment manifest under {base}: {reason}")
+            }
             AirphantError::PatternTooShort { pattern, n } => write!(
                 f,
                 "substring pattern {pattern:?} is shorter than the index gram size {n}"

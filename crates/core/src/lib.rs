@@ -73,6 +73,7 @@
 
 pub mod boolean;
 pub mod builder;
+pub mod compact;
 pub mod config;
 pub mod engine;
 pub mod error;
@@ -88,6 +89,7 @@ pub mod substring;
 #[allow(deprecated)]
 pub use boolean::BoolQuery;
 pub use builder::{BuildReport, Builder};
+pub use compact::{CompactionPolicy, CompactionReport, Compactor};
 pub use config::AirphantConfig;
 pub use engine::SearchEngine;
 pub use error::AirphantError;
@@ -95,7 +97,7 @@ pub use plan::execute_with_lookup;
 pub use query::{Query, QueryOptions};
 pub use result::{SearchHit, SearchResult};
 pub use searcher::Searcher;
-pub use segments::{SegmentManager, SegmentedSearcher};
+pub use segments::{Manifest, SegmentEntry, SegmentManager, SegmentedSearcher};
 pub use serve::{QueryServer, ServerConfig, ServerStats, SubmitError, Ticket};
 
 /// Convenient `Result` alias.

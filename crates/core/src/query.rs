@@ -3,8 +3,11 @@
 //!
 //! Historically the crate exposed one method per query shape
 //! (`search(word, top_k)`, `search_boolean(&BoolQuery)`,
-//! `search_substring(pattern, n)`), and each issued its own storage
-//! round trips. A [`Query`] value instead describes the *whole* predicate
+//! `search_substring(pattern, n)` — the boolean and substring methods
+//! survive only as deprecated shims over [`Query`] +
+//! [`Searcher::execute`](crate::Searcher::execute)), and each issued its
+//! own storage round trips. A [`Query`] value instead describes the
+//! *whole* predicate
 //! up front, which lets the planner ([`crate::plan`]) resolve every
 //! term's and gram's superpost pointers from the in-memory MHT and fetch
 //! them all in **one** concurrent batch — the paper's single-batch
@@ -228,7 +231,8 @@ impl Query {
     }
 
     /// Term-level view of [`Query::matches_doc`] for queries without
-    /// substring predicates (kept for the `BoolQuery` compatibility shim).
+    /// substring predicates (kept for the deprecated `BoolQuery` shim in
+    /// `boolean.rs`; new code matches through [`Query::matches_doc`]).
     pub fn matches(&self, has_word: &dyn Fn(&str) -> bool) -> bool {
         self.matches_doc(has_word, "")
     }

@@ -15,7 +15,12 @@
 //!   whose end-to-end simulated latency exceeds it surface
 //!   [`StorageError::Timeout`] to the caller and count as timed out;
 //! * aggregate [`ServerStats`]: throughput, tail latency, cache hit rate,
-//!   rejected/timed-out counts.
+//!   rejected/timed-out counts;
+//! * a **swappable engine slot**: [`QueryServer::refresh`] installs a
+//!   fresh engine (e.g. a reopened
+//!   [`SegmentedSearcher`](crate::SegmentedSearcher) after an append or
+//!   compaction) with zero downtime — in-flight queries finish on the
+//!   generation they started on, later queries see the new one.
 //!
 //! ## Throughput on the virtual clock
 //!
@@ -38,7 +43,7 @@ use std::collections::BinaryHeap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -136,23 +141,40 @@ struct Job {
 
 /// State shared between the handle and the worker threads.
 struct Shared {
-    engine: Arc<dyn SearchEngine>,
+    /// The swappable engine slot: queries clone the current `Arc` under a
+    /// read lock and execute unlocked, so [`QueryServer::refresh`] can
+    /// install a fresh engine (a reopened
+    /// [`SegmentedSearcher`](crate::SegmentedSearcher) after an append or
+    /// compaction) with zero downtime — in-flight queries finish on the
+    /// generation they started on.
+    engine: RwLock<Arc<dyn SearchEngine>>,
     deadline: Option<SimDuration>,
     completed: AtomicU64,
     rejected: AtomicU64,
     timed_out: AtomicU64,
     failed: AtomicU64,
+    refreshes: AtomicU64,
     /// Per-completed-query `(lookup wait, end-to-end)` simulated samples.
     samples: Mutex<Vec<(SimDuration, SimDuration)>>,
 }
 
 impl Shared {
+    /// Snapshot the current engine (one atomic refcount bump; the write
+    /// lock is only ever held for the pointer swap in `refresh`).
+    fn engine(&self) -> Arc<dyn SearchEngine> {
+        self.engine
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
     fn serve(&self, job: Job) {
+        let engine = self.engine();
         // Contain engine panics: the worker must survive (a 1-worker pool
         // would otherwise stop serving and strand every queued ticket)
         // and the caller gets an error, not a dropped reply channel.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.engine.execute(&job.query, &job.opts)
+            engine.execute(&job.query, &job.opts)
         }))
         .unwrap_or_else(|panic| {
             let msg = panic
@@ -213,6 +235,8 @@ pub struct ServerStats {
     pub timed_out: u64,
     /// Queries that failed with an engine/storage error.
     pub failed: u64,
+    /// Engine swaps installed via [`QueryServer::refresh`].
+    pub refreshes: u64,
     /// Simulated closed-loop makespan of every *served* query — including
     /// timed-out ones, whose service time the workers still spent.
     pub sim_makespan: SimDuration,
@@ -295,12 +319,13 @@ impl QueryServer {
         assert!(config.workers >= 1, "a server needs at least one worker");
         assert!(config.queue_capacity >= 1, "queue capacity must be >= 1");
         let shared = Arc::new(Shared {
-            engine,
+            engine: RwLock::new(engine),
             deadline: config.deadline,
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             timed_out: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            refreshes: AtomicU64::new(0),
             samples: Mutex::new(Vec::new()),
         });
         let (tx, rx) = sync_channel::<Job>(config.queue_capacity);
@@ -345,6 +370,30 @@ impl QueryServer {
     ) -> Self {
         self.cache_stats = Some(Box::new(stats));
         self
+    }
+
+    /// Swap in a fresh engine with zero downtime: queries already
+    /// executing finish on the engine they started with; every query
+    /// dequeued after this call runs on `engine`. This is the live-index
+    /// refresh hook — after a
+    /// [`SegmentManager::append`](crate::SegmentManager::append) or a
+    /// [`Compactor::compact`](crate::Compactor::compact), reopen the
+    /// segmented searcher and install it here instead of restarting the
+    /// server.
+    pub fn refresh(&self, engine: Arc<dyn SearchEngine>) {
+        *self
+            .shared
+            .engine
+            .write()
+            .unwrap_or_else(|e| e.into_inner()) = engine;
+        self.shared.refreshes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The engine currently serving queries (the latest
+    /// [`QueryServer::refresh`], or the one passed to
+    /// [`QueryServer::start`]).
+    pub fn engine(&self) -> Arc<dyn SearchEngine> {
+        self.shared.engine()
     }
 
     /// Enqueue a query without blocking. A full queue rejects with
@@ -414,6 +463,7 @@ impl QueryServer {
             rejected: self.shared.rejected.load(Ordering::Relaxed),
             timed_out: self.shared.timed_out.load(Ordering::Relaxed),
             failed: self.shared.failed.load(Ordering::Relaxed),
+            refreshes: self.shared.refreshes.load(Ordering::Relaxed),
             sim_makespan,
             qps_sim: if sim_secs > 0.0 {
                 completed as f64 / sim_secs
@@ -818,6 +868,209 @@ mod tests {
         let stats = server.shutdown();
         assert_eq!(stats.failed, 1);
         assert_eq!(stats.completed, 1);
+    }
+
+    fn ms_samples(values: &[u64]) -> Vec<SimDuration> {
+        let mut v: Vec<SimDuration> = values
+            .iter()
+            .map(|&ms| SimDuration::from_millis(ms))
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn percentile_nearest_rank_single_sample() {
+        // n = 1: every percentile is the one sample.
+        let samples = ms_samples(&[42]);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(percentile(&samples, q), 42.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn percentile_nearest_rank_two_samples() {
+        // n = 2, nearest rank = ceil(q·n) clamped to [1, n]:
+        // p50 → rank 1 (the smaller), p95/p99 → rank 2 (the larger).
+        let samples = ms_samples(&[10, 90]);
+        assert_eq!(percentile(&samples, 0.50), 10.0);
+        assert_eq!(percentile(&samples, 0.51), 90.0);
+        assert_eq!(percentile(&samples, 0.95), 90.0);
+        assert_eq!(percentile(&samples, 0.99), 90.0);
+        // q = 0 still returns the minimum (rank clamps up to 1).
+        assert_eq!(percentile(&samples, 0.0), 10.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank_hundred_samples() {
+        // n = 100 with samples 1..=100 ms: rank ceil(q·100) picks value
+        // q·100 exactly — p50 = 50, p95 = 95, p99 = 99, p100 = 100.
+        let values: Vec<u64> = (1..=100).collect();
+        let samples = ms_samples(&values);
+        assert_eq!(percentile(&samples, 0.50), 50.0);
+        assert_eq!(percentile(&samples, 0.95), 95.0);
+        assert_eq!(percentile(&samples, 0.99), 99.0);
+        assert_eq!(percentile(&samples, 1.0), 100.0);
+        // And just over a rank boundary rounds up to the next sample.
+        assert_eq!(percentile(&samples, 0.501), 51.0);
+    }
+
+    #[test]
+    fn percentile_empty_is_zero() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn timed_out_queries_stay_in_percentile_samples() {
+        // One fast query (hits the deadline) and one slow (misses it):
+        // the slow sample must still dominate the p99, not be censored.
+        let sim = Arc::new(SimulatedCloudStore::new(
+            InMemoryStore::new(),
+            LatencyModel::gcs_like(),
+            11,
+        ));
+        {
+            let s: Arc<dyn ObjectStore> = sim.clone();
+            let docs = lines(20);
+            let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+            build_index(s, &refs);
+        }
+        let searcher =
+            Arc::new(Searcher::open(sim.clone() as Arc<dyn ObjectStore>, "idx").unwrap());
+        let server = QueryServer::start(
+            searcher,
+            ServerConfig::new()
+                .with_workers(1)
+                .with_deadline(SimDuration::from_millis(1)),
+        );
+        for i in 0..5 {
+            // gcs-like round trips are ~45 ms: every query times out.
+            let err = server
+                .execute(&Query::term(format!("word{i}")), &QueryOptions::new())
+                .unwrap_err();
+            assert!(matches!(
+                err,
+                AirphantError::Storage(StorageError::Timeout { .. })
+            ));
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.timed_out, 5);
+        assert_eq!(stats.completed, 0);
+        // All five served latencies are in the samples: p50 as well as
+        // p99 reflect the true ~45ms service times, not the 1ms deadline.
+        assert!(stats.latency_p50_ms > 10.0);
+        assert!(stats.latency_p99_ms >= stats.latency_p50_ms);
+    }
+
+    #[test]
+    fn refresh_swaps_engine_between_queries() {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        build_index(store.clone(), &["alpha one", "beta two"]);
+        {
+            // A second index under another prefix with different docs.
+            let blob = "gamma three\nbeta four";
+            store.put("c/blob-1", Bytes::from(blob)).unwrap();
+            let corpus = Corpus::new(
+                store.clone(),
+                vec!["c/blob-1".into()],
+                Arc::new(LineSplitter),
+                Arc::new(WhitespaceTokenizer),
+            );
+            Builder::new(
+                AirphantConfig::default()
+                    .with_total_bins(128)
+                    .with_manual_layers(2)
+                    .with_common_fraction(0.0),
+            )
+            .build(&corpus, "idx2")
+            .unwrap();
+        }
+        let server = QueryServer::start(
+            Arc::new(Searcher::open(store.clone(), "idx").unwrap()),
+            ServerConfig::new().with_workers(2),
+        );
+        // Before the refresh: generation 1 answers.
+        let r = server
+            .execute(&Query::term("alpha"), &QueryOptions::new())
+            .unwrap();
+        assert_eq!(r.hits.len(), 1);
+        assert!(server
+            .execute(&Query::term("gamma"), &QueryOptions::new())
+            .unwrap()
+            .hits
+            .is_empty());
+        // Refresh: no restart, same pool, new engine.
+        server.refresh(Arc::new(Searcher::open(store, "idx2").unwrap()));
+        let r = server
+            .execute(&Query::term("gamma"), &QueryOptions::new())
+            .unwrap();
+        assert_eq!(r.hits.len(), 1);
+        assert!(server
+            .execute(&Query::term("alpha"), &QueryOptions::new())
+            .unwrap()
+            .hits
+            .is_empty());
+        let stats = server.shutdown();
+        assert_eq!(stats.refreshes, 1);
+        assert_eq!(stats.completed, 4);
+    }
+
+    #[test]
+    fn refresh_does_not_disturb_inflight_queries() {
+        // A query parked inside the old engine's storage read while the
+        // refresh lands must finish on the OLD generation.
+        let plain: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        build_index(plain.clone(), &["alpha old-gen"]);
+        let gated = Arc::new(GatedStore::new(plain.clone()));
+        let old_engine =
+            Arc::new(Searcher::open(gated.clone() as Arc<dyn ObjectStore>, "idx").unwrap());
+        let server = Arc::new(QueryServer::start(
+            old_engine,
+            ServerConfig::new().with_workers(1),
+        ));
+        std::thread::scope(|s| {
+            let inflight = {
+                let server = server.clone();
+                s.spawn(move || {
+                    server
+                        .execute(&Query::term("alpha"), &QueryOptions::new())
+                        .unwrap()
+                })
+            };
+            gated.wait_until_parked();
+            // Build a *different* corpus under a fresh prefix and swap it
+            // in while the first query is still parked mid-read.
+            plain
+                .put("c2/blob-0", Bytes::from("alpha new-gen"))
+                .unwrap();
+            let corpus = Corpus::new(
+                plain.clone(),
+                vec!["c2/blob-0".into()],
+                Arc::new(LineSplitter),
+                Arc::new(WhitespaceTokenizer),
+            );
+            Builder::new(
+                AirphantConfig::default()
+                    .with_total_bins(128)
+                    .with_manual_layers(2)
+                    .with_common_fraction(0.0),
+            )
+            .build(&corpus, "idx-new")
+            .unwrap();
+            server.refresh(Arc::new(Searcher::open(plain.clone(), "idx-new").unwrap()));
+            gated.open();
+            let old_result = inflight.join().unwrap();
+            assert_eq!(old_result.hits.len(), 1);
+            assert!(
+                old_result.hits[0].text.contains("old-gen"),
+                "in-flight query finished on its own generation"
+            );
+        });
+        // The next query runs on the refreshed engine.
+        let fresh = server
+            .execute(&Query::term("alpha"), &QueryOptions::new())
+            .unwrap();
+        assert!(fresh.hits[0].text.contains("new-gen"));
     }
 
     #[test]

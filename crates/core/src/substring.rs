@@ -11,7 +11,8 @@
 //! distinct `n`-grams join the query's other atoms in the **single**
 //! superpost batch, and the verify pass does the exact (case-insensitive)
 //! `contains` check. This module keeps the old `search_substring` method
-//! as a deprecated shim.
+//! as a deprecated shim over [`Query::substring`] +
+//! [`Searcher::execute`] — use the [`Query`] AST directly in new code.
 
 use crate::query::{Query, QueryOptions};
 use crate::result::SearchResult;

@@ -15,7 +15,7 @@
 //! latency exactly once and the store underneath sees one request.
 
 use crate::latency::{LatencySample, SimDuration};
-use crate::object_store::{BatchFetch, Fetched, ObjectStore, RangeRequest};
+use crate::object_store::{BatchFetch, Fetched, ObjectStore, RangeRequest, Version};
 use crate::Result;
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -261,6 +261,22 @@ impl<S: ObjectStore> ObjectStore for CachedStore<S> {
         result
     }
 
+    fn version_of(&self, name: &str) -> Result<Version> {
+        // Versions must reflect the durable store, never a cached entry:
+        // a CAS retry loop that read a stale version would spin.
+        self.inner.version_of(name)
+    }
+
+    fn put_if_version(&self, name: &str, data: Bytes, expected: Version) -> Result<Version> {
+        // Same invalidate-before-and-after discipline as `put`. A lost
+        // CAS invalidates too: the mismatch proves another writer updated
+        // the blob, so whatever this cache holds for it is stale.
+        self.invalidate(name);
+        let result = self.inner.put_if_version(name, data, expected);
+        self.invalidate(name);
+        result
+    }
+
     fn get(&self, name: &str) -> Result<Fetched> {
         let size = self.inner.size_of(name)?;
         self.get_range(name, 0, size)
@@ -477,6 +493,28 @@ mod tests {
         let refetched = store.get_range("blob", 0, 16).unwrap();
         assert!(refetched.latency.total() > SimDuration::ZERO);
         assert_eq!(&refetched.bytes[..], &[1u8; 16]);
+    }
+
+    #[test]
+    fn conditional_writes_invalidate_cached_entries() {
+        let store = CachedStore::new(cloud(), 1 << 20);
+        store.get_range("blob", 0, 16).unwrap();
+        let v = store.inner().version_of("blob").unwrap();
+        store
+            .put_if_version("blob", Bytes::from(vec![4u8; 1 << 16]), v)
+            .unwrap();
+        let refetched = store.get_range("blob", 0, 16).unwrap();
+        assert!(refetched.latency.total() > SimDuration::ZERO, "cold again");
+        assert_eq!(&refetched.bytes[..], &[4u8; 16]);
+        // A *lost* CAS also invalidates (the mismatch proves the cached
+        // view is stale) but never applies the loser's bytes.
+        assert!(store
+            .put_if_version("blob", Bytes::from(vec![9u8; 4]), v)
+            .is_err());
+        assert_eq!(
+            &store.get_range("blob", 0, 16).unwrap().bytes[..],
+            &[4u8; 16]
+        );
     }
 
     #[test]

@@ -26,6 +26,18 @@ pub enum StorageError {
         /// Name of the blob whose fetch timed out.
         name: String,
     },
+    /// A conditional write ([`crate::ObjectStore::put_if_version`]) lost
+    /// the race: the blob's current version differs from the expected one.
+    /// The caller re-reads and retries — this is the CAS contention signal,
+    /// not a failure of the store.
+    VersionMismatch {
+        /// Name of the blob the conditional write targeted.
+        name: String,
+        /// The version the writer expected to replace.
+        expected: crate::Version,
+        /// The version actually found.
+        actual: crate::Version,
+    },
     /// An underlying I/O failure (local-filesystem backend).
     Io(std::io::Error),
 }
@@ -45,6 +57,14 @@ impl fmt::Display for StorageError {
                 offset + len
             ),
             StorageError::Timeout { name } => write!(f, "request timed out for blob {name}"),
+            StorageError::VersionMismatch {
+                name,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "conditional write to blob {name} lost: expected version {expected}, found {actual}"
+            ),
             StorageError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }

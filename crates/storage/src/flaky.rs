@@ -8,7 +8,7 @@
 //! reliability story (§IV-G handles the *slow*-response half).
 
 use crate::latency::SimDuration;
-use crate::object_store::{BatchFetch, Fetched, ObjectStore, RangeRequest};
+use crate::object_store::{BatchFetch, Fetched, ObjectStore, RangeRequest, Version};
 use crate::{Result, StorageError};
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -16,12 +16,17 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// A store decorator that makes reads fail with a seeded probability.
+/// A store decorator that makes reads fail with a seeded probability, and
+/// can additionally be armed to fail *writes* after a countdown — the
+/// crash-injection hook for crash-consistency tests (a builder that dies
+/// between its block puts and its header put).
 pub struct FlakyStore<S> {
     inner: S,
     failure_probability: f64,
     rng: Mutex<StdRng>,
     injected: AtomicU64,
+    /// Writes remaining before puts start failing; `u64::MAX` disables.
+    puts_until_failure: AtomicU64,
 }
 
 impl<S: ObjectStore> FlakyStore<S> {
@@ -33,12 +38,26 @@ impl<S: ObjectStore> FlakyStore<S> {
             failure_probability,
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             injected: AtomicU64::new(0),
+            puts_until_failure: AtomicU64::new(u64::MAX),
         }
     }
 
     /// Number of failures injected so far.
     pub fn injected_failures(&self) -> u64 {
         self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Arm deterministic write faults: allow `remaining` more successful
+    /// `put`s, then fail every subsequent write (including conditional
+    /// writes) with [`StorageError::Timeout`] until re-armed. This is how
+    /// tests simulate a builder crashing mid-persist.
+    pub fn fail_puts_after(&self, remaining: u64) {
+        self.puts_until_failure.store(remaining, Ordering::SeqCst);
+    }
+
+    /// Disarm write faults (writes succeed again, as after a node restart).
+    pub fn heal_puts(&self) {
+        self.puts_until_failure.store(u64::MAX, Ordering::SeqCst);
     }
 
     /// The wrapped store.
@@ -56,10 +75,33 @@ impl<S: ObjectStore> FlakyStore<S> {
         }
         Ok(())
     }
+
+    fn maybe_fail_put(&self, name: &str) -> Result<()> {
+        loop {
+            let remaining = self.puts_until_failure.load(Ordering::SeqCst);
+            if remaining == u64::MAX {
+                return Ok(());
+            }
+            if remaining == 0 {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                return Err(StorageError::Timeout {
+                    name: name.to_owned(),
+                });
+            }
+            if self
+                .puts_until_failure
+                .compare_exchange(remaining, remaining - 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return Ok(());
+            }
+        }
+    }
 }
 
 impl<S: ObjectStore> ObjectStore for FlakyStore<S> {
     fn put(&self, name: &str, data: Bytes) -> Result<()> {
+        self.maybe_fail_put(name)?;
         self.inner.put(name, data)
     }
 
@@ -82,6 +124,18 @@ impl<S: ObjectStore> ObjectStore for FlakyStore<S> {
             self.maybe_fail(&first.name)?;
         }
         self.inner.get_ranges(requests)
+    }
+
+    fn version_of(&self, name: &str) -> Result<Version> {
+        self.inner.version_of(name)
+    }
+
+    fn put_if_version(&self, name: &str, data: Bytes, expected: Version) -> Result<Version> {
+        // Armed write faults hit conditional writes too (a crash does not
+        // care which kind of put was in flight); every injected fault
+        // lands in the same `injected_failures` accounting.
+        self.maybe_fail_put(name)?;
+        self.inner.put_if_version(name, data, expected)
     }
 
     fn size_of(&self, name: &str) -> Result<u64> {
@@ -165,6 +219,18 @@ impl<S: ObjectStore> ObjectStore for RetryingStore<S> {
         self.inner.put(name, data)
     }
 
+    fn version_of(&self, name: &str) -> Result<Version> {
+        self.inner.version_of(name)
+    }
+
+    fn put_if_version(&self, name: &str, data: Bytes, expected: Version) -> Result<Version> {
+        // Pass through like `put`. Crucially, a VersionMismatch is NOT
+        // transient: blindly re-issuing the same conditional write would
+        // lose another writer's update. The manifest CAS loop re-reads
+        // and retries at its own layer.
+        self.inner.put_if_version(name, data, expected)
+    }
+
     fn get(&self, name: &str) -> Result<Fetched> {
         self.with_retries(
             || self.inner.get(name),
@@ -240,6 +306,43 @@ mod tests {
         for _ in 0..50 {
             store.get_range("blob", 0, 64).unwrap();
         }
+    }
+
+    #[test]
+    fn armed_write_faults_fail_puts_deterministically() {
+        let store = flaky(0.0, 1);
+        store.fail_puts_after(2);
+        store.put("a", Bytes::from_static(b"1")).unwrap();
+        store.put("b", Bytes::from_static(b"2")).unwrap();
+        // Third write "crashes", and so does every one after it —
+        // including conditional writes.
+        assert!(matches!(
+            store.put("c", Bytes::from_static(b"3")),
+            Err(StorageError::Timeout { .. })
+        ));
+        assert!(matches!(
+            store.put_if_version("d", Bytes::from_static(b"4"), Version::Absent),
+            Err(StorageError::Timeout { .. })
+        ));
+        assert_eq!(store.injected_failures(), 2);
+        assert!(!store.inner().exists("c"));
+        // After the "restart", writes work again.
+        store.heal_puts();
+        store.put("c", Bytes::from_static(b"3")).unwrap();
+        assert!(store.inner().exists("c"));
+    }
+
+    #[test]
+    fn version_mismatch_is_not_retried() {
+        let inner = InMemoryStore::new();
+        inner.put("m", Bytes::from_static(b"gen1")).unwrap();
+        let store = RetryingStore::new(inner, 5, SimDuration::from_millis(1));
+        let stale = Version::of_bytes(b"something-else");
+        assert!(matches!(
+            store.put_if_version("m", Bytes::from_static(b"gen2"), stale),
+            Err(StorageError::VersionMismatch { .. })
+        ));
+        assert_eq!(store.retries(), 0, "CAS losses must surface immediately");
     }
 
     #[test]

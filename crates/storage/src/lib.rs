@@ -50,7 +50,7 @@ pub use flaky::{FlakyStore, RetryingStore};
 pub use latency::{LatencyModel, LatencyModelBuilder, LatencySample, RegionProfile, SimDuration};
 pub use localfs::LocalFsStore;
 pub use memory::InMemoryStore;
-pub use object_store::{BatchFetch, Fetched, ObjectStore, RangeRequest};
+pub use object_store::{BatchFetch, Fetched, ObjectStore, RangeRequest, Version};
 pub use sim::{IoStatsSnapshot, SimulatedCloudStore};
 pub use trace::{PhaseKind, PhaseTrace, QueryTrace};
 

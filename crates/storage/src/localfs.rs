@@ -5,9 +5,10 @@
 //! mounting a bucket with `gcsfuse`. Useful for persisting built indexes
 //! across runs and for the runnable examples.
 
-use crate::object_store::{Fetched, ObjectStore};
+use crate::object_store::{Fetched, ObjectStore, Version};
 use crate::{Result, StorageError};
 use bytes::Bytes;
+use parking_lot::Mutex;
 use std::fs;
 use std::io::{Read, Seek, SeekFrom};
 use std::path::{Component, Path, PathBuf};
@@ -16,6 +17,11 @@ use std::path::{Component, Path, PathBuf};
 #[derive(Debug)]
 pub struct LocalFsStore {
     root: PathBuf,
+    /// Serializes conditional writes (the filesystem has no native CAS);
+    /// atomic within this process, which is the scope the tests and CLI
+    /// need — a real deployment points at a bucket with native
+    /// preconditions instead.
+    cas: Mutex<()>,
 }
 
 impl LocalFsStore {
@@ -23,7 +29,10 @@ impl LocalFsStore {
     pub fn new(root: impl Into<PathBuf>) -> Result<Self> {
         let root = root.into();
         fs::create_dir_all(&root)?;
-        Ok(LocalFsStore { root })
+        Ok(LocalFsStore {
+            root,
+            cas: Mutex::new(()),
+        })
     }
 
     /// The root directory of this store.
@@ -109,6 +118,29 @@ impl ObjectStore for LocalFsStore {
         let mut buf = vec![0u8; len as usize];
         file.read_exact(&mut buf)?;
         Ok(Fetched::instant(Bytes::from(buf)))
+    }
+
+    fn version_of(&self, name: &str) -> Result<Version> {
+        match self.get(name) {
+            Ok(f) => Ok(Version::of_bytes(&f.bytes)),
+            Err(StorageError::BlobNotFound { .. }) => Ok(Version::Absent),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn put_if_version(&self, name: &str, data: Bytes, expected: Version) -> Result<Version> {
+        let _guard = self.cas.lock();
+        let actual = self.version_of(name)?;
+        if actual != expected {
+            return Err(StorageError::VersionMismatch {
+                name: name.to_owned(),
+                expected,
+                actual,
+            });
+        }
+        let next = Version::of_bytes(&data);
+        self.put(name, data)?;
+        Ok(next)
     }
 
     fn size_of(&self, name: &str) -> Result<u64> {
@@ -207,6 +239,27 @@ mod tests {
         assert!(store.put("../escape", Bytes::from_static(b"no")).is_err());
         assert!(store.get("..").is_err());
         assert!(store.get("").is_err());
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn put_if_version_roundtrip() {
+        let dir = tempdir("cas");
+        let store = LocalFsStore::new(&dir).unwrap();
+        let v1 = store
+            .put_if_version("idx/manifest", Bytes::from_static(b"gen1"), Version::Absent)
+            .unwrap();
+        assert_eq!(store.version_of("idx/manifest").unwrap(), v1);
+        let v2 = store
+            .put_if_version("idx/manifest", Bytes::from_static(b"gen2"), v1)
+            .unwrap();
+        assert!(matches!(
+            store.put_if_version("idx/manifest", Bytes::from_static(b"late"), v1),
+            Err(StorageError::VersionMismatch { .. })
+        ));
+        assert_eq!(store.version_of("idx/manifest").unwrap(), v2);
+        assert_eq!(&store.get("idx/manifest").unwrap().bytes[..], b"gen2");
+        assert_eq!(store.version_of("idx/other").unwrap(), Version::Absent);
         fs::remove_dir_all(dir).unwrap();
     }
 

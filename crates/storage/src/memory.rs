@@ -1,6 +1,6 @@
 //! In-memory object store: the zero-latency reference backend.
 
-use crate::object_store::{Fetched, ObjectStore};
+use crate::object_store::{Fetched, ObjectStore, Version};
 use crate::{Result, StorageError};
 use bytes::Bytes;
 use parking_lot::RwLock;
@@ -57,6 +57,34 @@ impl ObjectStore for InMemoryStore {
                 blob_size: data.len() as u64,
             })?;
         Ok(Fetched::instant(data.slice(offset as usize..end as usize)))
+    }
+
+    fn version_of(&self, name: &str) -> Result<Version> {
+        let blobs = self.blobs.read();
+        Ok(blobs
+            .get(name)
+            .map(|d| Version::of_bytes(d))
+            .unwrap_or(Version::Absent))
+    }
+
+    fn put_if_version(&self, name: &str, data: Bytes, expected: Version) -> Result<Version> {
+        // Compare and swap under one write-lock critical section: two
+        // concurrent conditional writes serialize, and exactly one wins.
+        let mut blobs = self.blobs.write();
+        let actual = blobs
+            .get(name)
+            .map(|d| Version::of_bytes(d))
+            .unwrap_or(Version::Absent);
+        if actual != expected {
+            return Err(StorageError::VersionMismatch {
+                name: name.to_owned(),
+                expected,
+                actual,
+            });
+        }
+        let next = Version::of_bytes(&data);
+        blobs.insert(name.to_owned(), data);
+        Ok(next)
     }
 
     fn size_of(&self, name: &str) -> Result<u64> {
@@ -173,6 +201,84 @@ mod tests {
         store.delete("k").unwrap();
         assert!(!store.exists("k"));
         assert!(store.delete("k").is_err());
+    }
+
+    #[test]
+    fn put_if_version_create_and_replace() {
+        let store = InMemoryStore::new();
+        // Create-if-missing.
+        let v1 = store
+            .put_if_version("m", Bytes::from_static(b"gen1"), Version::Absent)
+            .unwrap();
+        assert_eq!(store.version_of("m").unwrap(), v1);
+        // Replace at the right version.
+        let v2 = store
+            .put_if_version("m", Bytes::from_static(b"gen2"), v1)
+            .unwrap();
+        assert_ne!(v1, v2);
+        assert_eq!(&store.get("m").unwrap().bytes[..], b"gen2");
+        // A stale token loses and changes nothing.
+        match store.put_if_version("m", Bytes::from_static(b"gen2-loser"), v1) {
+            Err(StorageError::VersionMismatch {
+                expected, actual, ..
+            }) => {
+                assert_eq!(expected, v1);
+                assert_eq!(actual, v2);
+            }
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+        assert_eq!(&store.get("m").unwrap().bytes[..], b"gen2");
+        // Create-if-missing on an existing blob loses too.
+        assert!(store
+            .put_if_version("m", Bytes::from_static(b"x"), Version::Absent)
+            .is_err());
+    }
+
+    #[test]
+    fn concurrent_cas_admits_exactly_one_writer_per_round() {
+        use std::sync::Arc;
+        let store = Arc::new(InMemoryStore::new());
+        // 8 threads race 100 CAS rounds each; every round exactly one
+        // write wins, so the final counter equals total successes.
+        let successes: u64 = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| {
+                    let store = Arc::clone(&store);
+                    s.spawn(move || {
+                        let mut wins = 0u64;
+                        for _ in 0..100 {
+                            loop {
+                                let (current, expected) = match store.get("counter") {
+                                    Ok(f) => {
+                                        let n: u64 =
+                                            std::str::from_utf8(&f.bytes).unwrap().parse().unwrap();
+                                        (n, Version::of_bytes(&f.bytes))
+                                    }
+                                    Err(_) => (0, Version::Absent),
+                                };
+                                let next = Bytes::from((current + 1).to_string());
+                                match store.put_if_version("counter", next, expected) {
+                                    Ok(_) => {
+                                        wins += 1;
+                                        break;
+                                    }
+                                    Err(StorageError::VersionMismatch { .. }) => continue,
+                                    Err(e) => panic!("unexpected error: {e}"),
+                                }
+                            }
+                        }
+                        wins
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(successes, 800);
+        let f = store.get("counter").unwrap();
+        let n: u64 = std::str::from_utf8(&f.bytes).unwrap().parse().unwrap();
+        assert_eq!(n, 800, "no lost updates under CAS contention");
     }
 
     #[test]

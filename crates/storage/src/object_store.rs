@@ -8,8 +8,48 @@
 //! Searcher retrieves any one of them in a single round-trip.
 
 use crate::latency::{LatencySample, SimDuration};
-use crate::Result;
+use crate::{Result, StorageError};
 use bytes::Bytes;
+
+/// A blob's version token for conditional (compare-and-swap) writes.
+///
+/// Cloud stores expose this as an ETag / object generation; here it is a
+/// fingerprint of the blob's content, so any backend can derive it from
+/// the bytes it already holds. Content-derived tokens are safe for the
+/// manifest workload they serve: every manifest embeds a strictly
+/// increasing generation number, so no two competing writes ever carry
+/// identical bytes (no ABA window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Version {
+    /// The blob does not exist (a CAS with this token is a create).
+    Absent,
+    /// The blob exists with this content fingerprint.
+    Tag(u64),
+}
+
+impl Version {
+    /// The version token of a blob holding exactly `data`.
+    pub fn of_bytes(data: &[u8]) -> Version {
+        // FNV-1a over content + length: stable, dependency-free.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for &b in data {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash ^= data.len() as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        Version::Tag(hash)
+    }
+}
+
+impl std::fmt::Display for Version {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Version::Absent => write!(f, "absent"),
+            Version::Tag(t) => write!(f, "{t:016x}"),
+        }
+    }
+}
 
 /// A blob payload together with the simulated latency its retrieval cost.
 #[derive(Debug, Clone)]
@@ -118,6 +158,41 @@ pub trait ObjectStore: Send + Sync {
         })
     }
 
+    /// The blob's current version token ([`Version::Absent`] if missing).
+    fn version_of(&self, name: &str) -> Result<Version> {
+        match self.get(name) {
+            Ok(f) => Ok(Version::of_bytes(&f.bytes)),
+            Err(StorageError::BlobNotFound { .. }) => Ok(Version::Absent),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Atomically replace `name` with `data` **iff** its current version
+    /// equals `expected`; returns the new version on success and
+    /// [`StorageError::VersionMismatch`] when another writer got there
+    /// first. `Version::Absent` expresses create-if-missing.
+    ///
+    /// This is the compare-and-swap every manifest publish goes through:
+    /// concurrent appenders re-read and retry on mismatch instead of
+    /// silently overwriting each other. The default implementation is
+    /// check-then-put and is only atomic for backends whose reads and
+    /// writes already serialize through one lock; [`crate::InMemoryStore`]
+    /// and [`crate::LocalFsStore`] override it with a properly serialized
+    /// compare-and-swap, and decorators delegate to their inner store.
+    fn put_if_version(&self, name: &str, data: Bytes, expected: Version) -> Result<Version> {
+        let actual = self.version_of(name)?;
+        if actual != expected {
+            return Err(StorageError::VersionMismatch {
+                name: name.to_owned(),
+                expected,
+                actual,
+            });
+        }
+        let next = Version::of_bytes(&data);
+        self.put(name, data)?;
+        Ok(next)
+    }
+
     /// Size of a blob in bytes.
     fn size_of(&self, name: &str) -> Result<u64>;
 
@@ -156,6 +231,12 @@ impl<S: ObjectStore + ?Sized> ObjectStore for std::sync::Arc<S> {
     }
     fn get_ranges(&self, requests: &[RangeRequest]) -> Result<BatchFetch> {
         (**self).get_ranges(requests)
+    }
+    fn version_of(&self, name: &str) -> Result<Version> {
+        (**self).version_of(name)
+    }
+    fn put_if_version(&self, name: &str, data: Bytes, expected: Version) -> Result<Version> {
+        (**self).put_if_version(name, data, expected)
     }
     fn size_of(&self, name: &str) -> Result<u64> {
         (**self).size_of(name)

@@ -8,7 +8,7 @@
 //! wait/download split.
 
 use crate::latency::{seeded_rng, LatencyModel, SimDuration};
-use crate::object_store::{BatchFetch, Fetched, ObjectStore, RangeRequest};
+use crate::object_store::{BatchFetch, Fetched, ObjectStore, RangeRequest, Version};
 use crate::Result;
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -223,6 +223,17 @@ impl<S: ObjectStore> ObjectStore for SimulatedCloudStore<S> {
             batch_wait: max_fb,
             batch_download: download,
         })
+    }
+
+    // Conditional writes pass through unsimulated, like `put`: the
+    // latency model measures the query path, and the inner store keeps
+    // the atomicity.
+    fn version_of(&self, name: &str) -> Result<Version> {
+        self.inner.version_of(name)
+    }
+
+    fn put_if_version(&self, name: &str, data: Bytes, expected: Version) -> Result<Version> {
+        self.inner.put_if_version(name, data, expected)
     }
 
     fn size_of(&self, name: &str) -> Result<u64> {

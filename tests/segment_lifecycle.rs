@@ -1,0 +1,327 @@
+//! Segment-lifecycle integration tests: the concurrent-append race
+//! regression, crash consistency of half-finished builds, and
+//! refresh-under-load generation consistency.
+//!
+//! Run in release with `--test-threads=8` in CI — the races these guard
+//! against only manifest under real parallelism.
+
+use airphant::{
+    AirphantConfig, Builder, CompactionPolicy, Compactor, Query, QueryOptions, QueryServer,
+    SearchEngine, Searcher, SegmentManager, ServerConfig,
+};
+use airphant_corpus::{Corpus, LineSplitter, WhitespaceTokenizer};
+use airphant_storage::{FlakyStore, InMemoryStore, ObjectStore, StorageError};
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn corpus_of(store: Arc<dyn ObjectStore>, blob: &str, lines: &[String]) -> Corpus {
+    store.put(blob, Bytes::from(lines.join("\n"))).unwrap();
+    Corpus::new(
+        store,
+        vec![blob.to_owned()],
+        Arc::new(LineSplitter),
+        Arc::new(WhitespaceTokenizer),
+    )
+}
+
+fn config() -> AirphantConfig {
+    AirphantConfig::default()
+        .with_total_bins(128)
+        .with_common_fraction(0.0)
+}
+
+/// The PR-3 append-race regression at full width: 8 threads × 4 appends
+/// through one shared store. The old `seg-{len:05}` naming plus blind
+/// manifest `put` dropped segments (two appenders compute the same
+/// prefix, and the later manifest write erases the earlier one); with
+/// unique ids + CAS publish, all N·M segments survive and every single
+/// document remains findable.
+#[test]
+fn concurrent_appends_lose_nothing_8x4() {
+    let threads = 8usize;
+    let per_thread = 4usize;
+    let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let store = store.clone();
+            s.spawn(move || {
+                // Each thread owns its own manager handle, like separate
+                // ingest nodes sharing one bucket.
+                let mgr = SegmentManager::new(store.clone(), "idx");
+                for i in 0..per_thread {
+                    let lines: Vec<String> = (0..5)
+                        .map(|d| format!("uniq{t}x{i}x{d} everybody"))
+                        .collect();
+                    let corpus = corpus_of(store.clone(), &format!("c/t{t}i{i}"), &lines);
+                    mgr.append(&corpus, &config()).unwrap();
+                }
+            });
+        }
+    });
+    let mgr = SegmentManager::new(store, "idx");
+    let manifest = mgr.manifest().unwrap();
+    assert_eq!(
+        manifest.segments.len(),
+        threads * per_thread,
+        "every append must survive the race"
+    );
+    assert_eq!(manifest.generation, (threads * per_thread) as u64);
+    let searcher = mgr.open().unwrap();
+    for t in 0..threads {
+        for i in 0..per_thread {
+            for d in 0..5 {
+                let word = format!("uniq{t}x{i}x{d}");
+                assert_eq!(
+                    searcher.search(&word, None).unwrap().hits.len(),
+                    1,
+                    "{word} lost in the race"
+                );
+            }
+        }
+    }
+    assert_eq!(
+        searcher.search("everybody", None).unwrap().hits.len(),
+        threads * per_thread * 5
+    );
+}
+
+/// Crash consistency: a build that dies between its superpost-block puts
+/// and its header put must leave the manifest untouched (old generation
+/// keeps serving), the half-written prefix must read as IndexNotFound,
+/// and the compactor's GC must reclaim the orphan blobs.
+#[test]
+fn crashed_append_leaves_recoverable_orphans() {
+    let flaky = Arc::new(FlakyStore::new(InMemoryStore::new(), 0.0, 9));
+    let store: Arc<dyn ObjectStore> = flaky.clone();
+    let mgr = SegmentManager::new(store.clone(), "idx");
+
+    // Generation 1: a healthy segment.
+    let lines: Vec<String> = (0..8).map(|i| format!("stable doc{i}")).collect();
+    let corpus = corpus_of(store.clone(), "c/day0", &lines);
+    mgr.append(&corpus, &config()).unwrap();
+    let gen_before = mgr.generation().unwrap();
+    let blobs_before = store.list("idx/").unwrap();
+
+    // Generation 2 "crashes": corpus blob is written, then the fault arms
+    // after the first index put — superpost block(s) land, the header
+    // (and any manifest publish) never does.
+    let lines2: Vec<String> = (0..8).map(|i| format!("doomed doc{i}")).collect();
+    let corpus2 = corpus_of(store.clone(), "c/day1", &lines2);
+    flaky.fail_puts_after(1);
+    match mgr.append(&corpus2, &config()) {
+        Err(airphant::AirphantError::Storage(StorageError::Timeout { .. })) => {}
+        other => panic!("append should have crashed on the injected fault, got {other:?}"),
+    }
+    flaky.heal_puts();
+
+    // The manifest never moved; the old generation still serves.
+    assert_eq!(mgr.generation().unwrap(), gen_before);
+    let searcher = mgr.open().unwrap();
+    assert_eq!(searcher.search("stable", None).unwrap().hits.len(), 8);
+    assert!(searcher.search("doomed", None).unwrap().hits.is_empty());
+
+    // The crash left orphan superposts under an unpublished prefix, and
+    // that header-less prefix reads as IndexNotFound.
+    let orphans: Vec<String> = store
+        .list("idx/")
+        .unwrap()
+        .into_iter()
+        .filter(|b| !blobs_before.contains(b))
+        .collect();
+    assert!(!orphans.is_empty(), "the crashed build must leave debris");
+    let orphan_prefix = orphans[0]
+        .split("/superposts/")
+        .next()
+        .expect("orphans are superpost blocks")
+        .to_owned();
+    assert!(orphans.iter().all(|b| b.starts_with(&orphan_prefix)));
+    assert!(matches!(
+        Searcher::open(store.clone(), &orphan_prefix),
+        Err(airphant::AirphantError::IndexNotFound { .. })
+    ));
+
+    // GC sweeps exactly the debris; the live generation is untouched and
+    // a freshly reopened manager serves it.
+    let compactor = Compactor::new(&mgr, config());
+    let swept = compactor.sweep_orphans().unwrap();
+    assert_eq!(swept, orphans.len());
+    assert_eq!(store.list(&format!("{orphan_prefix}/")).unwrap().len(), 0);
+    let reopened = SegmentManager::new(store, "idx").open().unwrap();
+    assert_eq!(reopened.search("stable", None).unwrap().hits.len(), 8);
+
+    // And the retried append (post-"restart") succeeds normally.
+    mgr.append(&corpus2, &config()).unwrap();
+    assert_eq!(
+        mgr.open()
+            .unwrap()
+            .search("doomed", None)
+            .unwrap()
+            .hits
+            .len(),
+        8
+    );
+}
+
+/// Full lifecycle under a live server: append → refresh → compact →
+/// refresh → deferred GC, with queries served at every step and no
+/// restart.
+#[test]
+fn server_survives_append_compact_gc_lifecycle() {
+    let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+    let mgr = SegmentManager::new(store.clone(), "idx");
+    for day in 0..3 {
+        let lines: Vec<String> = (0..10).map(|i| format!("base day{day}n{i}")).collect();
+        let corpus = corpus_of(store.clone(), &format!("c/day{day}"), &lines);
+        mgr.append(&corpus, &config()).unwrap();
+    }
+    let server = QueryServer::start(
+        Arc::new(mgr.open().unwrap()),
+        ServerConfig::new().with_workers(2),
+    );
+    let count = |server: &QueryServer, word: &str| {
+        server
+            .execute(&Query::term(word), &QueryOptions::new())
+            .unwrap()
+            .hits
+            .len()
+    };
+    assert_eq!(count(&server, "base"), 30);
+
+    // Append while serving; the server sees the new docs after refresh.
+    let lines: Vec<String> = (0..10).map(|i| format!("base fresh{i}")).collect();
+    let corpus = corpus_of(store.clone(), "c/day3", &lines);
+    mgr.append(&corpus, &config()).unwrap();
+    assert_eq!(count(&server, "base"), 30, "pre-refresh snapshot");
+    server.refresh(Arc::new(mgr.open().unwrap()));
+    assert_eq!(count(&server, "base"), 40);
+    assert_eq!(count(&server, "fresh3"), 1);
+
+    // Compact under deferred GC; serve across publish, refresh, and GC.
+    let compactor = Compactor::new(&mgr, config()).with_policy(
+        CompactionPolicy::new()
+            .with_max_live_segments(1)
+            .with_merge_factor(8)
+            .with_deferred_gc(true),
+    );
+    let report = compactor.compact().unwrap();
+    assert_eq!(count(&server, "base"), 40, "old generation during publish");
+    server.refresh(Arc::new(mgr.open().unwrap()));
+    assert_eq!(count(&server, "base"), 40, "new generation after refresh");
+    compactor.gc_deferred(&report).unwrap();
+    assert_eq!(count(&server, "base"), 40, "after GC");
+    let stats = server.shutdown();
+    assert_eq!(stats.refreshes, 2);
+    assert_eq!(stats.failed, 0);
+}
+
+/// Refresh under load: queries racing a refresh must answer from either
+/// the old or the new generation — exactly `old_docs` or `old_docs +
+/// new_docs` hits for the shared term — never a blend of the two.
+fn refresh_under_load_case(old_docs: usize, new_docs: usize, readers: usize) {
+    let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+    let mgr = SegmentManager::new(store.clone(), "idx");
+    let lines: Vec<String> = (0..old_docs).map(|i| format!("shared old{i}")).collect();
+    let corpus = corpus_of(store.clone(), "c/old", &lines);
+    mgr.append(&corpus, &config()).unwrap();
+    let server = Arc::new(QueryServer::start(
+        Arc::new(mgr.open().unwrap()),
+        ServerConfig::new()
+            .with_workers(readers.max(2))
+            .with_queue_capacity(64),
+    ));
+
+    let observed: Vec<usize> = std::thread::scope(|s| {
+        let reader_handles: Vec<_> = (0..readers)
+            .map(|_| {
+                let server = server.clone();
+                s.spawn(move || {
+                    let mut counts = Vec::new();
+                    for _ in 0..20 {
+                        let r = server
+                            .execute(&Query::term("shared"), &QueryOptions::new())
+                            .unwrap();
+                        counts.push(r.hits.len());
+                    }
+                    counts
+                })
+            })
+            .collect();
+        // Concurrently: append the new generation and refresh.
+        let lines: Vec<String> = (0..new_docs).map(|i| format!("shared new{i}")).collect();
+        let corpus = corpus_of(store.clone(), "c/new", &lines);
+        mgr.append(&corpus, &config()).unwrap();
+        server.refresh(Arc::new(mgr.open().unwrap()));
+        reader_handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+
+    for count in &observed {
+        assert!(
+            *count == old_docs || *count == old_docs + new_docs,
+            "observed {count} hits mid-refresh; must be {old_docs} (old) or {} (new), never a mix",
+            old_docs + new_docs
+        );
+    }
+    // After the dust settles every query sees the new generation.
+    let settled = server
+        .execute(&Query::term("shared"), &QueryOptions::new())
+        .unwrap();
+    assert_eq!(settled.hits.len(), old_docs + new_docs);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property: under any corpus split and reader width, a refresh is
+    /// atomic from the queries' point of view.
+    #[test]
+    fn refresh_under_load_is_generation_consistent(
+        old_docs in 1usize..12,
+        new_docs in 1usize..12,
+        readers in 2usize..5,
+    ) {
+        refresh_under_load_case(old_docs, new_docs, readers);
+    }
+}
+
+/// The engine slot also serves plain (non-segmented) engines: swapping a
+/// Searcher for a SegmentedSearcher mid-flight is the upgrade path from
+/// a static index to the lifecycle-managed one.
+#[test]
+fn refresh_upgrades_plain_searcher_to_segmented() {
+    let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+    let lines: Vec<String> = (0..6).map(|i| format!("word static{i}")).collect();
+    let corpus = corpus_of(store.clone(), "c/static", &lines);
+    Builder::new(config()).build(&corpus, "plain").unwrap();
+    let server = QueryServer::start(
+        Arc::new(Searcher::open(store.clone(), "plain").unwrap()),
+        ServerConfig::new().with_workers(2),
+    );
+    assert_eq!(
+        server
+            .execute(&Query::term("word"), &QueryOptions::new())
+            .unwrap()
+            .hits
+            .len(),
+        6
+    );
+    let mgr = SegmentManager::new(store.clone(), "idx");
+    mgr.append(&corpus, &config()).unwrap();
+    let lines2: Vec<String> = (0..4).map(|i| format!("word extra{i}")).collect();
+    let corpus2 = corpus_of(store, "c/extra", &lines2);
+    mgr.append(&corpus2, &config()).unwrap();
+    let segmented: Arc<dyn SearchEngine> = Arc::new(mgr.open().unwrap());
+    assert_eq!(segmented.name(), "AIRPHANT-segmented");
+    server.refresh(segmented);
+    assert_eq!(
+        server
+            .execute(&Query::term("word"), &QueryOptions::new())
+            .unwrap()
+            .hits
+            .len(),
+        10
+    );
+}
