@@ -25,7 +25,7 @@ use airphant::{
     SearchEngine, Searcher, SegmentManager, ServerConfig,
 };
 use airphant_bench::report::ms;
-use airphant_bench::Report;
+use airphant_bench::{Headline, Report};
 use airphant_corpus::{Corpus, LineSplitter, WhitespaceTokenizer};
 use airphant_storage::{InMemoryStore, LatencyModel, ObjectStore, SimulatedCloudStore};
 use bytes::Bytes;
@@ -192,6 +192,23 @@ fn main() {
         }),
     );
     report.finish();
+
+    // The perf-gate headline: mean lookup wait after compacting back to
+    // one segment. Unit ms — the gate fails if it *grows* >25% vs the
+    // committed baseline.
+    Headline::new(
+        "compaction",
+        "compacted_wait_ms",
+        compacted_wait,
+        "ms",
+        serde_json::json!({
+            "segments_appended": SEGMENTS,
+            "docs_per_segment": DOCS_PER_SEGMENT,
+            "measure_queries": MEASURE_QUERIES,
+            "vs_single_segment": ratio,
+        }),
+    )
+    .write();
 
     println!(
         "appended {SEGMENTS} segments: lookup wait grew {} -> {} ms; compaction \

@@ -12,7 +12,7 @@
 use airphant::{AirphantConfig, Builder, Query, QueryOptions, SearchEngine, Searcher};
 use airphant_baselines::{BTreeBuilder, BTreeEngine};
 use airphant_bench::report::ms;
-use airphant_bench::Report;
+use airphant_bench::{Headline, Report};
 use airphant_corpus::{zipf, QueryWorkload, SyntheticSpec};
 use airphant_storage::{InMemoryStore, LatencyModel, ObjectStore, PhaseKind, SimulatedCloudStore};
 use std::sync::Arc;
@@ -112,6 +112,21 @@ fn main() {
                     engine.name(),
                     wait / base
                 );
+                if engine.name() == "AIRPHANT" {
+                    Headline::new(
+                        "compound_query",
+                        "four_term_wait_ratio",
+                        wait / base,
+                        "x",
+                        serde_json::json!({
+                            "engine": engine.name(),
+                            "terms": 4,
+                            "n_docs": 4_000,
+                            "queries": 120,
+                        }),
+                    )
+                    .write();
+                }
             }
         }
     }

@@ -1,0 +1,111 @@
+//! The CI perf gate: compare every committed baseline headline
+//! (`bench_results/baseline/BENCH_*.json`) against the current run's
+//! `bench_results/BENCH_*.json`, failing on any >25% regression.
+//!
+//! The headline metrics are recorded on the **simulated clock** under
+//! fixed seeds, so a regression here is a code-path change (more round
+//! trips, lost overlap, a fatter batch), not host noise. Direction
+//! comes from the unit (`qps` must not drop; `ms`/`x` must not grow) —
+//! see [`Headline::higher_is_better`]. A baseline with no matching
+//! current headline fails the gate: a bench that silently stopped
+//! publishing is itself a regression.
+//!
+//! Refresh the baseline by re-running the bench binaries and copying
+//! the new `BENCH_*.json` files into `bench_results/baseline/` in the
+//! same PR that knowingly changes performance.
+
+use airphant_bench::Headline;
+use std::path::Path;
+
+/// The gate's tolerance: a metric may move 25% before CI fails.
+const TOLERANCE: f64 = 0.25;
+
+fn load(path: &Path) -> Result<Headline, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let value: serde_json::Value = serde_json::from_slice(&bytes)
+        .map_err(|e| format!("{}: invalid JSON: {e}", path.display()))?;
+    Headline::from_json(&value).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn main() {
+    let baseline_dir = Path::new("bench_results/baseline");
+    let current_dir = Path::new("bench_results");
+    let mut names: Vec<String> = match std::fs::read_dir(baseline_dir) {
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            .collect(),
+        Err(e) => {
+            eprintln!(
+                "perf gate: cannot read {} ({e}) — commit the baseline headlines first",
+                baseline_dir.display()
+            );
+            std::process::exit(1);
+        }
+    };
+    names.sort();
+    if names.is_empty() {
+        eprintln!(
+            "perf gate: no BENCH_*.json baselines under {} — a gate with nothing to \
+             compare passes nothing",
+            baseline_dir.display()
+        );
+        std::process::exit(1);
+    }
+
+    let mut failures = 0usize;
+    println!(
+        "perf gate: {} baseline(s), tolerance {:.0}%",
+        names.len(),
+        TOLERANCE * 100.0
+    );
+    for name in &names {
+        let verdict = (|| -> Result<Option<String>, String> {
+            let baseline = load(&baseline_dir.join(name))?;
+            let current = load(&current_dir.join(name)).map_err(|e| {
+                format!("current headline missing (did the bench stop publishing?): {e}")
+            })?;
+            Ok(current
+                .regression_vs(&baseline, TOLERANCE)
+                .map(|why| format!("REGRESSION: {why}")))
+        })();
+        match verdict {
+            Ok(None) => println!("  {name}: OK"),
+            Ok(Some(why)) => {
+                println!("  {name}: {why}");
+                failures += 1;
+            }
+            Err(e) => {
+                println!("  {name}: FAIL ({e})");
+                failures += 1;
+            }
+        }
+    }
+    // The reverse direction: a current headline with no committed
+    // baseline is a bench that was added (or renamed) without arming
+    // the gate for it — fail so the baseline gets recorded now, not
+    // after the first unnoticed regression.
+    let mut unbaselined: Vec<String> = std::fs::read_dir(current_dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .filter(|e| e.path().is_file())
+                .map(|e| e.file_name().to_string_lossy().into_owned())
+                .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                .filter(|n| !names.contains(n))
+                .collect()
+        })
+        .unwrap_or_default();
+    unbaselined.sort();
+    for name in &unbaselined {
+        println!("  {name}: NO BASELINE (commit bench_results/baseline/{name} to arm the gate)");
+        failures += 1;
+    }
+
+    if failures > 0 {
+        eprintln!("perf gate: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("perf gate: all headlines within tolerance");
+}

@@ -18,7 +18,7 @@
 
 use airphant::{AirphantConfig, Query, QueryOptions, QueryServer, SearchEngine, ServerConfig};
 use airphant_bench::report::ms;
-use airphant_bench::{BenchEnv, DatasetKind, DatasetSpec, EngineKind, Report};
+use airphant_bench::{BenchEnv, DatasetKind, DatasetSpec, EngineKind, Headline, Report};
 use airphant_storage::{CachedStore, LatencyModel, ObjectStore};
 use std::sync::Arc;
 
@@ -131,6 +131,26 @@ fn main() {
         }
     }
     report.finish();
+
+    // The perf-gate headline: Airphant QPS at 8 workers on the small
+    // shared cache — the configuration the scaling claim rests on.
+    // Deterministic under the seeds, so CI can diff it against the
+    // committed baseline.
+    let (budget, curve) = &airphant_scaling[0];
+    Headline::new(
+        "throughput",
+        "qps_sim",
+        curve[3], // WORKER_SWEEP[3] == 8 workers
+        "qps",
+        serde_json::json!({
+            "engine": "AIRPHANT",
+            "workers": WORKER_SWEEP[3],
+            "cache_budget_bytes": budget,
+            "n_docs": n_docs,
+            "queries": queries,
+        }),
+    )
+    .write();
 
     // The acceptance bar: Airphant QPS grows monotonically 1→8 workers.
     let mut ok = true;

@@ -9,6 +9,11 @@
 //! the full list is in DESIGN.md §5. Corpora are *scaled-down* look-alikes
 //! of the paper's datasets (see DESIGN.md §4 and EXPERIMENTS.md); bin
 //! budgets scale with vocabulary so the structural regimes match.
+//!
+//! Binaries with a headline metric additionally publish it as a
+//! [`Headline`] record (`bench_results/BENCH_<name>.json`), which the
+//! `perf_gate` binary diffs against the committed baseline in CI — see
+//! `docs/adr/004-sharded-serving.md`.
 
 #![warn(missing_docs)]
 
@@ -25,4 +30,4 @@ pub use measure::{
     lookup_latencies, mean_false_positives, mean_round_trips, percentile, search_latencies,
     summarize, wait_download_pairs, LatencyStats,
 };
-pub use report::Report;
+pub use report::{Headline, Report};

@@ -1,9 +1,12 @@
 //! Experiment output: aligned text tables on stdout plus JSON rows under
-//! `bench_results/` so EXPERIMENTS.md tables can be regenerated.
+//! `bench_results/` so EXPERIMENTS.md tables can be regenerated, and the
+//! machine-readable [`Headline`] metric each bench publishes for the CI
+//! perf gate (`bench_results/BENCH_<name>.json`, compared against the
+//! committed `bench_results/baseline/` by the `perf_gate` binary).
 
 use serde_json::Value;
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// A named experiment report.
 pub struct Report {
@@ -88,6 +91,151 @@ impl Report {
     }
 }
 
+/// One bench binary's headline metric in the shared machine-readable
+/// schema `{bench, metric, value, unit, config}` — written to
+/// `bench_results/BENCH_<bench>.json` so CI can diff runs against the
+/// committed baseline without parsing human-oriented tables.
+///
+/// The regression direction is derived from `unit`: `qps` (and other
+/// rate units) regress when the value *drops*; everything else — `ms`,
+/// `bytes`, ratios — regresses when the value *grows*.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Headline {
+    /// Bench name, e.g. `"throughput"` (also the file-name stem).
+    pub bench: String,
+    /// Metric name, e.g. `"qps_sim"` or `"compacted_wait_ms"`.
+    pub metric: String,
+    /// The recorded value.
+    pub value: f64,
+    /// Unit label, e.g. `"qps"`, `"ms"`, `"x"`.
+    pub unit: String,
+    /// The configuration the value was recorded under (free-form JSON:
+    /// engine, workers, corpus size, …) so baselines are comparable.
+    pub config: Value,
+}
+
+impl Headline {
+    /// Assemble a headline record.
+    pub fn new(bench: &str, metric: &str, value: f64, unit: &str, config: Value) -> Self {
+        Headline {
+            bench: bench.to_owned(),
+            metric: metric.to_owned(),
+            value,
+            unit: unit.to_owned(),
+            config,
+        }
+    }
+
+    /// The schema'd JSON form.
+    pub fn to_json(&self) -> Value {
+        serde_json::json!({
+            "bench": self.bench,
+            "metric": self.metric,
+            "value": self.value,
+            "unit": self.unit,
+            "config": self.config,
+        })
+    }
+
+    /// Parse the schema'd JSON form, rejecting missing/mistyped fields.
+    pub fn from_json(value: &Value) -> Result<Headline, String> {
+        let field = |name: &str| {
+            value
+                .get(name)
+                .ok_or_else(|| format!("headline JSON missing field {name:?}"))
+        };
+        let text = |name: &str| {
+            field(name)?
+                .as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| format!("headline field {name:?} is not a string"))
+        };
+        Ok(Headline {
+            bench: text("bench")?,
+            metric: text("metric")?,
+            value: field("value")?
+                .as_f64()
+                .ok_or_else(|| "headline field \"value\" is not a number".to_owned())?,
+            unit: text("unit")?,
+            config: field("config")?.clone(),
+        })
+    }
+
+    /// Whether a larger value is an improvement for this unit.
+    pub fn higher_is_better(&self) -> bool {
+        matches!(self.unit.as_str(), "qps" | "ops" | "hits")
+    }
+
+    /// Compare this (current) headline against `baseline`: `Some(why)`
+    /// when the value regressed by more than `tolerance` (e.g. `0.25`
+    /// for the CI gate's 25%), `None` otherwise. Mismatched metrics or
+    /// a degenerate baseline are reported as regressions — a gate that
+    /// silently skips is no gate.
+    pub fn regression_vs(&self, baseline: &Headline, tolerance: f64) -> Option<String> {
+        if self.metric != baseline.metric || self.unit != baseline.unit {
+            return Some(format!(
+                "metric changed: baseline records {} [{}], current records {} [{}] \
+                 (re-record the baseline)",
+                baseline.metric, baseline.unit, self.metric, self.unit
+            ));
+        }
+        if !baseline.value.is_finite() || baseline.value <= 0.0 {
+            return Some(format!(
+                "baseline value {} is not comparable (re-record the baseline)",
+                baseline.value
+            ));
+        }
+        let ratio = self.value / baseline.value;
+        if self.higher_is_better() && ratio < 1.0 - tolerance {
+            return Some(format!(
+                "{} dropped {:.1}%: {:.3} -> {:.3} {}",
+                self.metric,
+                (1.0 - ratio) * 100.0,
+                baseline.value,
+                self.value,
+                self.unit
+            ));
+        }
+        if !self.higher_is_better() && ratio > 1.0 + tolerance {
+            return Some(format!(
+                "{} grew {:.1}%: {:.3} -> {:.3} {}",
+                self.metric,
+                (ratio - 1.0) * 100.0,
+                baseline.value,
+                self.value,
+                self.unit
+            ));
+        }
+        None
+    }
+
+    /// The file this headline lives in under `dir`.
+    pub fn path_in(&self, dir: &Path) -> PathBuf {
+        dir.join(format!("BENCH_{}.json", self.bench))
+    }
+
+    /// Write the headline to `bench_results/BENCH_<bench>.json` (also
+    /// echoed to stdout so logs show the recorded gate value). Returns
+    /// the path.
+    pub fn write(&self) -> PathBuf {
+        let dir = PathBuf::from("bench_results");
+        let _ = fs::create_dir_all(&dir);
+        let path = self.path_in(&dir);
+        println!(
+            "headline: {} {} = {:.3} {} -> {}",
+            self.bench,
+            self.metric,
+            self.value,
+            self.unit,
+            path.display()
+        );
+        if let Err(e) = fs::write(&path, serde_json::to_vec_pretty(&self.to_json()).unwrap()) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+        path
+    }
+}
+
 /// Format a millisecond value the way the figures label them.
 pub fn ms(v: f64) -> String {
     if v >= 100.0 {
@@ -134,5 +282,55 @@ mod tests {
         assert_eq!(ms(1234.4), "1234");
         assert_eq!(ms(42.34), "42.3");
         assert_eq!(ms(0.1234), "0.123");
+    }
+
+    fn qps(v: f64) -> Headline {
+        Headline::new("throughput", "qps_sim", v, "qps", serde_json::json!({}))
+    }
+
+    fn wait(v: f64) -> Headline {
+        Headline::new("compaction", "wait_ms", v, "ms", serde_json::json!({}))
+    }
+
+    #[test]
+    fn headline_json_roundtrip() {
+        let h = Headline::new(
+            "throughput",
+            "qps_sim",
+            65.6,
+            "qps",
+            serde_json::json!({"workers": 8}),
+        );
+        let decoded = Headline::from_json(&h.to_json()).unwrap();
+        assert_eq!(decoded, h);
+        assert!(Headline::from_json(&serde_json::json!({"bench": "x"})).is_err());
+        assert!(Headline::from_json(&serde_json::json!({
+            "bench": "x", "metric": "m", "value": "not-a-number",
+            "unit": "ms", "config": serde_json::json!({}),
+        }))
+        .is_err());
+    }
+
+    #[test]
+    fn regression_direction_follows_unit() {
+        // qps: higher is better — a drop past tolerance regresses.
+        assert!(qps(100.0).regression_vs(&qps(100.0), 0.25).is_none());
+        assert!(qps(80.0).regression_vs(&qps(100.0), 0.25).is_none());
+        assert!(qps(74.0).regression_vs(&qps(100.0), 0.25).is_some());
+        assert!(qps(200.0).regression_vs(&qps(100.0), 0.25).is_none());
+        // ms: lower is better — growth past tolerance regresses.
+        assert!(wait(100.0).regression_vs(&wait(100.0), 0.25).is_none());
+        assert!(wait(120.0).regression_vs(&wait(100.0), 0.25).is_none());
+        assert!(wait(126.0).regression_vs(&wait(100.0), 0.25).is_some());
+        assert!(wait(50.0).regression_vs(&wait(100.0), 0.25).is_none());
+    }
+
+    #[test]
+    fn regression_rejects_incomparable_baselines() {
+        // A renamed metric or a degenerate baseline must fail loudly,
+        // not silently pass the gate.
+        assert!(qps(100.0).regression_vs(&wait(100.0), 0.25).is_some());
+        assert!(qps(100.0).regression_vs(&qps(0.0), 0.25).is_some());
+        assert!(qps(100.0).regression_vs(&qps(f64::NAN), 0.25).is_some());
     }
 }

@@ -18,7 +18,7 @@
 
 use airphant::{
     AirphantConfig, Builder, CompactionPolicy, Compactor, Query, QueryOptions, QueryServer,
-    Searcher, SegmentManager, ServerConfig,
+    Searcher, SegmentManager, ServerConfig, ShardRouter,
 };
 use airphant_corpus::{Corpus, LineSplitter, NgramTokenizer, Tokenizer, WhitespaceTokenizer};
 use airphant_storage::{
@@ -32,7 +32,8 @@ use args::Args;
 
 const USAGE: &str = "usage:
   airphant build       --store DIR --corpus PREFIX --index PREFIX [--append]
-                       [--bins N] [--f0 F] [--layers L] [--common FRAC] [--ngram N]
+                       [--shards N] [--bins N] [--f0 F] [--layers L]
+                       [--common FRAC] [--ngram N]
   airphant search      --store DIR --index PREFIX [WORD...]
                        [--or] [--ngram N] [--substring PATTERN] [--gram N]
                        [--top K] [--simulate-cloud] [--timeout-ms MS]
@@ -57,8 +58,13 @@ documents of whitespace keywords (or N-grams under --ngram).
 
 build --append treats --index as a *segmented* index base: the corpus
 becomes a new immutable segment published atomically in the manifest
-(search then opens the whole live set). `segments` shows the manifest —
-generation plus each live segment's id, size, and source blobs.
+(search then opens the whole live set). build --shards N hash-partitions
+the corpus across N independent segmented indexes under --index (each
+append adds one segment per non-empty shard); search auto-detects the
+sharded layout and fans every query out to all shards in parallel,
+merging results in stable doc-id order. `segments` shows the manifest —
+generation plus each live segment's prefix, size, and source blobs
+(per shard for sharded layouts).
 `compact` merges the smallest segments until at most --max-live remain
 (--merge at a time, default 4), publishes each swap atomically, then
 garbage-collects the superseded blobs; --sweep additionally reclaims
@@ -151,8 +157,42 @@ fn build(args: &mut Args) -> Result<(), String> {
     let corpus = open_corpus(args, store.clone(), tokenizer_for(ngram)?)?;
     let index = args.required("--index")?;
     let append = args.flag("--append");
+    let shards = args.optional_parse::<usize>("--shards")?;
     let config = config_from(args)?;
     args.finish()?;
+
+    // A shard layout under --index (or an explicit --shards N) routes
+    // the corpus through the ShardRouter: each non-empty shard gains one
+    // segment, published atomically in that shard's manifest.
+    if shards.is_some() || ShardRouter::is_sharded(&store, &index) {
+        let router = match shards {
+            Some(n) => ShardRouter::create(store, &index, n).map_err(|e| e.to_string())?,
+            None => ShardRouter::open(store, &index).map_err(|e| e.to_string())?,
+        };
+        let appends = router.append(&corpus, &config).map_err(|e| e.to_string())?;
+        let generations = router.generations().map_err(|e| e.to_string())?;
+        println!(
+            "sharded {index} across {} shard(s): {} document(s) routed",
+            router.shards(),
+            appends.iter().map(|a| a.docs).sum::<u64>(),
+        );
+        for a in &appends {
+            match (&a.report, &a.segment_prefix) {
+                (Some(report), Some(prefix)) => println!(
+                    "  shard {:>3}  {} doc(s) -> {prefix} ({} bytes, generation {})",
+                    a.shard,
+                    a.docs,
+                    report.index_bytes(),
+                    generations[a.shard],
+                ),
+                _ => println!(
+                    "  shard {:>3}  0 doc(s) -> no new segment (generation {})",
+                    a.shard, generations[a.shard],
+                ),
+            }
+        }
+        return Ok(());
+    }
 
     let (report, built_prefix) = if append {
         let mgr = SegmentManager::new(store, &index);
@@ -202,31 +242,47 @@ fn require_manifest(store: &Arc<dyn ObjectStore>, index: &str) -> Result<(), Str
     Ok(())
 }
 
-fn segments(args: &mut Args) -> Result<(), String> {
-    let store = open_store(args)?;
-    let index = args.required("--index")?;
-    args.finish()?;
-    require_manifest(&store, &index)?;
-    let mgr = SegmentManager::new(store.clone(), &index);
+/// Print one segmented index's manifest: every live segment's full
+/// (shard-qualified, for sharded layouts) prefix, size, and source
+/// blobs. `indent` nests shard listings under the layout header.
+fn print_manifest(store: &Arc<dyn ObjectStore>, base: &str, indent: &str) -> Result<(), String> {
+    let mgr = SegmentManager::new(store.clone(), base);
     let manifest = mgr.manifest().map_err(|e| e.to_string())?;
     println!(
-        "{index}: generation {}, {} live segment(s)",
+        "{indent}{base}: generation {}, {} live segment(s)",
         manifest.generation,
         manifest.segments.len(),
     );
     for seg in &manifest.segments {
-        let prefix = seg.prefix(&index);
+        let prefix = seg.prefix(base);
         let bytes = store
             .usage(&format!("{prefix}/"))
             .map_err(|e| e.to_string())?;
         println!(
-            "  {}  {bytes:>10} bytes  {} corpus blob(s): {}",
-            seg.id,
+            "{indent}  {prefix}  {bytes:>10} bytes  {} corpus blob(s): {}",
             seg.corpus_blobs.len(),
             seg.corpus_blobs.join(", "),
         );
     }
     Ok(())
+}
+
+fn segments(args: &mut Args) -> Result<(), String> {
+    let store = open_store(args)?;
+    let index = args.required("--index")?;
+    args.finish()?;
+    if ShardRouter::is_sharded(&store, &index) {
+        let router = ShardRouter::open(store.clone(), &index).map_err(|e| e.to_string())?;
+        // A hole in the layout surfaces as the shard-naming error.
+        let bases = router.shard_bases().map_err(|e| e.to_string())?;
+        println!("{index}: {} shard(s)", bases.len());
+        for base in &bases {
+            print_manifest(&store, base, "  ")?;
+        }
+        return Ok(());
+    }
+    require_manifest(&store, &index)?;
+    print_manifest(&store, &index, "")
 }
 
 fn compact(args: &mut Args) -> Result<(), String> {
@@ -241,17 +297,40 @@ fn compact(args: &mut Args) -> Result<(), String> {
     if max_live < 1 {
         return Err("--max-live must be at least 1".into());
     }
-    require_manifest(&store, &index)?;
+    let policy = CompactionPolicy::new()
+        .with_max_live_segments(max_live)
+        .with_merge_factor(merge)
+        .with_orphan_sweep(sweep);
 
+    // Sharded layout: compact every shard (each with its routing filter,
+    // so merged rebuilds keep only that shard's slice of shared blobs).
+    if ShardRouter::is_sharded(&store, &index) {
+        let router = ShardRouter::open(store, &index).map_err(|e| e.to_string())?;
+        let bases = router.shard_bases().map_err(|e| e.to_string())?;
+        let reports = router
+            .compact_with_tokenizer(&config, &policy, tokenizer_for(ngram)?)
+            .map_err(|e| e.to_string())?;
+        println!("compacted {index}: {} shard(s)", reports.len());
+        for (base, report) in bases.iter().zip(&reports) {
+            println!(
+                "  {base}: {} -> {} live segment(s) in {} round(s), generation {}, \
+                 deleted {} superseded + {} orphan blob(s)",
+                report.live_before,
+                report.live_after,
+                report.rounds,
+                report.generation,
+                report.superseded_blobs_deleted,
+                report.orphan_blobs_deleted,
+            );
+        }
+        return Ok(());
+    }
+
+    require_manifest(&store, &index)?;
     let mgr = SegmentManager::new(store, &index);
     let report = Compactor::new(&mgr, config)
         .with_tokenizer(tokenizer_for(ngram)?)
-        .with_policy(
-            CompactionPolicy::new()
-                .with_max_live_segments(max_live)
-                .with_merge_factor(merge)
-                .with_orphan_sweep(sweep),
-        )
+        .with_policy(policy)
         .compact()
         .map_err(|e| e.to_string())?;
     println!(
@@ -333,8 +412,11 @@ fn search(args: &mut Args) -> Result<(), String> {
     } else {
         store
     };
-    // A manifest under the prefix means a *segmented* index (created via
-    // build --append): open the whole live set instead of one header.
+    // A shard layout under the prefix means a *sharded* index (created
+    // via build --shards): scatter the query across every shard. A
+    // manifest means a *segmented* index (build --append): open the
+    // whole live set instead of one header.
+    let sharded = ShardRouter::is_sharded(&store, &index);
     let segmented = store.exists(&format!("{index}/manifest"));
 
     if let Some(ms) = timeout_ms {
@@ -344,7 +426,7 @@ fn search(args: &mut Args) -> Result<(), String> {
         if words.len() != 1 || substring.is_some() {
             return Err("--timeout-ms applies to a single WORD lookup".into());
         }
-        if segmented {
+        if segmented || sharded {
             return Err("--timeout-ms applies to a single-segment index".into());
         }
         let searcher = Searcher::open_with_tokenizer(store, &index, tokenizer_for(ngram)?)
@@ -363,7 +445,13 @@ fn search(args: &mut Args) -> Result<(), String> {
 
     let query = compose_query(&words, any, substring, ngram, gram)?;
     let opts = QueryOptions::new().with_top_k(top_k);
-    let result = if segmented {
+    let result = if sharded {
+        let router = ShardRouter::open(store, &index).map_err(|e| e.to_string())?;
+        let searcher = router
+            .open_searcher_with_tokenizer(tokenizer_for(ngram)?)
+            .map_err(|e| e.to_string())?;
+        searcher.execute(&query, &opts).map_err(|e| e.to_string())?
+    } else if segmented {
         let mgr = SegmentManager::new(store, &index);
         let searcher = mgr
             .open_with_tokenizer(tokenizer_for(ngram)?)

@@ -30,7 +30,9 @@ use crate::builder::{BuildReport, Builder};
 use crate::config::AirphantConfig;
 use crate::segments::{manifest_blob, unique_segment_id, SegmentEntry, SegmentManager};
 use crate::Result;
-use airphant_corpus::{Corpus, DocSplitter, LineSplitter, Tokenizer, WhitespaceTokenizer};
+use airphant_corpus::{
+    Corpus, DocFilter, DocSplitter, LineSplitter, Tokenizer, WhitespaceTokenizer,
+};
 use airphant_storage::ObjectStore;
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -155,6 +157,7 @@ pub struct Compactor<'a> {
     policy: CompactionPolicy,
     splitter: Arc<dyn DocSplitter>,
     tokenizer: Arc<dyn Tokenizer>,
+    doc_filter: Option<DocFilter>,
 }
 
 impl<'a> Compactor<'a> {
@@ -168,6 +171,7 @@ impl<'a> Compactor<'a> {
             policy: CompactionPolicy::default(),
             splitter: Arc::new(LineSplitter),
             tokenizer: Arc::new(WhitespaceTokenizer),
+            doc_filter: None,
         }
     }
 
@@ -188,6 +192,16 @@ impl<'a> Compactor<'a> {
     /// what the segments were appended with).
     pub fn with_tokenizer(mut self, tokenizer: Arc<dyn Tokenizer>) -> Self {
         self.tokenizer = tokenizer;
+        self
+    }
+
+    /// Restrict merged rebuilds to documents passing `filter`. A shard
+    /// of a hash-partitioned index MUST compact with its routing filter:
+    /// segments record their source *blobs*, and the same blobs back
+    /// every shard, so an unfiltered rebuild would pull the other
+    /// shards' documents into this shard's merged segment.
+    pub fn with_doc_filter(mut self, filter: DocFilter) -> Self {
+        self.doc_filter = Some(filter);
         self
     }
 
@@ -263,6 +277,10 @@ impl<'a> Compactor<'a> {
                 self.splitter.clone(),
                 self.tokenizer.clone(),
             );
+            let corpus = match &self.doc_filter {
+                Some(filter) => corpus.with_doc_filter(filter.clone()),
+                None => corpus,
+            };
             let new_entry = SegmentEntry {
                 id: unique_segment_id(),
                 corpus_blobs: blobs,

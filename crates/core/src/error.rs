@@ -30,6 +30,19 @@ pub enum AirphantError {
         /// What exactly failed to parse.
         reason: String,
     },
+    /// A sharded index's layout blob names a shard whose segment
+    /// manifest is missing — the layout is incomplete (a crashed create,
+    /// a partial delete) or mis-addressed. Named by shard so the
+    /// diagnosis points at the exact hole instead of a generic
+    /// [`AirphantError::IndexNotFound`] on some derived prefix.
+    ShardNotFound {
+        /// The sharded-index base prefix.
+        base: String,
+        /// The shard index whose manifest is missing.
+        shard: usize,
+        /// Total shard count the layout declares.
+        shards: usize,
+    },
     /// A substring pattern shorter than the index's gram size: it cannot
     /// be prefiltered through the N-gram index, so instead of silently
     /// returning nothing (or degrading to a corpus scan) the query is
@@ -54,6 +67,15 @@ impl fmt::Display for AirphantError {
             AirphantError::CorruptManifest { base, reason } => {
                 write!(f, "corrupt segment manifest under {base}: {reason}")
             }
+            AirphantError::ShardNotFound {
+                base,
+                shard,
+                shards,
+            } => write!(
+                f,
+                "shard {shard} of {shards} under {base} has no segment manifest \
+                 (sharded index incomplete or wrong base prefix)"
+            ),
             AirphantError::PatternTooShort { pattern, n } => write!(
                 f,
                 "substring pattern {pattern:?} is shorter than the index gram size {n}"
@@ -109,5 +131,12 @@ mod tests {
         };
         assert!(e.to_string().contains("\"ab\""));
         assert!(e.to_string().contains('3'));
+        let e = AirphantError::ShardNotFound {
+            base: "idx".into(),
+            shard: 2,
+            shards: 8,
+        };
+        assert!(e.to_string().contains("shard 2 of 8"));
+        assert!(e.to_string().contains("idx"));
     }
 }

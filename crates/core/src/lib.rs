@@ -84,6 +84,7 @@ pub mod retrieval;
 pub mod searcher;
 pub mod segments;
 pub mod serve;
+pub mod shard;
 pub mod substring;
 
 #[allow(deprecated)]
@@ -99,6 +100,7 @@ pub use result::{SearchHit, SearchResult};
 pub use searcher::Searcher;
 pub use segments::{Manifest, SegmentEntry, SegmentManager, SegmentedSearcher};
 pub use serve::{QueryServer, ServerConfig, ServerStats, SubmitError, Ticket};
+pub use shard::{shard_of, ShardAppend, ShardRouter, ShardedSearcher};
 
 /// Convenient `Result` alias.
 pub type Result<T> = std::result::Result<T, AirphantError>;

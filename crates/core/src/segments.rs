@@ -29,7 +29,7 @@ use crate::error::AirphantError;
 use crate::result::SearchResult;
 use crate::searcher::Searcher;
 use crate::Result;
-use airphant_corpus::{Corpus, Tokenizer, WhitespaceTokenizer};
+use airphant_corpus::{Corpus, CorpusProfile, Tokenizer, WhitespaceTokenizer};
 use airphant_storage::{ObjectStore, QueryTrace, StorageError, Version};
 use bytes::Bytes;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -213,6 +213,27 @@ impl SegmentManager {
         Ok(self.manifest_with_version()?.0)
     }
 
+    /// Whether a manifest blob has been published under this base —
+    /// distinguishes "segmented index with zero live segments" from "no
+    /// segmented index here at all" (the sharded layout relies on this:
+    /// every shard's manifest exists from creation, so a missing one is
+    /// a hole, not an empty shard).
+    pub fn manifest_exists(&self) -> bool {
+        self.store.exists(&manifest_blob(&self.base))
+    }
+
+    /// Publish an empty generation-1 manifest if none exists yet.
+    /// Sharded layouts call this for every shard up front, so a shard
+    /// that happens to receive no documents still has a manifest. A
+    /// racing append simply wins the CAS — this publish then aborts.
+    pub fn ensure_manifest(&self) -> Result<()> {
+        if self.manifest_exists() {
+            return Ok(());
+        }
+        self.publish_with(|manifest| manifest.generation == 0 && manifest.segments.is_empty())?;
+        Ok(())
+    }
+
     /// The manifest plus the version token a CAS publish must present.
     pub(crate) fn manifest_with_version(&self) -> Result<(Manifest, Version)> {
         let name = manifest_blob(&self.base);
@@ -283,12 +304,37 @@ impl SegmentManager {
         corpus: &Corpus,
         config: &AirphantConfig,
     ) -> Result<(BuildReport, String)> {
+        self.append_inner(corpus, config, None)
+    }
+
+    /// Append with a pre-computed profile (a sharded build profiles
+    /// every shard's slice in one corpus pass, then hands each shard
+    /// its profile here instead of paying a per-shard re-profile).
+    pub(crate) fn append_with_profile(
+        &self,
+        corpus: &Corpus,
+        config: &AirphantConfig,
+        profile: CorpusProfile,
+    ) -> Result<(BuildReport, String)> {
+        self.append_inner(corpus, config, Some(profile))
+    }
+
+    fn append_inner(
+        &self,
+        corpus: &Corpus,
+        config: &AirphantConfig,
+        profile: Option<CorpusProfile>,
+    ) -> Result<(BuildReport, String)> {
         let entry = SegmentEntry {
             id: unique_segment_id(),
             corpus_blobs: corpus.blobs().to_vec(),
         };
         let prefix = entry.prefix(&self.base);
-        let report = Builder::new(config.clone()).build(corpus, &prefix)?;
+        let builder = Builder::new(config.clone());
+        let report = match profile {
+            Some(profile) => builder.build_with_profile(corpus, &prefix, profile)?,
+            None => builder.build(corpus, &prefix)?,
+        };
         self.publish_with(|manifest| {
             manifest.segments.push(entry.clone());
             true
@@ -305,8 +351,19 @@ impl SegmentManager {
     /// the segments were indexed with, e.g. an
     /// [`airphant_corpus::NgramTokenizer`] for substring queries).
     pub fn open_with_tokenizer(&self, tokenizer: Arc<dyn Tokenizer>) -> Result<SegmentedSearcher> {
+        self.open_inner(tokenizer, false)
+    }
+
+    /// Open a snapshot; `allow_empty` admits a manifest with zero live
+    /// segments (a sharded layout's shard that received no documents)
+    /// instead of reporting `IndexNotFound`.
+    pub(crate) fn open_inner(
+        &self,
+        tokenizer: Arc<dyn Tokenizer>,
+        allow_empty: bool,
+    ) -> Result<SegmentedSearcher> {
         let manifest = self.manifest()?;
-        if manifest.segments.is_empty() {
+        if manifest.segments.is_empty() && !allow_empty {
             return Err(AirphantError::IndexNotFound {
                 prefix: self.base.clone(),
             });

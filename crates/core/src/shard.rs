@@ -1,0 +1,904 @@
+//! Horizontal sharding: hash-partitioned corpora across N independent
+//! segmented indexes, served with scatter-gather query execution.
+//!
+//! A single (even segmented) index funnels every query through one
+//! sketch and one postings-fetch path; the scale-out axis is
+//! partitioning the *corpus itself*. A [`ShardRouter`] owns a sharded
+//! layout under one base prefix:
+//!
+//! ```text
+//! {base}/shards                  the layout blob: "airphant-shards v1"
+//! {base}/shard-0000/manifest     shard 0: an ordinary segmented index
+//! {base}/shard-0000/seg-…/…
+//! {base}/shard-0001/manifest     shard 1, …
+//! ```
+//!
+//! **Routing.** A document belongs to exactly one shard:
+//! `shard_of(blob, offset) = fnv1a(blob ‖ offset) mod N`. The rule is a
+//! pure function of the document's identity, so appends, compactions,
+//! and queries all agree on placement without coordination, and every
+//! shard can rebuild its slice of a shared corpus blob through a
+//! [`DocFilter`] view ([`Corpus::with_doc_filter`]).
+//!
+//! **Scatter-gather.** [`ShardedSearcher`] implements
+//! [`SearchEngine`]: a query fans out to all shards in parallel (each
+//! shard runs the ordinary single-batch planner over its own segments),
+//! then the per-shard results merge deterministically — hits in stable
+//! doc-id order (`(blob, offset)`), counters summed, and the trace
+//! combined with [`QueryTrace::merge_parallel`] so round trips report
+//! the **max over shards** (the fan-out overlaps) rather than the sum.
+//! Sharding therefore preserves the paper's constant-round-trip
+//! property: an N-shard lookup is still one dependent postings round
+//! trip followed by one document round trip.
+//!
+//! **Refresh.** A [`ShardedSearcher`] is an immutable snapshot of every
+//! shard's manifest generation. After appends or compactions, reopen
+//! the router and hand the fresh snapshot to
+//! [`QueryServer::refresh`](crate::QueryServer::refresh): the whole
+//! shard set swaps atomically behind one `Arc`, so no query ever sees
+//! a mix of old and new shard generations.
+
+use crate::builder::BuildReport;
+use crate::compact::{CompactionPolicy, CompactionReport, Compactor};
+use crate::config::AirphantConfig;
+use crate::error::AirphantError;
+use crate::query::{Query, QueryOptions};
+use crate::result::SearchResult;
+use crate::segments::{SegmentManager, SegmentedSearcher};
+use crate::Result;
+use airphant_corpus::{Corpus, CorpusProfile, DocFilter, Tokenizer, WhitespaceTokenizer};
+use airphant_storage::{ObjectStore, QueryTrace, StorageError, Version};
+use bytes::Bytes;
+use iou_sketch::PostingsList;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// First line of the layout blob: format magic + version.
+const LAYOUT_MAGIC: &str = "airphant-shards v1";
+
+/// Blob name of the shard-layout record under `base`. Its existence is
+/// what marks a prefix as a *sharded* index (the way a `manifest` blob
+/// marks a segmented one).
+pub(crate) fn layout_blob(base: &str) -> String {
+    format!("{base}/shards")
+}
+
+/// Route a document identity to a shard: FNV-1a over the blob name and
+/// byte offset, reduced mod `shards`. Deterministic and
+/// coordination-free — builders, compactors, and queries all derive the
+/// same placement from the document alone.
+pub fn shard_of(blob: &str, offset: u64, shards: usize) -> usize {
+    debug_assert!(shards >= 1, "a layout has at least one shard");
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in blob.as_bytes().iter().copied().chain(offset.to_le_bytes()) {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (hash % shards.max(1) as u64) as usize
+}
+
+/// Per-shard outcome of one [`ShardRouter::append`].
+#[derive(Debug)]
+pub struct ShardAppend {
+    /// The shard index.
+    pub shard: usize,
+    /// Documents the routing rule sent to this shard.
+    pub docs: u64,
+    /// The build report of the shard's new segment (`None` when no
+    /// documents routed here — the shard's manifest is left untouched).
+    pub report: Option<BuildReport>,
+    /// The new segment's prefix, when one was appended.
+    pub segment_prefix: Option<String>,
+}
+
+/// Manages a sharded index layout: creates the per-shard segmented
+/// indexes, routes appends, runs per-shard compaction, and opens
+/// scatter-gather searchers.
+pub struct ShardRouter {
+    store: Arc<dyn ObjectStore>,
+    base: String,
+    shards: usize,
+}
+
+impl ShardRouter {
+    /// Create (or re-open) a sharded layout of `shards` partitions under
+    /// `base`. Publishing the layout blob is a CAS against absence, so
+    /// two racing creators converge on one layout; creating over an
+    /// existing layout with a *different* shard count is rejected
+    /// (repartitioning is a rebuild, not a config flip). Every shard's
+    /// segment manifest is published up front, so an empty shard is
+    /// distinguishable from a missing one.
+    pub fn create(
+        store: Arc<dyn ObjectStore>,
+        base: impl Into<String>,
+        shards: usize,
+    ) -> Result<Self> {
+        if shards < 1 {
+            return Err(AirphantError::InvalidConfig {
+                reason: "a sharded layout needs at least one shard".into(),
+            });
+        }
+        let base = base.into();
+        let name = layout_blob(&base);
+        let payload = Bytes::from(format!("{LAYOUT_MAGIC}\nshards {shards}\n"));
+        match store.put_if_version(&name, payload, Version::Absent) {
+            Ok(_) => {}
+            Err(StorageError::VersionMismatch { .. }) => {
+                // Lost the creation race (or the layout predates us):
+                // adopt the existing layout if it agrees on the count.
+                let existing = Self::open(store.clone(), base.clone())?;
+                if existing.shards != shards {
+                    return Err(AirphantError::InvalidConfig {
+                        reason: format!(
+                            "index {base} is already sharded {} ways (asked for {shards}); \
+                             repartitioning requires a rebuild under a fresh prefix",
+                            existing.shards
+                        ),
+                    });
+                }
+            }
+            Err(e) => return Err(e.into()),
+        }
+        let router = ShardRouter {
+            store,
+            base,
+            shards,
+        };
+        for shard in 0..router.shards {
+            router.manager(shard).ensure_manifest()?;
+        }
+        Ok(router)
+    }
+
+    /// Open an existing sharded layout rooted at `base`.
+    pub fn open(store: Arc<dyn ObjectStore>, base: impl Into<String>) -> Result<Self> {
+        let base = base.into();
+        let fetched = match store.get(&layout_blob(&base)) {
+            Ok(f) => f,
+            Err(StorageError::BlobNotFound { .. }) => {
+                return Err(AirphantError::IndexNotFound {
+                    prefix: base.clone(),
+                })
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let shards = Self::decode_layout(&base, &fetched.bytes)?;
+        Ok(ShardRouter {
+            store,
+            base,
+            shards,
+        })
+    }
+
+    /// Whether a sharded layout exists under `base` (the auto-detection
+    /// hook: a `shards` blob marks the prefix, the way `manifest` marks
+    /// a segmented index).
+    pub fn is_sharded(store: &Arc<dyn ObjectStore>, base: &str) -> bool {
+        store.exists(&layout_blob(base))
+    }
+
+    fn decode_layout(base: &str, bytes: &[u8]) -> Result<usize> {
+        let corrupt = |reason: String| AirphantError::CorruptManifest {
+            base: base.to_owned(),
+            reason,
+        };
+        let text = std::str::from_utf8(bytes)
+            .map_err(|e| corrupt(format!("shard layout is not valid UTF-8: {e}")))?;
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(LAYOUT_MAGIC) => {}
+            other => {
+                return Err(corrupt(format!(
+                    "unrecognized shard layout header {other:?} (expected {LAYOUT_MAGIC:?})"
+                )));
+            }
+        }
+        let shards = match lines.next().and_then(|l| l.strip_prefix("shards ")) {
+            Some(n) => n
+                .parse::<usize>()
+                .map_err(|_| corrupt(format!("unknown shard count format {n:?}")))?,
+            None => return Err(corrupt("missing shard count record".to_owned())),
+        };
+        if shards < 1 {
+            return Err(corrupt("shard layout declares zero shards".to_owned()));
+        }
+        Ok(shards)
+    }
+
+    /// The object store the shards live in.
+    pub fn store(&self) -> &Arc<dyn ObjectStore> {
+        &self.store
+    }
+
+    /// The base prefix of this sharded index.
+    pub fn base(&self) -> &str {
+        &self.base
+    }
+
+    /// Number of shards in the layout.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard a document routes to under this layout.
+    pub fn route(&self, blob: &str, offset: u64) -> usize {
+        shard_of(blob, offset, self.shards)
+    }
+
+    /// The prefix of shard `shard`'s segmented index.
+    pub fn shard_prefix(&self, shard: usize) -> String {
+        format!("{}/shard-{shard:04}", self.base)
+    }
+
+    /// The [`SegmentManager`] of one shard.
+    pub fn manager(&self, shard: usize) -> SegmentManager {
+        SegmentManager::new(self.store.clone(), self.shard_prefix(shard))
+    }
+
+    /// The routing predicate for one shard — the [`DocFilter`] that
+    /// restricts a shared corpus to the documents this shard indexes.
+    pub fn doc_filter(&self, shard: usize) -> DocFilter {
+        let shards = self.shards;
+        Arc::new(move |doc| shard_of(&doc.blob, doc.offset, shards) == shard)
+    }
+
+    /// Index `corpus` across the shards: each document goes to exactly
+    /// one shard by the routing rule, and each shard that receives any
+    /// documents gains one new immutable segment (published atomically
+    /// in that shard's manifest). Returns one [`ShardAppend`] per shard.
+    ///
+    /// All N shard profiles are computed in **one** pass over the
+    /// corpus (routing + tokenizing each document into its shard's
+    /// accumulator); each non-empty shard then pays one build pass over
+    /// its filtered view. An N-shard append therefore reads the corpus
+    /// `1 + populated_shards` times, not `1 + 2N`.
+    pub fn append(&self, corpus: &Corpus, config: &AirphantConfig) -> Result<Vec<ShardAppend>> {
+        #[derive(Default)]
+        struct ProfileAcc {
+            n_docs: u64,
+            n_words: u64,
+            total_bytes: u64,
+            doc_distinct_sizes: Vec<u64>,
+            doc_freqs: HashMap<String, u64>,
+        }
+        let tokenizer = corpus.tokenizer().clone();
+        let mut accs: Vec<ProfileAcc> = (0..self.shards).map(|_| ProfileAcc::default()).collect();
+        corpus.for_each_document(|doc| {
+            let acc = &mut accs[shard_of(&doc.blob, doc.offset, self.shards)];
+            acc.n_docs += 1;
+            acc.total_bytes += doc.len as u64;
+            let tokens = tokenizer.tokens(&doc.text);
+            acc.n_words += tokens.len() as u64;
+            let distinct: BTreeSet<String> = tokens.into_iter().collect();
+            acc.doc_distinct_sizes.push(distinct.len() as u64);
+            for w in distinct {
+                *acc.doc_freqs.entry(w).or_insert(0) += 1;
+            }
+        })?;
+        let mut out = Vec::with_capacity(self.shards);
+        for (shard, acc) in accs.into_iter().enumerate() {
+            let docs = acc.n_docs;
+            if docs == 0 {
+                out.push(ShardAppend {
+                    shard,
+                    docs,
+                    report: None,
+                    segment_prefix: None,
+                });
+                continue;
+            }
+            let profile = CorpusProfile {
+                n_docs: acc.n_docs,
+                n_terms: acc.doc_freqs.len() as u64,
+                n_words: acc.n_words,
+                total_bytes: acc.total_bytes,
+                doc_distinct_sizes: acc.doc_distinct_sizes,
+                doc_freqs: acc.doc_freqs,
+            };
+            let view = corpus.with_doc_filter(self.doc_filter(shard));
+            let (report, prefix) = self
+                .manager(shard)
+                .append_with_profile(&view, config, profile)?;
+            out.push(ShardAppend {
+                shard,
+                docs,
+                report: Some(report),
+                segment_prefix: Some(prefix),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Compact every shard under `policy` (whitespace tokenizer).
+    pub fn compact(
+        &self,
+        config: &AirphantConfig,
+        policy: &CompactionPolicy,
+    ) -> Result<Vec<CompactionReport>> {
+        self.compact_with_tokenizer(config, policy, Arc::new(WhitespaceTokenizer))
+    }
+
+    /// Compact every shard: each shard runs an ordinary [`Compactor`]
+    /// over its own manifest, with the shard's routing filter installed
+    /// so merged rebuilds re-index only this shard's slice of the
+    /// (shared) corpus blobs.
+    pub fn compact_with_tokenizer(
+        &self,
+        config: &AirphantConfig,
+        policy: &CompactionPolicy,
+        tokenizer: Arc<dyn Tokenizer>,
+    ) -> Result<Vec<CompactionReport>> {
+        let mut reports = Vec::with_capacity(self.shards);
+        for shard in 0..self.shards {
+            let manager = self.manager(shard);
+            let report = Compactor::new(&manager, config.clone())
+                .with_tokenizer(tokenizer.clone())
+                .with_doc_filter(self.doc_filter(shard))
+                .with_policy(policy.clone())
+                .compact()?;
+            reports.push(report);
+        }
+        Ok(reports)
+    }
+
+    /// Each shard's current manifest generation.
+    pub fn generations(&self) -> Result<Vec<u64>> {
+        (0..self.shards)
+            .map(|shard| self.manager(shard).generation())
+            .collect()
+    }
+
+    /// Every shard's index prefix, in shard order, verifying each
+    /// shard's segment manifest exists — a hole in the layout fails
+    /// with the shard-naming [`AirphantError::ShardNotFound`]. This is
+    /// the validation `segments`/`compact`-style tooling should run
+    /// before walking the shards.
+    pub fn shard_bases(&self) -> Result<Vec<String>> {
+        (0..self.shards)
+            .map(|shard| {
+                if !self.manager(shard).manifest_exists() {
+                    return Err(AirphantError::ShardNotFound {
+                        base: self.base.clone(),
+                        shard,
+                        shards: self.shards,
+                    });
+                }
+                Ok(self.shard_prefix(shard))
+            })
+            .collect()
+    }
+
+    /// Open a scatter-gather searcher over every shard's live segment
+    /// set (whitespace tokenizer).
+    pub fn open_searcher(&self) -> Result<ShardedSearcher> {
+        self.open_searcher_with_tokenizer(Arc::new(WhitespaceTokenizer))
+    }
+
+    /// Open with a custom document-word parser (must match what the
+    /// shards were built with). A shard whose manifest blob is missing
+    /// is a hole in the layout and fails with the shard-naming
+    /// [`AirphantError::ShardNotFound`]; a shard with zero live
+    /// segments is merely empty and serves no hits.
+    pub fn open_searcher_with_tokenizer(
+        &self,
+        tokenizer: Arc<dyn Tokenizer>,
+    ) -> Result<ShardedSearcher> {
+        self.shard_bases()?;
+        let shards = (0..self.shards)
+            .map(|shard| self.manager(shard).open_inner(tokenizer.clone(), true))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ShardedSearcher { shards })
+    }
+}
+
+/// A scatter-gather query server over N shard snapshots — a consistent
+/// view of every shard's manifest generation at open time.
+pub struct ShardedSearcher {
+    shards: Vec<SegmentedSearcher>,
+}
+
+impl ShardedSearcher {
+    /// Number of shards in the snapshot.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard segmented snapshots (for introspection).
+    pub fn shards(&self) -> &[SegmentedSearcher] {
+        &self.shards
+    }
+
+    /// The manifest generation each shard was opened at.
+    pub fn generations(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.generation()).collect()
+    }
+
+    /// Scatter `op` across the shards in parallel and gather the
+    /// per-shard outcomes in shard order. Shard-thread panics resume on
+    /// the caller (where the serving layer's catch_unwind contains
+    /// them).
+    fn scatter<T: Send>(
+        &self,
+        op: impl Fn(&SegmentedSearcher) -> Result<T> + Sync,
+    ) -> Vec<Result<T>> {
+        if self.shards.len() <= 1 {
+            return self.shards.iter().map(&op).collect();
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|shard| scope.spawn(|| op(shard)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                .collect()
+        })
+    }
+
+    /// Execute a [`Query`] across every shard in parallel and merge:
+    /// hits in stable doc-id order (`(blob, offset)` — routing makes
+    /// shards disjoint, so no dedup is needed), candidate/false-positive
+    /// counters summed, and the trace merged with
+    /// [`QueryTrace::merge_parallel`] so the reported round trips are
+    /// the max over shards (the fan-out overlaps), not the sum.
+    pub fn execute(&self, query: &Query, opts: &QueryOptions) -> Result<SearchResult> {
+        let gathered = self.scatter(|shard| shard.execute(query, opts));
+        let mut hits = Vec::new();
+        let mut traces = Vec::with_capacity(gathered.len());
+        let mut candidates = 0usize;
+        let mut dropped = 0usize;
+        for outcome in gathered {
+            let result = outcome?;
+            hits.extend(result.hits);
+            traces.push(result.trace);
+            candidates += result.candidates;
+            dropped += result.false_positives_removed;
+        }
+        hits.sort_by(|a, b| {
+            a.blob
+                .cmp(&b.blob)
+                .then(a.offset.cmp(&b.offset))
+                .then(a.len.cmp(&b.len))
+        });
+        if let Some(k) = opts.top_k {
+            hits.truncate(k);
+        }
+        Ok(SearchResult {
+            hits,
+            trace: if opts.capture_trace {
+                QueryTrace::merge_parallel(&traces)
+            } else {
+                QueryTrace::new()
+            },
+            candidates,
+            false_positives_removed: dropped,
+        })
+    }
+
+    /// Index-lookup phase only: every shard's candidate postings,
+    /// unioned, with the merged (max-over-shards) lookup trace.
+    pub fn execute_lookup(&self, query: &Query) -> Result<(PostingsList, QueryTrace)> {
+        let gathered = self.scatter(|shard| shard.execute_lookup(query));
+        let mut postings = PostingsList::new();
+        let mut traces = Vec::with_capacity(gathered.len());
+        for outcome in gathered {
+            let (list, trace) = outcome?;
+            postings.union_with(&list);
+            traces.push(trace);
+        }
+        Ok((postings, QueryTrace::merge_parallel(&traces)))
+    }
+
+    /// Single-keyword search across all shards; thin shim over
+    /// [`ShardedSearcher::execute`].
+    pub fn search(&self, word: &str, top_k: Option<usize>) -> Result<SearchResult> {
+        self.execute(&Query::term(word), &QueryOptions::new().with_top_k(top_k))
+    }
+}
+
+impl crate::SearchEngine for ShardedSearcher {
+    fn name(&self) -> &'static str {
+        "AIRPHANT-sharded"
+    }
+
+    fn init_trace(&self) -> QueryTrace {
+        // Shards initialize concurrently, each fanning out its own
+        // segment-header downloads.
+        QueryTrace::merge_parallel(
+            &self
+                .shards
+                .iter()
+                .map(crate::SearchEngine::init_trace)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    fn lookup(&self, word: &str) -> Result<(PostingsList, QueryTrace)> {
+        self.execute_lookup(&Query::term(word))
+    }
+
+    fn execute(&self, query: &Query, opts: &QueryOptions) -> Result<SearchResult> {
+        ShardedSearcher::execute(self, query, opts)
+    }
+
+    fn index_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(crate::SearchEngine::index_bytes)
+            .sum()
+    }
+}
+
+// One sharded snapshot behind one `Arc` serves every worker of a
+// `QueryServer`, same as the single-index engines.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ShardRouter>();
+    assert_send_sync::<ShardedSearcher>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::{QueryServer, ServerConfig};
+    use crate::SearchEngine;
+    use airphant_corpus::LineSplitter;
+    use airphant_storage::{InMemoryStore, LatencyModel, SimulatedCloudStore};
+    use std::collections::BTreeSet;
+
+    fn corpus_of(store: Arc<dyn ObjectStore>, blob: &str, lines: &[String]) -> Corpus {
+        store.put(blob, Bytes::from(lines.join("\n"))).unwrap();
+        Corpus::new(
+            store,
+            vec![blob.to_owned()],
+            Arc::new(LineSplitter),
+            Arc::new(WhitespaceTokenizer),
+        )
+    }
+
+    fn config() -> AirphantConfig {
+        AirphantConfig::default()
+            .with_total_bins(128)
+            .with_common_fraction(0.0)
+            .with_seed(3)
+    }
+
+    fn lines(prefix: &str, n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("shared {prefix}doc{i}")).collect()
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_covers_every_shard() {
+        for shards in [1usize, 2, 4, 8] {
+            let mut seen = vec![0usize; shards];
+            for i in 0..1_000u64 {
+                let s = shard_of("corpus/blob", i * 17, shards);
+                assert_eq!(s, shard_of("corpus/blob", i * 17, shards));
+                seen[s] += 1;
+            }
+            assert!(
+                seen.iter().all(|&c| c > 0),
+                "{shards} shards must all receive documents, got {seen:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn create_open_roundtrip_and_mismatch_rejected() {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let router = ShardRouter::create(store.clone(), "idx", 4).unwrap();
+        assert_eq!(router.shards(), 4);
+        assert!(ShardRouter::is_sharded(&store, "idx"));
+        assert!(!ShardRouter::is_sharded(&store, "other"));
+        // Every shard's manifest exists up front.
+        for shard in 0..4 {
+            assert!(router.manager(shard).manifest_exists());
+        }
+        // Re-creating with the same count adopts the layout.
+        assert_eq!(
+            ShardRouter::create(store.clone(), "idx", 4)
+                .unwrap()
+                .shards(),
+            4
+        );
+        // A different count is a rebuild, not a config flip.
+        assert!(matches!(
+            ShardRouter::create(store.clone(), "idx", 8),
+            Err(AirphantError::InvalidConfig { .. })
+        ));
+        let reopened = ShardRouter::open(store.clone(), "idx").unwrap();
+        assert_eq!(reopened.shards(), 4);
+        assert!(matches!(
+            ShardRouter::open(store, "missing"),
+            Err(AirphantError::IndexNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_layout_is_a_typed_error() {
+        let cases: Vec<&[u8]> = vec![
+            b"\xff\xfe garbage".as_slice(),
+            b"not-a-layout\nshards 4".as_slice(),
+            b"airphant-shards v1\n".as_slice(),
+            b"airphant-shards v1\nshards four".as_slice(),
+            b"airphant-shards v1\nshards 0".as_slice(),
+        ];
+        for bytes in cases {
+            let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+            store
+                .put("idx/shards", Bytes::from(bytes.to_vec()))
+                .unwrap();
+            assert!(matches!(
+                ShardRouter::open(store, "idx"),
+                Err(AirphantError::CorruptManifest { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn append_routes_every_document_to_exactly_one_shard() {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let router = ShardRouter::create(store.clone(), "idx", 4).unwrap();
+        let docs = lines("a", 40);
+        let corpus = corpus_of(store.clone(), "c/a", &docs);
+        let appends = router.append(&corpus, &config()).unwrap();
+        assert_eq!(appends.len(), 4);
+        assert_eq!(appends.iter().map(|a| a.docs).sum::<u64>(), 40);
+        let searcher = router.open_searcher().unwrap();
+        // Every document findable exactly once through the fan-out …
+        for i in 0..40 {
+            let hits = searcher.search(&format!("adoc{i}"), None).unwrap().hits;
+            assert_eq!(hits.len(), 1, "adoc{i}");
+        }
+        assert_eq!(searcher.search("shared", None).unwrap().hits.len(), 40);
+        // … and the shards partition the corpus (disjoint, exhaustive).
+        let per_shard: Vec<usize> = searcher
+            .shards()
+            .iter()
+            .map(|s| s.search("shared", None).unwrap().hits.len())
+            .collect();
+        assert_eq!(per_shard.iter().sum::<usize>(), 40);
+        assert_eq!(
+            per_shard,
+            appends.iter().map(|a| a.docs as usize).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn sharded_results_match_unsharded_in_doc_id_order() {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let docs: Vec<String> = (0..60)
+            .map(|i| format!("common w{} tag{}", i % 7, i % 3))
+            .collect();
+        let corpus = corpus_of(store.clone(), "c/a", &docs);
+        // Unsharded reference: one segmented index over the same corpus.
+        let unsharded = SegmentManager::new(store.clone(), "flat");
+        unsharded.append(&corpus, &config()).unwrap();
+        let flat = unsharded.open().unwrap();
+        let canonical = |mut hits: Vec<crate::SearchHit>| {
+            hits.sort_by(|a, b| (&a.blob, a.offset, a.len).cmp(&(&b.blob, b.offset, b.len)));
+            hits.into_iter()
+                .map(|h| (h.blob, h.offset, h.len, h.text))
+                .collect::<Vec<_>>()
+        };
+        for shards in [1usize, 2, 4, 8] {
+            let router =
+                ShardRouter::create(store.clone(), format!("idx{shards}"), shards).unwrap();
+            router.append(&corpus, &config()).unwrap();
+            let sharded = router.open_searcher().unwrap();
+            for query in [
+                Query::term("common"),
+                Query::and([Query::term("w3"), Query::term("tag0")]),
+                Query::or([Query::term("w1"), Query::term("w5")]),
+                Query::term("absent"),
+            ] {
+                let s = sharded.execute(&query, &QueryOptions::new()).unwrap();
+                let f = flat.execute(&query, &QueryOptions::new()).unwrap();
+                // The sharded merge arrives already in doc-id order.
+                let as_tuples: Vec<_> = s
+                    .hits
+                    .iter()
+                    .map(|h| (h.blob.clone(), h.offset, h.len, h.text.clone()))
+                    .collect();
+                assert_eq!(canonical(s.hits.clone()), as_tuples);
+                assert_eq!(
+                    canonical(s.hits),
+                    canonical(f.hits),
+                    "{shards} shards, {query:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_truncates_deterministically_in_doc_id_order() {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let docs = lines("t", 30);
+        let corpus = corpus_of(store.clone(), "c/a", &docs);
+        let router = ShardRouter::create(store.clone(), "idx", 4).unwrap();
+        router.append(&corpus, &config()).unwrap();
+        let searcher = router.open_searcher().unwrap();
+        let a = searcher.search("shared", Some(7)).unwrap();
+        let b = searcher.search("shared", Some(7)).unwrap();
+        assert_eq!(a.hits.len(), 7);
+        let ids = |r: &SearchResult| {
+            r.hits
+                .iter()
+                .map(|h| (h.blob.clone(), h.offset))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(ids(&a), ids(&b), "merge order is stable across runs");
+        let mut sorted = ids(&a);
+        sorted.sort();
+        assert_eq!(ids(&a), sorted, "hits arrive in doc-id order");
+    }
+
+    #[test]
+    fn empty_shards_serve_and_missing_manifest_names_the_shard() {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let router = ShardRouter::create(store.clone(), "idx", 8).unwrap();
+        // One document: 7 of 8 shards stay empty but still open + serve.
+        let corpus = corpus_of(store.clone(), "c/one", &["solo entry".to_owned()]);
+        router.append(&corpus, &config()).unwrap();
+        let searcher = router.open_searcher().unwrap();
+        assert_eq!(searcher.shard_count(), 8);
+        assert_eq!(searcher.search("solo", None).unwrap().hits.len(), 1);
+        assert!(searcher.search("absent", None).unwrap().hits.is_empty());
+
+        // Punch a hole: delete shard 5's manifest. The open must name
+        // the missing shard, not report a generic IndexNotFound.
+        store
+            .delete(&format!("{}/manifest", router.shard_prefix(5)))
+            .unwrap();
+        match router.open_searcher() {
+            Err(AirphantError::ShardNotFound {
+                base,
+                shard,
+                shards,
+            }) => {
+                assert_eq!(base, "idx");
+                assert_eq!(shard, 5);
+                assert_eq!(shards, 8);
+            }
+            Err(other) => panic!("expected ShardNotFound, got {other:?}"),
+            Ok(_) => panic!("expected ShardNotFound, got a searcher"),
+        }
+    }
+
+    #[test]
+    fn scatter_gather_trace_reports_max_over_shards_round_trips() {
+        let store = Arc::new(SimulatedCloudStore::new(
+            InMemoryStore::new(),
+            LatencyModel::gcs_like(),
+            13,
+        ));
+        let dyn_store: Arc<dyn ObjectStore> = store.clone();
+        let router = ShardRouter::create(dyn_store.clone(), "idx", 4).unwrap();
+        let docs = lines("r", 48);
+        let corpus = corpus_of(dyn_store.clone(), "c/a", &docs);
+        router.append(&corpus, &config()).unwrap();
+        let searcher = router.open_searcher().unwrap();
+
+        let (_, lookup_trace) = searcher.execute_lookup(&Query::term("shared")).unwrap();
+        assert_eq!(
+            lookup_trace.round_trips(),
+            1,
+            "4-shard fan-out is still one dependent lookup round trip"
+        );
+        let r = searcher
+            .execute(&Query::term("shared"), &QueryOptions::new())
+            .unwrap();
+        assert_eq!(r.hits.len(), 48);
+        assert_eq!(
+            r.trace.round_trips(),
+            2,
+            "lookup + documents, max over shards (not 2 x 4)"
+        );
+    }
+
+    #[test]
+    fn per_shard_compaction_keeps_shards_disjoint() {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let router = ShardRouter::create(store.clone(), "idx", 2).unwrap();
+        // Two appends so every shard holds two segments built from two
+        // *shared* corpus blobs.
+        for batch in 0..2 {
+            let docs = lines(&format!("b{batch}x"), 24);
+            let corpus = corpus_of(store.clone(), &format!("c/b{batch}"), &docs);
+            router.append(&corpus, &config()).unwrap();
+        }
+        let before: BTreeSet<(String, u64)> = router
+            .open_searcher()
+            .unwrap()
+            .search("shared", None)
+            .unwrap()
+            .hits
+            .iter()
+            .map(|h| (h.blob.clone(), h.offset))
+            .collect();
+        assert_eq!(before.len(), 48);
+
+        let reports = router
+            .compact(
+                &config(),
+                &CompactionPolicy::new()
+                    .with_max_live_segments(1)
+                    .with_merge_factor(8),
+            )
+            .unwrap();
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(|r| r.live_after == 1));
+
+        // The regression this guards: an unfiltered rebuild would pull
+        // the sibling shard's documents out of the shared blobs, and
+        // every document would then be served twice.
+        let searcher = router.open_searcher().unwrap();
+        let after: Vec<(String, u64)> = searcher
+            .search("shared", None)
+            .unwrap()
+            .hits
+            .iter()
+            .map(|h| (h.blob.clone(), h.offset))
+            .collect();
+        assert_eq!(after.len(), 48, "no duplicates after compaction");
+        assert_eq!(after.iter().cloned().collect::<BTreeSet<_>>(), before);
+        for batch in 0..2 {
+            for i in 0..24 {
+                let word = format!("b{batch}xdoc{i}");
+                assert_eq!(
+                    searcher.search(&word, None).unwrap().hits.len(),
+                    1,
+                    "{word}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn refresh_swaps_the_whole_shard_set_atomically() {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let router = ShardRouter::create(store.clone(), "idx", 4).unwrap();
+        let corpus = corpus_of(store.clone(), "c/a", &lines("a", 16));
+        router.append(&corpus, &config()).unwrap();
+
+        let server = QueryServer::start(
+            Arc::new(router.open_searcher().unwrap()),
+            ServerConfig::new().with_workers(2),
+        );
+        let count = |server: &QueryServer| {
+            server
+                .execute(&Query::term("shared"), &QueryOptions::new())
+                .unwrap()
+                .hits
+                .len()
+        };
+        assert_eq!(count(&server), 16);
+
+        // Grow every shard, then swap the whole set in one refresh.
+        let corpus = corpus_of(store.clone(), "c/b", &lines("b", 16));
+        router.append(&corpus, &config()).unwrap();
+        assert_eq!(count(&server), 16, "old snapshot serves until refresh");
+        server.refresh(Arc::new(router.open_searcher().unwrap()));
+        assert_eq!(count(&server), 32, "new snapshot serves the whole set");
+        let stats = server.shutdown();
+        assert_eq!(stats.refreshes, 1);
+        assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn engine_trait_over_sharded_searcher() {
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let router = ShardRouter::create(store.clone(), "idx", 2).unwrap();
+        let corpus = corpus_of(store.clone(), "c/a", &lines("e", 12));
+        router.append(&corpus, &config()).unwrap();
+        let engine: Box<dyn SearchEngine> = Box::new(router.open_searcher().unwrap());
+        assert_eq!(engine.name(), "AIRPHANT-sharded");
+        assert_eq!(engine.search("edoc3", None).unwrap().hits.len(), 1);
+        let (postings, _) = engine.lookup("shared").unwrap();
+        assert!(!postings.is_empty());
+        assert!(engine.index_bytes() > 0);
+        assert!(engine.init_trace().bytes() > 0);
+    }
+}

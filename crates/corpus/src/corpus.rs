@@ -20,6 +20,10 @@ pub struct Document {
     pub text: String,
 }
 
+/// A document predicate restricting corpus iteration (e.g. one shard of
+/// a hash-partitioned build).
+pub type DocFilter = Arc<dyn Fn(&Document) -> bool + Send + Sync>;
+
 /// A corpus: named blobs in an object store, a document splitter, and a
 /// tokenizer.
 pub struct Corpus {
@@ -27,6 +31,7 @@ pub struct Corpus {
     blobs: Vec<String>,
     splitter: Arc<dyn DocSplitter>,
     tokenizer: Arc<dyn Tokenizer>,
+    filter: Option<DocFilter>,
 }
 
 impl Corpus {
@@ -42,6 +47,27 @@ impl Corpus {
             blobs,
             splitter,
             tokenizer,
+            filter: None,
+        }
+    }
+
+    /// A view of this corpus restricted to documents passing `filter`
+    /// (e.g. the slice of a hash-partitioned build that one shard
+    /// indexes). The blob list, splitter, and tokenizer are shared;
+    /// only document iteration — and therefore profiling, building,
+    /// and ground truth — is filtered. Filters compose: a view of a
+    /// view keeps both predicates.
+    pub fn with_doc_filter(&self, filter: DocFilter) -> Corpus {
+        let filter = match self.filter.clone() {
+            Some(existing) => Arc::new(move |doc: &Document| existing(doc) && filter(doc)) as _,
+            None => filter,
+        };
+        Corpus {
+            store: self.store.clone(),
+            blobs: self.blobs.clone(),
+            splitter: self.splitter.clone(),
+            tokenizer: self.tokenizer.clone(),
+            filter: Some(filter),
         }
     }
 
@@ -73,12 +99,15 @@ impl Corpus {
                 let start = span.offset as usize;
                 let end = start + span.len as usize;
                 let text = String::from_utf8_lossy(&data[start..end]).into_owned();
-                f(&Document {
+                let doc = Document {
                     blob: blob_name.clone(),
                     offset: span.offset,
                     len: span.len,
                     text,
-                });
+                };
+                if self.filter.as_ref().is_none_or(|keep| keep(&doc)) {
+                    f(&doc);
+                }
             }
         }
         Ok(())
@@ -187,6 +216,27 @@ mod tests {
         assert_eq!(hits.len(), 2);
         let none = corpus.truth_postings("hell").unwrap();
         assert!(none.is_empty(), "substring must not match");
+    }
+
+    #[test]
+    fn doc_filter_restricts_iteration_profile_and_truth() {
+        let corpus = tiny_corpus();
+        let view = corpus.with_doc_filter(Arc::new(|d: &Document| d.offset == 0));
+        let mut docs = Vec::new();
+        view.for_each_document(|d| docs.push(d.clone())).unwrap();
+        // Only the first document of each blob survives.
+        assert_eq!(docs.len(), 2);
+        assert!(docs.iter().all(|d| d.offset == 0));
+        let p = view.profile().unwrap();
+        assert_eq!(p.n_docs, 2);
+        assert_eq!(view.truth_postings("hello").unwrap().len(), 1);
+        // Filters compose: a view of a view applies both predicates.
+        let narrower = view.with_doc_filter(Arc::new(|d: &Document| d.blob == "part-0"));
+        let mut n = 0;
+        narrower.for_each_document(|_| n += 1).unwrap();
+        assert_eq!(n, 1);
+        // The original corpus is untouched.
+        assert_eq!(corpus.profile().unwrap().n_docs, 3);
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod profile;
 pub mod synth;
 pub mod workload;
 
-pub use corpus::{Corpus, Document};
+pub use corpus::{Corpus, DocFilter, Document};
 pub use logs::{cranfield_like, hdfs_like, spark_like, windows_like, LogCorpusSpec};
 pub use parse::{
     AlnumLowerTokenizer, DocSpan, DocSplitter, LineSplitter, NgramTokenizer, Tokenizer,

@@ -1,0 +1,233 @@
+//! Sharded vs. unsharded equivalence: scatter-gather over N
+//! hash-partitioned shards must return byte-for-byte the same result
+//! set as a single segmented index over the same zipf corpus — for any
+//! query AST, for N ∈ {1, 2, 4, 8}, and identically whether queries run
+//! sequentially or from 8 concurrent threads.
+
+use airphant::{
+    AirphantConfig, Query, QueryOptions, SearchHit, SegmentManager, ShardRouter, ShardedSearcher,
+};
+use airphant_corpus::{synth::word_token, zipf, Corpus, SyntheticSpec};
+use airphant_storage::{InMemoryStore, ObjectStore};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn config(seed: u64) -> AirphantConfig {
+    AirphantConfig::default()
+        .with_total_bins(96)
+        .with_manual_layers(2)
+        .with_common_fraction(0.0)
+        .with_seed(seed)
+}
+
+/// Byte-for-byte canonical form of a result set: every field of every
+/// hit, in stable doc-id order.
+fn canonical(hits: &[SearchHit]) -> Vec<(String, u64, u32, String)> {
+    let mut v: Vec<_> = hits
+        .iter()
+        .map(|h| (h.blob.clone(), h.offset, h.len, h.text.clone()))
+        .collect();
+    v.sort();
+    v
+}
+
+/// Random AST over the zipf vocabulary from an opcode tape (the
+/// stack-machine idiom of `query_properties.rs`): 0 pushes a term,
+/// 1 folds AND, 2 folds OR. Word ranks run past the vocabulary so
+/// absent words appear too.
+fn ast_from_tape(tape: &[(u8, u16)]) -> Query {
+    let mut stack: Vec<Query> = Vec::new();
+    for &(op, w) in tape {
+        match op {
+            1 if stack.len() >= 2 => {
+                let b = stack.pop().unwrap();
+                let a = stack.pop().unwrap();
+                stack.push(Query::and([a, b]));
+            }
+            2 if stack.len() >= 2 => {
+                let b = stack.pop().unwrap();
+                let a = stack.pop().unwrap();
+                stack.push(Query::or([a, b]));
+            }
+            _ => stack.push(Query::term(word_token(w as u64))),
+        }
+    }
+    if stack.len() == 1 {
+        stack.pop().unwrap()
+    } else {
+        Query::or(stack)
+    }
+}
+
+/// One zipf corpus, one unsharded segmented reference, and a sharded
+/// layout per shard count — all in one shared in-memory store.
+struct Env {
+    flat: airphant::SegmentedSearcher,
+    sharded: Vec<(usize, ShardedSearcher)>,
+    #[allow(dead_code)]
+    corpus: Corpus,
+}
+
+fn build_env(n_docs: u64, corpus_seed: u64, build_seed: u64) -> Env {
+    let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+    let spec = SyntheticSpec {
+        n_docs,
+        n_vocab: 60,
+        words_per_doc: 5,
+    };
+    let corpus = zipf(spec, store.clone(), "corpora/zipf", corpus_seed);
+    let flat_mgr = SegmentManager::new(store.clone(), "flat");
+    flat_mgr.append(&corpus, &config(build_seed)).unwrap();
+    let flat = flat_mgr.open().unwrap();
+    let sharded = SHARD_COUNTS
+        .iter()
+        .map(|&n| {
+            let router = ShardRouter::create(store.clone(), format!("idx{n}"), n).unwrap();
+            router.append(&corpus, &config(build_seed)).unwrap();
+            (n, router.open_searcher().unwrap())
+        })
+        .collect();
+    Env {
+        flat,
+        sharded,
+        corpus,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Any AST, any shard count: identical result sets, byte for byte.
+    #[test]
+    fn sharded_equals_unsharded_for_any_ast(
+        n_docs in 40u64..160,
+        corpus_seed in 0u64..1_000,
+        build_seed in 0u64..1_000,
+        tapes in prop::collection::vec(
+            prop::collection::vec((0u8..3, 0u16..70), 1..10),
+            1..6,
+        ),
+    ) {
+        let env = build_env(n_docs, corpus_seed, build_seed);
+        for tape in &tapes {
+            let query = ast_from_tape(tape);
+            let expected = canonical(
+                &env.flat.execute(&query, &QueryOptions::new()).unwrap().hits,
+            );
+            for (n, searcher) in &env.sharded {
+                let got = searcher.execute(&query, &QueryOptions::new()).unwrap();
+                prop_assert_eq!(
+                    canonical(&got.hits),
+                    expected.clone(),
+                    "{} shards, query {:?}",
+                    n,
+                    query
+                );
+                // The sharded merge is already in stable doc-id order.
+                prop_assert_eq!(canonical(&got.hits), {
+                    got.hits
+                        .iter()
+                        .map(|h| (h.blob.clone(), h.offset, h.len, h.text.clone()))
+                        .collect::<Vec<_>>()
+                }, "{} shards: merge order must be canonical", n);
+            }
+        }
+    }
+
+    /// The same queries fired from 8 concurrent threads return exactly
+    /// the sequential answers at every shard count — the scatter-gather
+    /// read path shares no mutable per-query state.
+    #[test]
+    fn concurrent_sharded_queries_match_sequential(
+        corpus_seed in 0u64..1_000,
+        tapes in prop::collection::vec(
+            prop::collection::vec((0u8..3, 0u16..70), 1..8),
+            4..9,
+        ),
+    ) {
+        let env = build_env(96, corpus_seed, 17);
+        let queries: Vec<Query> = tapes.iter().map(|t| ast_from_tape(t)).collect();
+        for (n, searcher) in &env.sharded {
+            let sequential: Vec<_> = queries
+                .iter()
+                .map(|q| canonical(&searcher.execute(q, &QueryOptions::new()).unwrap().hits))
+                .collect();
+            let threads = 8;
+            let concurrent: Vec<Vec<_>> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let queries = &queries;
+                        s.spawn(move || {
+                            // Each thread walks the query list from its
+                            // own starting point so shard fan-outs from
+                            // different queries interleave.
+                            (0..queries.len())
+                                .map(|i| {
+                                    let q = &queries[(t + i) % queries.len()];
+                                    canonical(
+                                        &searcher
+                                            .execute(q, &QueryOptions::new())
+                                            .unwrap()
+                                            .hits,
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+            for (t, per_thread) in concurrent.iter().enumerate() {
+                for (i, got) in per_thread.iter().enumerate() {
+                    let expected = &sequential[(t + i) % queries.len()];
+                    prop_assert_eq!(
+                        got,
+                        expected,
+                        "{} shards, thread {}, query {}",
+                        n,
+                        t,
+                        i
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Non-property regression: the documented fan-out invariants on a
+/// fixed corpus — constant round trips and deterministic top-k.
+#[test]
+fn fanout_round_trips_and_top_k_are_stable() {
+    let env = build_env(120, 7, 7);
+    let query = Query::term(word_token(1));
+    let expected = canonical(&env.flat.execute(&query, &QueryOptions::new()).unwrap().hits);
+    assert!(!expected.is_empty(), "rank-1 zipf word must occur");
+    for (n, searcher) in &env.sharded {
+        let r = searcher.execute(&query, &QueryOptions::new()).unwrap();
+        assert_eq!(canonical(&r.hits), expected, "{n} shards");
+        assert_eq!(
+            r.trace.round_trips(),
+            2,
+            "{n} shards: lookup + documents, max over shards"
+        );
+        // Deterministic top-k: two runs agree, and the kept hits are the
+        // k smallest doc ids of the full result set.
+        let k = expected.len().min(5);
+        let a = searcher
+            .execute(&query, &QueryOptions::new().top_k(k))
+            .unwrap();
+        let b = searcher
+            .execute(&query, &QueryOptions::new().top_k(k))
+            .unwrap();
+        assert_eq!(canonical(&a.hits), canonical(&b.hits), "{n} shards");
+        assert_eq!(a.hits.len(), k, "{n} shards");
+        // Every kept hit is a true hit (the per-shard sampled fetch of
+        // Equation 6 may pick different members than the flat index,
+        // but never a non-member).
+        for hit in canonical(&a.hits) {
+            assert!(expected.contains(&hit), "{n} shards: {hit:?}");
+        }
+    }
+}

@@ -98,6 +98,49 @@ impl<T: ToJson + ?Sized> ToJson for &T {
     }
 }
 
+impl Value {
+    /// Object field access by key (`None` for non-objects and missing
+    /// keys), as `serde_json`'s `Value::get`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The `&str` inside a `Value::String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The number inside a `Value::Number`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean inside a `Value::Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The items of a `Value::Array`.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
 /// Convert anything [`ToJson`] into a [`Value`].
 pub fn to_value<T: ToJson + ?Sized>(value: &T) -> Value {
     value.to_json()
@@ -207,14 +250,24 @@ impl fmt::Display for Value {
     }
 }
 
-/// Serialization error (never produced by this stub; kept for signature
-/// compatibility with `serde_json`).
+/// Serialization/deserialization error. Serialization in this stub
+/// never fails; deserialization reports what broke and where.
 #[derive(Debug)]
-pub struct Error;
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("serde_json stub error")
+        f.write_str(&self.message)
     }
 }
 
@@ -230,6 +283,235 @@ pub fn to_vec_pretty<T: ToJson + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
 /// Compact string form, as `serde_json::to_string`.
 pub fn to_string<T: ToJson + ?Sized>(value: &T) -> Result<String, Error> {
     Ok(value.to_json().to_string())
+}
+
+/// Parse a JSON document into a [`Value`] tree, as
+/// `serde_json::from_str::<Value>`. Recursive descent over the grammar
+/// this stub's writer emits (objects, arrays, strings with the standard
+/// escapes incl. `\uXXXX`, numbers, booleans, null); trailing non-space
+/// input is an error.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing characters at byte {}",
+            parser.pos
+        )));
+    }
+    Ok(value)
+}
+
+/// Parse JSON bytes (must be UTF-8), as `serde_json::from_slice::<Value>`.
+pub fn from_slice(bytes: &[u8]) -> Result<Value, Error> {
+    let text = std::str::from_utf8(bytes).map_err(|e| Error::new(format!("invalid UTF-8: {e}")))?;
+    from_str(text)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected {:?} at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(Error::new(format!(
+                "expected {literal:?} at byte {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') => self.eat_literal("true", Value::Bool(true)),
+            Some(b'f') => self.eat_literal("false", Value::Bool(false)),
+            Some(b'n') => self.eat_literal("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::new(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected ',' or '}}' at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => {
+                    return Err(Error::new(format!(
+                        "expected ',' or ']' at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain UTF-8 up to the next quote/escape.
+            while let Some(&c) = self.bytes.get(self.pos) {
+                if c == b'"' || c == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|e| Error::new(format!("invalid UTF-8 in string: {e}")))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escaped = self.peek().ok_or_else(|| {
+                        Error::new("unterminated escape at end of input".to_owned())
+                    })?;
+                    self.pos += 1;
+                    match escaped {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| {
+                                    Error::new(format!("truncated \\u escape at byte {}", self.pos))
+                                })?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::new(format!("invalid \\u escape {hex:?}")))?;
+                            self.pos += 4;
+                            // This stub's writer only emits BMP escapes
+                            // (control characters); surrogate pairs are
+                            // out of scope and rejected.
+                            out.push(char::from_u32(code).ok_or_else(|| {
+                                Error::new(format!("\\u{hex} is not a scalar value"))
+                            })?);
+                        }
+                        other => {
+                            return Err(Error::new(format!("unknown escape \\{:?}", other as char)))
+                        }
+                    }
+                }
+                _ => return Err(Error::new("unterminated string".to_owned())),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| Error::new(format!("invalid number {text:?} at byte {start}")))
+    }
 }
 
 #[cfg(test)]
@@ -254,6 +536,67 @@ mod tests {
         // `name` and `rows` were interpolated by reference and still usable.
         assert_eq!(name, "fig");
         assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn parse_roundtrips_writer_output() {
+        let v = json!({
+            "bench": "throughput",
+            "metric": "qps_sim",
+            "value": 65.6,
+            "unit": "qps",
+            "config": json!({"workers": 8u64, "nested": [1u64, 2u64], "flag": true, "none": json!(null)}),
+            "note": "quotes \" and \\ and\nnewlines \u{0001}",
+        });
+        let compact = from_str(&v.to_string()).unwrap();
+        assert_eq!(compact, v);
+        let pretty = from_slice(&to_vec_pretty(&v).unwrap()).unwrap();
+        assert_eq!(pretty, v);
+        // Accessors.
+        assert_eq!(v.get("bench").and_then(Value::as_str), Some("throughput"));
+        assert_eq!(v.get("value").and_then(Value::as_f64), Some(65.6));
+        assert_eq!(
+            v.get("config")
+                .and_then(|c| c.get("flag"))
+                .and_then(Value::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            v.get("config")
+                .and_then(|c| c.get("nested"))
+                .and_then(Value::as_array)
+                .map(<[Value]>::len),
+            Some(2)
+        );
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1, 2",
+            "{\"a\" 1}",
+            "\"unterminated",
+            "tru",
+            "1.2.3",
+            "{} trailing",
+            "{\"a\": \"\\q\"}",
+        ] {
+            assert!(from_str(bad).is_err(), "{bad:?} must fail");
+        }
+        assert!(from_slice(b"\xff\xfe").is_err());
+    }
+
+    #[test]
+    fn parse_numbers_and_scalars() {
+        assert_eq!(from_str("42").unwrap(), Value::Number(42.0));
+        assert_eq!(from_str("-0.5e2").unwrap(), Value::Number(-50.0));
+        assert_eq!(from_str(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str("[]").unwrap(), Value::Array(vec![]));
+        assert_eq!(from_str("{}").unwrap(), Value::Object(vec![]));
     }
 
     #[test]
