@@ -1,20 +1,28 @@
 //! The CI perf gate: compare every committed baseline headline
 //! (`bench_results/baseline/BENCH_*.json`) against the current run's
-//! `bench_results/BENCH_*.json`, failing on any >25% regression.
+//! `bench_results/BENCH_*.json`, failing on any >25% move.
 //!
 //! The headline metrics are recorded on the **simulated clock** under
-//! fixed seeds, so a regression here is a code-path change (more round
-//! trips, lost overlap, a fatter batch), not host noise. Direction
-//! comes from the unit (`qps` must not drop; `ms`/`x` must not grow) —
-//! see [`Headline::higher_is_better`]. A baseline with no matching
-//! current headline fails the gate: a bench that silently stopped
-//! publishing is itself a regression.
+//! fixed seeds, so a move past tolerance here is a code-path change
+//! (more round trips, lost overlap, a fatter batch), not host noise.
+//! Direction comes from the unit (`qps` must not drop; `ms`/`x` must
+//! not grow) — see [`Headline::higher_is_better`]. A baseline with no
+//! matching current headline fails the gate: a bench that silently
+//! stopped publishing is itself a regression.
+//!
+//! Moves past tolerance in the **good** direction also fail — the
+//! committed baseline is stale, and a stale baseline widens the band the
+//! next real regression can hide in — but they carry their own verdict
+//! (`IMPROVEMENT`, with the `cp` command that re-baselines) and their
+//! own status in the machine-readable summary the gate writes to
+//! `bench_results/perf_gate.json`, so CI logs never misreport a speedup
+//! as a slowdown.
 //!
 //! Refresh the baseline by re-running the bench binaries and copying
 //! the new `BENCH_*.json` files into `bench_results/baseline/` in the
 //! same PR that knowingly changes performance.
 
-use airphant_bench::Headline;
+use airphant_bench::{Comparison, Headline};
 use std::path::Path;
 
 /// The gate's tolerance: a metric may move 25% before CI fails.
@@ -55,29 +63,56 @@ fn main() {
     }
 
     let mut failures = 0usize;
+    // Per-headline machine-readable statuses, mirrored to perf_gate.json.
+    let mut statuses: Vec<serde_json::Value> = Vec::new();
+    let mut record = |name: &str, status: &str, detail: &str| {
+        statuses.push(serde_json::json!({
+            "name": name,
+            "status": status,
+            "detail": detail,
+        }));
+    };
     println!(
         "perf gate: {} baseline(s), tolerance {:.0}%",
         names.len(),
         TOLERANCE * 100.0
     );
     for name in &names {
-        let verdict = (|| -> Result<Option<String>, String> {
+        let verdict = (|| -> Result<Comparison, String> {
             let baseline = load(&baseline_dir.join(name))?;
             let current = load(&current_dir.join(name)).map_err(|e| {
                 format!("current headline missing (did the bench stop publishing?): {e}")
             })?;
-            Ok(current
-                .regression_vs(&baseline, TOLERANCE)
-                .map(|why| format!("REGRESSION: {why}")))
+            Ok(current.compare_vs(&baseline, TOLERANCE))
         })();
         match verdict {
-            Ok(None) => println!("  {name}: OK"),
-            Ok(Some(why)) => {
-                println!("  {name}: {why}");
-                failures += 1;
+            Ok(cmp) => {
+                match &cmp {
+                    Comparison::Within => println!("  {name}: OK"),
+                    Comparison::Regression(why) => {
+                        println!("  {name}: REGRESSION: {why}");
+                        failures += 1;
+                    }
+                    Comparison::Improvement(why) => {
+                        // Still a gate failure — the baseline is stale —
+                        // but with its own verdict and the exact command
+                        // that fixes it.
+                        println!(
+                            "  {name}: IMPROVEMENT (stale baseline): {why} — re-baseline with: \
+                             cp bench_results/{name} bench_results/baseline/{name}"
+                        );
+                        failures += 1;
+                    }
+                }
+                let detail = match &cmp {
+                    Comparison::Within => "",
+                    Comparison::Regression(why) | Comparison::Improvement(why) => why,
+                };
+                record(name, cmp.status(), detail);
             }
             Err(e) => {
                 println!("  {name}: FAIL ({e})");
+                record(name, "error", &e);
                 failures += 1;
             }
         }
@@ -100,7 +135,18 @@ fn main() {
     unbaselined.sort();
     for name in &unbaselined {
         println!("  {name}: NO BASELINE (commit bench_results/baseline/{name} to arm the gate)");
+        record(name, "no_baseline", "commit the baseline to arm the gate");
         failures += 1;
+    }
+
+    let summary = serde_json::json!({
+        "tolerance": TOLERANCE,
+        "failures": failures as u64,
+        "headlines": statuses,
+    });
+    let summary_path = current_dir.join("perf_gate.json");
+    if let Err(e) = std::fs::write(&summary_path, serde_json::to_vec_pretty(&summary).unwrap()) {
+        eprintln!("warning: could not write {}: {e}", summary_path.display());
     }
 
     if failures > 0 {

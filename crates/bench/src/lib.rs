@@ -30,4 +30,4 @@ pub use measure::{
     lookup_latencies, mean_false_positives, mean_round_trips, percentile, search_latencies,
     summarize, wait_download_pairs, LatencyStats,
 };
-pub use report::{Headline, Report};
+pub use report::{Comparison, Headline, Report};

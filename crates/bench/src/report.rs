@@ -166,47 +166,60 @@ impl Headline {
         matches!(self.unit.as_str(), "qps" | "ops" | "hits")
     }
 
-    /// Compare this (current) headline against `baseline`: `Some(why)`
-    /// when the value regressed by more than `tolerance` (e.g. `0.25`
-    /// for the CI gate's 25%), `None` otherwise. Mismatched metrics or
-    /// a degenerate baseline are reported as regressions — a gate that
-    /// silently skips is no gate.
-    pub fn regression_vs(&self, baseline: &Headline, tolerance: f64) -> Option<String> {
+    /// Compare this (current) headline against `baseline` with the
+    /// given relative `tolerance` (e.g. `0.25` for the CI gate's 25%).
+    /// Mismatched metrics or a degenerate baseline are reported as
+    /// regressions — a gate that silently skips is no gate. A move past
+    /// tolerance in the *good* direction is an [`Comparison::Improvement`]
+    /// — the baseline is stale, and a stale baseline lets the next real
+    /// regression hide inside the widened band, so the gate fails for it
+    /// too, just with its own verdict and re-baseline instruction.
+    pub fn compare_vs(&self, baseline: &Headline, tolerance: f64) -> Comparison {
         if self.metric != baseline.metric || self.unit != baseline.unit {
-            return Some(format!(
+            return Comparison::Regression(format!(
                 "metric changed: baseline records {} [{}], current records {} [{}] \
                  (re-record the baseline)",
                 baseline.metric, baseline.unit, self.metric, self.unit
             ));
         }
         if !baseline.value.is_finite() || baseline.value <= 0.0 {
-            return Some(format!(
+            return Comparison::Regression(format!(
                 "baseline value {} is not comparable (re-record the baseline)",
                 baseline.value
             ));
         }
         let ratio = self.value / baseline.value;
-        if self.higher_is_better() && ratio < 1.0 - tolerance {
-            return Some(format!(
-                "{} dropped {:.1}%: {:.3} -> {:.3} {}",
-                self.metric,
-                (1.0 - ratio) * 100.0,
-                baseline.value,
-                self.value,
-                self.unit
-            ));
+        let moved = |verb: &str, pct: f64| {
+            format!(
+                "{} {verb} {:.1}%: {:.3} -> {:.3} {}",
+                self.metric, pct, baseline.value, self.value, self.unit
+            )
+        };
+        if self.higher_is_better() {
+            if ratio < 1.0 - tolerance {
+                return Comparison::Regression(moved("dropped", (1.0 - ratio) * 100.0));
+            }
+            if ratio > 1.0 + tolerance {
+                return Comparison::Improvement(moved("rose", (ratio - 1.0) * 100.0));
+            }
+        } else {
+            if ratio > 1.0 + tolerance {
+                return Comparison::Regression(moved("grew", (ratio - 1.0) * 100.0));
+            }
+            if ratio < 1.0 - tolerance {
+                return Comparison::Improvement(moved("shrank", (1.0 - ratio) * 100.0));
+            }
         }
-        if !self.higher_is_better() && ratio > 1.0 + tolerance {
-            return Some(format!(
-                "{} grew {:.1}%: {:.3} -> {:.3} {}",
-                self.metric,
-                (ratio - 1.0) * 100.0,
-                baseline.value,
-                self.value,
-                self.unit
-            ));
+        Comparison::Within
+    }
+
+    /// [`Headline::compare_vs`] narrowed to regressions only: `Some(why)`
+    /// on a regression, `None` on within-tolerance *or* improvement.
+    pub fn regression_vs(&self, baseline: &Headline, tolerance: f64) -> Option<String> {
+        match self.compare_vs(baseline, tolerance) {
+            Comparison::Regression(why) => Some(why),
+            _ => None,
         }
-        None
     }
 
     /// The file this headline lives in under `dir`.
@@ -233,6 +246,31 @@ impl Headline {
             eprintln!("warning: could not write {}: {e}", path.display());
         }
         path
+    }
+}
+
+/// Verdict of one current-vs-baseline headline comparison
+/// ([`Headline::compare_vs`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Comparison {
+    /// Within tolerance: the gate passes this headline.
+    Within,
+    /// Worse than the baseline by more than the tolerance.
+    Regression(String),
+    /// *Better* than the baseline by more than the tolerance: the
+    /// committed baseline is stale and must be re-recorded (the gate
+    /// fails, with a distinct verdict).
+    Improvement(String),
+}
+
+impl Comparison {
+    /// Machine-readable status label (for `perf_gate.json` / CI logs).
+    pub fn status(&self) -> &'static str {
+        match self {
+            Comparison::Within => "ok",
+            Comparison::Regression(_) => "regression",
+            Comparison::Improvement(_) => "improvement",
+        }
     }
 }
 
@@ -323,6 +361,38 @@ mod tests {
         assert!(wait(120.0).regression_vs(&wait(100.0), 0.25).is_none());
         assert!(wait(126.0).regression_vs(&wait(100.0), 0.25).is_some());
         assert!(wait(50.0).regression_vs(&wait(100.0), 0.25).is_none());
+    }
+
+    #[test]
+    fn improvements_past_tolerance_get_their_own_verdict() {
+        // >25% moves in the GOOD direction are stale-baseline signals:
+        // distinct from both "ok" and "regression".
+        assert_eq!(
+            qps(130.0).compare_vs(&qps(100.0), 0.25).status(),
+            "improvement"
+        );
+        assert_eq!(
+            wait(70.0).compare_vs(&wait(100.0), 0.25).status(),
+            "improvement"
+        );
+        // …but within tolerance they are plain passes.
+        assert_eq!(qps(120.0).compare_vs(&qps(100.0), 0.25).status(), "ok");
+        assert_eq!(wait(80.0).compare_vs(&wait(100.0), 0.25).status(), "ok");
+        // And the bad directions still classify as regressions.
+        assert_eq!(
+            qps(70.0).compare_vs(&qps(100.0), 0.25).status(),
+            "regression"
+        );
+        assert_eq!(
+            wait(130.0).compare_vs(&wait(100.0), 0.25).status(),
+            "regression"
+        );
+        // `regression_vs` narrows: improvements are NOT regressions.
+        assert!(qps(130.0).regression_vs(&qps(100.0), 0.25).is_none());
+        match wait(70.0).compare_vs(&wait(100.0), 0.25) {
+            Comparison::Improvement(why) => assert!(why.contains("shrank"), "{why}"),
+            other => panic!("expected improvement, got {other:?}"),
+        }
     }
 
     #[test]

@@ -29,7 +29,10 @@ impl Args {
             let arg = &argv[i];
             if let Some(name) = arg.strip_prefix("--") {
                 // Boolean flags take no value; everything else takes one.
-                if matches!(name, "simulate-cloud" | "or" | "append" | "sweep") {
+                if matches!(
+                    name,
+                    "simulate-cloud" | "or" | "append" | "sweep" | "coalesce"
+                ) {
                     flags.push(arg.clone());
                     i += 1;
                 } else {

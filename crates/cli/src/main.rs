@@ -22,7 +22,8 @@ use airphant::{
 };
 use airphant_corpus::{Corpus, LineSplitter, NgramTokenizer, Tokenizer, WhitespaceTokenizer};
 use airphant_storage::{
-    CachedStore, LatencyModel, LocalFsStore, ObjectStore, SimDuration, SimulatedCloudStore,
+    CachedStore, CoalescingStore, LatencyModel, LocalFsStore, ObjectStore, SchedulerConfig,
+    SimDuration, SimulatedCloudStore,
 };
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -36,7 +37,8 @@ const USAGE: &str = "usage:
                        [--common FRAC] [--ngram N]
   airphant search      --store DIR --index PREFIX [WORD...]
                        [--or] [--ngram N] [--substring PATTERN] [--gram N]
-                       [--top K] [--simulate-cloud] [--timeout-ms MS]
+                       [--top K] [--simulate-cloud] [--coalesce]
+                       [--timeout-ms MS]
   airphant segments    --store DIR --index PREFIX
   airphant compact     --store DIR --index PREFIX
                        [--max-live N] [--merge K] [--sweep] [--ngram N]
@@ -44,7 +46,7 @@ const USAGE: &str = "usage:
   airphant bench-serve --store DIR --index PREFIX [WORD...]
                        [--corpus PREFIX] [--workers N] [--queue CAP]
                        [--queries M] [--cache-kb KB] [--deadline-ms MS]
-                       [--ngram N] [--top K]
+                       [--ngram N] [--top K] [--coalesce]
   airphant stats       --store DIR --corpus PREFIX
 
 Multiple WORDs are combined with AND (--or combines them with OR).
@@ -76,7 +78,13 @@ bench-serve drives a closed-loop workload through a QueryServer (a fixed
 worker pool over one shared Searcher and one shared byte-budgeted cache,
 on a simulated gcs-like cloud link) and prints throughput + tail latency.
 The workload cycles the given WORDs, or samples the vocabulary of
---corpus PREFIX when no WORDs are given.";
+--corpus PREFIX when no WORDs are given.
+
+--coalesce inserts the cross-query I/O scheduler below the cache: each
+batch's overlapping/adjacent ranges merge into fewer larger reads, and
+concurrent workers' batches fuse into one shared backend round trip
+(see docs/adr/005-io-scheduler.md). The scheduler's counters are
+printed after the run.";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -389,6 +397,7 @@ fn search(args: &mut Args) -> Result<(), String> {
     let index = args.required("--index")?;
     let top_k = args.optional_parse::<usize>("--top")?;
     let simulate = args.flag("--simulate-cloud");
+    let coalesce = args.flag("--coalesce");
     let any = args.flag("--or");
     let ngram = args.optional_parse::<usize>("--ngram")?;
     let substring = args.optional_parse::<String>("--substring")?;
@@ -411,6 +420,19 @@ fn search(args: &mut Args) -> Result<(), String> {
         ))
     } else {
         store
+    };
+    // The I/O scheduler merges each planner batch's overlapping/adjacent
+    // ranges into fewer backend reads. A single CLI query has no
+    // concurrent peers to fuse with, so the window stays closed.
+    let scheduler = coalesce.then(|| {
+        Arc::new(CoalescingStore::with_config(
+            store.clone(),
+            SchedulerConfig::new().coalesce_only(),
+        ))
+    });
+    let store: Arc<dyn ObjectStore> = match &scheduler {
+        Some(s) => s.clone(),
+        None => store,
     };
     // A shard layout under the prefix means a *sharded* index (created
     // via build --shards): scatter the query across every shard. A
@@ -475,6 +497,13 @@ fn search(args: &mut Args) -> Result<(), String> {
     for hit in &result.hits {
         println!("{}@{}+{}\t{}", hit.blob, hit.offset, hit.len, hit.text);
     }
+    if let Some(s) = &scheduler {
+        let st = s.stats();
+        println!(
+            "scheduler: {} range(s) merged away, {} bytes saved, {} backend batch(es)",
+            st.merged_ranges, st.bytes_saved, st.backend_batches,
+        );
+    }
     Ok(())
 }
 
@@ -491,6 +520,7 @@ fn bench_serve(args: &mut Args) -> Result<(), String> {
     let deadline_ms = args.optional_parse::<u64>("--deadline-ms")?;
     let top_k = args.optional_parse::<usize>("--top")?;
     let ngram = args.optional_parse::<usize>("--ngram")?;
+    let coalesce = args.flag("--coalesce");
     let mut words = args.positional();
 
     // No explicit WORDs: sample the vocabulary of --corpus.
@@ -520,10 +550,21 @@ fn bench_serve(args: &mut Args) -> Result<(), String> {
     }
     args.finish()?;
 
-    // The serving stack: local blobs → simulated cloud link → one shared
-    // byte-budgeted cache → one shared Searcher → the worker pool.
-    let sim = SimulatedCloudStore::new(store, LatencyModel::gcs_like(), 0xC0FFEE);
-    let cache = Arc::new(CachedStore::new(sim, cache_kb << 10));
+    // The serving stack: local blobs → simulated cloud link → (optional
+    // cross-query I/O scheduler) → one shared byte-budgeted cache → one
+    // shared Searcher → the worker pool. The scheduler sits BELOW the
+    // cache so that only misses coalesce and fuse (ADR-005).
+    let sim: Arc<dyn ObjectStore> = Arc::new(SimulatedCloudStore::new(
+        store,
+        LatencyModel::gcs_like(),
+        0xC0FFEE,
+    ));
+    let scheduler = coalesce.then(|| Arc::new(CoalescingStore::new(sim.clone())));
+    let below_cache: Arc<dyn ObjectStore> = match &scheduler {
+        Some(s) => s.clone(),
+        None => sim,
+    };
+    let cache = Arc::new(CachedStore::new(below_cache, cache_kb << 10));
     let searcher = Searcher::open_with_tokenizer(
         cache.clone() as Arc<dyn ObjectStore>,
         &index,
@@ -538,8 +579,12 @@ fn bench_serve(args: &mut Args) -> Result<(), String> {
         config = config.with_deadline(SimDuration::from_millis(ms));
     }
     let cache_for_stats = cache.clone();
-    let server = QueryServer::start(Arc::new(searcher), config)
+    let mut server = QueryServer::start(Arc::new(searcher), config)
         .with_cache_stats(move || cache_for_stats.hit_stats());
+    if let Some(s) = &scheduler {
+        let s = s.clone();
+        server = server.with_scheduler_stats(move || s.stats());
+    }
 
     let opts = QueryOptions::new().with_top_k(top_k);
     let mut tickets = Vec::with_capacity(queries);
@@ -585,6 +630,13 @@ fn bench_serve(args: &mut Args) -> Result<(), String> {
             );
         }
         None => println!("shared cache: no traffic"),
+    }
+    if let Some(sched) = stats.scheduler {
+        println!(
+            "i/o scheduler: {} range(s) merged, {} fused cross-query batch(es), \
+             {} bytes saved, {} backend batch(es)",
+            sched.merged_ranges, sched.fused_batches, sched.bytes_saved, sched.backend_batches,
+        );
     }
     println!(
         "outcomes: {} ok, {} past deadline, {} failed, {} rejected",

@@ -38,7 +38,7 @@ use crate::error::AirphantError;
 use crate::query::{Query, QueryOptions};
 use crate::result::SearchResult;
 use crate::Result;
-use airphant_storage::{SimDuration, StorageError};
+use airphant_storage::{SchedulerStats, SimDuration, StorageError};
 use std::collections::BinaryHeap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -259,6 +259,10 @@ pub struct ServerStats {
     pub latency_p99_ms: f64,
     /// `(hits, misses)` of the shared cache, when one is attached.
     pub cache: Option<(u64, u64)>,
+    /// Counters of the shared I/O scheduler
+    /// ([`CoalescingStore`](airphant_storage::CoalescingStore)), when one
+    /// is attached: merged ranges, fused cross-query batches, bytes saved.
+    pub scheduler: Option<SchedulerStats>,
 }
 
 impl ServerStats {
@@ -310,6 +314,7 @@ pub struct QueryServer {
     queue_capacity: usize,
     started: Instant,
     cache_stats: Option<Box<dyn Fn() -> (u64, u64) + Send + Sync>>,
+    scheduler_stats: Option<Box<dyn Fn() -> SchedulerStats + Send + Sync>>,
     config_workers: usize,
 }
 
@@ -358,6 +363,7 @@ impl QueryServer {
             queue_capacity: config.queue_capacity,
             started: Instant::now(),
             cache_stats: None,
+            scheduler_stats: None,
             config_workers: config.workers,
         }
     }
@@ -369,6 +375,17 @@ impl QueryServer {
         stats: impl Fn() -> (u64, u64) + Send + Sync + 'static,
     ) -> Self {
         self.cache_stats = Some(Box::new(stats));
+        self
+    }
+
+    /// Attach a shared I/O-scheduler counter source (e.g.
+    /// `move || scheduler.stats()`) so [`ServerStats::scheduler`] is
+    /// populated.
+    pub fn with_scheduler_stats(
+        mut self,
+        stats: impl Fn() -> SchedulerStats + Send + Sync + 'static,
+    ) -> Self {
+        self.scheduler_stats = Some(Box::new(stats));
         self
     }
 
@@ -482,6 +499,7 @@ impl QueryServer {
             latency_p95_ms: percentile(&totals, 0.95),
             latency_p99_ms: percentile(&totals, 0.99),
             cache: self.cache_stats.as_ref().map(|f| f()),
+            scheduler: self.scheduler_stats.as_ref().map(|f| f()),
         }
     }
 
@@ -521,8 +539,8 @@ mod tests {
     use crate::Searcher;
     use airphant_corpus::{Corpus, LineSplitter, WhitespaceTokenizer};
     use airphant_storage::{
-        BatchFetch, CachedStore, Fetched, InMemoryStore, LatencyModel, ObjectStore, RangeRequest,
-        SimulatedCloudStore,
+        BatchFetch, CachedStore, CoalescingStore, Fetched, InMemoryStore, LatencyModel,
+        ObjectStore, RangeRequest, SimulatedCloudStore,
     };
     use bytes::Bytes;
     use std::sync::Condvar;
@@ -767,18 +785,22 @@ mod tests {
             let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
             build_index(s, &refs);
         }
+        // The full serving stack of ADR-005: cloud → scheduler → cache.
+        let scheduler = Arc::new(CoalescingStore::new(sim.clone() as Arc<dyn ObjectStore>));
         let cache = Arc::new(CachedStore::new(
-            sim.clone() as Arc<dyn ObjectStore>,
+            scheduler.clone() as Arc<dyn ObjectStore>,
             1 << 20,
         ));
         let searcher =
             Arc::new(Searcher::open(cache.clone() as Arc<dyn ObjectStore>, "idx").unwrap());
         let cache_for_stats = cache.clone();
+        let scheduler_for_stats = scheduler.clone();
         let server = QueryServer::start(
             searcher,
             ServerConfig::new().with_workers(4).with_queue_capacity(32),
         )
-        .with_cache_stats(move || cache_for_stats.hit_stats());
+        .with_cache_stats(move || cache_for_stats.hit_stats())
+        .with_scheduler_stats(move || scheduler_for_stats.stats());
         let tickets: Vec<Ticket> = (0..40)
             .map(|i| {
                 server
@@ -798,6 +820,13 @@ mod tests {
         assert!(stats.wait_p50_ms <= stats.wait_p99_ms);
         assert!(stats.cache.is_some());
         assert!(stats.cache_hit_rate().is_some());
+        // The attached scheduler's counters are plumbed through, and the
+        // cache's miss batches did flow through it.
+        let sched = stats.scheduler.expect("scheduler stats attached");
+        assert!(
+            sched.backend_batches > 0,
+            "misses flow through the scheduler"
+        );
         // The closed-loop model: 4 workers serve 40 queries at least ~4x
         // faster than one worker would (same samples, fewer servers).
         let one = closed_loop_makespan(

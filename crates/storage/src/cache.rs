@@ -245,6 +245,92 @@ impl<S: ObjectStore> CachedStore<S> {
             .remove(key);
         flight.finish();
     }
+
+    /// Route one missing request of a batch: a cache hit fills
+    /// `parts[i]`; a claimed fetch is queued into the round's `leading`
+    /// set (its guard held so followers can wait on the flight); a range
+    /// another thread is already fetching joins `following`. The
+    /// probe→claim→re-probe dance is the same as `get_range`'s: a prior
+    /// leader may admit and release between our probe and our claim.
+    fn route_request<'a>(
+        &'a self,
+        i: usize,
+        r: &RangeRequest,
+        key: &RangeKey,
+        parts: &mut [Option<Fetched>],
+        round: &mut BatchRound<'a, S>,
+    ) {
+        if let Some(hit) = self.probe(key) {
+            parts[i] = Some(hit);
+            return;
+        }
+        match self.claim(key) {
+            Claim::Leader(guard) => {
+                if let Some(hit) = self.probe(key) {
+                    drop(guard);
+                    parts[i] = Some(hit);
+                    return;
+                }
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                round.leading.push((i, r.clone(), self.epoch_of(&r.name)));
+                round.claims.push(guard);
+            }
+            Claim::Follower(flight) => round.following.push((i, flight)),
+        }
+    }
+
+    /// Issue one round's led ranges as a single concurrent batch, admit
+    /// what fits, fill `parts`, and fold the batch's cost in with
+    /// concurrent semantics (waits overlap via max, transfers share the
+    /// link and add).
+    fn lead_batch(
+        &self,
+        leading: Vec<(usize, RangeRequest, u64)>,
+        parts: &mut [Option<Fetched>],
+        wait: &mut SimDuration,
+        download: &mut SimDuration,
+    ) -> Result<()> {
+        if leading.is_empty() {
+            return Ok(());
+        }
+        let reqs: Vec<RangeRequest> = leading.iter().map(|(_, r, _)| r.clone()).collect();
+        // Errors (and panics) drop the caller's claims, releasing every
+        // flight.
+        let batch = self.inner.get_ranges(&reqs)?;
+        *wait = (*wait).max(batch.batch_wait);
+        *download += batch.batch_download;
+        for ((i, r, epoch), fetched) in leading.into_iter().zip(batch.parts) {
+            self.admit_if_current(
+                RangeKey {
+                    name: r.name,
+                    offset: r.offset,
+                    len: r.len,
+                },
+                &fetched.bytes,
+                epoch,
+            );
+            parts[i] = Some(fetched);
+        }
+        Ok(())
+    }
+}
+
+/// One round of a batched fetch: the ranges this thread leads (claims
+/// held until the round's batch lands) and the flights it follows.
+struct BatchRound<'a, S: ObjectStore> {
+    leading: Vec<(usize, RangeRequest, u64)>,
+    claims: Vec<ClaimGuard<'a, S>>,
+    following: Vec<(usize, Arc<Flight>)>,
+}
+
+impl<S: ObjectStore> BatchRound<'_, S> {
+    fn new() -> Self {
+        BatchRound {
+            leading: Vec::new(),
+            claims: Vec::new(),
+            following: Vec::new(),
+        }
+    }
 }
 
 impl<S: ObjectStore> ObjectStore for CachedStore<S> {
@@ -322,83 +408,71 @@ impl<S: ObjectStore> ObjectStore for CachedStore<S> {
     fn get_ranges(&self, requests: &[RangeRequest]) -> Result<BatchFetch> {
         // Serve hits locally; fetch only the misses this thread leads as
         // one (smaller) batch; ranges already being fetched by another
-        // thread are awaited instead of re-requested.
+        // thread are awaited instead of re-requested. A range appearing
+        // twice in the same batch is physically fetched once and the
+        // duplicate is served from the first occurrence's part — without
+        // this, a non-admittable (oversized) payload would send the
+        // duplicate back to the backend for bytes this very batch already
+        // holds.
         let mut parts: Vec<Option<Fetched>> = vec![None; requests.len()];
-        let mut leading: Vec<(usize, RangeRequest, u64)> = Vec::new();
-        let mut claims: Vec<ClaimGuard<'_, S>> = Vec::new();
-        let mut following: Vec<(usize, Arc<Flight>)> = Vec::new();
+        let mut first_occurrence: HashMap<RangeKey, usize> = HashMap::new();
+        let mut duplicates: Vec<(usize, usize)> = Vec::new();
+        let mut round = BatchRound::new();
         for (i, r) in requests.iter().enumerate() {
             let key = RangeKey {
                 name: r.name.clone(),
                 offset: r.offset,
                 len: r.len,
             };
-            if let Some(hit) = self.probe(&key) {
-                parts[i] = Some(hit);
+            if let Some(&j) = first_occurrence.get(&key) {
+                duplicates.push((i, j));
                 continue;
             }
-            match self.claim(&key) {
-                Claim::Leader(guard) => {
-                    // Same probe→claim window as in `get_range`: a prior
-                    // leader may have admitted and released in between.
-                    if let Some(hit) = self.probe(&key) {
-                        drop(guard);
-                        parts[i] = Some(hit);
-                        continue;
-                    }
-                    self.misses.fetch_add(1, Ordering::Relaxed);
-                    leading.push((i, r.clone(), self.epoch_of(&r.name)));
-                    claims.push(guard);
-                }
-                Claim::Follower(flight) => following.push((i, flight)),
-            }
+            self.route_request(i, r, &key, &mut parts, &mut round);
+            first_occurrence.insert(key, i);
         }
 
         let (mut wait, mut download) = (SimDuration::ZERO, SimDuration::ZERO);
-        if !leading.is_empty() {
-            let reqs: Vec<RangeRequest> = leading.iter().map(|(_, r, _)| r.clone()).collect();
-            // Errors (and panics) drop `claims`, releasing every flight.
-            let batch = self.inner.get_ranges(&reqs)?;
-            wait = batch.batch_wait;
-            download = batch.batch_download;
-            for ((i, r, epoch), fetched) in leading.into_iter().zip(batch.parts) {
-                self.admit_if_current(
-                    RangeKey {
-                        name: r.name,
-                        offset: r.offset,
-                        len: r.len,
-                    },
-                    &fetched.bytes,
-                    epoch,
-                );
-                parts[i] = Some(fetched);
-            }
-        }
+        self.lead_batch(round.leading, &mut parts, &mut wait, &mut download)?;
         // Publish our claims *before* waiting on anyone else's flight:
         // every batch completes its own fetches without blocking on other
         // threads, so there is no wait cycle to deadlock on.
-        drop(claims);
+        drop(round.claims);
 
-        for (i, flight) in following {
-            flight.wait();
-            let r = &requests[i];
-            let key = RangeKey {
-                name: r.name.clone(),
-                offset: r.offset,
-                len: r.len,
-            };
-            if let Some(hit) = self.probe(&key) {
-                parts[i] = Some(hit);
-                continue;
+        // Ranges another thread was fetching: wait for every flight, then
+        // re-probe (via `route_request`, like round one). Whatever the
+        // leaders failed to admit (error, or bytes larger than the cache)
+        // is refetched as ONE concurrent fallback batch per round — never
+        // a range at a time, which would degrade a K-range batch into K
+        // serial round trips. A round's fallback ranges that yet another
+        // thread is again fetching roll into the next round. Each round's
+        // batch folds in with concurrent semantics: waits overlap, its
+        // transfer shares the link.
+        let mut following = round.following;
+        while !following.is_empty() {
+            let mut round = BatchRound::new();
+            for (i, flight) in following {
+                flight.wait();
+                let r = &requests[i];
+                let key = RangeKey {
+                    name: r.name.clone(),
+                    offset: r.offset,
+                    len: r.len,
+                };
+                self.route_request(i, r, &key, &mut parts, &mut round);
             }
-            // The other thread's fetch failed or was not admitted: fall
-            // back to the single-range path (which claims and charges its
-            // own latency). Concurrent semantics: its wait overlaps the
-            // batch wait, its transfer shares the link.
-            let fetched = self.get_range(&r.name, r.offset, r.len)?;
-            wait = wait.max(fetched.latency.first_byte);
-            download += fetched.latency.transfer;
-            parts[i] = Some(fetched);
+            self.lead_batch(round.leading, &mut parts, &mut wait, &mut download)?;
+            drop(round.claims);
+            following = round.following;
+        }
+
+        // Intra-batch duplicates ride on the first occurrence's bytes —
+        // the same physical fetch, so they cost nothing and count as hits
+        // (`hits + misses == requests` stays exact; the old fallback
+        // could double-count a duplicate as a second miss).
+        for (i, j) in duplicates {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            parts[i] = Some(parts[j].clone().expect("first occurrence filled"));
         }
 
         Ok(BatchFetch {
@@ -935,6 +1009,112 @@ mod tests {
         assert_eq!(ok, 3, "one panicking leader, three recovered followers");
         // The key is serviceable afterwards.
         assert_eq!(store.get_range("blob", 0, 64).unwrap().bytes.len(), 64);
+    }
+
+    #[test]
+    fn intra_batch_duplicate_of_oversized_range_is_not_refetched() {
+        // Budget 128 B, range 1 KiB: the leader's bytes are never
+        // admitted, so the duplicate occurrence cannot be served from the
+        // cache — it must ride on the leader's fetched part instead of
+        // paying the backend a second time for identical bytes.
+        let store = CachedStore::new(cloud(), 128);
+        let reqs = vec![
+            RangeRequest::new("blob", 0, 1024),
+            RangeRequest::new("blob", 0, 1024),
+        ];
+        let batch = store.get_ranges(&reqs).unwrap();
+        assert_eq!(batch.parts.len(), 2);
+        assert_eq!(&batch.parts[0].bytes[..], &batch.parts[1].bytes[..]);
+        assert_eq!(
+            store.inner().stats().read_requests,
+            1,
+            "the duplicate must not re-fetch from the backend"
+        );
+        // Exactly one count per logical read: 1 miss (leader) + 1 hit
+        // (duplicate served from the leader's part). The old fallback
+        // charged a second miss through `get_range`.
+        assert_eq!(store.hit_stats(), (1, 1));
+    }
+
+    #[test]
+    fn duplicate_heavy_batch_accounting_is_exact() {
+        let store = CachedStore::new(cloud(), 1 << 20);
+        store.get_range("blob", 0, 64).unwrap(); // warm one range: 1 miss
+        let reqs = vec![
+            RangeRequest::new("blob", 0, 64),  // hit
+            RangeRequest::new("blob", 0, 64),  // duplicate of a hit
+            RangeRequest::new("blob", 64, 64), // miss
+            RangeRequest::new("blob", 64, 64), // duplicate of a miss
+            RangeRequest::new("blob", 64, 64), // and again
+        ];
+        let batch = store.get_ranges(&reqs).unwrap();
+        for w in batch.parts.windows(2).take(1) {
+            assert_eq!(&w[0].bytes[..], &w[1].bytes[..]);
+        }
+        assert_eq!(&batch.parts[2].bytes[..], &batch.parts[3].bytes[..]);
+        assert_eq!(&batch.parts[3].bytes[..], &batch.parts[4].bytes[..]);
+        let (hits, misses) = store.hit_stats();
+        assert_eq!(hits + misses, 1 + 5, "one count per logical read");
+        assert_eq!((hits, misses), (4, 2));
+    }
+
+    #[test]
+    fn follower_fallback_is_batched_not_serial() {
+        // Eight threads race on the same batch of K oversized ranges
+        // (budget 128 B, ranges 1 KiB: never admitted). One thread leads
+        // the first backend batch; every other thread's follower wait
+        // comes back empty and must fall back — as ONE concurrent batch,
+        // not K serial `get_range` round trips.
+        const K: u64 = 6;
+        let inner = InMemoryStore::new();
+        inner.put("blob", Bytes::from(vec![9u8; 1 << 16])).unwrap();
+        let sim = SimulatedCloudStore::new(inner, LatencyModel::gcs_like(), 77);
+        let store = std::sync::Arc::new(CachedStore::new(sim, 128));
+        let reqs: Vec<RangeRequest> = (0..K)
+            .map(|i| RangeRequest::new("blob", i * 1024, 1024))
+            .collect();
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(8));
+        let latencies: Vec<(SimDuration, SimDuration)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let store = store.clone();
+                    let reqs = reqs.clone();
+                    let barrier = barrier.clone();
+                    s.spawn(move || {
+                        barrier.wait();
+                        let batch = store.get_ranges(&reqs).unwrap();
+                        for (i, p) in batch.parts.iter().enumerate() {
+                            assert_eq!(p.bytes.len(), 1024, "part {i} intact");
+                        }
+                        (batch.batch_wait, batch.batch_latency)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Nothing was admittable, so every thread fetched every range
+        // from the backend exactly once…
+        assert_eq!(store.inner().stats().read_requests, 8 * K);
+        let (hits, misses) = store.hit_stats();
+        assert_eq!((hits, misses), (0, 8 * K), "one miss per logical read");
+        // …but in batch-shaped rounds: the old fallback issued one
+        // single-range backend request per follower per range (1 + 7·K
+        // batches); batched fallbacks stay well under that.
+        assert!(
+            store.inner().stats().batches < 1 + 7 * K,
+            "fallbacks must coalesce into batches, saw {} backend batches",
+            store.inner().stats().batches
+        );
+        // Batch-shaped latency: a serial fallback would charge the SUM of
+        // K ~45 ms waits (≈ 270 ms); a concurrent batch charges maxes.
+        // Rounds overlap, so even a straggler stays far below the sum.
+        for (wait, total) in &latencies {
+            assert!(
+                wait.as_millis_f64() < 150.0,
+                "wait {wait} must be max-shaped, not a {K}-round-trip sum"
+            );
+            assert!(*total >= *wait);
+        }
     }
 
     #[test]

@@ -41,6 +41,7 @@ mod latency;
 mod localfs;
 mod memory;
 mod object_store;
+mod scheduler;
 mod sim;
 mod trace;
 
@@ -51,6 +52,7 @@ pub use latency::{LatencyModel, LatencyModelBuilder, LatencySample, RegionProfil
 pub use localfs::LocalFsStore;
 pub use memory::InMemoryStore;
 pub use object_store::{BatchFetch, Fetched, ObjectStore, RangeRequest, Version};
+pub use scheduler::{CoalescingStore, SchedulerConfig, SchedulerStats};
 pub use sim::{IoStatsSnapshot, SimulatedCloudStore};
 pub use trace::{PhaseKind, PhaseTrace, QueryTrace};
 
