@@ -1,11 +1,22 @@
 //! Ablation (§IV-G): built-in replication against the Long Tail Problem.
 //! Build with L* + extra layers, then compare waiting for all layers vs
 //! only the fastest L*, under a heavy-tailed latency model.
+//!
+//! Second act: the *serving-side* answer to the same problem — hedged
+//! duplicate requests in the async core. Under the deterministic
+//! [`SpikeProfile`] (1-in-100 batches straggle at 10× first byte), the
+//! same workload runs with and without hedging; hedging must cut the
+//! p99 sojourn while staying within its dispatch budget, and the hedged
+//! p99 is published as the `BENCH_straggler.json` headline. Exit-coded.
 
-use airphant::{AirphantConfig, Searcher};
+use airphant::{
+    AirphantConfig, AsyncQueryServer, AsyncServerConfig, AsyncTicket, HedgeConfig, Query,
+    QueryOptions, Searcher, StagedEngine, SubmitSpec,
+};
 use airphant_bench::report::ms;
-use airphant_bench::{paper_datasets, summarize, BenchEnv, DatasetKind, Report};
-use airphant_storage::LatencyModel;
+use airphant_bench::{paper_datasets, summarize, BenchEnv, DatasetKind, Headline, Report};
+use airphant_storage::{LatencyModel, ObjectStore, SimDuration, SimulatedCloudStore, SpikeProfile};
+use std::sync::Arc;
 
 fn main() {
     let spec = paper_datasets()
@@ -74,4 +85,169 @@ fn main() {
     report.finish();
     println!("expected: waiting for the fastest 2 of 5 cuts the p99 dramatically (the tail");
     println!("no longer gates the batch) at the cost of slightly more false positives.");
+
+    // ---- Act 2: hedged requests in the async serving core ------------
+    let ok = hedging_ablation(&env);
+    if !ok {
+        std::process::exit(1);
+    }
+}
+
+/// The spike profile under test: 1 in 100 dispatches pays 10× its first
+/// byte — the "p99 ≈ 10× median" cloud straggler.
+const SPIKE: (u64, f64) = (100, 10.0);
+const HEDGE_PERCENTILE: f64 = 0.95;
+const HEDGE_BUDGET: f64 = 0.10;
+const CLIENTS: usize = 1_500;
+const OFFERED_QPS: f64 = 120.0;
+
+/// Run the spiked open-loop workload with hedging on/off; returns true
+/// when every check holds.
+fn hedging_ablation(env: &BenchEnv) -> bool {
+    let workload = env.workload(60, 11);
+    let words: Vec<&str> = workload.iter().collect();
+    let run = |hedge: bool| {
+        // Both runs replay the same primary latency stream (same seed,
+        // same spike phase); the hedge path re-dispatches against an
+        // independently seeded replica of the same bytes.
+        let spikes = SpikeProfile::new(SPIKE.0, SPIKE.1);
+        let primary = Arc::new(
+            SimulatedCloudStore::new(env.raw_store(), LatencyModel::gcs_like(), 42)
+                .with_spikes(spikes),
+        );
+        let searcher = Arc::new(
+            Searcher::open(primary.clone() as Arc<dyn ObjectStore>, "idx/straggler").expect("open"),
+        );
+        let mut config = AsyncServerConfig::new().with_executor_threads(0);
+        if hedge {
+            config = config.with_hedge(HedgeConfig {
+                percentile: HEDGE_PERCENTILE,
+                min_samples: 64,
+                budget_fraction: HEDGE_BUDGET,
+            });
+        }
+        let mut server = AsyncQueryServer::start(searcher as Arc<dyn StagedEngine>, config);
+        if hedge {
+            let replica = Arc::new(
+                SimulatedCloudStore::new(env.raw_store(), LatencyModel::gcs_like(), 1042)
+                    .with_spikes(spikes),
+            );
+            server = server.with_hedge_backend(replica as Arc<dyn ObjectStore>);
+        }
+        let tickets: Vec<AsyncTicket> = (0..CLIENTS)
+            .map(|i| {
+                server.submit_at(
+                    Query::term(words[i % words.len()]),
+                    QueryOptions::new().top_k(10),
+                    SubmitSpec::new().at(SimDuration::from_secs_f64(i as f64 / OFFERED_QPS)),
+                )
+            })
+            .collect();
+        server.drain();
+        let results: Vec<String> = tickets
+            .into_iter()
+            .map(|t| {
+                let r = t.wait().result.expect("served");
+                let mut hits: Vec<String> = r
+                    .hits
+                    .iter()
+                    .map(|h| format!("{}#{}+{}:{}", h.blob, h.offset, h.len, h.text))
+                    .collect();
+                hits.sort();
+                hits.join("|")
+            })
+            .collect();
+        (server.shutdown(), results)
+    };
+
+    let (plain, plain_results) = run(false);
+    let (hedged, hedged_results) = run(true);
+
+    let mut report = Report::new(
+        "ablation_straggler_hedging",
+        &[
+            "policy",
+            "sojourn_p50",
+            "sojourn_p99",
+            "hedges",
+            "hedge_wins",
+        ],
+    );
+    for (policy, stats) in [("no-hedge", &plain), ("hedge-p95", &hedged)] {
+        report.push(
+            vec![
+                policy.to_string(),
+                ms(stats.latency_p50_ms),
+                ms(stats.latency_p99_ms),
+                stats.hedges.to_string(),
+                stats.hedge_wins.to_string(),
+            ],
+            serde_json::json!({
+                "policy": policy,
+                "sojourn_p50_ms": stats.latency_p50_ms,
+                "sojourn_p99_ms": stats.latency_p99_ms,
+                "hedges": stats.hedges,
+                "hedge_wins": stats.hedge_wins,
+                "completed": stats.completed,
+            }),
+        );
+    }
+    report.finish();
+
+    let mut ok = true;
+    if hedged.latency_p99_ms >= plain.latency_p99_ms {
+        eprintln!(
+            "FAIL: hedging did not cut the p99 sojourn ({:.1}ms vs {:.1}ms unhedged)",
+            hedged.latency_p99_ms, plain.latency_p99_ms
+        );
+        ok = false;
+    }
+    // Budget: the denominator counts every dispatch, hedges included
+    // (≤ 2 primary batches per query + the hedges themselves).
+    let dispatched = 2 * hedged.completed + hedged.hedges;
+    if (hedged.hedges as f64) > HEDGE_BUDGET * dispatched as f64 + 1.0 {
+        eprintln!(
+            "FAIL: {} hedges exceed the {:.0}% budget of {} dispatches",
+            hedged.hedges,
+            HEDGE_BUDGET * 100.0,
+            dispatched
+        );
+        ok = false;
+    }
+    if hedged.hedge_wins == 0 {
+        eprintln!("FAIL: no hedge ever won — the spike profile is not straggling");
+        ok = false;
+    }
+    if plain_results != hedged_results {
+        eprintln!("FAIL: hedged results diverged from the unhedged run");
+        ok = false;
+    }
+    println!(
+        "hedging check: p99 {:.1}ms -> {:.1}ms ({:+.1}%), {} hedges ({} won) over {} queries: {}",
+        plain.latency_p99_ms,
+        hedged.latency_p99_ms,
+        (hedged.latency_p99_ms / plain.latency_p99_ms - 1.0) * 100.0,
+        hedged.hedges,
+        hedged.hedge_wins,
+        hedged.completed,
+        if ok { "OK" } else { "FAIL" },
+    );
+
+    Headline::new(
+        "straggler",
+        "hedged_p99_sojourn_ms",
+        hedged.latency_p99_ms,
+        "ms",
+        serde_json::json!({
+            "clients": CLIENTS,
+            "offered_qps": OFFERED_QPS,
+            "spike_every": SPIKE.0,
+            "spike_multiplier": SPIKE.1,
+            "hedge_percentile": HEDGE_PERCENTILE,
+            "hedge_budget_fraction": HEDGE_BUDGET,
+            "unhedged_p99_sojourn_ms": plain.latency_p99_ms,
+        }),
+    )
+    .write();
+    ok
 }

@@ -12,13 +12,15 @@
 //! airphant bench-serve --store DIR --index PREFIX [WORD...]
 //!                      [--corpus PREFIX] [--workers N] [--queue CAP]
 //!                      [--queries M] [--cache-kb KB] [--deadline-ms MS]
-//!                      [--ngram N] [--top K]
+//!                      [--ngram N] [--top K] [--clients N]
+//!                      [--priority-mix H:N:L] [--hedge-pct P]
 //! airphant stats       --store DIR --corpus PREFIX
 //! ```
 
 use airphant::{
-    AirphantConfig, Builder, CompactionPolicy, Compactor, Query, QueryOptions, QueryServer,
-    Searcher, SegmentManager, ServerConfig, ShardRouter,
+    AdmissionConfig, AirphantConfig, AsyncQueryServer, AsyncServerConfig, Builder,
+    CompactionPolicy, Compactor, HedgeConfig, Priority, Query, QueryOptions, QueryServer, Searcher,
+    SegmentManager, ServerConfig, ServerStats, ShardRouter, StagedEngine, SubmitError, SubmitSpec,
 };
 use airphant_corpus::{Corpus, LineSplitter, NgramTokenizer, Tokenizer, WhitespaceTokenizer};
 use airphant_storage::{
@@ -46,7 +48,8 @@ const USAGE: &str = "usage:
   airphant bench-serve --store DIR --index PREFIX [WORD...]
                        [--corpus PREFIX] [--workers N] [--queue CAP]
                        [--queries M] [--cache-kb KB] [--deadline-ms MS]
-                       [--ngram N] [--top K] [--coalesce]
+                       [--ngram N] [--top K] [--coalesce] [--clients N]
+                       [--priority-mix H:N:L] [--hedge-pct P]
   airphant stats       --store DIR --corpus PREFIX
 
 Multiple WORDs are combined with AND (--or combines them with OR).
@@ -79,6 +82,16 @@ worker pool over one shared Searcher and one shared byte-budgeted cache,
 on a simulated gcs-like cloud link) and prints throughput + tail latency.
 The workload cycles the given WORDs, or samples the vocabulary of
 --corpus PREFIX when no WORDs are given.
+
+--clients N switches bench-serve to the *async* admission-controlled
+core (docs/adr/006-async-admission-core.md): N simulated clients submit
+at once and suspend as event-driven state machines over --workers
+executor threads, with --queue capping the admitted in-flight set
+(watermark load-shedding: Low sheds at 50%, Normal at 80%, High only at
+the cap). --priority-mix H:N:L weights the submission classes (default
+0:1:0, all Normal); --hedge-pct P re-dispatches a storage batch that
+straggles past its observed Pth latency percentile against a replica
+backend below the cache. Shed and hedge counters print after the run.
 
 --coalesce inserts the cross-query I/O scheduler below the cache: each
 batch's overlapping/adjacent ranges merge into fewer larger reads, and
@@ -507,20 +520,72 @@ fn search(args: &mut Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse `--priority-mix H:N:L` into a repeating class pattern, e.g.
+/// `1:2:1` submits High, Normal, Normal, Low, High, ...
+fn parse_priority_mix(mix: &str) -> Result<Vec<Priority>, String> {
+    let parts: Vec<&str> = mix.split(':').collect();
+    if parts.len() != 3 {
+        return Err(format!(
+            "--priority-mix wants three counts H:N:L, got {mix}"
+        ));
+    }
+    let mut pattern = Vec::new();
+    for (class, part) in [Priority::High, Priority::Normal, Priority::Low]
+        .into_iter()
+        .zip(parts)
+    {
+        let n: usize = part
+            .parse()
+            .map_err(|_| format!("bad count in --priority-mix: {part}"))?;
+        for _ in 0..n {
+            pattern.push(class);
+        }
+    }
+    if pattern.is_empty() {
+        return Err("--priority-mix must weight at least one class".into());
+    }
+    Ok(pattern)
+}
+
+/// The latency/cache lines shared by the sync and async bench-serve
+/// report.
+fn print_latency_and_cache(stats: &ServerStats) {
+    println!(
+        "latency ms: p50 {:.1}  p95 {:.1}  p99 {:.1}  (lookup wait p50 {:.1}, p99 {:.1})",
+        stats.latency_p50_ms,
+        stats.latency_p95_ms,
+        stats.latency_p99_ms,
+        stats.wait_p50_ms,
+        stats.wait_p99_ms,
+    );
+    match stats.cache_hit_rate() {
+        Some(rate) => {
+            let (h, m) = stats.cache.expect("rate implies counters");
+            println!(
+                "shared cache: {:.1}% hit rate ({h} hits / {m} misses)",
+                rate * 100.0
+            );
+        }
+        None => println!("shared cache: no traffic"),
+    }
+}
+
 fn bench_serve(args: &mut Args) -> Result<(), String> {
     let store = open_store(args)?;
     let index = args.required("--index")?;
     let corpus_prefix = args.optional_parse::<String>("--corpus")?;
     let workers = args.optional_parse::<usize>("--workers")?.unwrap_or(4);
-    let queue = args
-        .optional_parse::<usize>("--queue")?
-        .unwrap_or(workers * 4);
+    let queue_cap = args.optional_parse::<usize>("--queue")?;
+    let queue = queue_cap.unwrap_or(workers * 4);
     let queries = args.optional_parse::<usize>("--queries")?.unwrap_or(200);
     let cache_kb = args.optional_parse::<usize>("--cache-kb")?.unwrap_or(1024);
     let deadline_ms = args.optional_parse::<u64>("--deadline-ms")?;
     let top_k = args.optional_parse::<usize>("--top")?;
     let ngram = args.optional_parse::<usize>("--ngram")?;
     let coalesce = args.flag("--coalesce");
+    let clients = args.optional_parse::<usize>("--clients")?;
+    let priority_mix = args.optional_parse::<String>("--priority-mix")?;
+    let hedge_pct = args.optional_parse::<f64>("--hedge-pct")?;
     let mut words = args.positional();
 
     // No explicit WORDs: sample the vocabulary of --corpus.
@@ -549,6 +614,31 @@ fn bench_serve(args: &mut Args) -> Result<(), String> {
             .to_vec();
     }
     args.finish()?;
+
+    if let Some(clients) = clients {
+        if coalesce {
+            return Err(
+                "--coalesce applies to the sync worker pool; drop it with --clients".into(),
+            );
+        }
+        return bench_serve_async(BenchServeAsync {
+            store,
+            index,
+            words,
+            clients,
+            pattern: parse_priority_mix(priority_mix.as_deref().unwrap_or("0:1:0"))?,
+            hedge_pct,
+            workers,
+            queue_cap,
+            cache_kb,
+            deadline_ms,
+            top_k,
+            ngram,
+        });
+    }
+    if priority_mix.is_some() || hedge_pct.is_some() {
+        return Err("--priority-mix and --hedge-pct need --clients (the async core)".into());
+    }
 
     // The serving stack: local blobs → simulated cloud link → (optional
     // cross-query I/O scheduler) → one shared byte-budgeted cache → one
@@ -613,24 +703,7 @@ fn bench_serve(args: &mut Args) -> Result<(), String> {
         "throughput: {:.1} q/s simulated ({:.1} q/s wall), makespan {}",
         stats.qps_sim, stats.qps_wall, stats.sim_makespan,
     );
-    println!(
-        "latency ms: p50 {:.1}  p95 {:.1}  p99 {:.1}  (lookup wait p50 {:.1}, p99 {:.1})",
-        stats.latency_p50_ms,
-        stats.latency_p95_ms,
-        stats.latency_p99_ms,
-        stats.wait_p50_ms,
-        stats.wait_p99_ms,
-    );
-    match stats.cache_hit_rate() {
-        Some(rate) => {
-            let (h, m) = stats.cache.expect("rate implies counters");
-            println!(
-                "shared cache: {:.1}% hit rate ({h} hits / {m} misses)",
-                rate * 100.0
-            );
-        }
-        None => println!("shared cache: no traffic"),
-    }
+    print_latency_and_cache(&stats);
     if let Some(sched) = stats.scheduler {
         println!(
             "i/o scheduler: {} range(s) merged, {} fused cross-query batch(es), \
@@ -643,6 +716,133 @@ fn bench_serve(args: &mut Args) -> Result<(), String> {
         stats.completed, stats.timed_out, stats.failed, stats.rejected,
     );
     if timeouts != (stats.timed_out + stats.failed) as usize {
+        return Err("ticket outcomes disagree with server counters".into());
+    }
+    Ok(())
+}
+
+/// Everything `bench-serve --clients N` needs after flag parsing.
+struct BenchServeAsync {
+    store: Arc<dyn ObjectStore>,
+    index: String,
+    words: Vec<String>,
+    clients: usize,
+    pattern: Vec<Priority>,
+    hedge_pct: Option<f64>,
+    workers: usize,
+    queue_cap: Option<usize>,
+    cache_kb: usize,
+    deadline_ms: Option<u64>,
+    top_k: Option<usize>,
+    ngram: Option<usize>,
+}
+
+/// `bench-serve --clients N`: burst N simulated clients through the
+/// async admission-controlled core (one event-driven state machine per
+/// query, suspended while storage batches are in flight) and print the
+/// shed/hedge counters next to the usual throughput and tail latency.
+fn bench_serve_async(p: BenchServeAsync) -> Result<(), String> {
+    // The same stack as the sync pool — local blobs → simulated cloud →
+    // one shared byte-budgeted cache — but served by the async core.
+    // The hedge replica sits BELOW the cache (a duplicate dispatch must
+    // race the backend, not the cache it shares with the original).
+    let sim: Arc<dyn ObjectStore> = Arc::new(SimulatedCloudStore::new(
+        p.store.clone(),
+        LatencyModel::gcs_like(),
+        0xC0FFEE,
+    ));
+    let cache = Arc::new(CachedStore::new(sim, p.cache_kb << 10));
+    let searcher = Searcher::open_with_tokenizer(
+        cache.clone() as Arc<dyn ObjectStore>,
+        &p.index,
+        tokenizer_for(p.ngram)?,
+    )
+    .map_err(|e| e.to_string())?;
+
+    let mut config = AsyncServerConfig::new().with_executor_threads(p.workers);
+    if let Some(cap) = p.queue_cap {
+        config = config.with_admission(AdmissionConfig::with_max_in_flight(cap));
+    }
+    if let Some(ms) = p.deadline_ms {
+        config = config.with_deadline(SimDuration::from_millis(ms));
+    }
+    if let Some(pct) = p.hedge_pct {
+        if !(0.0..100.0).contains(&pct) || pct == 0.0 {
+            return Err("--hedge-pct must be a percentile in (0, 100)".into());
+        }
+        config = config.with_hedge(HedgeConfig {
+            percentile: pct / 100.0,
+            ..HedgeConfig::default()
+        });
+    }
+    let cache_for_stats = cache.clone();
+    let mut server = AsyncQueryServer::start(Arc::new(searcher) as Arc<dyn StagedEngine>, config)
+        .with_cache_stats(move || cache_for_stats.hit_stats());
+    if p.hedge_pct.is_some() {
+        let replica: Arc<dyn ObjectStore> = Arc::new(SimulatedCloudStore::new(
+            p.store,
+            LatencyModel::gcs_like(),
+            0xBEEF,
+        ));
+        server = server.with_hedge_backend(replica);
+    }
+
+    let opts = QueryOptions::new().with_top_k(p.top_k);
+    let mut tickets = Vec::with_capacity(p.clients);
+    let mut shed = 0u64;
+    for i in 0..p.clients {
+        let word = &p.words[i % p.words.len()];
+        let class = p.pattern[i % p.pattern.len()];
+        match server.try_submit(
+            Query::term(word),
+            opts.clone(),
+            SubmitSpec::new().with_class(class),
+        ) {
+            Ok(t) => tickets.push(t),
+            Err(SubmitError::Overloaded { .. }) => shed += 1,
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+    let mut failures = 0usize;
+    for t in tickets {
+        if t.wait().result.is_err() {
+            failures += 1;
+        }
+    }
+    let stats = server.shutdown();
+
+    println!(
+        "served {} of {} client(s) through the async core on {} executor thread(s)",
+        stats.completed, p.clients, p.workers,
+    );
+    println!(
+        "throughput: {:.1} q/s simulated ({:.1} q/s wall), makespan {}, peak in flight {}",
+        stats.qps_sim, stats.qps_wall, stats.sim_makespan, stats.peak_in_flight,
+    );
+    print_latency_and_cache(&stats);
+    if let Some(adm) = &stats.admission {
+        println!(
+            "admission: {} submitted, {} admitted, {} shed \
+             (H {} / N {} / L {}, quota {}, deadline {})",
+            adm.submitted,
+            adm.admitted,
+            adm.shed_total(),
+            adm.shed_high,
+            adm.shed_normal,
+            adm.shed_low,
+            adm.shed_quota,
+            adm.shed_deadline,
+        );
+    }
+    println!(
+        "hedging: {} duplicate dispatch(es), {} won the race",
+        stats.hedges, stats.hedge_wins,
+    );
+    println!(
+        "outcomes: {} ok, {} past deadline, {} failed, {} shed at submit",
+        stats.completed, stats.timed_out, stats.failed, stats.rejected,
+    );
+    if shed != stats.rejected || failures != (stats.timed_out + stats.failed) as usize {
         return Err("ticket outcomes disagree with server counters".into());
     }
     Ok(())

@@ -61,6 +61,28 @@ pub trait SearchEngine: Send + Sync {
     fn index_bytes(&self) -> u64;
 }
 
+/// A [`SearchEngine`] whose execution can be driven in *stages* by an
+/// external scheduler: plan a storage batch, suspend while it is in
+/// flight, then complete from the fetched bytes.
+///
+/// The async serving core ([`crate::serve::AsyncQueryServer`]) needs
+/// direct access to the per-segment [`Searcher`]s so it can run the
+/// staged planner halves in `crate::plan` itself — suspending the query
+/// on the simulated clock between dispatch and completion instead of
+/// blocking an OS thread inside [`SearchEngine::execute`]. Because both
+/// paths run the *same* staged code, async results are byte-for-byte
+/// identical to the sync worker-pool path by construction.
+///
+/// The callback shape keeps the trait object-safe while letting
+/// implementations hand out borrowed segment slices without allocating
+/// on every query (the segmented impl materializes a short-lived
+/// `Vec<&Searcher>`).
+pub trait StagedEngine: SearchEngine {
+    /// Invoke `f` with this engine's live segment set. The slice is only
+    /// valid for the duration of the call.
+    fn with_segments(&self, f: &mut dyn FnMut(&[&crate::Searcher]));
+}
+
 impl SearchEngine for crate::Searcher {
     fn name(&self) -> &'static str {
         "AIRPHANT"
@@ -81,6 +103,19 @@ impl SearchEngine for crate::Searcher {
     fn index_bytes(&self) -> u64 {
         // Header + superpost blocks under the index prefix.
         self.index_usage_bytes()
+    }
+}
+
+impl StagedEngine for crate::Searcher {
+    fn with_segments(&self, f: &mut dyn FnMut(&[&crate::Searcher])) {
+        f(&[self]);
+    }
+}
+
+impl StagedEngine for crate::SegmentedSearcher {
+    fn with_segments(&self, f: &mut dyn FnMut(&[&crate::Searcher])) {
+        let refs: Vec<&crate::Searcher> = self.segments().iter().collect();
+        f(&refs);
     }
 }
 

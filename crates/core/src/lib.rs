@@ -71,6 +71,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod boolean;
 pub mod builder;
 pub mod compact;
@@ -87,19 +88,23 @@ pub mod serve;
 pub mod shard;
 pub mod substring;
 
+pub use admission::{AdmissionConfig, AdmissionController, AdmissionStats, Priority, QuotaConfig};
 #[allow(deprecated)]
 pub use boolean::BoolQuery;
 pub use builder::{BuildReport, Builder};
 pub use compact::{CompactionPolicy, CompactionReport, Compactor};
 pub use config::AirphantConfig;
-pub use engine::SearchEngine;
+pub use engine::{SearchEngine, StagedEngine};
 pub use error::AirphantError;
 pub use plan::execute_with_lookup;
 pub use query::{Query, QueryOptions};
 pub use result::{SearchHit, SearchResult};
 pub use searcher::Searcher;
 pub use segments::{Manifest, SegmentEntry, SegmentManager, SegmentedSearcher};
-pub use serve::{QueryServer, ServerConfig, ServerStats, SubmitError, Ticket};
+pub use serve::{
+    AsyncQueryServer, AsyncServerConfig, AsyncTicket, HedgeConfig, QueryResponse, QueryServer,
+    ServeError, ServerConfig, ServerStats, SubmitError, SubmitSpec, Ticket,
+};
 pub use shard::{shard_of, ShardAppend, ShardRouter, ShardedSearcher};
 
 /// Convenient `Result` alias.

@@ -24,25 +24,35 @@ use crate::retrieval::BlobResolver;
 use crate::searcher::{sample_postings, seed_for, Searcher};
 use crate::Result;
 use airphant_corpus::Tokenizer;
-use airphant_storage::{ObjectStore, PhaseKind, QueryTrace, RangeRequest, SimDuration};
+use airphant_storage::{BatchFetch, ObjectStore, PhaseKind, QueryTrace, RangeRequest, SimDuration};
 use iou_sketch::encoding::decode_superpost;
 use iou_sketch::mht::WordLookup;
 use iou_sketch::{sample_size_for_top_k, Posting, PostingsList};
 use std::collections::HashMap;
 
 /// Per-atom postings for each segment, resolved in one storage batch.
-type SegmentAtomPostings = Vec<HashMap<String, PostingsList>>;
+pub(crate) type SegmentAtomPostings = Vec<HashMap<String, PostingsList>>;
 
-/// Resolve `atoms` against every segment's MHT and fetch all superposts
-/// in a single concurrent batch, recording one [`PhaseKind::Postings`]
-/// phase on `trace`. Returns, per segment, each atom's intersected
-/// postings list.
-pub(crate) fn lookup_atoms(
-    segments: &[&Searcher],
-    atoms: &[String],
-    trace: &mut QueryTrace,
-) -> Result<SegmentAtomPostings> {
-    // --- Plan: coalesce every pointer into one deduplicated request vec.
+/// Stage-1 output of the postings phase: the deduplicated batch of ranged
+/// reads, plus — per segment and atom — the request indices whose decoded
+/// superposts intersect to that atom's postings.
+///
+/// Splitting the plan from its completion lets a driver *suspend* between
+/// dispatching `requests` and decoding the returned batch; the async
+/// serving core ([`crate::serve::AsyncQueryServer`]) parks the query on
+/// the simulated clock during that window while the sync path simply
+/// calls straight through. Both paths share this code, so their results
+/// are byte-for-byte identical by construction.
+pub(crate) struct PostingsPlan {
+    /// Deduplicated ranged reads covering every atom in every segment.
+    pub(crate) requests: Vec<RangeRequest>,
+    /// Per segment, per atom: `(atom_idx, request indices)`.
+    fetch_plan: Vec<Vec<(usize, Vec<usize>)>>,
+}
+
+/// Plan the postings phase: coalesce every superpost pointer — across
+/// atoms, layers, and segments — into one deduplicated request vector.
+pub(crate) fn plan_postings(segments: &[&Searcher], atoms: &[String]) -> PostingsPlan {
     let mut requests: Vec<RangeRequest> = Vec::new();
     let mut request_index: HashMap<(String, u64, u64), usize> = HashMap::new();
     let mut push_request = |req: RangeRequest, requests: &mut Vec<RangeRequest>| -> usize {
@@ -87,20 +97,34 @@ pub(crate) fn lookup_atoms(
         fetch_plan.push(seg_plan);
     }
 
-    if requests.is_empty() {
-        return Ok(segments.iter().map(|_| HashMap::new()).collect());
+    PostingsPlan {
+        requests,
+        fetch_plan,
     }
+}
 
-    // --- Execute: one batch of concurrent ranged reads for everything.
-    let batch = segments[0].store_dyn().get_ranges(&requests)?;
-    trace.record_batch(PhaseKind::Postings, &batch);
+/// Complete the postings phase from a fetched batch: decode each distinct
+/// range at most once, intersect per atom, and charge the decode work as
+/// compute on `trace`. The caller records the batch itself (the sync path
+/// via [`QueryTrace::record_batch`], the async driver with its
+/// possibly-hedged wait). When the plan had no requests, `batch` may be
+/// empty and every segment resolves to an empty map.
+pub(crate) fn complete_postings(
+    plan: &PostingsPlan,
+    atoms: &[String],
+    batch: &BatchFetch,
+    trace: &mut QueryTrace,
+) -> Result<SegmentAtomPostings> {
+    if plan.requests.is_empty() {
+        return Ok(plan.fetch_plan.iter().map(|_| HashMap::new()).collect());
+    }
 
     let compute_start = std::time::Instant::now();
     // Decode each distinct range at most once, even when shared between
     // atoms (hash collisions) or repeated across the query; atoms then
     // intersect over references, never cloning the decoded superposts.
-    let mut decoded: Vec<Option<PostingsList>> = vec![None; requests.len()];
-    for seg_plan in &fetch_plan {
+    let mut decoded: Vec<Option<PostingsList>> = vec![None; plan.requests.len()];
+    for seg_plan in &plan.fetch_plan {
         for (_, indices) in seg_plan {
             for &i in indices {
                 if decoded[i].is_none() {
@@ -110,8 +134,8 @@ pub(crate) fn lookup_atoms(
         }
     }
 
-    let mut out: SegmentAtomPostings = Vec::with_capacity(segments.len());
-    for seg_plan in &fetch_plan {
+    let mut out: SegmentAtomPostings = Vec::with_capacity(plan.fetch_plan.len());
+    for seg_plan in &plan.fetch_plan {
         let mut map = HashMap::with_capacity(atoms.len());
         for (atom_idx, indices) in seg_plan {
             let refs: Vec<&PostingsList> = indices
@@ -127,6 +151,26 @@ pub(crate) fn lookup_atoms(
         compute_start.elapsed().as_secs_f64(),
     ));
     Ok(out)
+}
+
+/// Resolve `atoms` against every segment's MHT and fetch all superposts
+/// in a single concurrent batch, recording one [`PhaseKind::Postings`]
+/// phase on `trace`. Returns, per segment, each atom's intersected
+/// postings list.
+pub(crate) fn lookup_atoms(
+    segments: &[&Searcher],
+    atoms: &[String],
+    trace: &mut QueryTrace,
+) -> Result<SegmentAtomPostings> {
+    let plan = plan_postings(segments, atoms);
+    if plan.requests.is_empty() {
+        return Ok(segments.iter().map(|_| HashMap::new()).collect());
+    }
+
+    // --- Execute: one batch of concurrent ranged reads for everything.
+    let batch = segments[0].store_dyn().get_ranges(&plan.requests)?;
+    trace.record_batch(PhaseKind::Postings, &batch);
+    complete_postings(&plan, atoms, &batch, trace)
 }
 
 /// Evaluate `query` over one segment's atom postings.
@@ -151,23 +195,32 @@ pub(crate) fn lookup_over(
     Ok((out, trace))
 }
 
-/// Full planned execution over one or more segments: one superpost batch,
-/// boolean evaluation, one document batch, exact verify.
-pub(crate) fn execute_over(
+/// Stage-2 output of the document phase: the candidate documents to
+/// fetch (one coalesced batch across segments) plus which segment each
+/// request belongs to, so completion can use the right tokenizer.
+pub(crate) struct DocPlan {
+    /// One document range per surviving candidate, in segment order.
+    pub(crate) requests: Vec<RangeRequest>,
+    /// Owning segment index per request.
+    doc_segments: Vec<usize>,
+    /// Total candidates across segments before sampling/filtering.
+    candidates_total: usize,
+}
+
+/// Plan the document phase from resolved atom postings: evaluate the
+/// boolean algebra per segment, apply the sampled fetch on the
+/// single-keyword + top-k fast path (Equation 6), and resolve every
+/// surviving posting to a document range.
+pub(crate) fn plan_documents(
     segments: &[&Searcher],
     query: &Query,
     opts: &QueryOptions,
-) -> Result<SearchResult> {
-    let atoms = query.atoms()?;
-    let mut trace = QueryTrace::new();
-    let maps = lookup_atoms(segments, &atoms, &mut trace)?;
-
-    // Candidate selection per segment, with the legacy sampled fetch on
-    // the single-keyword + top-k fast path (Equation 6).
+    maps: &SegmentAtomPostings,
+) -> DocPlan {
     let mut candidates_total = 0usize;
     let mut doc_requests: Vec<RangeRequest> = Vec::new();
     let mut doc_segments: Vec<usize> = Vec::new();
-    for (seg_idx, (searcher, map)) in segments.iter().zip(&maps).enumerate() {
+    for (seg_idx, (searcher, map)) in segments.iter().zip(maps).enumerate() {
         let candidates = evaluate_segment(query, map);
         candidates_total += candidates.len();
         let to_fetch: Vec<Posting> = match (query.as_single_term(), opts.top_k) {
@@ -191,24 +244,41 @@ pub(crate) fn execute_over(
             doc_segments.push(seg_idx);
         }
     }
+    DocPlan {
+        requests: doc_requests,
+        doc_segments,
+        candidates_total,
+    }
+}
 
-    // Fetch-and-filter: one concurrent document batch, then the exact
-    // match against document content (perfect precision, §III-C). This
-    // intentionally does not reuse `retrieval::fetch_and_filter`: that
-    // helper issues its own `get_ranges` per call with a single blob
-    // resolver, while this pass must keep documents from *all* segments
-    // (each with its own string table and tokenizer) in one coalesced
-    // batch.
+/// Complete the document phase: run the exact verify pass over the
+/// fetched candidate documents (perfect precision, §III-C) and assemble
+/// the final [`SearchResult`]. `batch` must be `Some` exactly when the
+/// plan had requests; the caller records the batch on `trace` before
+/// calling (sync and async drivers charge different waits).
+///
+/// This intentionally does not reuse `retrieval::fetch_and_filter`: that
+/// helper issues its own `get_ranges` per call with a single blob
+/// resolver, while this pass must keep documents from *all* segments
+/// (each with its own string table and tokenizer) in one coalesced
+/// batch.
+pub(crate) fn complete_documents(
+    segments: &[&Searcher],
+    query: &Query,
+    opts: &QueryOptions,
+    plan: &DocPlan,
+    batch: Option<&BatchFetch>,
+    mut trace: QueryTrace,
+) -> SearchResult {
     let mut hits = Vec::new();
     let mut dropped = 0usize;
-    if !doc_requests.is_empty() {
-        let batch = segments[0].store_dyn().get_ranges(&doc_requests)?;
-        trace.record_batch(PhaseKind::Documents, &batch);
+    if let Some(batch) = batch {
         let filter_start = std::time::Instant::now();
-        for ((req, part), &seg_idx) in doc_requests
+        for ((req, part), &seg_idx) in plan
+            .requests
             .iter()
             .zip(batch.parts.iter())
-            .zip(&doc_segments)
+            .zip(&plan.doc_segments)
         {
             let text = String::from_utf8_lossy(&part.bytes).into_owned();
             let tokenizer = segments[seg_idx].tokenizer();
@@ -233,16 +303,50 @@ pub(crate) fn execute_over(
     if let Some(k) = opts.top_k {
         hits.truncate(k);
     }
-    Ok(SearchResult {
+    SearchResult {
         hits,
         trace: if opts.capture_trace {
             trace
         } else {
             QueryTrace::new()
         },
-        candidates: candidates_total,
+        candidates: plan.candidates_total,
         false_positives_removed: dropped,
-    })
+    }
+}
+
+/// Full planned execution over one or more segments: one superpost batch,
+/// boolean evaluation, one document batch, exact verify. This is the
+/// synchronous driver over the staged halves
+/// ([`plan_postings`]/[`complete_postings`],
+/// [`plan_documents`]/[`complete_documents`]); the async serving core
+/// drives the *same* stages with suspension points between dispatch and
+/// completion.
+pub(crate) fn execute_over(
+    segments: &[&Searcher],
+    query: &Query,
+    opts: &QueryOptions,
+) -> Result<SearchResult> {
+    let atoms = query.atoms()?;
+    let mut trace = QueryTrace::new();
+    let maps = lookup_atoms(segments, &atoms, &mut trace)?;
+
+    let doc_plan = plan_documents(segments, query, opts, &maps);
+    let batch = if doc_plan.requests.is_empty() {
+        None
+    } else {
+        let batch = segments[0].store_dyn().get_ranges(&doc_plan.requests)?;
+        trace.record_batch(PhaseKind::Documents, &batch);
+        Some(batch)
+    };
+    Ok(complete_documents(
+        segments,
+        query,
+        opts,
+        &doc_plan,
+        batch.as_ref(),
+        trace,
+    ))
 }
 
 /// Generic executor for engines without a coalescing planner (the

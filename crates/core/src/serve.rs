@@ -33,17 +33,26 @@
 //! numbers deterministic under a seed and independent of the host's core
 //! count; wall-clock QPS is reported alongside.
 
-use crate::engine::SearchEngine;
+use crate::admission::{AdmissionConfig, AdmissionController, AdmissionStats, Priority};
+use crate::engine::{SearchEngine, StagedEngine};
 use crate::error::AirphantError;
+use crate::plan::{
+    complete_documents, complete_postings, plan_documents, plan_postings, DocPlan, PostingsPlan,
+    SegmentAtomPostings,
+};
 use crate::query::{Query, QueryOptions};
 use crate::result::SearchResult;
 use crate::Result;
-use airphant_storage::{SchedulerStats, SimDuration, StorageError};
-use std::collections::BinaryHeap;
+use airphant_storage::{
+    BatchFetch, ObjectStore, PhaseKind, QueryTrace, RangeRequest, SchedulerStats, SimDuration,
+    StorageError,
+};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -93,13 +102,23 @@ impl ServerConfig {
     }
 }
 
-/// Typed rejection from [`QueryServer::try_submit`].
+/// Typed rejection from [`QueryServer::try_submit`] or the async
+/// admission path ([`AsyncQueryServer::try_submit`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SubmitError {
     /// The bounded submission queue is full — shed load or retry later.
     QueueFull {
         /// The configured queue capacity that was exhausted.
         capacity: usize,
+    },
+    /// Admission control shed this query (overload, quota, or deadline
+    /// infeasibility). Always typed — never a panic or a silent drop.
+    Overloaded {
+        /// Priority class of the shed query.
+        class: Priority,
+        /// Hint: how long until the shedding condition is expected to
+        /// clear (virtual time).
+        retry_after: SimDuration,
     },
     /// The server has shut down and accepts no further queries.
     ShutDown,
@@ -110,6 +129,9 @@ impl fmt::Display for SubmitError {
         match self {
             SubmitError::QueueFull { capacity } => {
                 write!(f, "submission queue full (capacity {capacity})")
+            }
+            SubmitError::Overloaded { class, retry_after } => {
+                write!(f, "shed {class}-priority query (retry after {retry_after})")
             }
             SubmitError::ShutDown => write!(f, "query server is shut down"),
         }
@@ -263,6 +285,19 @@ pub struct ServerStats {
     /// ([`CoalescingStore`](airphant_storage::CoalescingStore)), when one
     /// is attached: merged ranges, fused cross-query batches, bytes saved.
     pub scheduler: Option<SchedulerStats>,
+    /// Peak concurrently in-flight queries. For the sync worker pool this
+    /// is bounded by `workers`; the async core reports the true peak of
+    /// suspended queries (tens of thousands over a handful of threads).
+    pub peak_in_flight: u64,
+    /// Hedged duplicate storage batches dispatched
+    /// ([`AsyncQueryServer`] only; 0 for the sync pool).
+    pub hedges: u64,
+    /// Hedges whose duplicate beat the original request
+    /// ([`AsyncQueryServer`] only; 0 for the sync pool).
+    pub hedge_wins: u64,
+    /// Admission-control counters ([`AsyncQueryServer`] only; `None` for
+    /// the sync pool, whose backpressure is the bounded queue).
+    pub admission: Option<AdmissionStats>,
 }
 
 impl ServerStats {
@@ -500,6 +535,10 @@ impl QueryServer {
             latency_p99_ms: percentile(&totals, 0.99),
             cache: self.cache_stats.as_ref().map(|f| f()),
             scheduler: self.scheduler_stats.as_ref().map(|f| f()),
+            peak_in_flight: self.config_workers as u64,
+            hedges: 0,
+            hedge_wins: 0,
+            admission: None,
         }
     }
 
@@ -529,7 +568,1167 @@ const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<QueryServer>();
     assert_send_sync::<ServerStats>();
+    assert_send_sync::<AsyncQueryServer>();
 };
+
+// ---------------------------------------------------------------------------
+// Async admission-controlled serving core
+// ---------------------------------------------------------------------------
+
+/// Hedged-request policy for the [`AsyncQueryServer`].
+///
+/// After a storage batch has been in flight longer than the observed
+/// `percentile` of recent batch latencies, a duplicate of the same batch
+/// is dispatched against the configured hedge backend and the *first*
+/// response wins; the loser's completion event is invalidated
+/// (cancel-by-ignore — object stores have no cancel RPC, so the loser
+/// simply drains). Hedges are bounded: at most `budget_fraction` of all
+/// dispatched batches may be hedges, so tail-cutting cannot double the
+/// backend load.
+#[derive(Debug, Clone)]
+pub struct HedgeConfig {
+    /// Latency percentile (in `(0, 1)`) after which a batch is hedged.
+    pub percentile: f64,
+    /// Observed completions required before the threshold engages.
+    pub min_samples: usize,
+    /// Max fraction of dispatched batches that may be hedges.
+    pub budget_fraction: f64,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        HedgeConfig {
+            percentile: 0.95,
+            min_samples: 64,
+            budget_fraction: 0.05,
+        }
+    }
+}
+
+/// Sizing and policy knobs for an [`AsyncQueryServer`].
+#[derive(Debug, Clone)]
+pub struct AsyncServerConfig {
+    /// Executor OS threads processing the event loop. `0` means no
+    /// background threads: the caller pumps events via
+    /// [`AsyncQueryServer::drain`] (fully deterministic — used by the
+    /// benches and tests).
+    pub executor_threads: usize,
+    /// Modeled backend concurrency: how many storage batches the cloud
+    /// store serves at once on the virtual clock (the batch-granularity
+    /// analog of the sync server's closed-loop model servers). Excess
+    /// batches queue in virtual time. `0` disables the model
+    /// (uncontended backend).
+    pub storage_slots: usize,
+    /// Per-query deadline on the *service* time (storage wait + download
+    /// + compute, same meaning as the sync server); `None` disables it.
+    pub deadline: Option<SimDuration>,
+    /// Admission control: priority watermarks, per-tenant quotas,
+    /// deadline-aware shedding.
+    pub admission: AdmissionConfig,
+    /// Hedged-request policy; `None` disables hedging. Hedging also
+    /// requires a backend via [`AsyncQueryServer::with_hedge_backend`].
+    pub hedge: Option<HedgeConfig>,
+}
+
+impl Default for AsyncServerConfig {
+    fn default() -> Self {
+        AsyncServerConfig {
+            executor_threads: 4,
+            storage_slots: 64,
+            deadline: None,
+            admission: AdmissionConfig::default(),
+            hedge: None,
+        }
+    }
+}
+
+impl AsyncServerConfig {
+    /// Default configuration (4 executor threads, 64 storage slots, no
+    /// deadline, default admission, no hedging).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the executor thread count (`0` = caller-pumped).
+    pub fn with_executor_threads(mut self, threads: usize) -> Self {
+        self.executor_threads = threads;
+        self
+    }
+
+    /// Set the modeled backend concurrency.
+    pub fn with_storage_slots(mut self, slots: usize) -> Self {
+        self.storage_slots = slots;
+        self
+    }
+
+    /// Set the per-query service-time deadline.
+    pub fn with_deadline(mut self, deadline: SimDuration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Set the admission-control configuration.
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Enable hedged requests with the given policy.
+    pub fn with_hedge(mut self, hedge: HedgeConfig) -> Self {
+        self.hedge = Some(hedge);
+        self
+    }
+}
+
+/// Per-submission routing metadata for the async server.
+#[derive(Debug, Clone)]
+pub struct SubmitSpec {
+    /// Priority class ([`Priority::Normal`] by default).
+    pub class: Priority,
+    /// Tenant for quota accounting; `None` is exempt from quotas.
+    pub tenant: Option<String>,
+    /// Virtual arrival time; `None` arrives "now". Arrivals in the past
+    /// are clamped to the current virtual clock.
+    pub arrival: Option<SimDuration>,
+}
+
+impl Default for SubmitSpec {
+    fn default() -> Self {
+        SubmitSpec {
+            class: Priority::Normal,
+            tenant: None,
+            arrival: None,
+        }
+    }
+}
+
+impl SubmitSpec {
+    /// A Normal-priority, quota-exempt submission arriving now.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the priority class.
+    pub fn with_class(mut self, class: Priority) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// Set the quota tenant.
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Set the virtual arrival time (open-loop workload generation).
+    pub fn at(mut self, arrival: SimDuration) -> Self {
+        self.arrival = Some(arrival);
+        self
+    }
+}
+
+/// Why an async query did not produce a [`SearchResult`].
+#[derive(Debug)]
+pub enum ServeError {
+    /// Admission control shed the query (typed, with a retry hint).
+    Rejected(SubmitError),
+    /// The engine or storage failed, or the deadline was exceeded
+    /// ([`StorageError::Timeout`]).
+    Failed(AirphantError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Rejected(e) => write!(f, "rejected: {e}"),
+            ServeError::Failed(e) => write!(f, "failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Outcome of one async query, with its virtual-clock timing.
+#[derive(Debug)]
+pub struct QueryResponse {
+    /// The search result, or the typed reason it was not produced.
+    pub result: std::result::Result<SearchResult, ServeError>,
+    /// Virtual time the terminal event fired.
+    pub finished_at: SimDuration,
+    /// End-to-end virtual time from arrival to completion (queueing +
+    /// storage; the wait the p99 SLO is measured over).
+    pub sojourn: SimDuration,
+}
+
+/// Completion handle for an async submission.
+#[derive(Debug)]
+pub struct AsyncTicket {
+    rx: Receiver<QueryResponse>,
+}
+
+impl AsyncTicket {
+    /// Block until the query reaches a terminal state. With
+    /// `executor_threads == 0` the caller must pump
+    /// [`AsyncQueryServer::drain`] first or this blocks forever.
+    pub fn wait(self) -> QueryResponse {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| panic!("async server dropped the reply channel"))
+    }
+}
+
+/// Explicit lifecycle of one in-flight query (the issue's
+/// Submitted → Planning → AwaitingStorage → Merging → Done machine).
+/// `Planning` and `Merging` are the synchronous stretches an executor
+/// thread runs between suspension points; a query only *waits* in
+/// `Submitted` (for its arrival event) and `AwaitingStorage` (for its
+/// batch's virtual completion).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FlightStage {
+    /// Queued for its arrival event.
+    Submitted,
+    /// An executor is resolving atoms and planning the next batch.
+    Planning,
+    /// Suspended: a storage batch (postings or documents) is in flight
+    /// on the virtual clock. No OS thread is held.
+    AwaitingStorage(PhaseKind),
+    /// An executor is decoding/merging a completed batch.
+    Merging,
+    /// Terminal: the reply has been delivered.
+    Done,
+}
+
+/// A storage batch in flight on the virtual clock.
+struct PendingBatch {
+    kind: PhaseKind,
+    /// The dispatched requests (kept for hedge re-dispatch).
+    requests: Vec<RangeRequest>,
+    /// The fetched bytes of the *original* dispatch. A winning hedge
+    /// only shortens the timing: blobs are immutable, so the duplicate
+    /// returns identical bytes and reusing the originals keeps results
+    /// byte-for-byte equal to the sync path.
+    batch: BatchFetch,
+    /// Winning first-byte wait (hedge may shrink it).
+    wait: SimDuration,
+    /// Winning transfer time.
+    download: SimDuration,
+    /// Winning service latency (`wait + download`, excluding slot queueing).
+    latency: SimDuration,
+    /// Virtual completion time of the winning request.
+    completes_at: SimDuration,
+    /// A hedge was already dispatched (or decided against) for this batch.
+    hedged: bool,
+}
+
+/// One query's full state while it lives in the async core.
+struct Flight {
+    query: Query,
+    opts: QueryOptions,
+    class: Priority,
+    tenant: Option<String>,
+    arrival: SimDuration,
+    /// Admission already granted (sync `try_submit` path).
+    admitted: bool,
+    stage: FlightStage,
+    /// Bumped when a hedge wins so the loser's completion event is
+    /// recognized as stale and ignored.
+    epoch: u32,
+    trace: QueryTrace,
+    atoms: Vec<String>,
+    maps: Option<SegmentAtomPostings>,
+    postings_plan: Option<PostingsPlan>,
+    doc_plan: Option<DocPlan>,
+    pending: Option<PendingBatch>,
+    reply: SyncSender<QueryResponse>,
+}
+
+/// A scheduled event on the virtual clock. `seq` breaks ties in FIFO
+/// order so equal-time events process in schedule order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct EventEntry {
+    at: SimDuration,
+    seq: u64,
+    action: EventAction,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+enum EventAction {
+    /// The query's virtual arrival: admission (if deferred) + planning.
+    Arrive { id: u64 },
+    /// A storage batch completed on the virtual clock.
+    StorageDone { id: u64, epoch: u32 },
+    /// The hedge timer for a possibly-straggling batch fired.
+    HedgeFire { id: u64, epoch: u32 },
+}
+
+/// Recent-batch-latency ring size for the hedge threshold.
+const HEDGE_RING: usize = 512;
+/// Recompute the hedge threshold every this many observed completions.
+const HEDGE_RECOMPUTE_EVERY: usize = 32;
+
+/// Event-loop state under the scheduler lock.
+struct AsyncCore {
+    /// The virtual clock: advances to each popped event's time.
+    now: SimDuration,
+    seq: u64,
+    next_id: u64,
+    events: BinaryHeap<Reverse<EventEntry>>,
+    flights: HashMap<u64, Flight>,
+    /// Flights currently checked out by an executor thread (their events
+    /// are momentarily absent from both `events` and `flights`).
+    busy: usize,
+    shutting_down: bool,
+    admission: AdmissionController,
+    /// Min-heap of modeled backend-slot free times.
+    slots: BinaryHeap<Reverse<SimDuration>>,
+    peak_in_flight: u64,
+    hedges: u64,
+    hedge_wins: u64,
+    /// Total storage batches dispatched (hedge-budget denominator).
+    dispatched: u64,
+    latency_ring: Vec<SimDuration>,
+    ring_pos: usize,
+    since_recompute: usize,
+    hedge_threshold: Option<SimDuration>,
+    // Terminal counters and samples (mirroring the sync server).
+    completed: u64,
+    rejected: u64,
+    timed_out: u64,
+    failed: u64,
+    /// `(service wait, service total)` per served query.
+    samples: Vec<(SimDuration, SimDuration)>,
+    /// End-to-end sojourn (arrival → terminal event) per served query.
+    sojourns: Vec<SimDuration>,
+    first_arrival: Option<SimDuration>,
+    last_finish: SimDuration,
+}
+
+impl AsyncCore {
+    fn push_event(&mut self, at: SimDuration, action: EventAction) {
+        self.seq += 1;
+        self.events.push(Reverse(EventEntry {
+            at,
+            seq: self.seq,
+            action,
+        }));
+    }
+
+    /// Acquire a modeled backend slot at `at` for a batch of `latency`:
+    /// the batch starts when the earliest slot frees (queueing in virtual
+    /// time) and the slot is busy until it completes. Zero-latency
+    /// batches (cache hits) bypass the model entirely.
+    fn acquire_slot(
+        &mut self,
+        at: SimDuration,
+        latency: SimDuration,
+    ) -> (SimDuration, SimDuration) {
+        if latency == SimDuration::ZERO || self.slots.is_empty() {
+            return (at, at + latency);
+        }
+        let Reverse(free) = self.slots.pop().expect("slots non-empty");
+        let start = free.max(at);
+        let completes = start + latency;
+        self.slots.push(Reverse(completes));
+        (start, completes)
+    }
+
+    /// Fold one completed batch latency into the hedge-threshold ring.
+    fn observe_batch_latency(&mut self, cfg: Option<&HedgeConfig>, latency: SimDuration) {
+        let Some(cfg) = cfg else { return };
+        if self.latency_ring.len() < HEDGE_RING {
+            self.latency_ring.push(latency);
+        } else {
+            self.latency_ring[self.ring_pos] = latency;
+            self.ring_pos = (self.ring_pos + 1) % HEDGE_RING;
+        }
+        self.since_recompute += 1;
+        if self.latency_ring.len() >= cfg.min_samples.max(1)
+            && (self.hedge_threshold.is_none() || self.since_recompute >= HEDGE_RECOMPUTE_EVERY)
+        {
+            self.since_recompute = 0;
+            let mut sorted = self.latency_ring.clone();
+            sorted.sort();
+            let rank =
+                ((cfg.percentile * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            self.hedge_threshold = Some(sorted[rank - 1]);
+        }
+    }
+}
+
+/// State shared between the handle and the executor threads.
+struct AsyncShared {
+    core: Mutex<AsyncCore>,
+    cv: Condvar,
+    engine: Arc<dyn StagedEngine>,
+    config: AsyncServerConfig,
+    /// Below-cache backend for hedge re-dispatch. Hedges must bypass the
+    /// shared cache: the original fetch already populated it, so a hedge
+    /// through the cached path would win instantly — an artifact of the
+    /// wall-clock/virtual-clock split, not a modeled speedup.
+    hedge_store: RwLock<Option<Arc<dyn ObjectStore>>>,
+}
+
+impl AsyncShared {
+    fn lock_core(&self) -> std::sync::MutexGuard<'_, AsyncCore> {
+        self.core.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// What a planning/merging stretch produced: either the query is done,
+/// or a batch was dispatched and the query suspends, or it failed.
+enum StepOutcome {
+    Done(SearchResult),
+    Dispatch {
+        kind: PhaseKind,
+        requests: Vec<RangeRequest>,
+        batch: BatchFetch,
+    },
+    Fail(AirphantError),
+}
+
+fn empty_batch() -> BatchFetch {
+    BatchFetch {
+        parts: Vec::new(),
+        batch_latency: SimDuration::ZERO,
+        batch_wait: SimDuration::ZERO,
+        batch_download: SimDuration::ZERO,
+    }
+}
+
+/// Postings planning over the engine's segments; falls through to the
+/// document stage when every atom resolves without storage traffic.
+fn postings_step(segments: &[&crate::Searcher], flight: &mut Flight) -> StepOutcome {
+    let plan = plan_postings(segments, &flight.atoms);
+    if plan.requests.is_empty() {
+        match complete_postings(&plan, &flight.atoms, &empty_batch(), &mut flight.trace) {
+            Ok(mut maps) => {
+                // `plan_postings` sizes per-plan maps; `plan_documents`
+                // expects one map per segment even with zero requests.
+                maps.resize_with(segments.len(), HashMap::new);
+                flight.maps = Some(maps);
+                documents_step(segments, flight)
+            }
+            Err(e) => StepOutcome::Fail(e),
+        }
+    } else {
+        let requests = plan.requests.clone();
+        match segments[0].store_dyn().get_ranges(&requests) {
+            Ok(batch) => {
+                flight.postings_plan = Some(plan);
+                StepOutcome::Dispatch {
+                    kind: PhaseKind::Postings,
+                    requests,
+                    batch,
+                }
+            }
+            Err(e) => StepOutcome::Fail(AirphantError::from(e)),
+        }
+    }
+}
+
+/// Document planning from resolved atom postings; completes immediately
+/// when no candidates survive.
+fn documents_step(segments: &[&crate::Searcher], flight: &mut Flight) -> StepOutcome {
+    let maps = flight
+        .maps
+        .take()
+        .expect("postings resolved before the document stage");
+    let plan = plan_documents(segments, &flight.query, &flight.opts, &maps);
+    if plan.requests.is_empty() {
+        let result = complete_documents(
+            segments,
+            &flight.query,
+            &flight.opts,
+            &plan,
+            None,
+            flight.trace.clone(),
+        );
+        StepOutcome::Done(result)
+    } else {
+        let requests = plan.requests.clone();
+        match segments[0].store_dyn().get_ranges(&requests) {
+            Ok(batch) => {
+                flight.doc_plan = Some(plan);
+                StepOutcome::Dispatch {
+                    kind: PhaseKind::Documents,
+                    requests,
+                    batch,
+                }
+            }
+            Err(e) => StepOutcome::Fail(AirphantError::from(e)),
+        }
+    }
+}
+
+/// An event-driven query server over the simulated clock: queries
+/// suspend while their storage batches are "in flight" in virtual time,
+/// so tens of thousands can be in flight over a handful of OS threads.
+///
+/// Storage latencies in this reproduction are *data, not sleeps*, which
+/// makes the async core a discrete-event simulation: dispatching a batch
+/// is wall-clock-instant (the simulated store returns the bytes plus
+/// their virtual latency), so an executor fetches eagerly, parks the
+/// query on the event heap until `dispatch + batch_latency`, and serves
+/// other queries meanwhile. Concurrency is therefore bounded by memory
+/// (one [`Flight`] per query), not by threads — the direct answer to the
+/// sync [`QueryServer`]'s thread-per-query cap.
+///
+/// Admission control (see [`crate::admission`]) replaces the bounded
+/// queue: arrivals beyond the priority watermarks are shed with typed
+/// [`SubmitError::Overloaded`]. Optional hedging duplicates straggling
+/// batches after a latency percentile ([`HedgeConfig`]).
+///
+/// Both this server and the sync path drive the *same* staged planner
+/// (`crate::plan`), so results are byte-for-byte identical by
+/// construction — asserted by the `async_admission` test suite and the
+/// `admission` bench.
+pub struct AsyncQueryServer {
+    shared: Arc<AsyncShared>,
+    threads: Vec<JoinHandle<()>>,
+    started: Instant,
+    cache_stats: Option<Box<dyn Fn() -> (u64, u64) + Send + Sync>>,
+    scheduler_stats: Option<Box<dyn Fn() -> SchedulerStats + Send + Sync>>,
+}
+
+impl AsyncQueryServer {
+    /// Spawn the executor pool over a staged engine.
+    pub fn start(engine: Arc<dyn StagedEngine>, config: AsyncServerConfig) -> Self {
+        let slots = (0..config.storage_slots)
+            .map(|_| Reverse(SimDuration::ZERO))
+            .collect();
+        let shared = Arc::new(AsyncShared {
+            core: Mutex::new(AsyncCore {
+                now: SimDuration::ZERO,
+                seq: 0,
+                next_id: 0,
+                events: BinaryHeap::new(),
+                flights: HashMap::new(),
+                busy: 0,
+                shutting_down: false,
+                admission: AdmissionController::new(config.admission.clone()),
+                slots,
+                peak_in_flight: 0,
+                hedges: 0,
+                hedge_wins: 0,
+                dispatched: 0,
+                latency_ring: Vec::new(),
+                ring_pos: 0,
+                since_recompute: 0,
+                hedge_threshold: None,
+                completed: 0,
+                rejected: 0,
+                timed_out: 0,
+                failed: 0,
+                samples: Vec::new(),
+                sojourns: Vec::new(),
+                first_arrival: None,
+                last_finish: SimDuration::ZERO,
+            }),
+            cv: Condvar::new(),
+            engine,
+            config: config.clone(),
+            hedge_store: RwLock::new(None),
+        });
+        let threads = (0..config.executor_threads)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("airphant-async-{i}"))
+                    .spawn(move || run_executor(&shared))
+                    .expect("spawn async executor")
+            })
+            .collect();
+        AsyncQueryServer {
+            shared,
+            threads,
+            started: Instant::now(),
+            cache_stats: None,
+            scheduler_stats: None,
+        }
+    }
+
+    /// Attach the below-cache backend hedges re-dispatch against.
+    /// Without one, hedging stays disabled even if configured.
+    pub fn with_hedge_backend(self, store: Arc<dyn ObjectStore>) -> Self {
+        *self
+            .shared
+            .hedge_store
+            .write()
+            .unwrap_or_else(|e| e.into_inner()) = Some(store);
+        self
+    }
+
+    /// Attach a shared-cache counter source (see
+    /// [`QueryServer::with_cache_stats`]).
+    pub fn with_cache_stats(
+        mut self,
+        stats: impl Fn() -> (u64, u64) + Send + Sync + 'static,
+    ) -> Self {
+        self.cache_stats = Some(Box::new(stats));
+        self
+    }
+
+    /// Attach a shared I/O-scheduler counter source (see
+    /// [`QueryServer::with_scheduler_stats`]).
+    pub fn with_scheduler_stats(
+        mut self,
+        stats: impl Fn() -> SchedulerStats + Send + Sync + 'static,
+    ) -> Self {
+        self.scheduler_stats = Some(Box::new(stats));
+        self
+    }
+
+    /// The current virtual clock.
+    pub fn now(&self) -> SimDuration {
+        self.shared.lock_core().now
+    }
+
+    /// Submit with a *synchronous* admission decision: shed queries get
+    /// the typed [`SubmitError::Overloaded`] right here instead of
+    /// through the ticket. Admission is evaluated at the submission's
+    /// effective arrival time.
+    pub fn try_submit(
+        &self,
+        query: Query,
+        opts: QueryOptions,
+        spec: SubmitSpec,
+    ) -> std::result::Result<AsyncTicket, SubmitError> {
+        let mut core = self.shared.lock_core();
+        if core.shutting_down {
+            return Err(SubmitError::ShutDown);
+        }
+        let arrival = spec.arrival.unwrap_or(core.now).max(core.now);
+        if let Err(e) = core
+            .admission
+            .try_admit(spec.class, spec.tenant.as_deref(), arrival)
+        {
+            core.rejected += 1;
+            return Err(e);
+        }
+        core.peak_in_flight = core.peak_in_flight.max(core.admission.in_flight() as u64);
+        let (reply, rx) = sync_channel(1);
+        self.enqueue_flight(&mut core, query, opts, spec, arrival, true, reply);
+        self.shared.cv.notify_all();
+        Ok(AsyncTicket { rx })
+    }
+
+    /// Submit with a *deferred* admission decision, made when the
+    /// arrival event fires on the virtual clock (open-loop workloads
+    /// with future arrival times). Rejections arrive through the ticket
+    /// as [`ServeError::Rejected`] — still typed, never silent.
+    pub fn submit_at(&self, query: Query, opts: QueryOptions, spec: SubmitSpec) -> AsyncTicket {
+        let (reply, rx) = sync_channel(1);
+        let mut core = self.shared.lock_core();
+        if core.shutting_down {
+            drop(core);
+            let _ = reply.send(QueryResponse {
+                result: Err(ServeError::Rejected(SubmitError::ShutDown)),
+                finished_at: SimDuration::ZERO,
+                sojourn: SimDuration::ZERO,
+            });
+            return AsyncTicket { rx };
+        }
+        let arrival = spec.arrival.unwrap_or(core.now).max(core.now);
+        self.enqueue_flight(&mut core, query, opts, spec, arrival, false, reply);
+        self.shared.cv.notify_all();
+        AsyncTicket { rx }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn enqueue_flight(
+        &self,
+        core: &mut AsyncCore,
+        query: Query,
+        opts: QueryOptions,
+        spec: SubmitSpec,
+        arrival: SimDuration,
+        admitted: bool,
+        reply: SyncSender<QueryResponse>,
+    ) {
+        let id = core.next_id;
+        core.next_id += 1;
+        if core.first_arrival.is_none_or(|f| arrival < f) {
+            core.first_arrival = Some(arrival);
+        }
+        core.flights.insert(
+            id,
+            Flight {
+                query,
+                opts,
+                class: spec.class,
+                tenant: spec.tenant,
+                arrival,
+                admitted,
+                stage: FlightStage::Submitted,
+                epoch: 0,
+                trace: QueryTrace::new(),
+                atoms: Vec::new(),
+                maps: None,
+                postings_plan: None,
+                doc_plan: None,
+                pending: None,
+                reply,
+            },
+        );
+        core.push_event(arrival, EventAction::Arrive { id });
+    }
+
+    /// Pump the event loop on the calling thread until every scheduled
+    /// event has been processed (deterministic single-threaded mode when
+    /// `executor_threads == 0`; safe to call alongside executor threads).
+    pub fn drain(&self) {
+        loop {
+            let entry = {
+                let mut core = self.shared.lock_core();
+                match core.events.pop() {
+                    Some(Reverse(entry)) => {
+                        if entry.at > core.now {
+                            core.now = entry.at;
+                        }
+                        Some(entry)
+                    }
+                    None if core.busy > 0 => {
+                        // Another thread is mid-flight and may push more
+                        // events; wait for it.
+                        let _core = self.shared.cv.wait(core).unwrap_or_else(|e| e.into_inner());
+                        None
+                    }
+                    None => return,
+                }
+            };
+            if let Some(entry) = entry {
+                process_event(&self.shared, entry.at, entry.action);
+            }
+        }
+    }
+
+    /// Snapshot the aggregate serving statistics. Latency percentiles
+    /// are over *sojourns* (arrival → completion, including virtual
+    /// queueing — what an open-loop client experiences); wait
+    /// percentiles are over per-query storage waits, as in the sync
+    /// server.
+    pub fn stats(&self) -> ServerStats {
+        let core = self.shared.lock_core();
+        let mut waits: Vec<SimDuration> = core.samples.iter().map(|&(w, _)| w).collect();
+        let mut sojourns = core.sojourns.clone();
+        waits.sort();
+        sojourns.sort();
+        let completed = core.completed;
+        let sim_makespan = core
+            .last_finish
+            .saturating_sub(core.first_arrival.unwrap_or(SimDuration::ZERO));
+        let sim_secs = sim_makespan.as_secs_f64();
+        let wall_secs = self.started.elapsed().as_secs_f64();
+        ServerStats {
+            workers: self.shared.config.executor_threads,
+            completed,
+            rejected: core.rejected,
+            timed_out: core.timed_out,
+            failed: core.failed,
+            refreshes: 0,
+            sim_makespan,
+            qps_sim: if sim_secs > 0.0 {
+                completed as f64 / sim_secs
+            } else {
+                0.0
+            },
+            qps_wall: if wall_secs > 0.0 {
+                completed as f64 / wall_secs
+            } else {
+                0.0
+            },
+            wait_p50_ms: percentile(&waits, 0.50),
+            wait_p95_ms: percentile(&waits, 0.95),
+            wait_p99_ms: percentile(&waits, 0.99),
+            latency_p50_ms: percentile(&sojourns, 0.50),
+            latency_p95_ms: percentile(&sojourns, 0.95),
+            latency_p99_ms: percentile(&sojourns, 0.99),
+            cache: self.cache_stats.as_ref().map(|f| f()),
+            scheduler: self.scheduler_stats.as_ref().map(|f| f()),
+            peak_in_flight: core.peak_in_flight,
+            hedges: core.hedges,
+            hedge_wins: core.hedge_wins,
+            admission: Some(core.admission.stats()),
+        }
+    }
+
+    /// Stop accepting submissions, serve everything still in flight, and
+    /// return the final statistics.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.begin_shutdown();
+        self.stats()
+    }
+
+    fn begin_shutdown(&mut self) {
+        {
+            let mut core = self.shared.lock_core();
+            core.shutting_down = true;
+        }
+        self.shared.cv.notify_all();
+        if self.threads.is_empty() {
+            self.drain();
+        } else {
+            for handle in self.threads.drain(..) {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl Drop for AsyncQueryServer {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+    }
+}
+
+/// Background executor loop: pop events in virtual-time order, process,
+/// repeat; exits once shut down and fully drained.
+fn run_executor(shared: &Arc<AsyncShared>) {
+    loop {
+        let entry = {
+            let mut core = shared.lock_core();
+            loop {
+                if let Some(Reverse(entry)) = core.events.pop() {
+                    if entry.at > core.now {
+                        core.now = entry.at;
+                    }
+                    break Some(entry);
+                }
+                if core.shutting_down && core.busy == 0 {
+                    break None;
+                }
+                core = shared.cv.wait(core).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        match entry {
+            Some(entry) => process_event(shared, entry.at, entry.action),
+            None => {
+                shared.cv.notify_all();
+                return;
+            }
+        }
+    }
+}
+
+fn process_event(shared: &AsyncShared, at: SimDuration, action: EventAction) {
+    match action {
+        EventAction::Arrive { id } => process_arrival(shared, at, id),
+        EventAction::StorageDone { id, epoch } => process_storage_done(shared, at, id, epoch),
+        EventAction::HedgeFire { id, epoch } => process_hedge_fire(shared, at, id, epoch),
+    }
+}
+
+fn process_arrival(shared: &AsyncShared, at: SimDuration, id: u64) {
+    let mut flight = {
+        let mut core = shared.lock_core();
+        let Some(mut flight) = core.flights.remove(&id) else {
+            return;
+        };
+        core.busy += 1;
+        if !flight.admitted {
+            match core
+                .admission
+                .try_admit(flight.class, flight.tenant.as_deref(), at)
+            {
+                Ok(()) => {
+                    flight.admitted = true;
+                    core.peak_in_flight =
+                        core.peak_in_flight.max(core.admission.in_flight() as u64);
+                }
+                Err(err) => {
+                    core.rejected += 1;
+                    core.busy -= 1;
+                    shared.cv.notify_all();
+                    drop(core);
+                    let _ = flight.reply.send(QueryResponse {
+                        result: Err(ServeError::Rejected(err)),
+                        finished_at: at,
+                        sojourn: SimDuration::ZERO,
+                    });
+                    return;
+                }
+            }
+        }
+        flight
+    };
+
+    flight.stage = FlightStage::Planning;
+    match flight.query.atoms() {
+        Ok(atoms) => flight.atoms = atoms,
+        Err(e) => {
+            finalize(shared, at, id, flight, Err(e));
+            return;
+        }
+    }
+    let step = run_staged(shared, &mut flight, postings_step);
+    apply_step(shared, at, id, flight, step);
+}
+
+fn process_storage_done(shared: &AsyncShared, at: SimDuration, id: u64, epoch: u32) {
+    let (mut flight, pending) = {
+        let mut core = shared.lock_core();
+        match core.flights.get(&id) {
+            Some(f) if f.epoch == epoch && f.pending.is_some() => {}
+            // Absent (already terminal / checked out) or a stale epoch:
+            // this is the cancelled loser of a hedge race — ignore.
+            _ => return,
+        }
+        let mut flight = core.flights.remove(&id).expect("checked above");
+        core.busy += 1;
+        let pending = flight.pending.take().expect("checked above");
+        let hedge_cfg = shared.config.hedge.as_ref();
+        core.observe_batch_latency(hedge_cfg, pending.latency);
+        (flight, pending)
+    };
+
+    flight.stage = FlightStage::Merging;
+    // Charge the winning wait/download to the trace (the sync path's
+    // `record_batch` with the hedge-adjusted timing).
+    flight.trace.record_concurrent(
+        pending.kind,
+        pending.batch.parts.len() as u64,
+        pending.batch.total_bytes(),
+        pending.wait,
+        pending.download,
+    );
+
+    match pending.kind {
+        PhaseKind::Postings => {
+            let plan = flight
+                .postings_plan
+                .take()
+                .expect("postings plan set at dispatch");
+            match complete_postings(&plan, &flight.atoms, &pending.batch, &mut flight.trace) {
+                Ok(maps) => {
+                    flight.maps = Some(maps);
+                    let step = run_staged(shared, &mut flight, documents_step);
+                    apply_step(shared, at, id, flight, step);
+                }
+                Err(e) => finalize(shared, at, id, flight, Err(e)),
+            }
+        }
+        PhaseKind::Documents => {
+            let plan = flight.doc_plan.take().expect("doc plan set at dispatch");
+            let mut result: Option<SearchResult> = None;
+            shared.engine.with_segments(&mut |segments| {
+                result = Some(complete_documents(
+                    segments,
+                    &flight.query,
+                    &flight.opts,
+                    &plan,
+                    Some(&pending.batch),
+                    flight.trace.clone(),
+                ));
+            });
+            let result = result.expect("with_segments invokes its callback");
+            finalize(shared, at, id, flight, Ok(result));
+        }
+        other => unreachable!("no batches are dispatched for {other:?}"),
+    }
+}
+
+fn process_hedge_fire(shared: &AsyncShared, at: SimDuration, id: u64, epoch: u32) {
+    let Some(cfg) = shared.config.hedge.as_ref() else {
+        return;
+    };
+    let store = {
+        let guard = shared.hedge_store.read().unwrap_or_else(|e| e.into_inner());
+        match guard.as_ref() {
+            Some(s) => s.clone(),
+            None => return,
+        }
+    };
+    let mut core = shared.lock_core();
+    // Budget: hedges stay within `budget_fraction` of all dispatches.
+    if (core.hedges as f64) >= cfg.budget_fraction * core.dispatched.max(1) as f64 {
+        return;
+    }
+    let requests: Vec<RangeRequest> = {
+        let Some(flight) = core.flights.get(&id) else {
+            return; // batch already completed (or query is terminal)
+        };
+        if flight.epoch != epoch {
+            return; // stale timer from a previous hedge race
+        }
+        let Some(pending) = flight.pending.as_ref() else {
+            return;
+        };
+        if pending.hedged {
+            return;
+        }
+        pending.requests.clone()
+    };
+    core.hedges += 1;
+    // The duplicate fetch is wall-clock instant (simulated store), so it
+    // runs under the scheduler lock — this keeps the original batch's
+    // completion event from racing with the hedge decision.
+    let Ok(duplicate) = store.get_ranges(&requests) else {
+        return; // hedge failed; the original is still in flight
+    };
+    core.dispatched += 1;
+    let latency = duplicate.batch_wait + duplicate.batch_download;
+    let (_start, completes) = core.acquire_slot(at, latency);
+    let mut won = false;
+    let mut new_epoch = 0;
+    if let Some(flight) = core.flights.get_mut(&id) {
+        if let Some(pending) = flight.pending.as_mut() {
+            pending.hedged = true;
+            if completes < pending.completes_at {
+                flight.epoch += 1;
+                new_epoch = flight.epoch;
+                pending.wait = duplicate.batch_wait;
+                pending.download = duplicate.batch_download;
+                pending.latency = latency;
+                pending.completes_at = completes;
+                // `pending.batch` keeps the original bytes: blobs are
+                // immutable, so the duplicate's payload is identical and
+                // results stay byte-for-byte equal to the sync path.
+                won = true;
+            }
+        }
+    }
+    if won {
+        core.hedge_wins += 1;
+        core.push_event(
+            completes,
+            EventAction::StorageDone {
+                id,
+                epoch: new_epoch,
+            },
+        );
+        shared.cv.notify_all();
+    }
+}
+
+/// Run a planning/merging stage that needs the engine's segment set.
+fn run_staged(
+    shared: &AsyncShared,
+    flight: &mut Flight,
+    stage: fn(&[&crate::Searcher], &mut Flight) -> StepOutcome,
+) -> StepOutcome {
+    let mut out: Option<StepOutcome> = None;
+    shared.engine.with_segments(&mut |segments| {
+        out = Some(stage(segments, flight));
+    });
+    out.expect("with_segments invokes its callback")
+}
+
+/// Apply a stage's outcome: suspend on a dispatched batch, or reach a
+/// terminal state.
+fn apply_step(
+    shared: &AsyncShared,
+    at: SimDuration,
+    id: u64,
+    mut flight: Flight,
+    step: StepOutcome,
+) {
+    match step {
+        StepOutcome::Done(result) => finalize(shared, at, id, flight, Ok(result)),
+        StepOutcome::Fail(e) => finalize(shared, at, id, flight, Err(e)),
+        StepOutcome::Dispatch {
+            kind,
+            requests,
+            batch,
+        } => {
+            let mut core = shared.lock_core();
+            core.dispatched += 1;
+            let latency = batch.batch_wait + batch.batch_download;
+            let (start, completes) = core.acquire_slot(at, latency);
+            flight.stage = FlightStage::AwaitingStorage(kind);
+            flight.pending = Some(PendingBatch {
+                kind,
+                requests,
+                wait: batch.batch_wait,
+                download: batch.batch_download,
+                latency,
+                completes_at: completes,
+                batch,
+                hedged: false,
+            });
+            let epoch = flight.epoch;
+            core.push_event(completes, EventAction::StorageDone { id, epoch });
+            // Arm the hedge timer only when it could actually fire before
+            // the batch completes — a timer past `completes` would pop as
+            // a stale no-op anyway.
+            if shared.config.hedge.is_some() {
+                let armed = {
+                    let guard = shared.hedge_store.read().unwrap_or_else(|e| e.into_inner());
+                    guard.is_some()
+                };
+                if armed {
+                    if let Some(threshold) = core.hedge_threshold {
+                        let fire = start + threshold;
+                        if fire < completes {
+                            core.push_event(fire, EventAction::HedgeFire { id, epoch });
+                        }
+                    }
+                }
+            }
+            core.flights.insert(id, flight);
+            core.busy -= 1;
+            shared.cv.notify_all();
+        }
+    }
+}
+
+/// Deliver a terminal outcome: deadline check, counters, samples, reply.
+fn finalize(
+    shared: &AsyncShared,
+    at: SimDuration,
+    _id: u64,
+    mut flight: Flight,
+    outcome: Result<SearchResult>,
+) {
+    flight.stage = FlightStage::Done;
+    debug_assert_eq!(flight.stage, FlightStage::Done);
+    let service_total = flight.trace.total();
+    let service_wait = flight.trace.wait();
+    let sojourn = at.saturating_sub(flight.arrival);
+    enum Bucket {
+        Completed,
+        TimedOut,
+        Failed,
+    }
+    let (result, bucket) = match outcome {
+        Ok(result) => match shared.config.deadline {
+            Some(deadline) if service_total > deadline => (
+                Err(ServeError::Failed(AirphantError::Storage(
+                    StorageError::Timeout {
+                        name: format!(
+                            "query missed its {deadline} deadline (took {service_total})"
+                        ),
+                    },
+                ))),
+                Bucket::TimedOut,
+            ),
+            _ => (Ok(result), Bucket::Completed),
+        },
+        Err(e) => (Err(ServeError::Failed(e)), Bucket::Failed),
+    };
+    {
+        let mut core = shared.lock_core();
+        match bucket {
+            Bucket::Completed => core.completed += 1,
+            Bucket::TimedOut => core.timed_out += 1,
+            Bucket::Failed => core.failed += 1,
+        }
+        // Timed-out queries stay in the samples, as in the sync server:
+        // percentiles report the true served tail.
+        core.samples.push((service_wait, service_total));
+        core.sojourns.push(sojourn);
+        if at > core.last_finish {
+            core.last_finish = at;
+        }
+        core.admission.on_complete(sojourn);
+        core.busy -= 1;
+        shared.cv.notify_all();
+    }
+    let _ = flight.reply.send(QueryResponse {
+        result,
+        finished_at: at,
+        sojourn,
+    });
+}
 
 #[cfg(test)]
 mod tests {
@@ -1114,5 +2313,264 @@ mod tests {
             prev = m;
         }
         assert_eq!(closed_loop_makespan(&[], 4), SimDuration::ZERO);
+    }
+
+    // -- async serving core ------------------------------------------------
+
+    /// Build a cloud-latency corpus and return `(searcher, backend sim)`.
+    fn async_fixture(
+        n: usize,
+        seed: u64,
+    ) -> (Arc<Searcher>, Arc<SimulatedCloudStore<InMemoryStore>>) {
+        let sim = Arc::new(SimulatedCloudStore::new(
+            InMemoryStore::new(),
+            LatencyModel::gcs_like(),
+            seed,
+        ));
+        let docs = lines(n);
+        let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        build_index(sim.clone() as Arc<dyn ObjectStore>, &refs);
+        let searcher =
+            Arc::new(Searcher::open(sim.clone() as Arc<dyn ObjectStore>, "idx").unwrap());
+        (searcher, sim)
+    }
+
+    fn canonical_hits(r: &SearchResult) -> String {
+        let mut v: Vec<String> = r
+            .hits
+            .iter()
+            .map(|h| format!("{}#{}+{}:{}", h.blob, h.offset, h.len, h.text))
+            .collect();
+        v.sort();
+        v.join("|")
+    }
+
+    #[test]
+    fn async_results_match_sync_path_byte_for_byte() {
+        let (searcher, _sim) = async_fixture(60, 11);
+        let server = AsyncQueryServer::start(
+            searcher.clone() as Arc<dyn StagedEngine>,
+            AsyncServerConfig::new().with_executor_threads(0),
+        );
+        let queries: Vec<Query> = (0..30)
+            .map(|i| {
+                Query::and([
+                    Query::term(format!("word{i}")),
+                    Query::term(format!("shared{}", i % 5)),
+                ])
+            })
+            .collect();
+        let tickets: Vec<AsyncTicket> = queries
+            .iter()
+            .map(|q| server.submit_at(q.clone(), QueryOptions::new(), SubmitSpec::new()))
+            .collect();
+        server.drain();
+        for (q, t) in queries.iter().zip(tickets) {
+            let resp = t.wait();
+            let served = resp.result.expect("async query served");
+            let direct = searcher.execute(q, &QueryOptions::new()).unwrap();
+            assert_eq!(canonical_hits(&served), canonical_hits(&direct));
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 30);
+        assert_eq!(stats.rejected + stats.failed + stats.timed_out, 0);
+        let adm = stats.admission.expect("admission stats attached");
+        assert_eq!(adm.submitted, adm.admitted + adm.shed_total());
+    }
+
+    #[test]
+    fn async_executor_threads_serve_without_pumping() {
+        let (searcher, _sim) = async_fixture(40, 23);
+        let server = AsyncQueryServer::start(
+            searcher.clone() as Arc<dyn StagedEngine>,
+            AsyncServerConfig::new().with_executor_threads(2),
+        );
+        let tickets: Vec<AsyncTicket> = (0..20)
+            .map(|i| {
+                server
+                    .try_submit(
+                        Query::term(format!("word{i}")),
+                        QueryOptions::new(),
+                        SubmitSpec::new().with_class(Priority::High),
+                    )
+                    .expect("admitted under empty queue")
+            })
+            .collect();
+        for t in tickets {
+            assert!(t.wait().result.is_ok());
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 20);
+        assert!(stats.latency_p50_ms > 0.0, "virtual latency recorded");
+        assert!(stats.qps_sim > 0.0);
+    }
+
+    #[test]
+    fn async_overload_sheds_low_before_high_with_typed_errors() {
+        let (searcher, _sim) = async_fixture(40, 31);
+        // Queue of 4; Low watermark = 2, Normal = 3, High = 4.
+        let server = AsyncQueryServer::start(
+            searcher as Arc<dyn StagedEngine>,
+            AsyncServerConfig::new()
+                .with_executor_threads(0)
+                .with_admission(AdmissionConfig::with_max_in_flight(4)),
+        );
+        let submit = |class: Priority| {
+            server.try_submit(
+                Query::term("common"),
+                QueryOptions::new(),
+                SubmitSpec::new().with_class(class),
+            )
+        };
+        let mut held = Vec::new();
+        held.push(submit(Priority::Normal).expect("first admitted"));
+        held.push(submit(Priority::Normal).expect("second admitted"));
+        // Low watermark (2) reached: Low is shed, Normal still admitted.
+        let err = submit(Priority::Low).expect_err("low shed at watermark");
+        match err {
+            SubmitError::Overloaded { class, retry_after } => {
+                assert_eq!(class, Priority::Low);
+                assert!(retry_after > SimDuration::ZERO, "retry hint populated");
+            }
+            other => panic!("expected Overloaded, got {other}"),
+        }
+        held.push(submit(Priority::Normal).expect("normal rides above low watermark"));
+        // Normal watermark (3) reached: Normal shed, High admitted.
+        assert!(matches!(
+            submit(Priority::Normal),
+            Err(SubmitError::Overloaded {
+                class: Priority::Normal,
+                ..
+            })
+        ));
+        held.push(submit(Priority::High).expect("high priority uses the full queue"));
+        // Hard limit (4): even High is shed now.
+        assert!(matches!(
+            submit(Priority::High),
+            Err(SubmitError::Overloaded {
+                class: Priority::High,
+                ..
+            })
+        ));
+        server.drain();
+        for t in held {
+            assert!(t.wait().result.is_ok(), "admitted queries complete");
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.rejected, 3);
+        let adm = stats.admission.unwrap();
+        assert_eq!(adm.shed_low, 1);
+        assert_eq!(adm.shed_normal, 1);
+        assert_eq!(adm.shed_high, 1);
+        assert_eq!(adm.submitted, adm.admitted + adm.shed_total());
+    }
+
+    #[test]
+    fn async_storage_slots_create_queueing() {
+        // Same workload through 1 slot vs. many slots: the constrained
+        // backend must stretch the virtual makespan.
+        let mut makespans = Vec::new();
+        for slots in [1usize, 64] {
+            let (searcher, _sim) = async_fixture(40, 47);
+            let server = AsyncQueryServer::start(
+                searcher as Arc<dyn StagedEngine>,
+                AsyncServerConfig::new()
+                    .with_executor_threads(0)
+                    .with_storage_slots(slots),
+            );
+            let tickets: Vec<AsyncTicket> = (0..30)
+                .map(|i| {
+                    server.submit_at(
+                        Query::term(format!("word{i}")),
+                        QueryOptions::new(),
+                        SubmitSpec::new().at(SimDuration::ZERO),
+                    )
+                })
+                .collect();
+            server.drain();
+            for t in tickets {
+                assert!(t.wait().result.is_ok());
+            }
+            makespans.push(server.shutdown().sim_makespan);
+        }
+        assert!(
+            makespans[0] > makespans[1],
+            "1 slot {} must be slower than 64 slots {}",
+            makespans[0],
+            makespans[1]
+        );
+    }
+
+    #[test]
+    fn async_hedging_counts_and_respects_budget() {
+        let sim = Arc::new(SimulatedCloudStore::new(
+            InMemoryStore::new(),
+            LatencyModel::gcs_like(),
+            5,
+        ));
+        let docs = lines(60);
+        let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        build_index(sim.clone() as Arc<dyn ObjectStore>, &refs);
+        // Hedge re-dispatch goes to an *independent* clone of the backend
+        // (fresh latency stream, same bytes) — the production story of a
+        // second replica.
+        let hedge_backend = Arc::new(SimulatedCloudStore::new(
+            InMemoryStore::new(),
+            LatencyModel::gcs_like(),
+            6,
+        ));
+        for name in sim.list("").unwrap() {
+            let bytes = sim.get(&name).unwrap().bytes;
+            hedge_backend.put(&name, bytes).unwrap();
+        }
+        let searcher =
+            Arc::new(Searcher::open(sim.clone() as Arc<dyn ObjectStore>, "idx").unwrap());
+        let budget = 0.2;
+        let server = AsyncQueryServer::start(
+            searcher.clone() as Arc<dyn StagedEngine>,
+            AsyncServerConfig::new()
+                .with_executor_threads(0)
+                .with_hedge(HedgeConfig {
+                    percentile: 0.5,
+                    min_samples: 16,
+                    budget_fraction: budget,
+                }),
+        )
+        .with_hedge_backend(hedge_backend as Arc<dyn ObjectStore>);
+        let queries: Vec<Query> = (0..120)
+            .map(|i| Query::term(format!("word{}", i % 60)))
+            .collect();
+        let tickets: Vec<AsyncTicket> = queries
+            .iter()
+            .map(|q| server.submit_at(q.clone(), QueryOptions::new(), SubmitSpec::new()))
+            .collect();
+        server.drain();
+        for (q, t) in queries.iter().zip(tickets) {
+            let served = t.wait().result.expect("served");
+            let direct = searcher.execute(q, &QueryOptions::new()).unwrap();
+            assert_eq!(
+                canonical_hits(&served),
+                canonical_hits(&direct),
+                "hedged results stay byte-for-byte equal"
+            );
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 120);
+        assert!(
+            stats.hedges > 0,
+            "an aggressive p50 threshold must fire some hedges"
+        );
+        assert!(stats.hedge_wins <= stats.hedges);
+        let adm = stats.admission.unwrap();
+        // Budget: hedges bounded by the configured fraction of dispatches
+        // (every dispatch including hedges counts in the denominator).
+        let dispatched = adm.admitted * 2; // ≤ 2 batches per query
+        assert!(
+            (stats.hedges as f64) <= budget * dispatched as f64 + 1.0,
+            "hedges {} within budget of {} dispatches",
+            stats.hedges,
+            dispatched
+        );
     }
 }

@@ -53,7 +53,7 @@ pub use localfs::LocalFsStore;
 pub use memory::InMemoryStore;
 pub use object_store::{BatchFetch, Fetched, ObjectStore, RangeRequest, Version};
 pub use scheduler::{CoalescingStore, SchedulerConfig, SchedulerStats};
-pub use sim::{IoStatsSnapshot, SimulatedCloudStore};
+pub use sim::{IoStatsSnapshot, SimulatedCloudStore, SpikeProfile};
 pub use trace::{PhaseKind, PhaseTrace, QueryTrace};
 
 /// Convenient `Result` alias for storage operations.

@@ -15,6 +15,52 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// A deterministic tail-latency spike injector: every `every`-th
+/// dispatched read (batch or single get) has its time-to-first-byte
+/// multiplied by `multiplier`.
+///
+/// This models the occasional straggling cloud request (overloaded
+/// backend shard, connection re-establishment) that hedged reads are
+/// designed to cut. Being counter-based rather than sampled, the set of
+/// spiked requests is a pure function of dispatch order — benches and
+/// tests get the *same* stragglers on every run without rolling their
+/// own latency hacks.
+///
+/// `SpikeProfile::new(100, 10.0)` gives the canonical "p99 ≈ 10× the
+/// median" profile: 1 in 100 requests pays 10× its sampled first byte.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpikeProfile {
+    /// Spike every `every`-th dispatch (must be ≥ 1).
+    pub every: u64,
+    /// First-byte multiplier applied to spiked dispatches.
+    pub multiplier: f64,
+    /// Phase offset: dispatch indices `i` with `i % every == offset`
+    /// spike. Defaults to `every - 1` so short runs still hit one.
+    pub offset: u64,
+}
+
+impl SpikeProfile {
+    /// Spike every `every`-th dispatch by `multiplier`.
+    pub fn new(every: u64, multiplier: f64) -> Self {
+        let every = every.max(1);
+        SpikeProfile {
+            every,
+            multiplier,
+            offset: every - 1,
+        }
+    }
+
+    /// Change the phase offset (wrapped into `0..every`).
+    pub fn with_offset(mut self, offset: u64) -> Self {
+        self.offset = offset % self.every;
+        self
+    }
+
+    fn is_spiked(&self, dispatch_index: u64) -> bool {
+        dispatch_index % self.every == self.offset
+    }
+}
+
 /// Snapshot of the I/O counters of a [`SimulatedCloudStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct IoStatsSnapshot {
@@ -28,6 +74,9 @@ pub struct IoStatsSnapshot {
     pub sim_wait_nanos: u64,
     /// Sum of simulated download (transfer) across *batches*.
     pub sim_download_nanos: u64,
+    /// Dispatches whose first byte was stretched by the
+    /// [`SpikeProfile`] (0 when no profile is attached).
+    pub spiked: u64,
 }
 
 impl IoStatsSnapshot {
@@ -44,6 +93,7 @@ struct IoStats {
     bytes_read: AtomicU64,
     sim_wait_nanos: AtomicU64,
     sim_download_nanos: AtomicU64,
+    spiked: AtomicU64,
 }
 
 impl IoStats {
@@ -54,6 +104,7 @@ impl IoStats {
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             sim_wait_nanos: self.sim_wait_nanos.load(Ordering::Relaxed),
             sim_download_nanos: self.sim_download_nanos.load(Ordering::Relaxed),
+            spiked: self.spiked.load(Ordering::Relaxed),
         }
     }
 }
@@ -68,6 +119,9 @@ pub struct SimulatedCloudStore<S> {
     rng: Mutex<StdRng>,
     stats: IoStats,
     real_sleep: bool,
+    spikes: Option<SpikeProfile>,
+    /// Monotone dispatch counter driving the (deterministic) spike phase.
+    dispatches: AtomicU64,
 }
 
 impl<S: ObjectStore> SimulatedCloudStore<S> {
@@ -79,6 +133,8 @@ impl<S: ObjectStore> SimulatedCloudStore<S> {
             rng: Mutex::new(seeded_rng(seed)),
             stats: IoStats::default(),
             real_sleep: false,
+            spikes: None,
+            dispatches: AtomicU64::new(0),
         }
     }
 
@@ -86,6 +142,32 @@ impl<S: ObjectStore> SimulatedCloudStore<S> {
     pub fn with_real_sleep(mut self) -> Self {
         self.real_sleep = true;
         self
+    }
+
+    /// Attach a deterministic straggler profile: every `profile.every`-th
+    /// dispatch pays `profile.multiplier`× its sampled first byte.
+    pub fn with_spikes(mut self, profile: SpikeProfile) -> Self {
+        self.spikes = Some(profile);
+        self
+    }
+
+    /// The attached spike profile, if any.
+    pub fn spike_profile(&self) -> Option<SpikeProfile> {
+        self.spikes
+    }
+
+    /// Stretch `first_byte` if this dispatch lands on a spike slot.
+    fn apply_spike(&self, first_byte: SimDuration) -> SimDuration {
+        let Some(profile) = self.spikes else {
+            return first_byte;
+        };
+        let idx = self.dispatches.fetch_add(1, Ordering::Relaxed);
+        if profile.is_spiked(idx) {
+            self.stats.spiked.fetch_add(1, Ordering::Relaxed);
+            first_byte * profile.multiplier
+        } else {
+            first_byte
+        }
     }
 
     /// The latency model in use.
@@ -110,6 +192,9 @@ impl<S: ObjectStore> SimulatedCloudStore<S> {
         self.stats.bytes_read.store(0, Ordering::Relaxed);
         self.stats.sim_wait_nanos.store(0, Ordering::Relaxed);
         self.stats.sim_download_nanos.store(0, Ordering::Relaxed);
+        // The dispatch counter is *not* reset: the spike phase stays a
+        // pure function of dispatch order across the store's lifetime.
+        self.stats.spiked.store(0, Ordering::Relaxed);
     }
 
     fn record_batch(&self, requests: u64, bytes: u64, wait: SimDuration, download: SimDuration) {
@@ -134,7 +219,7 @@ impl<S: ObjectStore> SimulatedCloudStore<S> {
             let mut rng = self.rng.lock();
             self.model.sample(bytes, &mut rng)
         };
-        (sample.first_byte, sample.transfer)
+        (self.apply_spike(sample.first_byte), sample.transfer)
     }
 }
 
@@ -205,6 +290,10 @@ impl<S: ObjectStore> ObjectStore for SimulatedCloudStore<S> {
                 },
             });
         }
+        // A batch is one dispatch to the cloud: a straggling batch is one
+        // whose slowest stream straggles, so the spike applies to the
+        // batch-level wait.
+        max_fb = self.apply_spike(max_fb);
         let download = self
             .model
             .contended_transfer_time(total_bytes, requests.len());
@@ -373,5 +462,83 @@ mod tests {
         let store = store_with(LatencyModel::gcs_like());
         store.put("new", Bytes::from_static(b"data")).unwrap();
         assert_eq!(store.stats().read_requests, 0);
+    }
+
+    #[test]
+    fn spike_profile_hits_every_nth_dispatch() {
+        let store = store_with(LatencyModel::gcs_like()).with_spikes(SpikeProfile::new(5, 10.0));
+        let mut waits = Vec::new();
+        for _ in 0..20 {
+            let reqs = vec![RangeRequest::new("blob", 0, 1024)];
+            waits.push(store.get_ranges(&reqs).unwrap().batch_wait);
+        }
+        assert_eq!(store.stats().spiked, 4, "20 dispatches / every 5");
+        // The spiked batches are exactly indices 4, 9, 14, 19 and they
+        // dwarf their unspiked neighbors.
+        for (i, w) in waits.iter().enumerate() {
+            let spiked = i % 5 == 4;
+            let neighbor = waits[if spiked { i - 1 } else { i / 5 * 5 + 4 }];
+            if spiked {
+                assert!(*w > neighbor * 3.0, "batch {i} should straggle vs neighbor");
+            }
+        }
+    }
+
+    #[test]
+    fn spike_profile_is_deterministic_under_seed() {
+        let run = || {
+            let inner = InMemoryStore::new();
+            inner.put("b", Bytes::from(vec![1u8; 4096])).unwrap();
+            let store = SimulatedCloudStore::new(inner, LatencyModel::gcs_like(), 77)
+                .with_spikes(SpikeProfile::new(3, 8.0));
+            (0..9)
+                .map(|_| store.get_range("b", 0, 4096).unwrap().latency)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn spike_profile_shapes_the_tail() {
+        // The canonical profile: 1-in-100 dispatches at 10× first byte
+        // must push p99 to roughly an order of magnitude over the median.
+        let store = store_with(LatencyModel::gcs_like()).with_spikes(SpikeProfile::new(100, 10.0));
+        let mut waits: Vec<f64> = (0..300)
+            .map(|_| {
+                store
+                    .get_ranges(&[RangeRequest::new("blob", 0, 1024)])
+                    .unwrap()
+                    .batch_wait
+                    .as_millis_f64()
+            })
+            .collect();
+        assert_eq!(store.stats().spiked, 3);
+        waits.sort_by(f64::total_cmp);
+        let median = waits[waits.len() / 2];
+        let p99 = waits[(waits.len() as f64 * 0.99) as usize];
+        assert!(
+            p99 > 5.0 * median,
+            "p99 {p99:.1}ms should be ≫ median {median:.1}ms"
+        );
+    }
+
+    #[test]
+    fn spike_offset_wraps_and_singles_count() {
+        let profile = SpikeProfile::new(4, 6.0).with_offset(9);
+        assert_eq!(profile.offset, 1);
+        let store = store_with(LatencyModel::gcs_like()).with_spikes(profile);
+        for _ in 0..8 {
+            store.get_range("blob", 0, 512).unwrap();
+        }
+        assert_eq!(store.stats().spiked, 2, "indices 1 and 5 spike");
+        assert_eq!(store.spike_profile(), Some(profile));
+    }
+
+    #[test]
+    fn no_profile_means_no_spikes() {
+        let store = store_with(LatencyModel::gcs_like());
+        store.get("blob").unwrap();
+        assert_eq!(store.stats().spiked, 0);
+        assert_eq!(store.spike_profile(), None);
     }
 }

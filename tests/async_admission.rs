@@ -1,0 +1,248 @@
+//! Overload semantics of the async admission-controlled serving core:
+//! for any query mix and any (small) queue bound, admitted queries —
+//! High priority above all — return byte-for-byte the results of the
+//! unloaded sync path, every rejection is a typed
+//! [`SubmitError::Overloaded`] (never a `QueueFull` panic or a silent
+//! drop), and the flow conserves: `served + sheds == submitted`.
+
+use airphant::{
+    AdmissionConfig, AirphantConfig, AsyncQueryServer, AsyncServerConfig, AsyncTicket, Builder,
+    Priority, Query, QueryOptions, SearchHit, Searcher, StagedEngine, SubmitError, SubmitSpec,
+};
+use airphant_corpus::{synth::word_token, zipf, SyntheticSpec};
+use airphant_storage::{InMemoryStore, LatencyModel, ObjectStore, SimulatedCloudStore};
+use proptest::prelude::*;
+use proptest::TestCaseError;
+use std::sync::Arc;
+
+fn canonical(hits: &[SearchHit]) -> Vec<(String, u64, u32, String)> {
+    let mut v: Vec<_> = hits
+        .iter()
+        .map(|h| (h.blob.clone(), h.offset, h.len, h.text.clone()))
+        .collect();
+    v.sort();
+    v
+}
+
+/// Random AST from an opcode tape (the stack-machine idiom of
+/// `query_properties.rs`): 0 pushes a term, 1 folds AND, 2 folds OR.
+fn ast_from_tape(tape: &[(u8, u16)]) -> Query {
+    let mut stack: Vec<Query> = Vec::new();
+    for &(op, w) in tape {
+        match op {
+            1 if stack.len() >= 2 => {
+                let b = stack.pop().unwrap();
+                let a = stack.pop().unwrap();
+                stack.push(Query::and([a, b]));
+            }
+            2 if stack.len() >= 2 => {
+                let b = stack.pop().unwrap();
+                let a = stack.pop().unwrap();
+                stack.push(Query::or([a, b]));
+            }
+            _ => stack.push(Query::term(word_token(w as u64))),
+        }
+    }
+    if stack.len() == 1 {
+        stack.pop().unwrap()
+    } else {
+        Query::or(stack)
+    }
+}
+
+/// One zipf corpus behind a simulated cloud, indexed once per case.
+fn build_searcher(n_docs: u64, corpus_seed: u64) -> Arc<Searcher> {
+    let inner = Arc::new(InMemoryStore::new());
+    let store: Arc<dyn ObjectStore> = inner.clone();
+    let spec = SyntheticSpec {
+        n_docs,
+        n_vocab: 60,
+        words_per_doc: 5,
+    };
+    let corpus = zipf(spec, store.clone(), "corpora/zipf", corpus_seed);
+    Builder::new(
+        AirphantConfig::default()
+            .with_total_bins(96)
+            .with_manual_layers(2)
+            .with_common_fraction(0.0)
+            .with_seed(7),
+    )
+    .build(&corpus, "idx")
+    .unwrap();
+    let view: Arc<dyn ObjectStore> = Arc::new(SimulatedCloudStore::new(
+        inner,
+        LatencyModel::gcs_like(),
+        corpus_seed,
+    ));
+    Arc::new(Searcher::open(view, "idx").unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Any mix of H/N/L queries against a deliberately tiny queue:
+    /// the caller-pumped executor admits nothing-completes-yet style
+    /// (every `try_submit` lands on a genuinely full queue), so the
+    /// watermarks, typed rejections, equality, and conservation are all
+    /// exercised on the same run.
+    #[test]
+    fn overload_semantics_for_any_mix(
+        n_docs in 40u64..120,
+        corpus_seed in 0u64..1_000,
+        max_in_flight in 4usize..12,
+        jobs in prop::collection::vec(
+            (0u8..3, prop::collection::vec((0u8..3, 0u16..70), 1..6)),
+            12..40,
+        ),
+    ) {
+        let searcher = build_searcher(n_docs, corpus_seed);
+        let server = AsyncQueryServer::start(
+            searcher.clone() as Arc<dyn StagedEngine>,
+            AsyncServerConfig::new()
+                .with_executor_threads(0)
+                .with_admission(AdmissionConfig::with_max_in_flight(max_in_flight)),
+        );
+
+        let mut admitted: Vec<(Query, Priority, AsyncTicket)> = Vec::new();
+        let mut sheds = 0u64;
+        for (class_code, tape) in &jobs {
+            let class = match class_code {
+                0 => Priority::High,
+                1 => Priority::Normal,
+                _ => Priority::Low,
+            };
+            let query = ast_from_tape(tape);
+            // Nothing completes until drain(), so in-flight only grows:
+            // every submission past a watermark sees a full queue.
+            match server.try_submit(
+                query.clone(),
+                QueryOptions::new(),
+                SubmitSpec::new().with_class(class),
+            ) {
+                Ok(ticket) => admitted.push((query, class, ticket)),
+                Err(err) => {
+                    sheds += 1;
+                    // Typed, class-tagged, with a drain hint — and never
+                    // the sync pool's QueueFull.
+                    match err {
+                        SubmitError::Overloaded { class: c, retry_after } => {
+                            prop_assert_eq!(c, class);
+                            prop_assert!(retry_after > airphant_storage::SimDuration::ZERO);
+                        }
+                        other => {
+                            return Err(TestCaseError(format!(
+                                "expected Overloaded, got {other:?}"
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+
+        // The watermark ordering: if any High was shed the queue was at
+        // its hard limit, which means every Low submitted after the
+        // low-watermark crossing was shed too.
+        server.drain();
+
+        let mut served = 0u64;
+        for (query, class, ticket) in admitted {
+            let response = ticket.wait();
+            let result = match response.result {
+                Ok(r) => r,
+                Err(e) => {
+                    return Err(TestCaseError(format!(
+                        "admitted {class} query failed: {e}"
+                    )));
+                }
+            };
+            served += 1;
+            // Byte-for-byte the unloaded sync path — checked for every
+            // class, with High the load-bearing guarantee.
+            let direct = searcher.execute(&query, &QueryOptions::new()).unwrap();
+            prop_assert_eq!(
+                canonical(&result.hits),
+                canonical(&direct.hits),
+                "{} query diverged under load",
+                class
+            );
+        }
+
+        // Conservation: hits + sheds == submitted, at both layers.
+        let stats = server.shutdown();
+        prop_assert_eq!(served + sheds, jobs.len() as u64);
+        prop_assert_eq!(stats.completed, served);
+        prop_assert_eq!(stats.rejected, sheds);
+        prop_assert_eq!(stats.failed + stats.timed_out, 0);
+        let adm = stats.admission.expect("async server reports admission stats");
+        prop_assert_eq!(adm.submitted, adm.admitted + adm.shed_total());
+        prop_assert_eq!(adm.admitted, served);
+    }
+}
+
+/// Deterministic regression: with the queue held full, Low is shed at
+/// half the queue, Normal at 80%, High only at the hard limit — and the
+/// classes shed in that order.
+#[test]
+fn watermarks_shed_in_priority_order() {
+    let searcher = build_searcher(60, 3);
+    let server = AsyncQueryServer::start(
+        searcher as Arc<dyn StagedEngine>,
+        AsyncServerConfig::new()
+            .with_executor_threads(0)
+            .with_admission(AdmissionConfig::with_max_in_flight(10)),
+    );
+    let submit = |class: Priority| {
+        server.try_submit(
+            Query::term(word_token(1)),
+            QueryOptions::new(),
+            SubmitSpec::new().with_class(class),
+        )
+    };
+    let mut tickets = Vec::new();
+    for _ in 0..5 {
+        tickets.push(submit(Priority::Low).expect("below low watermark"));
+    }
+    assert!(
+        matches!(
+            submit(Priority::Low),
+            Err(SubmitError::Overloaded {
+                class: Priority::Low,
+                ..
+            })
+        ),
+        "low watermark (50%) sheds Low"
+    );
+    for _ in 0..3 {
+        tickets.push(submit(Priority::Normal).expect("below normal watermark"));
+    }
+    assert!(
+        matches!(
+            submit(Priority::Normal),
+            Err(SubmitError::Overloaded {
+                class: Priority::Normal,
+                ..
+            })
+        ),
+        "normal watermark (80%) sheds Normal"
+    );
+    for _ in 0..2 {
+        tickets.push(submit(Priority::High).expect("High fills to the hard limit"));
+    }
+    assert!(
+        matches!(
+            submit(Priority::High),
+            Err(SubmitError::Overloaded {
+                class: Priority::High,
+                ..
+            })
+        ),
+        "the hard limit sheds even High"
+    );
+    server.drain();
+    for t in tickets {
+        assert!(t.wait().result.is_ok(), "every admitted query is served");
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 10);
+    assert_eq!(stats.rejected, 3);
+}
