@@ -19,8 +19,9 @@
 
 use airphant::{
     AdmissionConfig, AirphantConfig, AsyncQueryServer, AsyncServerConfig, Builder,
-    CompactionPolicy, Compactor, HedgeConfig, Priority, Query, QueryOptions, QueryServer, Searcher,
-    SegmentManager, ServerConfig, ServerStats, ShardRouter, StagedEngine, SubmitError, SubmitSpec,
+    CompactionPolicy, Compactor, FlushPolicy, Flusher, HedgeConfig, LiveIndex, Priority, Query,
+    QueryOptions, QueryServer, SearchEngine, Searcher, SegmentManager, ServerConfig, ServerStats,
+    ShardRouter, StagedEngine, SubmitError, SubmitSpec,
 };
 use airphant_corpus::{Corpus, LineSplitter, NgramTokenizer, Tokenizer, WhitespaceTokenizer};
 use airphant_storage::{
@@ -37,6 +38,9 @@ const USAGE: &str = "usage:
   airphant build       --store DIR --corpus PREFIX --index PREFIX [--append]
                        [--shards N] [--bins N] [--f0 F] [--layers L]
                        [--common FRAC] [--ngram N]
+  airphant append      --store DIR --index PREFIX [LINE...]
+                       [--probe WORD] [--batch N] [--ngram N]
+                       [--bins N] [--f0 F] [--layers L] [--common FRAC]
   airphant search      --store DIR --index PREFIX [WORD...]
                        [--or] [--ngram N] [--substring PATTERN] [--gram N]
                        [--top K] [--simulate-cloud] [--coalesce]
@@ -50,6 +54,9 @@ const USAGE: &str = "usage:
                        [--queries M] [--cache-kb KB] [--deadline-ms MS]
                        [--ngram N] [--top K] [--coalesce] [--clients N]
                        [--priority-mix H:N:L] [--hedge-pct P]
+  airphant bench-ingest --store DIR --index PREFIX [--docs N] [--batch N]
+                       [--flush-ms MS] [--bins N] [--f0 F] [--layers L]
+                       [--common FRAC]
   airphant stats       --store DIR --corpus PREFIX
 
 Multiple WORDs are combined with AND (--or combines them with OR).
@@ -93,6 +100,22 @@ the cap). --priority-mix H:N:L weights the submission classes (default
 straggles past its observed Pth latency percentile against a replica
 backend below the cache. Shed and hedge counters print after the run.
 
+`append` streams documents into the index's in-memory memtable tail
+(docs/adr/007-streaming-ingestion.md): each LINE (positional, or one per
+stdin line when no positionals are given) is searchable the moment it is
+appended — before any durability — and a group-commit flush then
+publishes the batches as real segments in the manifest, exactly as
+build --append would. --probe WORD searches the live index after the
+appends but *before* the flush, demonstrating freshness; --batch N seals
+the memtable every N docs (default 4096). The config knobs must match
+the existing segments.
+
+bench-ingest drives a synthetic log stream through the same live index
+with a background flusher thread (--flush-ms, default 50) and prints
+sustained ingest throughput, freshness-probe latency, and the flush
+counters. --docs N sizes the stream (default 20000); --batch N is the
+group-commit seal threshold (default 1024).
+
 --coalesce inserts the cross-query I/O scheduler below the cache: each
 batch's overlapping/adjacent ranges merge into fewer larger reads, and
 concurrent workers' batches fuse into one shared backend round trip
@@ -115,10 +138,12 @@ fn run(argv: &[String]) -> Result<(), String> {
     let mut args = Args::parse(argv)?;
     match args.command() {
         "build" => build(&mut args),
+        "append" => append(&mut args),
         "search" => search(&mut args),
         "segments" => segments(&mut args),
         "compact" => compact(&mut args),
         "bench-serve" => bench_serve(&mut args),
+        "bench-ingest" => bench_ingest(&mut args),
         "stats" => stats(&mut args),
         other => Err(format!("unknown command: {other}")),
     }
@@ -248,6 +273,135 @@ fn build(args: &mut Args) -> Result<(), String> {
         report.index_bytes(),
         report.header_bytes,
     );
+    Ok(())
+}
+
+/// `append`: stream documents into the live memtable tail, prove they
+/// are searchable pre-durability, then group-commit them as segments.
+fn append(args: &mut Args) -> Result<(), String> {
+    let store = open_store(args)?;
+    let index = args.required("--index")?;
+    let ngram = args.optional_parse::<usize>("--ngram")?;
+    let probe = args.optional_parse::<String>("--probe")?;
+    let batch = args.optional_parse::<usize>("--batch")?.unwrap_or(4096);
+    let config = config_from(args)?;
+    let lines = args.positional();
+    args.finish()?;
+
+    let idx = LiveIndex::open_with_tokenizer(store, &index, config, tokenizer_for(ngram)?)
+        .map_err(|e| e.to_string())?
+        .with_policy(FlushPolicy {
+            max_docs: batch,
+            max_bytes: u64::MAX,
+        });
+    let mut appended = 0usize;
+    if lines.is_empty() {
+        for line in std::io::stdin().lines() {
+            let line = line.map_err(|e| e.to_string())?;
+            if line.is_empty() {
+                continue;
+            }
+            idx.append(&line).map_err(|e| e.to_string())?;
+            appended += 1;
+        }
+    } else {
+        for line in &lines {
+            idx.append(line).map_err(|e| e.to_string())?;
+            appended += 1;
+        }
+    }
+    println!(
+        "appended {appended} doc(s): searchable now, {} pending durability",
+        idx.pending_docs(),
+    );
+    if let Some(word) = probe {
+        let result = idx
+            .execute(&Query::term(&word), &QueryOptions::new())
+            .map_err(|e| e.to_string())?;
+        println!("pre-flush probe {word:?}: {} hit(s)", result.hits.len());
+        for hit in result.hits.iter().take(5) {
+            println!("  {}", hit.text);
+        }
+    }
+    let report = idx.flush().map_err(|e| e.to_string())?;
+    println!(
+        "flushed {} batch(es): {} doc(s), {} corpus byte(s) -> generation {}",
+        report.batches, report.docs, report.corpus_bytes, report.generation,
+    );
+    Ok(())
+}
+
+/// `bench-ingest`: a synthetic log stream through the live index with a
+/// background flusher, reporting throughput and freshness.
+fn bench_ingest(args: &mut Args) -> Result<(), String> {
+    let store = open_store(args)?;
+    let index = args.required("--index")?;
+    let n_docs = args.optional_parse::<usize>("--docs")?.unwrap_or(20_000);
+    let batch = args.optional_parse::<usize>("--batch")?.unwrap_or(1_024);
+    let flush_ms = args.optional_parse::<u64>("--flush-ms")?.unwrap_or(50);
+    let config = config_from(args)?;
+    args.finish()?;
+
+    let idx = Arc::new(
+        LiveIndex::open(store, &index, config)
+            .map_err(|e| e.to_string())?
+            .with_policy(FlushPolicy {
+                max_docs: batch,
+                max_bytes: u64::MAX,
+            }),
+    );
+    let flusher = Flusher::start(idx.clone(), std::time::Duration::from_millis(flush_ms));
+    let started = std::time::Instant::now();
+    let mut probe_total = std::time::Duration::ZERO;
+    let mut probes = 0u32;
+    for i in 0..n_docs {
+        idx.append(&format!(
+            "req{i} svc{} code{} latency{}",
+            i % 37,
+            i % 7,
+            (i * 13) % 113,
+        ))
+        .map_err(|e| e.to_string())?;
+        // Every 512th append, verify the newest doc is already
+        // searchable and time the probe.
+        if i % 512 == 511 {
+            let t = std::time::Instant::now();
+            let result = idx
+                .execute(&Query::term(format!("req{i}")), &QueryOptions::new())
+                .map_err(|e| e.to_string())?;
+            probe_total += t.elapsed();
+            probes += 1;
+            if result.hits.len() != 1 {
+                return Err(format!("freshness probe req{i} missed the newest doc"));
+            }
+        }
+    }
+    let ingest_wall = started.elapsed();
+    let stats = flusher.stop();
+    let total_wall = started.elapsed();
+    println!(
+        "ingested {n_docs} doc(s) in {:.2}s ({:.0} docs/s appended, {:.0} docs/s durable)",
+        total_wall.as_secs_f64(),
+        n_docs as f64 / ingest_wall.as_secs_f64(),
+        n_docs as f64 / total_wall.as_secs_f64(),
+    );
+    println!(
+        "freshness: {probes} probe(s), all served pre-durability, mean {:.2}ms",
+        probe_total.as_secs_f64() * 1e3 / f64::from(probes.max(1)),
+    );
+    println!(
+        "flusher: {} flush round(s), {} failure(s), {} doc(s) committed -> generation {}",
+        stats.flushes,
+        stats.failures,
+        stats.docs_flushed,
+        idx.generation(),
+    );
+    if idx.pending_docs() != 0 {
+        return Err(format!(
+            "{} doc(s) still pending after the final flush",
+            idx.pending_docs()
+        ));
+    }
     Ok(())
 }
 

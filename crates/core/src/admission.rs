@@ -186,6 +186,8 @@ pub struct AdmissionController {
     config: AdmissionConfig,
     in_flight: usize,
     buckets: HashMap<String, Bucket>,
+    /// Virtual time of the last idle-bucket sweep.
+    last_sweep: SimDuration,
     /// Smoothed end-to-end sojourn (seconds) of completed queries.
     ewma_sojourn: Option<f64>,
     stats: AdmissionStats,
@@ -205,9 +207,16 @@ impl AdmissionController {
             config,
             in_flight: 0,
             buckets: HashMap::new(),
+            last_sweep: SimDuration::ZERO,
             ewma_sojourn: None,
             stats: AdmissionStats::default(),
         }
+    }
+
+    /// Number of tenants with a live token bucket. Bounded under
+    /// unique-tenant churn: buckets idle for a full refill are swept.
+    pub fn tracked_tenants(&self) -> usize {
+        self.buckets.len()
     }
 
     /// Currently admitted (in-flight) queries.
@@ -254,8 +263,30 @@ impl AdmissionController {
             });
         }
 
-        // 2. Per-tenant token bucket on the virtual clock.
+        // 2. Deadline feasibility: the crude but effective Little's-law
+        //    style estimate — the smoothed sojourn scaled by how full the
+        //    in-flight set is. If even that optimistic figure blows the
+        //    deadline, admitting only wastes backend reads. Cold start
+        //    (no observed completion yet) admits optimistically. Runs
+        //    *before* the token bucket so a deadline shed never drains the
+        //    tenant's quota — every shed path rejects with the bucket
+        //    untouched.
+        if let (Some(deadline), Some(sojourn)) = (self.config.deadline, self.ewma_sojourn) {
+            let load = 1.0 + self.in_flight as f64 / self.config.max_in_flight.max(1) as f64;
+            let estimate = sojourn * load;
+            if estimate > deadline.as_secs_f64() {
+                self.stats.shed_deadline += 1;
+                return Err(SubmitError::Overloaded {
+                    class,
+                    retry_after: SimDuration::from_secs_f64(estimate - deadline.as_secs_f64()),
+                });
+            }
+        }
+
+        // 3. Per-tenant token bucket on the virtual clock. This is the
+        //    last check: a token is consumed only by an admission.
         if let (Some(quota), Some(tenant)) = (self.config.quota, tenant) {
+            self.sweep_idle_buckets(quota, now);
             let bucket = self.buckets.entry(tenant.to_owned()).or_insert(Bucket {
                 tokens: quota.burst,
                 last_refill: now,
@@ -279,23 +310,6 @@ impl AdmissionController {
             bucket.tokens -= 1.0;
         }
 
-        // 3. Deadline feasibility: the crude but effective Little's-law
-        //    style estimate — the smoothed sojourn scaled by how full the
-        //    in-flight set is. If even that optimistic figure blows the
-        //    deadline, admitting only wastes backend reads. Cold start
-        //    (no observed completion yet) admits optimistically.
-        if let (Some(deadline), Some(sojourn)) = (self.config.deadline, self.ewma_sojourn) {
-            let load = 1.0 + self.in_flight as f64 / self.config.max_in_flight.max(1) as f64;
-            let estimate = sojourn * load;
-            if estimate > deadline.as_secs_f64() {
-                self.stats.shed_deadline += 1;
-                return Err(SubmitError::Overloaded {
-                    class,
-                    retry_after: SimDuration::from_secs_f64(estimate - deadline.as_secs_f64()),
-                });
-            }
-        }
-
         self.stats.admitted += 1;
         self.in_flight += 1;
         Ok(())
@@ -316,6 +330,27 @@ impl AdmissionController {
     /// Snapshot of the admission counters.
     pub fn stats(&self) -> AdmissionStats {
         self.stats.clone()
+    }
+
+    /// Evict token buckets idle for at least one full refill. An idle
+    /// bucket refills to `burst`, which is exactly the state a fresh
+    /// bucket starts in — so dropping it cannot change any future
+    /// admission decision, it only bounds the map under unique-tenant
+    /// churn. Runs at most once per refill horizon, keeping the scan
+    /// amortized O(1) per arrival. With `per_sec == 0` buckets never
+    /// refill, so eviction would hand churning tenants a fresh burst;
+    /// such configs keep their buckets forever.
+    fn sweep_idle_buckets(&mut self, quota: QuotaConfig, now: SimDuration) {
+        if quota.per_sec <= 0.0 {
+            return;
+        }
+        let horizon = SimDuration::from_secs_f64(quota.burst / quota.per_sec);
+        if now.saturating_sub(self.last_sweep) < horizon {
+            return;
+        }
+        self.last_sweep = now;
+        self.buckets
+            .retain(|_, b| now.saturating_sub(b.last_refill) < horizon);
     }
 
     /// Estimated time until the in-flight set drains below `limit`:
@@ -431,6 +466,73 @@ mod tests {
         let err = ctl.try_admit(Priority::High, None, ms(1)).unwrap_err();
         assert!(matches!(err, SubmitError::Overloaded { .. }));
         assert_eq!(ctl.stats().shed_deadline, 1);
+    }
+
+    #[test]
+    fn deadline_sheds_do_not_consume_tenant_tokens() {
+        // Regression: the deadline-feasibility check used to run *after*
+        // the token bucket, so a deadline shed had already consumed a
+        // token — double-penalizing the tenant. With `per_sec: 0` there
+        // is no refill, making any leak permanent and observable.
+        let cfg = AdmissionConfig::with_max_in_flight(100)
+            .with_quota(QuotaConfig::new(2.0, 0.0))
+            .with_deadline(ms(10));
+        let mut ctl = AdmissionController::new(cfg);
+        ctl.try_admit(Priority::High, Some("t"), ms(0)).unwrap();
+        assert_eq!(ctl.buckets.get("t").unwrap().tokens, 1.0);
+        // Teach the EWMA that sojourns run ~200ms >> the 10ms deadline.
+        ctl.on_complete(ms(200));
+        let err = ctl.try_admit(Priority::High, Some("t"), ms(1)).unwrap_err();
+        assert!(matches!(err, SubmitError::Overloaded { .. }));
+        let stats = ctl.stats();
+        assert_eq!(stats.shed_deadline, 1);
+        assert_eq!(stats.shed_quota, 0);
+        // The shed left the bucket exactly as it was.
+        assert_eq!(ctl.buckets.get("t").unwrap().tokens, 1.0);
+        assert_eq!(stats.submitted, stats.admitted + stats.shed_total());
+    }
+
+    #[test]
+    fn idle_tenant_buckets_are_swept() {
+        // burst 5 at 10 qps → a full refill (the sweep horizon) is 500ms.
+        let quota = QuotaConfig::new(5.0, 10.0);
+        let cfg = AdmissionConfig::with_max_in_flight(100_000).with_quota(quota);
+        let mut ctl = AdmissionController::new(cfg);
+        // 10k unique tenants arriving 1ms apart: without eviction the map
+        // would hold all 10k buckets forever.
+        for i in 0..10_000u64 {
+            let tenant = format!("tenant-{i}");
+            ctl.try_admit(Priority::High, Some(&tenant), ms(i)).unwrap();
+        }
+        // At most one horizon of tenants survives a sweep, plus up to one
+        // more horizon of arrivals before the next sweep fires.
+        assert!(
+            ctl.tracked_tenants() <= 1_001,
+            "unique-tenant churn must not grow the map past the sweep \
+             horizon, got {} buckets",
+            ctl.tracked_tenants()
+        );
+    }
+
+    #[test]
+    fn eviction_preserves_refill_semantics() {
+        // burst 2 at 10 qps → horizon 200ms.
+        let quota = QuotaConfig::new(2.0, 10.0);
+        let cfg = AdmissionConfig::with_max_in_flight(100).with_quota(quota);
+        let mut ctl = AdmissionController::new(cfg);
+        ctl.try_admit(Priority::Normal, Some("t"), ms(0)).unwrap();
+        ctl.try_admit(Priority::Normal, Some("t"), ms(0)).unwrap();
+        assert!(ctl.try_admit(Priority::Normal, Some("t"), ms(0)).is_err());
+        // 300ms later the bucket has been idle past a full refill: the
+        // sweep drops it, and the recreated bucket starts at `burst` —
+        // byte-identical to what refill would have produced.
+        ctl.try_admit(Priority::Normal, Some("t"), ms(300)).unwrap();
+        ctl.try_admit(Priority::Normal, Some("t"), ms(300)).unwrap();
+        assert!(ctl.try_admit(Priority::Normal, Some("t"), ms(300)).is_err());
+        // A recently active tenant is never swept mid-conversation.
+        ctl.try_admit(Priority::Normal, Some("u"), ms(301)).unwrap();
+        ctl.try_admit(Priority::Normal, Some("u"), ms(350)).unwrap();
+        assert!(ctl.buckets.contains_key("u"));
     }
 
     #[test]

@@ -53,6 +53,16 @@ pub enum AirphantError {
         /// The gram size the query targeted.
         n: usize,
     },
+    /// A document appended to the streaming memtable that the
+    /// line-oriented corpus codec cannot represent faithfully — empty
+    /// (the line splitter skips blank lines) or containing a raw
+    /// newline (which would split it into several documents at flush).
+    /// Rejected at append so the live result and the post-flush result
+    /// stay byte-for-byte identical.
+    InvalidDocument {
+        /// Why the document cannot be ingested.
+        reason: String,
+    },
 }
 
 impl fmt::Display for AirphantError {
@@ -80,6 +90,9 @@ impl fmt::Display for AirphantError {
                 f,
                 "substring pattern {pattern:?} is shorter than the index gram size {n}"
             ),
+            AirphantError::InvalidDocument { reason } => {
+                write!(f, "document cannot be ingested: {reason}")
+            }
         }
     }
 }

@@ -78,6 +78,7 @@ pub mod compact;
 pub mod config;
 pub mod engine;
 pub mod error;
+pub mod memtable;
 pub mod plan;
 pub mod query;
 pub mod result;
@@ -96,6 +97,7 @@ pub use compact::{CompactionPolicy, CompactionReport, Compactor};
 pub use config::AirphantConfig;
 pub use engine::{SearchEngine, StagedEngine};
 pub use error::AirphantError;
+pub use memtable::{FlushPolicy, FlushReport, Flusher, FlusherStats, LiveIndex, Memtable};
 pub use plan::execute_with_lookup;
 pub use query::{Query, QueryOptions};
 pub use result::{SearchHit, SearchResult};

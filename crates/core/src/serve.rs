@@ -295,6 +295,11 @@ pub struct ServerStats {
     /// Hedges whose duplicate beat the original request
     /// ([`AsyncQueryServer`] only; 0 for the sync pool).
     pub hedge_wins: u64,
+    /// Primary (non-hedge) storage batches dispatched — the denominator
+    /// the hedge budget is enforced against: `hedges <= budget_fraction *
+    /// primary_dispatches` always holds ([`AsyncQueryServer`] only; 0 for
+    /// the sync pool).
+    pub primary_dispatches: u64,
     /// Admission-control counters ([`AsyncQueryServer`] only; `None` for
     /// the sync pool, whose backpressure is the bounded queue).
     pub admission: Option<AdmissionStats>,
@@ -538,6 +543,7 @@ impl QueryServer {
             peak_in_flight: self.config_workers as u64,
             hedges: 0,
             hedge_wins: 0,
+            primary_dispatches: 0,
             admission: None,
         }
     }
@@ -884,8 +890,13 @@ struct AsyncCore {
     peak_in_flight: u64,
     hedges: u64,
     hedge_wins: u64,
-    /// Total storage batches dispatched (hedge-budget denominator).
+    /// Total storage batches dispatched, primaries and hedges alike.
     dispatched: u64,
+    /// Primary (non-hedge) batches dispatched — the hedge-budget
+    /// denominator. Counting hedges themselves in the denominator would
+    /// let each admitted hedge enlarge the budget for the next one,
+    /// inflating the effective fraction past the configured one.
+    primary_dispatches: u64,
     latency_ring: Vec<SimDuration>,
     ring_pos: usize,
     since_recompute: usize,
@@ -1111,6 +1122,7 @@ impl AsyncQueryServer {
                 hedges: 0,
                 hedge_wins: 0,
                 dispatched: 0,
+                primary_dispatches: 0,
                 latency_ring: Vec::new(),
                 ring_pos: 0,
                 since_recompute: 0,
@@ -1348,6 +1360,7 @@ impl AsyncQueryServer {
             peak_in_flight: core.peak_in_flight,
             hedges: core.hedges,
             hedge_wins: core.hedge_wins,
+            primary_dispatches: core.primary_dispatches,
             admission: Some(core.admission.stats()),
         }
     }
@@ -1539,8 +1552,11 @@ fn process_hedge_fire(shared: &AsyncShared, at: SimDuration, id: u64, epoch: u32
         }
     };
     let mut core = shared.lock_core();
-    // Budget: hedges stay within `budget_fraction` of all dispatches.
-    if (core.hedges as f64) >= cfg.budget_fraction * core.dispatched.max(1) as f64 {
+    // Budget: admitting this hedge must keep `hedges` within
+    // `budget_fraction` of *primary* dispatches. Hedge dispatches do not
+    // count in the denominator — they used to, which let every admitted
+    // hedge enlarge the budget for the next one.
+    if ((core.hedges + 1) as f64) > cfg.budget_fraction * core.primary_dispatches as f64 {
         return;
     }
     let requests: Vec<RangeRequest> = {
@@ -1632,6 +1648,7 @@ fn apply_step(
         } => {
             let mut core = shared.lock_core();
             core.dispatched += 1;
+            core.primary_dispatches += 1;
             let latency = batch.batch_wait + batch.batch_download;
             let (start, completes) = core.acquire_slot(at, latency);
             flight.stage = FlightStage::AwaitingStorage(kind);
@@ -2563,14 +2580,92 @@ mod tests {
         );
         assert!(stats.hedge_wins <= stats.hedges);
         let adm = stats.admission.unwrap();
-        // Budget: hedges bounded by the configured fraction of dispatches
-        // (every dispatch including hedges counts in the denominator).
-        let dispatched = adm.admitted * 2; // ≤ 2 batches per query
+        // Budget: hedges bounded by the configured fraction of *primary*
+        // dispatches — exactly, no slack. The old check counted hedge
+        // dispatches in the denominator, so each admitted hedge enlarged
+        // the budget for the next one.
         assert!(
-            (stats.hedges as f64) <= budget * dispatched as f64 + 1.0,
-            "hedges {} within budget of {} dispatches",
+            stats.primary_dispatches > 0,
+            "served queries must have dispatched primary batches"
+        );
+        assert!(
+            stats.primary_dispatches <= adm.admitted * 2,
+            "≤ 2 primary batches (postings + documents) per query"
+        );
+        assert!(
+            (stats.hedges as f64) <= budget * stats.primary_dispatches as f64,
+            "hedges {} must stay within {budget} of {} primary dispatches",
             stats.hedges,
-            dispatched
+            stats.primary_dispatches
+        );
+    }
+
+    #[test]
+    fn hedge_budget_denominator_excludes_hedges() {
+        // Same workload shape as above, but with a tight budget so the
+        // cap binds: at 5% of primaries, 240 primary dispatches allow at
+        // most 12 hedges even though an aggressive p50 threshold would
+        // happily fire one per batch.
+        let sim = Arc::new(SimulatedCloudStore::new(
+            InMemoryStore::new(),
+            LatencyModel::gcs_like(),
+            9,
+        ));
+        let docs = lines(60);
+        let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        build_index(sim.clone() as Arc<dyn ObjectStore>, &refs);
+        let hedge_backend = Arc::new(SimulatedCloudStore::new(
+            InMemoryStore::new(),
+            LatencyModel::gcs_like(),
+            10,
+        ));
+        for name in sim.list("").unwrap() {
+            let bytes = sim.get(&name).unwrap().bytes;
+            hedge_backend.put(&name, bytes).unwrap();
+        }
+        let searcher =
+            Arc::new(Searcher::open(sim.clone() as Arc<dyn ObjectStore>, "idx").unwrap());
+        let budget = 0.05;
+        let server = AsyncQueryServer::start(
+            searcher as Arc<dyn StagedEngine>,
+            AsyncServerConfig::new()
+                .with_executor_threads(0)
+                .with_hedge(HedgeConfig {
+                    percentile: 0.5,
+                    min_samples: 16,
+                    budget_fraction: budget,
+                }),
+        )
+        .with_hedge_backend(hedge_backend as Arc<dyn ObjectStore>);
+        let tickets: Vec<AsyncTicket> = (0..120)
+            .map(|i| {
+                server.submit_at(
+                    Query::term(format!("word{}", i % 60)),
+                    QueryOptions::new(),
+                    SubmitSpec::new(),
+                )
+            })
+            .collect();
+        server.drain();
+        for t in tickets {
+            t.wait().result.expect("served");
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 120);
+        assert!(
+            (stats.hedges as f64) <= budget * stats.primary_dispatches as f64,
+            "hedges {} exceed {budget} of {} primary dispatches",
+            stats.hedges,
+            stats.primary_dispatches
+        );
+        // The old denominator (all dispatches = primaries + hedges) would
+        // have admitted strictly more: pin that the enforced cap is the
+        // primaries-only one.
+        let cap = (budget * stats.primary_dispatches as f64).floor() as u64;
+        assert!(
+            stats.hedges <= cap,
+            "hedges {} must not exceed the primaries-only cap {cap}",
+            stats.hedges
         );
     }
 }

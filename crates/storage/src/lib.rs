@@ -43,6 +43,7 @@ mod memory;
 mod object_store;
 mod scheduler;
 mod sim;
+mod tail;
 mod trace;
 
 pub use cache::CachedStore;
@@ -54,6 +55,7 @@ pub use memory::InMemoryStore;
 pub use object_store::{BatchFetch, Fetched, ObjectStore, RangeRequest, Version};
 pub use scheduler::{CoalescingStore, SchedulerConfig, SchedulerStats};
 pub use sim::{IoStatsSnapshot, SimulatedCloudStore, SpikeProfile};
+pub use tail::TailStore;
 pub use trace::{PhaseKind, PhaseTrace, QueryTrace};
 
 /// Convenient `Result` alias for storage operations.

@@ -1,0 +1,336 @@
+//! Streaming-ingestion integration tests: live/post-flush byte equality
+//! under arbitrary append/flush/search interleavings, crash recovery
+//! when a flush dies mid-write, and the live index behind both serving
+//! front-ends.
+//!
+//! Run in release with `--test-threads=8` in CI alongside the segment
+//! lifecycle suite — the flusher/appender races only manifest under real
+//! parallelism.
+
+use airphant::{
+    AirphantConfig, AsyncQueryServer, AsyncServerConfig, FlushPolicy, Flusher, LiveIndex, Query,
+    QueryOptions, QueryServer, SearchEngine, SearchHit, SegmentManager, ServerConfig, StagedEngine,
+};
+use airphant_storage::{FlakyStore, InMemoryStore, ObjectStore};
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn config() -> AirphantConfig {
+    AirphantConfig::default()
+        .with_total_bins(128)
+        .with_common_fraction(0.0)
+}
+
+/// Full-fidelity hit identity: blob coordinates AND text. Live and
+/// post-flush results must agree on every component.
+fn canonical(hits: &[SearchHit]) -> Vec<String> {
+    hits.iter()
+        .map(|h| format!("{}#{}+{}:{}", h.blob, h.offset, h.len, h.text))
+        .collect()
+}
+
+/// The trusted oracle: a linear scan over the appended documents in
+/// append order. Thanks to the verify pass, Airphant results are exact,
+/// so the engine must agree with this on every term query.
+fn oracle_term(docs: &[String], word: &str) -> Vec<String> {
+    docs.iter()
+        .filter(|d| d.split_ascii_whitespace().any(|t| t == word))
+        .cloned()
+        .collect()
+}
+
+fn texts(hits: &[SearchHit]) -> Vec<String> {
+    hits.iter().map(|h| h.text.clone()).collect()
+}
+
+fn doc_for(tape: (u8, u16)) -> String {
+    let (kind, n) = tape;
+    match kind {
+        0 => format!("alpha w{} shared", n % 17),
+        1 => format!("beta w{} w{} shared", n % 17, (n / 16) % 17),
+        _ => format!("gamma uniq{n} shared"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random interleavings of append / seal / flush / search: the live
+    /// index always equals the append-order oracle, and the canonical
+    /// (blob, offset, len, text) form of every probe is identical before
+    /// and after the final flush — i.e. streaming never changes what a
+    /// query returns, only when the bytes become durable.
+    #[test]
+    fn live_equals_oracle_under_any_interleaving(
+        ops in prop::collection::vec((0u8..10, 0u8..3, 0u16..2048), 5..60),
+        max_docs in 2usize..9,
+    ) {
+        // Tape-decoded ops: 0..=5 append, 6 seal, 7 flush, 8..=9 search.
+        #[derive(Debug, Clone)]
+        enum Op {
+            Append(String),
+            Seal,
+            Flush,
+            Search(String),
+        }
+        let ops: Vec<Op> = ops
+            .into_iter()
+            .map(|(roll, kind, n)| match roll {
+                0..=5 => Op::Append(doc_for((kind, n))),
+                6 => Op::Seal,
+                7 => Op::Flush,
+                _ => Op::Search(format!("w{}", n % 17)),
+            })
+            .collect();
+
+        let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+        let idx = LiveIndex::open(store.clone(), "idx", config())
+            .unwrap()
+            .with_policy(FlushPolicy { max_docs, max_bytes: u64::MAX });
+        let mut docs: Vec<String> = Vec::new();
+
+        for op in &ops {
+            match op {
+                Op::Append(doc) => {
+                    idx.append(doc.as_str()).unwrap();
+                    docs.push(doc.clone());
+                }
+                Op::Seal => idx.seal(),
+                Op::Flush => { idx.flush().unwrap(); }
+                Op::Search(word) => {
+                    let r = idx.execute(&Query::term(word), &QueryOptions::new()).unwrap();
+                    prop_assert_eq!(texts(&r.hits), oracle_term(&docs, word.as_str()));
+                }
+            }
+        }
+
+        // Probe a spread of terms live, flush everything, probe again:
+        // canonical hits (coordinates included) must not move.
+        let probes: Vec<Query> = (0..17)
+            .map(|i| Query::term(format!("w{i}")))
+            .chain([Query::term("shared"), Query::term("absent")])
+            .chain([Query::and([Query::term("alpha"), Query::term("shared")])])
+            .collect();
+        let before: Vec<Vec<String>> = probes
+            .iter()
+            .map(|q| canonical(&idx.execute(q, &QueryOptions::new()).unwrap().hits))
+            .collect();
+        idx.flush().unwrap();
+        prop_assert_eq!(idx.pending_docs(), 0);
+        // Once more through a *cold* durable-only reader: the manifest
+        // alone reproduces what the memtable served.
+        let cold = SegmentManager::new(store, "idx").open().unwrap();
+        for (q, want) in probes.iter().zip(&before) {
+            let live_after = canonical(&idx.execute(q, &QueryOptions::new()).unwrap().hits);
+            prop_assert_eq!(&live_after, want, "live result changed across flush");
+            let durable = canonical(&cold.execute(q, &QueryOptions::new()).unwrap().hits);
+            prop_assert_eq!(&durable, want, "cold durable read diverges from live");
+        }
+    }
+}
+
+/// Kill the flush at every possible write with `FlakyStore`: whatever
+/// step dies, the memtable keeps serving every appended document, the
+/// manifest stays decodable at its old generation, and a healed re-flush
+/// converges to the same canonical results the live index served before
+/// the crash.
+#[test]
+fn crash_during_flush_never_tears_the_index() {
+    // k=0 kills the corpus put; higher ks kill successive index-blob
+    // puts and eventually the CAS manifest publish itself. Once k covers
+    // the whole write sequence the flush succeeds and the sweep is done.
+    let mut crashed_at = 0u64;
+    for k in 0..16u64 {
+        let flaky = Arc::new(FlakyStore::new(InMemoryStore::new(), 0.0, 7));
+        let store = flaky.clone() as Arc<dyn ObjectStore>;
+        let idx = LiveIndex::open(store.clone(), "idx", config()).unwrap();
+        // A durable generation first, so a torn manifest would be
+        // distinguishable from an empty one.
+        idx.append("seed doc stable").unwrap();
+        idx.flush().unwrap();
+        let generation_before = idx.generation();
+        for i in 0..10 {
+            idx.append(&format!("fresh doc{i} streaming")).unwrap();
+        }
+        let live_before = canonical(
+            &idx.execute(&Query::term("streaming"), &QueryOptions::new())
+                .unwrap()
+                .hits,
+        );
+        assert_eq!(live_before.len(), 10, "k={k}");
+
+        flaky.fail_puts_after(k);
+        let outcome = idx.flush();
+        if outcome.is_ok() {
+            // The whole flush fit inside the write budget — nothing was
+            // killed; verify convergence and end the sweep.
+            flaky.heal_puts();
+            assert_eq!(idx.pending_docs(), 0, "k={k}");
+            let durable = canonical(
+                &SegmentManager::new(store, "idx")
+                    .open()
+                    .unwrap()
+                    .execute(&Query::term("streaming"), &QueryOptions::new())
+                    .unwrap()
+                    .hits,
+            );
+            assert_eq!(durable, live_before, "k={k}");
+            crashed_at = k;
+            break;
+        }
+
+        // The old generation is intact and decodable; no torn manifest.
+        assert_eq!(idx.generation(), generation_before, "k={k}");
+        let mgr = SegmentManager::new(store.clone(), "idx");
+        let manifest = mgr.manifest().unwrap();
+        assert_eq!(manifest.generation, generation_before, "k={k}");
+        // The memtable still serves everything, coordinates unchanged.
+        let live_after_crash = canonical(
+            &idx.execute(&Query::term("streaming"), &QueryOptions::new())
+                .unwrap()
+                .hits,
+        );
+        assert_eq!(live_after_crash, live_before, "k={k}");
+        assert_eq!(idx.pending_docs(), 10, "k={k}");
+
+        // Heal and retry: the re-flush converges and the durable view
+        // equals what the live index served all along.
+        flaky.heal_puts();
+        let report = idx.flush().unwrap();
+        assert_eq!(report.docs, 10, "k={k}");
+        assert_eq!(idx.pending_docs(), 0, "k={k}");
+        assert!(idx.generation() > generation_before, "k={k}");
+        let durable = canonical(
+            &SegmentManager::new(store, "idx")
+                .open()
+                .unwrap()
+                .execute(&Query::term("streaming"), &QueryOptions::new())
+                .unwrap()
+                .hits,
+        );
+        assert_eq!(durable, live_before, "k={k}");
+    }
+    // The sweep must actually have exercised crashes at several depths
+    // before the budget covered the whole flush.
+    assert!(
+        crashed_at >= 3,
+        "flush finished after only {crashed_at} writes"
+    );
+}
+
+/// The serving story end to end: a `QueryServer` serves the live index
+/// (fresh appends visible through the worker pool), then `refresh()`
+/// swaps in a cold durable searcher after the flush — zero downtime,
+/// identical results.
+#[test]
+fn query_server_serves_live_then_refreshes_to_durable() {
+    let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+    let idx = Arc::new(LiveIndex::open(store.clone(), "idx", config()).unwrap());
+    for i in 0..30 {
+        idx.append(&format!("served doc{i} w{}", i % 5)).unwrap();
+    }
+    let server = QueryServer::start(
+        idx.clone(),
+        ServerConfig::new().with_workers(4).with_queue_capacity(16),
+    );
+    let queries: Vec<Query> = (0..5).map(|i| Query::term(format!("w{i}"))).collect();
+    let live: Vec<Vec<String>> = queries
+        .iter()
+        .map(|q| {
+            let t = server.submit(q.clone(), QueryOptions::new()).unwrap();
+            canonical(&t.wait().unwrap().hits)
+        })
+        .collect();
+    assert_eq!(live.iter().map(Vec::len).sum::<usize>(), 30);
+
+    idx.flush().unwrap();
+    let cold = Arc::new(SegmentManager::new(store, "idx").open().unwrap());
+    server.refresh(cold);
+    for (q, want) in queries.iter().zip(&live) {
+        let t = server.submit(q.clone(), QueryOptions::new()).unwrap();
+        assert_eq!(&canonical(&t.wait().unwrap().hits), want);
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 10);
+    assert_eq!(stats.failed, 0);
+}
+
+/// The async admission-controlled core serves the live index through
+/// `StagedEngine` — suspend/resume planning over the memtable's staged
+/// mini-segments works exactly like over durable ones.
+#[test]
+fn async_core_serves_the_memtable_tail() {
+    let idx = Arc::new(LiveIndex::open(Arc::new(InMemoryStore::new()), "idx", config()).unwrap());
+    for i in 0..25 {
+        idx.append(&format!("async doc{i} tag{}", i % 4)).unwrap();
+    }
+    let server = AsyncQueryServer::start(
+        idx.clone() as Arc<dyn StagedEngine>,
+        AsyncServerConfig::new().with_executor_threads(0),
+    );
+    let tickets: Vec<_> = (0..4)
+        .map(|i| {
+            server
+                .try_submit(
+                    Query::term(format!("tag{i}")),
+                    QueryOptions::new(),
+                    Default::default(),
+                )
+                .unwrap()
+        })
+        .collect();
+    server.drain();
+    let mut total = 0;
+    for (i, t) in tickets.into_iter().enumerate() {
+        let r = t.wait().result.unwrap();
+        let direct = idx
+            .execute(&Query::term(format!("tag{i}")), &QueryOptions::new())
+            .unwrap();
+        assert_eq!(canonical(&r.hits), canonical(&direct.hits));
+        total += r.hits.len();
+    }
+    assert_eq!(total, 25);
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 4);
+}
+
+/// A background flusher racing a foreground appender and searcher:
+/// every appended doc stays findable throughout, and after stop()
+/// everything is durable.
+#[test]
+fn flusher_races_appender_without_losing_docs() {
+    let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
+    let idx = Arc::new(
+        LiveIndex::open(store.clone(), "idx", config())
+            .unwrap()
+            .with_policy(FlushPolicy {
+                max_docs: 16,
+                max_bytes: u64::MAX,
+            }),
+    );
+    let flusher = Flusher::start(idx.clone(), Duration::from_millis(1));
+    for i in 0..200 {
+        idx.append(&format!("raced doc{i} common")).unwrap();
+        if i % 50 == 49 {
+            let r = idx
+                .execute(&Query::term("common"), &QueryOptions::new())
+                .unwrap();
+            assert_eq!(r.hits.len(), i + 1);
+        }
+    }
+    let stats = flusher.stop();
+    assert_eq!(stats.failures, 0);
+    assert_eq!(idx.pending_docs(), 0);
+    // Cold durable read sees all 200, in append order.
+    let cold = SegmentManager::new(store, "idx").open().unwrap();
+    let r = cold
+        .execute(&Query::term("common"), &QueryOptions::new())
+        .unwrap();
+    assert_eq!(
+        texts(&r.hits),
+        (0..200)
+            .map(|i| format!("raced doc{i} common"))
+            .collect::<Vec<_>>()
+    );
+}
