@@ -1,0 +1,231 @@
+//! Segment-decode micro-bench over the query hot path: for each query,
+//! L fetched superposts are intersected. The **eager** arm is the pre-v2
+//! pipeline — [`decode_superpost`] materializes a `PostingsList` per
+//! superpost, then [`PostingsList::intersect_all`] merges them. The
+//! **view** arm is the v2 pipeline — [`SuperpostView::parse`] validates
+//! each blob once, then [`intersect_views`] walks the varint/delta
+//! streams in lockstep straight out of the borrowed bytes; only the
+//! result is allocated. Criterion-free: fixed work, wall-clock
+//! best-of-K, plus a counting global allocator that *pins* the
+//! zero-copy claim — the view arm must allocate a small fraction of
+//! what the eager arm does, or the bench exits non-zero.
+//!
+//! Headline: `BENCH_decode.json`, v2 pipeline throughput in MB/s (unit
+//! `mbps`, higher is better), diffed by `perf_gate` in CI.
+
+use airphant_bench::{Headline, Report};
+use bytes::Bytes;
+use iou_sketch::encoding::{decode_superpost, encode_superpost};
+use iou_sketch::{intersect_views, Posting, PostingsList, SuperpostView};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counts every heap allocation (and growth) — calls *and* bytes — so
+/// the zero-copy assertion below is a hard number, not a code-review
+/// claim. Bytes are the claim that matters: the eager arm allocates
+/// proportionally to the *input* postings it materializes, the view arm
+/// only proportionally to the (much smaller) intersection result.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_counters() -> (u64, u64) {
+    (
+        ALLOCATIONS.load(Ordering::Relaxed),
+        ALLOCATED_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+/// The workload: QUERIES independent lookups, each intersecting LAYERS
+/// superposts of POSTINGS_PER postings — the paper's L-layer probe.
+const QUERIES: usize = 96;
+const LAYERS: usize = 3;
+const POSTINGS_PER: usize = 2_000;
+/// Timed passes; the headline is the best (least-interfered) pass.
+const PASSES: usize = 5;
+
+/// Deterministic sorted-unique postings, no RNG needed: each layer
+/// strides by a different co-prime step so the L lists overlap on a
+/// fraction of their postings (a realistic intersection selectivity)
+/// and the deltas exercise multi-byte varints.
+fn synthetic_superpost(query: usize, layer: usize) -> Bytes {
+    let stride = [3u64, 4, 5][layer % 3];
+    let postings: Vec<Posting> = (0..POSTINGS_PER)
+        .map(|j| {
+            Posting::new(
+                (query % 7) as u32,
+                (j as u64) * stride * 137 + (query as u64),
+                40 + (j % 100) as u32,
+            )
+        })
+        .collect();
+    encode_superpost(&PostingsList::from_postings(postings))
+}
+
+/// Eager arm: the pre-v2 read path — decode every superpost into an
+/// owned `PostingsList`, then intersect the materialized lists.
+fn eager_pass(queries: &[Vec<Bytes>]) -> u64 {
+    let mut checksum = 0u64;
+    for blobs in queries {
+        let lists: Vec<PostingsList> = blobs
+            .iter()
+            .map(|b| decode_superpost(b).expect("well-formed superpost"))
+            .collect();
+        let refs: Vec<&PostingsList> = lists.iter().collect();
+        let out = PostingsList::intersect_all(&refs);
+        for p in out.iter() {
+            checksum = checksum.wrapping_add(p.offset ^ u64::from(p.len));
+        }
+    }
+    checksum
+}
+
+/// View arm: the v2 read path — validate each blob once, then intersect
+/// the varint streams in lockstep; only the result list is allocated.
+fn view_pass(queries: &[Vec<Bytes>]) -> u64 {
+    let mut checksum = 0u64;
+    for blobs in queries {
+        let views: Vec<SuperpostView> = blobs
+            .iter()
+            .map(|b| SuperpostView::parse(b.clone()).expect("well-formed superpost"))
+            .collect();
+        let refs: Vec<&SuperpostView> = views.iter().collect();
+        let out = intersect_views(&refs);
+        for p in out.iter() {
+            checksum = checksum.wrapping_add(p.offset ^ u64::from(p.len));
+        }
+    }
+    checksum
+}
+
+fn main() {
+    let queries: Vec<Vec<Bytes>> = (0..QUERIES)
+        .map(|q| (0..LAYERS).map(|l| synthetic_superpost(q, l)).collect())
+        .collect();
+    let total_bytes: usize = queries
+        .iter()
+        .flat_map(|blobs| blobs.iter().map(Bytes::len))
+        .sum();
+
+    // Correctness first: both pipelines must produce the same postings.
+    assert_eq!(
+        eager_pass(&queries),
+        view_pass(&queries),
+        "view and eager pipelines disagree on intersection results"
+    );
+
+    // Allocation pin: one measured pass each, counting the delta. The
+    // eager arm materializes every input superpost (bytes proportional
+    // to LAYERS full postings lists per query); the view arm allocates
+    // the intersection result plus constant per-query scaffolding.
+    let (c0, b0) = alloc_counters();
+    black_box(eager_pass(&queries));
+    let (c1, b1) = alloc_counters();
+    black_box(view_pass(&queries));
+    let (c2, b2) = alloc_counters();
+    let (eager_allocs, eager_bytes) = (c1 - c0, b1 - b0);
+    let (view_allocs, view_bytes) = (c2 - c1, b2 - b1);
+
+    // Throughput over the fetched superpost bytes: best of PASSES to
+    // shed scheduler noise.
+    let mut eager_mbps = 0f64;
+    let mut view_mbps = 0f64;
+    for _ in 0..PASSES {
+        let t = Instant::now();
+        black_box(eager_pass(&queries));
+        eager_mbps = eager_mbps.max(total_bytes as f64 / t.elapsed().as_secs_f64() / 1e6);
+        let t = Instant::now();
+        black_box(view_pass(&queries));
+        view_mbps = view_mbps.max(total_bytes as f64 / t.elapsed().as_secs_f64() / 1e6);
+    }
+
+    let mut report = Report::new(
+        "decode_throughput",
+        &[
+            "path",
+            "mb_per_s",
+            "allocs_per_pass",
+            "alloc_bytes_per_pass",
+        ],
+    );
+    for (label, mbps, allocs, bytes) in [
+        ("v1-eager-decode", eager_mbps, eager_allocs, eager_bytes),
+        ("v2-zero-copy-view", view_mbps, view_allocs, view_bytes),
+    ] {
+        report.push(
+            vec![
+                label.to_string(),
+                format!("{mbps:.1}"),
+                allocs.to_string(),
+                bytes.to_string(),
+            ],
+            serde_json::json!({
+                "path": label,
+                "mb_per_s": mbps,
+                "allocs_per_pass": allocs,
+                "alloc_bytes_per_pass": bytes,
+            }),
+        );
+    }
+    report.finish();
+
+    Headline::new(
+        "decode",
+        "v2_view_mb_per_s",
+        view_mbps,
+        "mbps",
+        serde_json::json!({
+            "queries": QUERIES,
+            "layers": LAYERS,
+            "postings_per_superpost": POSTINGS_PER,
+            "total_bytes": total_bytes,
+            "passes": PASSES,
+        }),
+    )
+    .write();
+
+    // The zero-copy pin: per pass the eager arm heap-allocates bytes
+    // proportional to the postings it materializes (QUERIES×LAYERS full
+    // lists); the view arm allocates only results and constant
+    // scaffolding, and must not quietly regress into copying
+    // input-sized sub-slices again.
+    println!(
+        "allocations/pass: eager {eager_allocs} calls / {eager_bytes} B, \
+         view {view_allocs} calls / {view_bytes} B \
+         (over {QUERIES} queries x {LAYERS} layers, {total_bytes} input bytes)"
+    );
+    if view_bytes * 4 > eager_bytes {
+        eprintln!(
+            "FAIL: view arm heap-allocates {view_bytes} B vs eager {eager_bytes} B — \
+             the zero-copy read path is copying input-sized buffers again"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "decode+intersect throughput: eager {eager_mbps:.1} MB/s, view {view_mbps:.1} MB/s \
+         — the view arm validates once and intersects in place (its second varint walk \
+         replaces the eager arm's materialized lists); only results are allocated"
+    );
+}

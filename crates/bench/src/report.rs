@@ -97,8 +97,9 @@ impl Report {
 /// committed baseline without parsing human-oriented tables.
 ///
 /// The regression direction is derived from `unit`: `qps` (and other
-/// rate units) regress when the value *drops*; everything else — `ms`,
-/// `bytes`, ratios — regresses when the value *grows*.
+/// rate units, plus `hit_pct` cache-hit percentages) regress when the
+/// value *drops*; everything else — `ms`, `bytes`, ratios — regresses
+/// when the value *grows*.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Headline {
     /// Bench name, e.g. `"throughput"` (also the file-name stem).
@@ -163,7 +164,10 @@ impl Headline {
 
     /// Whether a larger value is an improvement for this unit.
     pub fn higher_is_better(&self) -> bool {
-        matches!(self.unit.as_str(), "qps" | "ops" | "hits")
+        matches!(
+            self.unit.as_str(),
+            "qps" | "ops" | "hits" | "mbps" | "hit_pct"
+        )
     }
 
     /// Compare this (current) headline against `baseline` with the

@@ -37,7 +37,7 @@ use args::Args;
 const USAGE: &str = "usage:
   airphant build       --store DIR --corpus PREFIX --index PREFIX [--append]
                        [--shards N] [--bins N] [--f0 F] [--layers L]
-                       [--common FRAC] [--ngram N]
+                       [--common FRAC] [--ngram N] [--format v1|v2]
   airphant append      --store DIR --index PREFIX [LINE...]
                        [--probe WORD] [--batch N] [--ngram N]
                        [--bins N] [--f0 F] [--layers L] [--common FRAC]
@@ -75,8 +75,15 @@ the corpus across N independent segmented indexes under --index (each
 append adds one segment per non-empty shard); search auto-detects the
 sharded layout and fans every query out to all shards in parallel,
 merging results in stable doc-id order. `segments` shows the manifest —
-generation plus each live segment's prefix, size, and source blobs
-(per shard for sharded layouts).
+generation plus each live segment's prefix, size, source blobs, on-wire
+format version, and (for v2 segments) the layer directory's per-section
+byte breakdown (per shard for sharded layouts).
+
+--format selects the on-wire segment format the Builder writes
+(default v2: an 8-aligned section table readable in place, with a layer
+directory that classifies every byte range as Index or Data so tiered
+caches can pin the hot index structures). Readers accept both formats
+transparently; v1 remains for compatibility with old indexes.
 `compact` merges the smallest segments until at most --max-live remain
 (--merge at a time, default 4), publishes each swap atomically, then
 garbage-collects the superseded blobs; --sweep additionally reclaims
@@ -178,8 +185,8 @@ fn open_corpus(
     Ok(Corpus::new(store, blobs, Arc::new(LineSplitter), tokenizer))
 }
 
-/// The shared `--bins/--f0/--layers/--common` config knobs (build and
-/// compact must describe the same structure).
+/// The shared `--bins/--f0/--layers/--common/--format` config knobs
+/// (build and compact must describe the same structure).
 fn config_from(args: &mut Args) -> Result<AirphantConfig, String> {
     let mut config = AirphantConfig::default();
     if let Some(bins) = args.optional_parse::<usize>("--bins")? {
@@ -193,6 +200,12 @@ fn config_from(args: &mut Args) -> Result<AirphantConfig, String> {
     }
     if let Some(frac) = args.optional_parse::<f64>("--common")? {
         config = config.with_common_fraction(frac);
+    }
+    if let Some(fmt) = args.optional_parse::<String>("--format")? {
+        let format = fmt
+            .parse::<airphant::FormatVersion>()
+            .map_err(|e| e.to_string())?;
+        config = config.with_format(format);
     }
     Ok(config)
 }
@@ -268,10 +281,11 @@ fn build(args: &mut Args) -> Result<(), String> {
             .unwrap_or_else(|| "n/a".into()),
     );
     println!(
-        "persisted {} superpost block(s), {} bytes total ({} header)",
+        "persisted {} superpost block(s), {} bytes total ({} header, format {})",
         report.blocks,
         report.index_bytes(),
         report.header_bytes,
+        report.format,
     );
     Ok(())
 }
@@ -438,6 +452,41 @@ fn print_manifest(store: &Arc<dyn ObjectStore>, base: &str, indent: &str) -> Res
             seg.corpus_blobs.len(),
             seg.corpus_blobs.join(", "),
         );
+        print_segment_format(store, &prefix, indent)?;
+    }
+    Ok(())
+}
+
+/// Print one segment's on-wire format version and, for v2, the layer
+/// directory's per-section byte breakdown.
+fn print_segment_format(
+    store: &Arc<dyn ObjectStore>,
+    prefix: &str,
+    indent: &str,
+) -> Result<(), String> {
+    let searcher = Searcher::open(store.clone(), prefix).map_err(|e| e.to_string())?;
+    let fmt = searcher.format();
+    match &fmt.directory {
+        Some(dir) => {
+            println!(
+                "{indent}    format v{}: {} index byte(s), {} data byte(s) \
+                 in {} superpost block(s)",
+                fmt.version,
+                dir.index_bytes(),
+                dir.data_bytes(),
+                dir.data_blocks.len(),
+            );
+            for s in &dir.sections {
+                println!(
+                    "{indent}      {:<8} {:>8} B  @{:<8} {:?}",
+                    s.kind.name(),
+                    s.len,
+                    s.offset,
+                    s.class,
+                );
+            }
+        }
+        None => println!("{indent}    format v{}", fmt.version),
     }
     Ok(())
 }

@@ -41,6 +41,8 @@ pub struct BuildReport {
     pub docs: u64,
     /// Number of common words stored exactly.
     pub common_words: usize,
+    /// On-wire segment format the header was written in.
+    pub format: iou_sketch::FormatVersion,
     /// The corpus profile collected during the build.
     pub profile: CorpusProfile,
 }
@@ -79,6 +81,9 @@ struct BlockWriter<'a> {
     block_idx: u32,
     total_bytes: u64,
     blocks: usize,
+    /// Byte size of each flushed block, in block order — recorded in the
+    /// v2 header's layer directory as the Data-class byte ranges.
+    block_sizes: Vec<u64>,
 }
 
 impl<'a> BlockWriter<'a> {
@@ -91,6 +96,7 @@ impl<'a> BlockWriter<'a> {
             block_idx: 0,
             total_bytes: 0,
             blocks: 0,
+            block_sizes: Vec::new(),
         }
     }
 
@@ -114,6 +120,7 @@ impl<'a> BlockWriter<'a> {
         let name = block_blob(self.prefix, self.block_idx);
         let data = std::mem::take(&mut self.current).freeze();
         self.total_bytes += data.len() as u64;
+        self.block_sizes.push(data.len() as u64);
         self.store.put(&name, data)?;
         self.block_idx += 1;
         self.blocks += 1;
@@ -299,7 +306,9 @@ impl Builder {
             string_table,
             meta,
         );
-        let header = mht.to_header().encode();
+        let header = mht
+            .to_header()
+            .encode_with(self.config.format, &writer.block_sizes);
         let header_bytes = header.len() as u64;
         store.put(&header_blob(prefix), header)?;
 
@@ -313,6 +322,7 @@ impl Builder {
             words,
             docs,
             common_words: common_count,
+            format: self.config.format,
             profile,
         })
     }

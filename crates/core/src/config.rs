@@ -1,5 +1,6 @@
 //! Engine configuration ("Configuring Builder", §III-C0b).
 
+use iou_sketch::FormatVersion;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of an Airphant index build and its Searcher behaviour.
@@ -27,6 +28,8 @@ pub struct AirphantConfig {
     pub block_target_bytes: usize,
     /// Seed for hash-family generation and sampling.
     pub seed: u64,
+    /// On-wire segment format the Builder writes (readers accept both).
+    pub format: FormatVersion,
 }
 
 impl Default for AirphantConfig {
@@ -40,6 +43,7 @@ impl Default for AirphantConfig {
             topk_delta: 1e-6,
             block_target_bytes: 4 * 1024 * 1024,
             seed: 0xA1B2_C3D4,
+            format: FormatVersion::default(),
         }
     }
 }
@@ -78,6 +82,12 @@ impl AirphantConfig {
     /// Set the RNG seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Choose the on-wire segment format the Builder writes.
+    pub fn with_format(mut self, format: FormatVersion) -> Self {
+        self.format = format;
         self
     }
 
@@ -126,6 +136,17 @@ mod tests {
         assert_eq!(c.common_fraction, 0.01);
         assert_eq!(c.topk_delta, 1e-6);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn format_defaults_to_v2() {
+        assert_eq!(AirphantConfig::default().format, FormatVersion::V2);
+        assert_eq!(
+            AirphantConfig::default()
+                .with_format(FormatVersion::V1)
+                .format,
+            FormatVersion::V1
+        );
     }
 
     #[test]

@@ -109,5 +109,9 @@ pub use serve::{
 };
 pub use shard::{shard_of, ShardAppend, ShardRouter, ShardedSearcher};
 
+// Segment-format types, re-exported so embedders and the CLI can select
+// and introspect the on-wire format without depending on `iou_sketch`.
+pub use iou_sketch::{ByteClass, FormatVersion, LayerDirectory, SectionInfo, SegmentFormat};
+
 /// Convenient `Result` alias.
 pub type Result<T> = std::result::Result<T, AirphantError>;

@@ -25,9 +25,8 @@ use crate::searcher::{sample_postings, seed_for, Searcher};
 use crate::Result;
 use airphant_corpus::Tokenizer;
 use airphant_storage::{BatchFetch, ObjectStore, PhaseKind, QueryTrace, RangeRequest, SimDuration};
-use iou_sketch::encoding::decode_superpost;
 use iou_sketch::mht::WordLookup;
-use iou_sketch::{sample_size_for_top_k, Posting, PostingsList};
+use iou_sketch::{intersect_views, sample_size_for_top_k, Posting, PostingsList, SuperpostView};
 use std::collections::HashMap;
 
 /// Per-atom postings for each segment, resolved in one storage batch.
@@ -120,15 +119,17 @@ pub(crate) fn complete_postings(
     }
 
     let compute_start = std::time::Instant::now();
-    // Decode each distinct range at most once, even when shared between
-    // atoms (hash collisions) or repeated across the query; atoms then
-    // intersect over references, never cloning the decoded superposts.
-    let mut decoded: Vec<Option<PostingsList>> = vec![None; plan.requests.len()];
+    // Validate each distinct range at most once into a zero-copy
+    // [`SuperpostView`] over the fetched bytes — no eager `PostingsList`
+    // materialization. Views are shared between atoms (hash collisions)
+    // and repeats across the query; atoms then intersect lazily over the
+    // views, so the only per-atom allocation is the intersection output.
+    let mut decoded: Vec<Option<SuperpostView>> = vec![None; plan.requests.len()];
     for seg_plan in &plan.fetch_plan {
         for (_, indices) in seg_plan {
             for &i in indices {
                 if decoded[i].is_none() {
-                    decoded[i] = Some(decode_superpost(&batch.parts[i].bytes)?);
+                    decoded[i] = Some(SuperpostView::parse(batch.parts[i].bytes.clone())?);
                 }
             }
         }
@@ -138,11 +139,11 @@ pub(crate) fn complete_postings(
     for seg_plan in &plan.fetch_plan {
         let mut map = HashMap::with_capacity(atoms.len());
         for (atom_idx, indices) in seg_plan {
-            let refs: Vec<&PostingsList> = indices
+            let refs: Vec<&SuperpostView> = indices
                 .iter()
-                .map(|&i| decoded[i].as_ref().expect("pre-decoded"))
+                .map(|&i| decoded[i].as_ref().expect("pre-validated"))
                 .collect();
-            let postings = PostingsList::intersect_all(&refs);
+            let postings = intersect_views(&refs);
             map.insert(atoms[*atom_idx].clone(), postings);
         }
         out.push(map);

@@ -17,7 +17,10 @@ use airphant_corpus::{Tokenizer, WhitespaceTokenizer};
 use airphant_storage::{ObjectStore, PhaseKind, QueryTrace, RangeRequest, SimDuration};
 use iou_sketch::encoding::decode_superpost;
 use iou_sketch::mht::WordLookup;
-use iou_sketch::{sample_size_for_top_k, HeaderBlock, Mht, PostingsList};
+use iou_sketch::{
+    intersect_views, sample_size_for_top_k, HeaderBlock, Mht, PostingsList, SegmentFormat,
+    SuperpostView,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -35,6 +38,9 @@ pub struct Searcher {
     expected_fp: f64,
     topk_delta: f64,
     optimal_layers: usize,
+    /// What was on the wire when the header was decoded (version, and the
+    /// layer directory for v2).
+    format: SegmentFormat,
 }
 
 impl Searcher {
@@ -59,15 +65,13 @@ impl Searcher {
             });
         }
         let mut init_trace = QueryTrace::new();
-        let fetched = store.get(&header_name)?;
-        init_trace.record_sequential(
-            PhaseKind::Init,
-            1,
-            fetched.bytes.len() as u64,
-            fetched.latency.first_byte,
-            fetched.latency.transfer,
-        );
-        let header = HeaderBlock::decode(&fetched.bytes)?;
+        // The header is Index-class by definition: fetch it as a ranged
+        // read carrying the tier hint so a tiered cache pins it against
+        // Data traffic (reopen-heavy serverless workloads reuse it).
+        let header_len = store.size_of(&header_name)?;
+        let batch = store.get_ranges(&[RangeRequest::index(&header_name, 0, header_len)])?;
+        init_trace.record_batch(PhaseKind::Init, &batch);
+        let (header, format) = HeaderBlock::decode_any_bytes(&batch.parts[0].bytes)?;
         let mht = Mht::from_header(header);
         let accuracy_f0 = mht
             .meta_value("f0")
@@ -95,12 +99,19 @@ impl Searcher {
             expected_fp,
             topk_delta,
             optimal_layers,
+            format,
         })
     }
 
     /// The in-memory MHT.
     pub fn mht(&self) -> &Mht {
         &self.mht
+    }
+
+    /// The on-wire format the index header was decoded from (version, and
+    /// the layer directory for v2).
+    pub fn format(&self) -> &SegmentFormat {
+        &self.format
     }
 
     /// Simulated cost of initialization (header download).
@@ -190,13 +201,13 @@ impl Searcher {
                 if wait_for == batch.parts.len() {
                     trace.record_batch(PhaseKind::Postings, &batch);
                     let compute_start = std::time::Instant::now();
-                    let lists: Vec<PostingsList> = batch
+                    let views: Vec<SuperpostView> = batch
                         .parts
                         .iter()
-                        .map(|p| decode_superpost(&p.bytes))
+                        .map(|p| SuperpostView::parse(p.bytes.clone()))
                         .collect::<iou_sketch::Result<_>>()?;
-                    let refs: Vec<&PostingsList> = lists.iter().collect();
-                    let out = PostingsList::intersect_all(&refs);
+                    let refs: Vec<&SuperpostView> = views.iter().collect();
+                    let out = intersect_views(&refs);
                     trace.record_compute(SimDuration::from_secs_f64(
                         compute_start.elapsed().as_secs_f64(),
                     ));
@@ -228,12 +239,12 @@ impl Searcher {
                         download,
                     );
                     let compute_start = std::time::Instant::now();
-                    let lists: Vec<PostingsList> = chosen
+                    let views: Vec<SuperpostView> = chosen
                         .iter()
-                        .map(|&i| decode_superpost(&batch.parts[i].bytes))
+                        .map(|&i| SuperpostView::parse(batch.parts[i].bytes.clone()))
                         .collect::<iou_sketch::Result<_>>()?;
-                    let refs: Vec<&PostingsList> = lists.iter().collect();
-                    let out = PostingsList::intersect_all(&refs);
+                    let refs: Vec<&SuperpostView> = views.iter().collect();
+                    let out = intersect_views(&refs);
                     trace.record_compute(SimDuration::from_secs_f64(
                         compute_start.elapsed().as_secs_f64(),
                     ));
@@ -306,12 +317,12 @@ impl Searcher {
                     download,
                 );
                 let compute_start = std::time::Instant::now();
-                let lists: Vec<PostingsList> = chosen
+                let views: Vec<SuperpostView> = chosen
                     .iter()
-                    .map(|&i| decode_superpost(&batch.parts[i].bytes))
+                    .map(|&i| SuperpostView::parse(batch.parts[i].bytes.clone()))
                     .collect::<iou_sketch::Result<_>>()?;
-                let refs: Vec<&PostingsList> = lists.iter().collect();
-                let out = PostingsList::intersect_all(&refs);
+                let refs: Vec<&SuperpostView> = views.iter().collect();
+                let out = intersect_views(&refs);
                 trace.record_compute(SimDuration::from_secs_f64(
                     compute_start.elapsed().as_secs_f64(),
                 ));

@@ -1874,7 +1874,14 @@ mod tests {
             self.inner.get_range(name, o, l)
         }
         fn get_ranges(&self, reqs: &[RangeRequest]) -> airphant_storage::Result<BatchFetch> {
-            self.block();
+            // Init reads (the header fetch) are Index-class; only gate
+            // query-time Data traffic so `Searcher::open` never parks.
+            if reqs
+                .iter()
+                .any(|r| r.class == airphant_storage::RangeClass::Data)
+            {
+                self.block();
+            }
             self.inner.get_ranges(reqs)
         }
         fn size_of(&self, name: &str) -> airphant_storage::Result<u64> {

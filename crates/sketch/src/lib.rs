@@ -66,7 +66,10 @@ pub mod topk;
 
 pub use analysis::{CorpusShape, FalsePositiveModel};
 pub use common::CommonWords;
-pub use encoding::{BinPointer, HeaderBlock};
+pub use encoding::{
+    intersect_views, BinPointer, ByteClass, FormatVersion, HeaderBlock, HeaderView, LayerDirectory,
+    SectionInfo, SectionKind, SegmentFormat, SuperpostView,
+};
 pub use error::SketchError;
 pub use hash::{HashFamily, LayerSeed};
 pub use mht::Mht;

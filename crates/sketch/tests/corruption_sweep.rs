@@ -1,0 +1,148 @@
+//! Corrupt-input robustness sweep: decoding systematically damaged v1 and
+//! v2 encodings — truncated at every byte offset, and with every single bit
+//! flipped — must either succeed or return a typed [`SketchError`]. It must
+//! never panic, overflow, or read out of bounds, in debug or release.
+
+use bytes::Bytes;
+use iou_sketch::encoding::{decode_superpost, encode_superpost};
+use iou_sketch::{HeaderBlock, HeaderView, Posting, PostingsList, SuperpostView};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn sample_header() -> HeaderBlock {
+    use iou_sketch::{BinPointer, SketchConfig};
+    let mut st = iou_sketch::encoding::StringTable::new();
+    st.intern("corpus/blob-0");
+    st.intern("corpus/blob-1");
+    HeaderBlock {
+        config: SketchConfig {
+            total_bins: 64,
+            layers: 3,
+            common_fraction: 0.01,
+        },
+        seeds: (0..3)
+            .map(|i| iou_sketch::LayerSeed {
+                a: 7 + i,
+                b: 13 * i,
+            })
+            .collect(),
+        string_table: st,
+        pointers: (0..3)
+            .map(|layer| {
+                (0..21u64)
+                    .map(|i| BinPointer::new(layer, i * 10, 10))
+                    .collect()
+            })
+            .collect(),
+        common: vec![
+            ("the".into(), BinPointer::new(0, 210, 1_000)),
+            ("a".into(), BinPointer::new(1, 210, 500)),
+        ],
+        meta: vec![
+            ("f0".into(), "1.0".into()),
+            ("corpus".into(), "sweep".into()),
+        ],
+    }
+}
+
+fn sample_superpost() -> Bytes {
+    encode_superpost(&PostingsList::from_postings(vec![
+        Posting::new(0, 0, 120),
+        Posting::new(0, 120, 80),
+        Posting::new(0, 200, 4_000),
+        Posting::new(2, 64, 128),
+        Posting::new(2, 1 << 40, 17),
+        Posting::new(7, 5, 1),
+    ]))
+}
+
+/// Run `f` over the blob and require a non-panicking outcome.
+fn must_not_panic(what: &str, blob: &[u8], f: impl Fn(&[u8]) -> bool) {
+    let ok = catch_unwind(AssertUnwindSafe(|| f(blob)));
+    assert!(ok.is_ok(), "{what}: decoder panicked");
+}
+
+/// Every truncation must fail (typed), every bit flip must not panic.
+fn sweep(name: &str, blob: &[u8], decode: impl Fn(&[u8]) -> bool + Copy) {
+    for cut in 0..blob.len() {
+        let truncated = &blob[..cut];
+        let outcome = catch_unwind(AssertUnwindSafe(|| decode(truncated)));
+        match outcome {
+            Ok(decoded) => assert!(!decoded, "{name}: truncation at {cut} decoded successfully"),
+            Err(_) => panic!("{name}: truncation at {cut} panicked"),
+        }
+    }
+    let mut flipped = blob.to_vec();
+    for byte in 0..blob.len() {
+        for bit in 0..8 {
+            flipped[byte] ^= 1 << bit;
+            must_not_panic(&format!("{name}: flip {byte}.{bit}"), &flipped, decode);
+            flipped[byte] ^= 1 << bit;
+        }
+    }
+}
+
+#[test]
+fn v1_header_sweep() {
+    let blob = sample_header().encode();
+    sweep("v1 header", &blob, |b| HeaderBlock::decode(b).is_ok());
+}
+
+#[test]
+fn v2_header_sweep() {
+    let blob = sample_header().encode_v2(&[64, 128, 256]);
+    sweep("v2 header", &blob, |b| HeaderBlock::decode(b).is_ok());
+}
+
+#[test]
+fn v2_header_view_sweep() {
+    let blob = sample_header().encode_v2(&[64, 128]);
+    sweep("v2 header view", &blob, |b| {
+        match HeaderView::parse(Bytes::from(b.to_vec())) {
+            // Materializing exercises the variable-width sections too.
+            Ok(view) => view.to_header_block().is_ok(),
+            Err(_) => false,
+        }
+    });
+}
+
+#[test]
+fn superpost_decode_sweep() {
+    let blob = sample_superpost();
+    sweep("superpost decode", &blob, |b| decode_superpost(b).is_ok());
+}
+
+#[test]
+fn superpost_view_sweep() {
+    let blob = sample_superpost();
+    sweep("superpost view", &blob, |b| {
+        match SuperpostView::parse(Bytes::from(b.to_vec())) {
+            Ok(view) => {
+                // Iterating a validated view must also be panic-free and
+                // agree with the validated count.
+                view.iter().count() == view.len()
+            }
+            Err(_) => false,
+        }
+    });
+}
+
+/// Flips that survive decoding must still produce structurally sound
+/// output: decoded postings lists are sorted and unique.
+#[test]
+fn surviving_superpost_flips_decode_sorted() {
+    let blob = sample_superpost();
+    let mut flipped = blob.to_vec();
+    for byte in 0..blob.len() {
+        for bit in 0..8 {
+            flipped[byte] ^= 1 << bit;
+            if let Ok(list) = decode_superpost(&flipped) {
+                let s = list.as_slice();
+                assert!(
+                    s.windows(2).all(|w| w[0] < w[1]),
+                    "flip {byte}.{bit} decoded an unsorted list"
+                );
+            }
+            flipped[byte] ^= 1 << bit;
+        }
+    }
+}

@@ -15,7 +15,7 @@
 //! latency exactly once and the store underneath sees one request.
 
 use crate::latency::{LatencySample, SimDuration};
-use crate::object_store::{BatchFetch, Fetched, ObjectStore, RangeRequest, Version};
+use crate::object_store::{BatchFetch, Fetched, ObjectStore, RangeClass, RangeRequest, Version};
 use crate::Result;
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -31,36 +31,29 @@ struct RangeKey {
     len: u64,
 }
 
-/// LRU state: entries plus a monotone use counter, and a per-blob
-/// invalidation epoch (bumped by every write/delete of the blob) that
-/// in-flight fetches check before admitting bytes.
+/// One cache tier: entries tagged with their last-use tick.
 #[derive(Debug, Default)]
-struct LruState {
+struct Tier {
     entries: HashMap<RangeKey, (Bytes, u64)>,
     bytes: usize,
-    tick: u64,
-    epochs: HashMap<String, u64>,
 }
 
-impl LruState {
-    fn get(&mut self, key: &RangeKey) -> Option<Bytes> {
-        self.tick += 1;
-        let tick = self.tick;
+impl Tier {
+    fn get(&mut self, key: &RangeKey, tick: u64) -> Option<Bytes> {
         self.entries.get_mut(key).map(|(data, used)| {
             *used = tick;
             data.clone()
         })
     }
 
-    fn insert(&mut self, key: RangeKey, data: Bytes, budget: usize) {
+    fn insert(&mut self, key: RangeKey, data: Bytes, tick: u64, budget: usize) {
         if data.len() > budget {
-            return; // larger than the whole cache: don't thrash
+            return; // larger than the whole tier: don't thrash
         }
-        self.tick += 1;
         self.bytes += data.len();
-        self.entries.insert(key, (data, self.tick));
+        self.entries.insert(key, (data, tick));
         while self.bytes > budget {
-            // Evict the least recently used entry.
+            // Evict the least recently used entry of THIS tier only.
             let victim = self
                 .entries
                 .iter()
@@ -70,6 +63,64 @@ impl LruState {
             if let Some((data, _)) = self.entries.remove(&victim) {
                 self.bytes -= data.len();
             }
+        }
+    }
+
+    fn evict_blob(&mut self, name: &str) {
+        let victims: Vec<RangeKey> = self
+            .entries
+            .keys()
+            .filter(|k| k.name == name)
+            .cloned()
+            .collect();
+        for k in victims {
+            if let Some((data, _)) = self.entries.remove(&k) {
+                self.bytes -= data.len();
+            }
+        }
+    }
+}
+
+/// Tiered LRU state: a small Index tier that bulky Data traffic can never
+/// evict, the Data tier with the main budget, a shared monotone use
+/// counter, and a per-blob invalidation epoch (bumped by every write or
+/// delete of the blob) that in-flight fetches check before admitting bytes.
+#[derive(Debug, Default)]
+struct LruState {
+    index: Tier,
+    data: Tier,
+    tick: u64,
+    epochs: HashMap<String, u64>,
+}
+
+impl LruState {
+    fn get(&mut self, key: &RangeKey) -> Option<Bytes> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.index
+            .get(key, tick)
+            .or_else(|| self.data.get(key, tick))
+    }
+
+    /// Admit by class: Index-class ranges go to the pinned index tier
+    /// (falling back to the data tier when they cannot fit there at all,
+    /// so tiering is never worse than the flat cache); Data-class ranges
+    /// only ever touch the data tier.
+    fn insert(
+        &mut self,
+        key: RangeKey,
+        data: Bytes,
+        class: RangeClass,
+        data_budget: usize,
+        index_budget: usize,
+    ) {
+        self.tick += 1;
+        let tick = self.tick;
+        match class {
+            RangeClass::Index if data.len() <= index_budget => {
+                self.index.insert(key, data, tick, index_budget);
+            }
+            _ => self.data.insert(key, data, tick, data_budget),
         }
     }
 }
@@ -124,30 +175,94 @@ impl<S: ObjectStore> Drop for ClaimGuard<'_, S> {
     }
 }
 
-/// An [`ObjectStore`] decorator that caches ranged reads in client memory.
+/// Per-tier hit/miss/byte ledgers of a [`CachedStore`].
+///
+/// A read is attributed to the tier its [`RangeClass`] hint names, so the
+/// ablation can report how index traffic and data traffic fare separately
+/// under one budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Hits on Index-class reads.
+    pub index_hits: u64,
+    /// Misses on Index-class reads.
+    pub index_misses: u64,
+    /// Bytes currently resident in the index tier.
+    pub index_bytes: u64,
+    /// Hits on Data-class reads.
+    pub data_hits: u64,
+    /// Misses on Data-class reads.
+    pub data_misses: u64,
+    /// Bytes currently resident in the data tier.
+    pub data_bytes: u64,
+}
+
+impl CacheStats {
+    /// Total hits across tiers.
+    pub fn hits(&self) -> u64 {
+        self.index_hits + self.data_hits
+    }
+
+    /// Total misses across tiers.
+    pub fn misses(&self) -> u64 {
+        self.index_misses + self.data_misses
+    }
+
+    /// Overall hit rate in `[0, 1]` (0 when nothing was read).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits() + self.misses();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits() as f64 / total as f64
+        }
+    }
+}
+
+/// An [`ObjectStore`] decorator that caches ranged reads in client memory,
+/// with **tiered admission**: ranges hinted [`RangeClass::Index`] are held
+/// under a small dedicated budget that Data-class traffic can never evict
+/// (the paper's cache ablation measures exactly this trade — tiny
+/// high-fanout index bytes versus bulky payload bytes competing for one
+/// budget).
 ///
 /// Whole-object `get`s are treated as ranged reads of the full length so
 /// repeated header fetches also hit. Writes and deletes invalidate the
-/// touched blob's entries.
+/// touched blob's entries in both tiers.
 pub struct CachedStore<S> {
     inner: S,
     budget: usize,
+    index_budget: usize,
     lru: Mutex<LruState>,
     in_flight: StdMutex<HashMap<RangeKey, Arc<Flight>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    data_hits: AtomicU64,
+    data_misses: AtomicU64,
+    index_hits: AtomicU64,
+    index_misses: AtomicU64,
 }
 
 impl<S: ObjectStore> CachedStore<S> {
-    /// Wrap `inner` with a cache holding at most `budget_bytes`.
+    /// Wrap `inner` with a Data-tier budget of `budget_bytes`, plus a
+    /// dedicated index tier of an eighth of that (so headers survive data
+    /// churn out of the box). Use [`CachedStore::with_budgets`] to pick
+    /// both budgets explicitly.
     pub fn new(inner: S, budget_bytes: usize) -> Self {
+        Self::with_budgets(inner, budget_bytes, budget_bytes / 8)
+    }
+
+    /// Wrap `inner` with explicit per-tier budgets. `index_budget_bytes`
+    /// of zero disables tiering: Index-class ranges then compete in the
+    /// Data LRU like everything else (the flat-cache baseline).
+    pub fn with_budgets(inner: S, data_budget_bytes: usize, index_budget_bytes: usize) -> Self {
         CachedStore {
             inner,
-            budget: budget_bytes,
+            budget: data_budget_bytes,
+            index_budget: index_budget_bytes,
             lru: Mutex::new(LruState::default()),
             in_flight: StdMutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            data_hits: AtomicU64::new(0),
+            data_misses: AtomicU64::new(0),
+            index_hits: AtomicU64::new(0),
+            index_misses: AtomicU64::new(0),
         }
     }
 
@@ -156,17 +271,46 @@ impl<S: ObjectStore> CachedStore<S> {
         &self.inner
     }
 
-    /// `(hits, misses)` counters.
+    /// `(hits, misses)` counters, summed across tiers.
     pub fn hit_stats(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
+        let s = self.stats();
+        (s.hits(), s.misses())
     }
 
-    /// Bytes currently cached.
+    /// Per-tier hit/miss/byte ledgers.
+    pub fn stats(&self) -> CacheStats {
+        let (index_bytes, data_bytes) = {
+            let lru = self.lru.lock();
+            (lru.index.bytes as u64, lru.data.bytes as u64)
+        };
+        CacheStats {
+            index_hits: self.index_hits.load(Ordering::Relaxed),
+            index_misses: self.index_misses.load(Ordering::Relaxed),
+            index_bytes,
+            data_hits: self.data_hits.load(Ordering::Relaxed),
+            data_misses: self.data_misses.load(Ordering::Relaxed),
+            data_bytes,
+        }
+    }
+
+    /// Bytes currently cached across both tiers.
     pub fn cached_bytes(&self) -> usize {
-        self.lru.lock().bytes
+        let lru = self.lru.lock();
+        lru.index.bytes + lru.data.bytes
+    }
+
+    fn count_hit(&self, class: RangeClass) {
+        match class {
+            RangeClass::Index => self.index_hits.fetch_add(1, Ordering::Relaxed),
+            RangeClass::Data => self.data_hits.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    fn count_miss(&self, class: RangeClass) {
+        match class {
+            RangeClass::Index => self.index_misses.fetch_add(1, Ordering::Relaxed),
+            RangeClass::Data => self.data_misses.fetch_add(1, Ordering::Relaxed),
+        };
     }
 
     fn invalidate(&self, name: &str) {
@@ -175,17 +319,8 @@ impl<S: ObjectStore> CachedStore<S> {
         // either lands before this (and is removed below) or observes the
         // new epoch and skips.
         *lru.epochs.entry(name.to_owned()).or_insert(0) += 1;
-        let victims: Vec<RangeKey> = lru
-            .entries
-            .keys()
-            .filter(|k| k.name == name)
-            .cloned()
-            .collect();
-        for k in victims {
-            if let Some((data, _)) = lru.entries.remove(&k) {
-                lru.bytes -= data.len();
-            }
-        }
+        lru.index.evict_blob(name);
+        lru.data.evict_blob(name);
     }
 
     /// The blob's current invalidation epoch (leaders snapshot this
@@ -194,13 +329,13 @@ impl<S: ObjectStore> CachedStore<S> {
         self.lru.lock().epochs.get(name).copied().unwrap_or(0)
     }
 
-    /// Cache probe that counts a hit; a miss is counted by whoever ends up
-    /// leading the fetch, so every logical read increments exactly one of
-    /// the two counters exactly once.
-    fn probe(&self, key: &RangeKey) -> Option<Fetched> {
+    /// Cache probe that counts a hit against the request's class ledger; a
+    /// miss is counted by whoever ends up leading the fetch, so every
+    /// logical read increments exactly one counter exactly once.
+    fn probe(&self, key: &RangeKey, class: RangeClass) -> Option<Fetched> {
         let cached = self.lru.lock().get(key);
         cached.map(|bytes| {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.count_hit(class);
             Fetched {
                 bytes,
                 latency: LatencySample::ZERO,
@@ -211,10 +346,10 @@ impl<S: ObjectStore> CachedStore<S> {
     /// Admit fetched bytes unless an invalidation of the same blob landed
     /// since the fetch started (`epoch` is the leader's pre-fetch
     /// snapshot).
-    fn admit_if_current(&self, key: RangeKey, bytes: &Bytes, epoch: u64) {
+    fn admit_if_current(&self, key: RangeKey, bytes: &Bytes, class: RangeClass, epoch: u64) {
         let mut lru = self.lru.lock();
         if lru.epochs.get(&key.name).copied().unwrap_or(0) == epoch {
-            lru.insert(key, bytes.clone(), self.budget);
+            lru.insert(key, bytes.clone(), class, self.budget, self.index_budget);
         }
     }
 
@@ -260,18 +395,18 @@ impl<S: ObjectStore> CachedStore<S> {
         parts: &mut [Option<Fetched>],
         round: &mut BatchRound<'a, S>,
     ) {
-        if let Some(hit) = self.probe(key) {
+        if let Some(hit) = self.probe(key, r.class) {
             parts[i] = Some(hit);
             return;
         }
         match self.claim(key) {
             Claim::Leader(guard) => {
-                if let Some(hit) = self.probe(key) {
+                if let Some(hit) = self.probe(key, r.class) {
                     drop(guard);
                     parts[i] = Some(hit);
                     return;
                 }
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.count_miss(r.class);
                 round.leading.push((i, r.clone(), self.epoch_of(&r.name)));
                 round.claims.push(guard);
             }
@@ -307,6 +442,7 @@ impl<S: ObjectStore> CachedStore<S> {
                     len: r.len,
                 },
                 &fetched.bytes,
+                r.class,
                 epoch,
             );
             parts[i] = Some(fetched);
@@ -375,7 +511,7 @@ impl<S: ObjectStore> ObjectStore for CachedStore<S> {
             len,
         };
         loop {
-            if let Some(hit) = self.probe(&key) {
+            if let Some(hit) = self.probe(&key, RangeClass::Data) {
                 return Ok(hit);
             }
             match self.claim(&key) {
@@ -384,15 +520,15 @@ impl<S: ObjectStore> ObjectStore for CachedStore<S> {
                     // released between our probe and our claim, and its
                     // admit happens-before its release happens-before
                     // this claim — don't re-fetch what just landed.
-                    if let Some(hit) = self.probe(&key) {
+                    if let Some(hit) = self.probe(&key, RangeClass::Data) {
                         drop(guard);
                         return Ok(hit);
                     }
-                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    self.count_miss(RangeClass::Data);
                     let epoch = self.epoch_of(name);
                     let result = self.inner.get_range(name, offset, len);
                     if let Ok(fetched) = &result {
-                        self.admit_if_current(key.clone(), &fetched.bytes, epoch);
+                        self.admit_if_current(key.clone(), &fetched.bytes, RangeClass::Data, epoch);
                     }
                     drop(guard); // publish to followers
                     return result;
@@ -471,7 +607,7 @@ impl<S: ObjectStore> ObjectStore for CachedStore<S> {
         // (`hits + misses == requests` stays exact; the old fallback
         // could double-count a duplicate as a second miss).
         for (i, j) in duplicates {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.count_hit(requests[i].class);
             parts[i] = Some(parts[j].clone().expect("first occurrence filled"));
         }
 
@@ -1142,5 +1278,156 @@ mod tests {
         let (hits, misses) = store.hit_stats();
         assert_eq!(misses, 6);
         assert_eq!(hits + misses, 8 * 6);
+    }
+
+    // -- tiered admission ---------------------------------------------------
+
+    #[test]
+    fn data_scan_cannot_evict_index_ranges() {
+        // THE tiering regression test: a Data-heavy scan far exceeding the
+        // data budget must not evict an Index-class range.
+        let store = CachedStore::with_budgets(cloud(), 300, 200);
+        store
+            .get_ranges(&[RangeRequest::index("blob", 0, 128)])
+            .unwrap();
+        assert_eq!(store.stats().index_bytes, 128);
+        // Scan 64 data ranges of 100 B through a 300 B data budget.
+        for i in 0..64 {
+            store.get_range("blob", 1_000 + i * 100, 100).unwrap();
+        }
+        let warm = store
+            .get_ranges(&[RangeRequest::index("blob", 0, 128)])
+            .unwrap();
+        assert_eq!(
+            warm.batch_latency,
+            SimDuration::ZERO,
+            "index range must survive the data scan"
+        );
+        let stats = store.stats();
+        assert_eq!(stats.index_hits, 1);
+        assert_eq!(stats.index_misses, 1);
+        assert_eq!(stats.data_misses, 64);
+        assert_eq!(stats.index_bytes, 128);
+        assert!(stats.data_bytes <= 300);
+    }
+
+    #[test]
+    fn flat_cache_baseline_evicts_index_under_data_pressure() {
+        // With tiering disabled (index budget 0), the same workload DOES
+        // evict the index range — the behaviour tiering exists to fix.
+        let store = CachedStore::with_budgets(cloud(), 300, 0);
+        store
+            .get_ranges(&[RangeRequest::index("blob", 0, 128)])
+            .unwrap();
+        for i in 0..64 {
+            store.get_range("blob", 1_000 + i * 100, 100).unwrap();
+        }
+        let refetch = store
+            .get_ranges(&[RangeRequest::index("blob", 0, 128)])
+            .unwrap();
+        assert!(
+            refetch.batch_latency > SimDuration::ZERO,
+            "flat cache loses the index range to data churn"
+        );
+        assert_eq!(store.stats().index_misses, 2);
+    }
+
+    #[test]
+    fn oversized_index_range_falls_back_to_data_tier() {
+        // An index range bigger than the whole index budget is cached in
+        // the data tier instead — never worse than the flat cache.
+        let store = CachedStore::with_budgets(cloud(), 1 << 20, 64);
+        store
+            .get_ranges(&[RangeRequest::index("blob", 0, 1024)])
+            .unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.index_bytes, 0);
+        assert_eq!(stats.data_bytes, 1024);
+        // …and still hits on re-read.
+        let warm = store
+            .get_ranges(&[RangeRequest::index("blob", 0, 1024)])
+            .unwrap();
+        assert_eq!(warm.batch_latency, SimDuration::ZERO);
+        assert_eq!(store.stats().index_hits, 1);
+    }
+
+    #[test]
+    fn index_tier_evicts_lru_among_index_entries_only() {
+        let store = CachedStore::with_budgets(cloud(), 1 << 20, 200);
+        store
+            .get_ranges(&[RangeRequest::index("blob", 0, 100)])
+            .unwrap(); // A
+        store
+            .get_ranges(&[RangeRequest::index("blob", 100, 100)])
+            .unwrap(); // B — index tier full
+        store
+            .get_ranges(&[RangeRequest::index("blob", 0, 100)])
+            .unwrap(); // A refreshed
+        store
+            .get_ranges(&[RangeRequest::index("blob", 200, 100)])
+            .unwrap(); // C — evicts B (LRU within the tier)
+        assert!(store.stats().index_bytes <= 200);
+        let a = store
+            .get_ranges(&[RangeRequest::index("blob", 0, 100)])
+            .unwrap();
+        assert_eq!(a.batch_latency, SimDuration::ZERO, "A survived");
+        let b = store
+            .get_ranges(&[RangeRequest::index("blob", 100, 100)])
+            .unwrap();
+        assert!(b.batch_latency > SimDuration::ZERO, "B was the victim");
+    }
+
+    #[test]
+    fn writes_invalidate_index_tier_too() {
+        let store = CachedStore::with_budgets(cloud(), 1 << 20, 1 << 16);
+        store
+            .get_ranges(&[RangeRequest::index("blob", 0, 16)])
+            .unwrap();
+        assert_eq!(store.stats().index_bytes, 16);
+        store.put("blob", Bytes::from(vec![5u8; 1 << 16])).unwrap();
+        assert_eq!(store.stats().index_bytes, 0, "invalidated");
+        let refetched = store
+            .get_ranges(&[RangeRequest::index("blob", 0, 16)])
+            .unwrap();
+        assert!(refetched.batch_latency > SimDuration::ZERO);
+        assert_eq!(&refetched.parts[0].bytes[..], &[5u8; 16]);
+    }
+
+    #[test]
+    fn per_tier_accounting_is_exact() {
+        // hits + misses == logical reads, and each ledger only counts its
+        // own class — including intra-batch duplicates.
+        let store = CachedStore::with_budgets(cloud(), 1 << 20, 1 << 16);
+        let reqs = vec![
+            RangeRequest::index("blob", 0, 64), // index miss
+            RangeRequest::index("blob", 0, 64), // duplicate → index hit
+            RangeRequest::new("blob", 64, 64),  // data miss
+            RangeRequest::new("blob", 128, 64), // data miss
+            RangeRequest::new("blob", 128, 64), // duplicate → data hit
+        ];
+        store.get_ranges(&reqs).unwrap();
+        let s = store.stats();
+        assert_eq!((s.index_hits, s.index_misses), (1, 1));
+        assert_eq!((s.data_hits, s.data_misses), (1, 2));
+        assert_eq!(s.hits() + s.misses(), 5, "one count per logical read");
+        assert_eq!(store.hit_stats(), (2, 3), "summed view stays compatible");
+        assert!((s.hit_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_budget_reserves_an_index_slice() {
+        // `new` carves out budget/8 for the index tier in addition to the
+        // data budget, so header pinning works without opting in.
+        let store = CachedStore::new(cloud(), 800);
+        store
+            .get_ranges(&[RangeRequest::index("blob", 0, 64)])
+            .unwrap();
+        for i in 0..32 {
+            store.get_range("blob", 1_000 + i * 100, 100).unwrap();
+        }
+        let warm = store
+            .get_ranges(&[RangeRequest::index("blob", 0, 64)])
+            .unwrap();
+        assert_eq!(warm.batch_latency, SimDuration::ZERO);
     }
 }

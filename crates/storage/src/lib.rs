@@ -46,13 +46,13 @@ mod sim;
 mod tail;
 mod trace;
 
-pub use cache::CachedStore;
+pub use cache::{CacheStats, CachedStore};
 pub use error::StorageError;
 pub use flaky::{FlakyStore, RetryingStore};
 pub use latency::{LatencyModel, LatencyModelBuilder, LatencySample, RegionProfile, SimDuration};
 pub use localfs::LocalFsStore;
 pub use memory::InMemoryStore;
-pub use object_store::{BatchFetch, Fetched, ObjectStore, RangeRequest, Version};
+pub use object_store::{BatchFetch, Fetched, ObjectStore, RangeClass, RangeRequest, Version};
 pub use scheduler::{CoalescingStore, SchedulerConfig, SchedulerStats};
 pub use sim::{IoStatsSnapshot, SimulatedCloudStore, SpikeProfile};
 pub use tail::TailStore;

@@ -70,6 +70,22 @@ impl Fetched {
     }
 }
 
+/// Which cache tier a requested range belongs to.
+///
+/// This is a *hint* threaded through [`ObjectStore::get_ranges`]: backends
+/// are free to ignore it, but [`crate::CachedStore`] uses it for tiered
+/// admission — Index-class ranges (segment headers, MHT, superpost
+/// directory) are held under a small dedicated budget that bulky Data
+/// traffic can never evict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RangeClass {
+    /// Small, high-fanout index structures touched by every query.
+    Index,
+    /// Bulk payload bytes (posting bytes, documents).
+    #[default]
+    Data,
+}
+
 /// A single ranged read request within a concurrent batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RangeRequest {
@@ -79,16 +95,30 @@ pub struct RangeRequest {
     pub offset: u64,
     /// Number of bytes to read.
     pub len: u64,
+    /// Cache-tier hint (defaults to [`RangeClass::Data`]).
+    pub class: RangeClass,
 }
 
 impl RangeRequest {
-    /// Convenience constructor.
+    /// Convenience constructor for a Data-class request.
     pub fn new(name: impl Into<String>, offset: u64, len: u64) -> Self {
         RangeRequest {
             name: name.into(),
             offset,
             len,
+            class: RangeClass::Data,
         }
+    }
+
+    /// Convenience constructor for an Index-class request.
+    pub fn index(name: impl Into<String>, offset: u64, len: u64) -> Self {
+        RangeRequest::new(name, offset, len).with_class(RangeClass::Index)
+    }
+
+    /// Set the cache-tier hint.
+    pub fn with_class(mut self, class: RangeClass) -> Self {
+        self.class = class;
+        self
     }
 }
 
