@@ -69,7 +69,7 @@ fn config() -> AirphantConfig {
 fn mean_lookup_wait(engine: &dyn SearchEngine) -> f64 {
     let mut total = 0.0;
     for q in 0..MEASURE_QUERIES {
-        let query = Query::and([Query::term("shared"), Query::term(format!("host{}", q % 7))]);
+        let query = Query::all([Query::term("shared"), Query::term(format!("host{}", q % 7))]);
         let r = engine
             .execute(&query, &QueryOptions::new())
             .expect("measure query");

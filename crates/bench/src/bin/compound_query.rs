@@ -78,7 +78,7 @@ fn main() {
             let mut total = 0.0;
             let mut trips = 0u64;
             for group in &groups {
-                let query = Query::and(group.iter().map(Query::term));
+                let query = Query::all(group.iter().map(Query::term));
                 let r = engine.execute(&query, &opts).expect("execute");
                 wait += lookup_wait_ms(&r.trace);
                 total += r.latency().as_millis_f64();

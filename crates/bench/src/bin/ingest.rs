@@ -192,7 +192,7 @@ fn main() {
     // Pre-flush probes for the equality check, then the final flush.
     let eq_queries: Vec<Query> = (0..7)
         .map(|s| Query::term(format!("svc{s}")))
-        .chain([Query::and([Query::term("svc3"), Query::term("code2")])])
+        .chain([Query::all([Query::term("svc3"), Query::term("code2")])])
         .collect();
     let live_before: Vec<Vec<String>> = eq_queries
         .iter()

@@ -1,0 +1,120 @@
+//! Typeahead economics: a `Query::prefix` expands against the segment
+//! vocabulary *locally* (suffix-array / sorted-vocab walk, no storage
+//! round trip) and then pays the same ONE superpost batch an exact term
+//! pays — so the p50 lookup wait of a prefix query must stay within 2x
+//! of the exact-term wait, not grow with the number of expanded terms.
+//!
+//! Headline: `prefix_wait_ratio_p50` (unit `x`, lower is better), gated
+//! against `bench_results/baseline/BENCH_typeahead.json` by `perf_gate`.
+
+use airphant::{AirphantConfig, Builder, Query, QueryOptions, Searcher};
+use airphant_bench::measure::percentile;
+use airphant_bench::report::ms;
+use airphant_bench::{Headline, Report};
+use airphant_corpus::{zipf, QueryWorkload, SyntheticSpec};
+use airphant_storage::{InMemoryStore, LatencyModel, ObjectStore, PhaseKind, SimulatedCloudStore};
+use std::sync::Arc;
+
+/// Wait attributed to the index-lookup phases (vocabulary expansion is
+/// CPU-local and free on the simulated clock; what this measures is the
+/// superpost batch the expansion lowers into).
+fn lookup_wait_ms(trace: &airphant_storage::QueryTrace) -> f64 {
+    trace
+        .phases()
+        .iter()
+        .filter(|p| matches!(p.kind, PhaseKind::Lookup | PhaseKind::Postings))
+        .map(|p| p.wait.as_millis_f64())
+        .sum()
+}
+
+fn main() {
+    let inner = Arc::new(InMemoryStore::new());
+    let spec = SyntheticSpec {
+        n_docs: 4_000,
+        n_vocab: 2_000,
+        words_per_doc: 8,
+    };
+    let corpus = zipf(spec, inner.clone(), "corpora/zipf", 11);
+    let profile = corpus.profile().expect("profiling");
+    Builder::new(
+        AirphantConfig::default()
+            .with_total_bins(1_000)
+            .with_seed(1),
+    )
+    .build_with_profile(&corpus, "idx", profile.clone())
+    .expect("build");
+    let store: Arc<dyn ObjectStore> =
+        Arc::new(SimulatedCloudStore::new(inner, LatencyModel::gcs_like(), 3));
+    let searcher = Searcher::open(store, "idx").expect("open");
+
+    // A typeahead session: the user has typed all but the last character
+    // of a real vocabulary word. Each stem covers up to ten sibling
+    // words (`w000012?`), so the expansion is real but bounded.
+    let words: Vec<String> = QueryWorkload::uniform(&profile, 120, 9).words().to_vec();
+    let opts = QueryOptions::new();
+    let mut exact_waits = Vec::new();
+    let mut prefix_waits = Vec::new();
+    let mut expanded_hits = 0usize;
+    for word in &words {
+        let r = searcher
+            .execute(&Query::term(word), &opts)
+            .expect("exact term");
+        exact_waits.push(lookup_wait_ms(&r.trace));
+
+        let stem = &word[..word.len() - 1];
+        let r = searcher
+            .execute(&Query::prefix(stem), &opts)
+            .expect("prefix");
+        assert_eq!(
+            r.trace.round_trips_of(PhaseKind::Postings),
+            1,
+            "prefix expansion must stay one postings batch"
+        );
+        prefix_waits.push(lookup_wait_ms(&r.trace));
+        expanded_hits += r.hits.len();
+    }
+    exact_waits.sort_by(|a, b| a.total_cmp(b));
+    prefix_waits.sort_by(|a, b| a.total_cmp(b));
+
+    let mut report = Report::new("typeahead", &["query", "p50_wait_ms", "p95_wait_ms"]);
+    for (name, waits) in [("exact_term", &exact_waits), ("prefix", &prefix_waits)] {
+        report.push(
+            vec![
+                name.to_string(),
+                ms(percentile(waits, 0.50)),
+                ms(percentile(waits, 0.95)),
+            ],
+            serde_json::json!({
+                "query": name,
+                "p50_wait_ms": percentile(waits, 0.50),
+                "p95_wait_ms": percentile(waits, 0.95),
+            }),
+        );
+    }
+    report.finish();
+
+    let ratio = percentile(&prefix_waits, 0.50) / percentile(&exact_waits, 0.50);
+    println!(
+        "typeahead: p50 prefix wait is {ratio:.2}x the exact-term wait \
+         ({} hits across {} prefix queries)",
+        expanded_hits,
+        words.len()
+    );
+    assert!(
+        ratio <= 2.0,
+        "typeahead bar: p50 prefix wait {ratio:.2}x exceeds 2x the exact-term wait"
+    );
+    Headline::new(
+        "typeahead",
+        "prefix_wait_ratio_p50",
+        ratio,
+        "x",
+        serde_json::json!({
+            "n_docs": 4_000,
+            "n_vocab": 2_000,
+            "queries": words.len(),
+            "stem": "word minus last char",
+        }),
+    )
+    .write();
+}

@@ -8,6 +8,7 @@
 //!                      [--bins N] [--f0 F] [--layers L] [--ngram N]
 //! airphant search      --store DIR --index PREFIX [WORD...]
 //!                      [--or] [--ngram N] [--substring PATTERN] [--gram N]
+//!                      [--prefix P] [--fuzzy WORD] [--max-edits K]
 //!                      [--top K] [--simulate-cloud]
 //! airphant bench-serve --store DIR --index PREFIX [WORD...]
 //!                      [--corpus PREFIX] [--workers N] [--queue CAP]
@@ -43,6 +44,7 @@ const USAGE: &str = "usage:
                        [--bins N] [--f0 F] [--layers L] [--common FRAC]
   airphant search      --store DIR --index PREFIX [WORD...]
                        [--or] [--ngram N] [--substring PATTERN] [--gram N]
+                       [--prefix P] [--fuzzy WORD] [--max-edits K]
                        [--top K] [--simulate-cloud] [--coalesce]
                        [--timeout-ms MS]
   airphant segments    --store DIR --index PREFIX
@@ -62,7 +64,11 @@ const USAGE: &str = "usage:
 Multiple WORDs are combined with AND (--or combines them with OR).
 --substring adds a literal-substring predicate; it needs an index built
 with --ngram N, and search must pass the same --ngram N (the pattern's
-gram size defaults to it, override with --gram). However the query is
+gram size defaults to it, override with --gram). --prefix P matches any
+indexed word starting with P (typeahead) and --fuzzy WORD matches words
+within --max-edits edits (default 1); both resolve through the v2
+segment vocabulary, so they need indexes built with --format v2 (the
+default). However the query is
 composed, its index lookup is a single batch of concurrent reads. The
 store directory is a local object store (one file per blob); a corpus
 PREFIX selects every blob under it, parsed as newline-delimited
@@ -576,12 +582,16 @@ fn compact(args: &mut Args) -> Result<(), String> {
 /// Under `--ngram N` the index holds grams, not whole words, so a bare
 /// WORD becomes a substring predicate (its grams prefilter, the verify
 /// pass does the exact `contains`); without it, WORDs are exact terms.
+#[allow(clippy::too_many_arguments)]
 fn compose_query(
     words: &[String],
     any: bool,
     substring: Option<String>,
     ngram: Option<usize>,
     gram: usize,
+    prefix: Option<String>,
+    fuzzy: Option<String>,
+    max_edits: u32,
 ) -> Result<Query, String> {
     let mut parts: Vec<Query> = Vec::new();
     if !words.is_empty() {
@@ -593,18 +603,24 @@ fn compose_query(
             })
             .collect();
         parts.push(if any {
-            Query::or(terms)
+            Query::any(terms)
         } else {
-            Query::and(terms)
+            Query::all(terms)
         });
     }
     if let Some(pattern) = substring {
         parts.push(Query::substring(pattern, gram));
     }
+    if let Some(p) = prefix {
+        parts.push(Query::prefix(p));
+    }
+    if let Some(w) = fuzzy {
+        parts.push(Query::fuzzy(w, max_edits));
+    }
     match parts.len() {
-        0 => Err("search needs at least one WORD or --substring".into()),
+        0 => Err("search needs at least one WORD, --substring, --prefix, or --fuzzy".into()),
         1 => Ok(parts.pop().expect("one part")),
-        _ => Ok(Query::and(parts)),
+        _ => Ok(Query::all(parts)),
     }
 }
 
@@ -621,12 +637,19 @@ fn search(args: &mut Args) -> Result<(), String> {
         .optional_parse::<usize>("--gram")?
         .or(ngram)
         .unwrap_or(3);
+    let prefix = args.optional_parse::<String>("--prefix")?;
+    let fuzzy = args.optional_parse::<String>("--fuzzy")?;
+    let max_edits_opt = args.optional_parse::<u32>("--max-edits")?;
     let timeout_ms = args.optional_parse::<u64>("--timeout-ms")?;
     let words = args.positional();
     args.finish()?;
     if substring.is_some() && ngram.is_none() {
         return Err("--substring needs an N-gram index: pass --ngram N matching the build".into());
     }
+    if max_edits_opt.is_some() && fuzzy.is_none() {
+        return Err("--max-edits only applies together with --fuzzy WORD".into());
+    }
+    let max_edits = max_edits_opt.unwrap_or(1);
 
     let store: Arc<dyn ObjectStore> = if simulate {
         Arc::new(SimulatedCloudStore::new(
@@ -661,7 +684,7 @@ fn search(args: &mut Args) -> Result<(), String> {
         if top_k.is_some() {
             return Err("--timeout-ms and --top cannot be combined".into());
         }
-        if words.len() != 1 || substring.is_some() {
+        if words.len() != 1 || substring.is_some() || prefix.is_some() || fuzzy.is_some() {
             return Err("--timeout-ms applies to a single WORD lookup".into());
         }
         if segmented || sharded {
@@ -681,7 +704,9 @@ fn search(args: &mut Args) -> Result<(), String> {
         return Ok(());
     }
 
-    let query = compose_query(&words, any, substring, ngram, gram)?;
+    let query = compose_query(
+        &words, any, substring, ngram, gram, prefix, fuzzy, max_edits,
+    )?;
     let opts = QueryOptions::new().with_top_k(top_k);
     let result = if sharded {
         let router = ShardRouter::open(store, &index).map_err(|e| e.to_string())?;
@@ -1077,34 +1102,65 @@ mod tests {
         words.iter().map(|w| w.to_string()).collect()
     }
 
+    fn compose(
+        words: &[String],
+        any: bool,
+        substring: Option<String>,
+        ngram: Option<usize>,
+        gram: usize,
+    ) -> Result<Query, String> {
+        compose_query(words, any, substring, ngram, gram, None, None, 1)
+    }
+
     #[test]
     fn compose_words_default_and() {
-        let q = compose_query(&owned(&["a", "b"]), false, None, None, 3).unwrap();
-        assert_eq!(q, Query::and([Query::term("a"), Query::term("b")]));
+        let q = compose(&owned(&["a", "b"]), false, None, None, 3).unwrap();
+        assert_eq!(q, Query::all([Query::term("a"), Query::term("b")]));
     }
 
     #[test]
     fn compose_words_or_flag() {
-        let q = compose_query(&owned(&["a", "b"]), true, None, None, 3).unwrap();
-        assert_eq!(q, Query::or([Query::term("a"), Query::term("b")]));
+        let q = compose(&owned(&["a", "b"]), true, None, None, 3).unwrap();
+        assert_eq!(q, Query::any([Query::term("a"), Query::term("b")]));
     }
 
     #[test]
     fn compose_substring_alone_and_mixed() {
-        let q = compose_query(&[], false, Some("blk_".into()), Some(3), 3).unwrap();
+        let q = compose(&[], false, Some("blk_".into()), Some(3), 3).unwrap();
         assert_eq!(q, Query::substring("blk_", 3));
-        let q = compose_query(&owned(&["err"]), false, Some("disk".into()), None, 4).unwrap();
+        let q = compose(&owned(&["err"]), false, Some("disk".into()), None, 4).unwrap();
         assert_eq!(
             q,
-            Query::and([
-                Query::and([Query::term("err")]),
+            Query::all([
+                Query::all([Query::term("err")]),
                 Query::substring("disk", 4)
             ])
         );
     }
 
     #[test]
+    fn compose_prefix_and_fuzzy() {
+        let q = compose_query(&[], false, None, None, 3, Some("typ".into()), None, 1).unwrap();
+        assert_eq!(q, Query::prefix("typ"));
+        let q = compose_query(
+            &owned(&["err"]),
+            false,
+            None,
+            None,
+            3,
+            None,
+            Some("disk".into()),
+            2,
+        )
+        .unwrap();
+        assert_eq!(
+            q,
+            Query::all([Query::all([Query::term("err")]), Query::fuzzy("disk", 2)])
+        );
+    }
+
+    #[test]
     fn compose_empty_is_an_error() {
-        assert!(compose_query(&[], false, None, None, 3).is_err());
+        assert!(compose(&[], false, None, None, 3).is_err());
     }
 }

@@ -256,6 +256,16 @@ impl Builder {
         let mut sb = SketchBuilder::new(sketch_config.clone(), self.config.seed);
         sb.set_common_words(common);
         let words = inverted.len() as u64;
+        // Vocabulary: every distinct token, sorted. Serialized only in v2
+        // headers (its own Index-class section) to back prefix/fuzzy and
+        // short-substring resolution; v1 stays byte-identical to before.
+        let vocab = if self.config.format == iou_sketch::FormatVersion::V2 {
+            let mut terms: Vec<String> = inverted.keys().cloned().collect();
+            terms.sort_unstable();
+            Some(iou_sketch::Vocabulary::build(terms)?)
+        } else {
+            None
+        };
         for (word, postings) in inverted {
             sb.insert(&word, &PostingsList::from_postings(postings));
         }
@@ -305,7 +315,8 @@ impl Builder {
             common_ptrs,
             string_table,
             meta,
-        );
+        )
+        .with_vocab(vocab);
         let header = mht
             .to_header()
             .encode_with(self.config.format, &writer.block_sizes);

@@ -3,7 +3,12 @@
 use std::fmt;
 
 /// Errors from building or searching an Airphant index.
+///
+/// `#[non_exhaustive]`: match with a wildcard arm — new error variants
+/// are additive, not breaking (see the stability contract in the crate
+/// docs).
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum AirphantError {
     /// Underlying storage failure.
     Storage(airphant_storage::StorageError),
@@ -63,6 +68,16 @@ pub enum AirphantError {
         /// Why the document cannot be ingested.
         reason: String,
     },
+    /// The query needs an index capability the target segments lack —
+    /// e.g. a Prefix/Fuzzy atom (or a short-substring fallback) against a
+    /// v1 or pre-vocabulary v2 segment that carries no vocabulary
+    /// section, or a vocabulary expansion exceeding the planner's cap.
+    /// Typed, never a panic: old segments keep decoding and answering
+    /// every query shape they supported when they were written.
+    UnsupportedQuery {
+        /// What capability was missing and for which atom.
+        reason: String,
+    },
 }
 
 impl fmt::Display for AirphantError {
@@ -92,6 +107,9 @@ impl fmt::Display for AirphantError {
             ),
             AirphantError::InvalidDocument { reason } => {
                 write!(f, "document cannot be ingested: {reason}")
+            }
+            AirphantError::UnsupportedQuery { reason } => {
+                write!(f, "unsupported query: {reason}")
             }
         }
     }

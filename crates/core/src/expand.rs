@@ -1,0 +1,252 @@
+//! Vocabulary expansion: rewriting Prefix/Fuzzy atoms (and short
+//! substring patterns) into term unions before planning.
+//!
+//! The IoU sketch can only answer exact-term lookups, so every
+//! vocabulary-resolved atom is lowered to `Or([Term, …])` over the union
+//! of the target segments' vocabularies — *before* [`Query::atoms`] runs.
+//! The planner then sees an ordinary boolean query and keeps the
+//! single-batch guarantee: one `get_ranges` round trip no matter how many
+//! terms the expansion produced.
+//!
+//! Exactness: the expanded query is used for both the postings evaluation
+//! and the verify pass. Every fetched candidate's tokens are, by
+//! construction, members of its own segment's vocabulary, so checking the
+//! expanded union against the token set decides exactly the original
+//! predicate (a token starts with the prefix ⟺ it is one of the
+//! prefix-matching vocabulary terms, and likewise for fuzzy matches and
+//! gram-contained short patterns).
+//!
+//! Segments without a vocabulary section (v1, or v2 written before
+//! prefix/fuzzy support) yield a typed
+//! [`AirphantError::UnsupportedQuery`] — never a panic, and never a
+//! silent partial answer.
+
+use crate::error::AirphantError;
+use crate::query::Query;
+use crate::searcher::Searcher;
+use iou_sketch::Vocabulary;
+use std::borrow::Cow;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// The most vocabulary terms one atom may expand to. A deterministic
+/// guard against degenerate expansions (e.g. `Query::prefix("")` on a
+/// huge vocabulary): exceeding it is a typed error, not a truncated —
+/// and therefore silently wrong — answer.
+pub const EXPANSION_CAP: usize = 4096;
+
+/// Rewrite `query` against the vocabularies of `segments`. Returns the
+/// input untouched (borrowed) when no node needs expansion.
+///
+/// Error/fallback contract:
+/// * Prefix/Fuzzy atoms *require* a vocabulary on every target segment —
+///   any segment without one is a typed [`AirphantError::UnsupportedQuery`].
+/// * Short substring patterns expand only when the segments are gram
+///   indexes of the pattern's gram size (the containment argument below
+///   needs it) *and* every segment has a vocabulary. Otherwise the node
+///   is left alone and [`Query::atoms`] surfaces the legacy typed
+///   [`AirphantError::PatternTooShort`](crate::AirphantError::PatternTooShort)
+///   — the fallback layer doesn't exist, so the old contract stands.
+pub(crate) fn expand_for_segments<'q>(
+    query: &'q Query,
+    segments: &[&Searcher],
+) -> crate::Result<Cow<'q, Query>> {
+    if !query.needs_expansion() {
+        return Ok(Cow::Borrowed(query));
+    }
+    let mut vocabs: Vec<&Arc<Vocabulary>> = Vec::with_capacity(segments.len());
+    let mut missing: Option<&str> = None;
+    for s in segments {
+        match s.vocab() {
+            Some(v) => vocabs.push(v),
+            None => missing = Some(s.prefix()),
+        }
+    }
+    if let Some(prefix) = missing {
+        if has_prefix_or_fuzzy(query) {
+            return Err(AirphantError::UnsupportedQuery {
+                reason: format!(
+                    "index {prefix:?} has a segment without a vocabulary section (v1, or v2 \
+                     written before prefix/fuzzy support) — prefix and fuzzy queries need \
+                     segments built with format v2"
+                ),
+            });
+        }
+        // Only short substrings wanted expansion; without a vocabulary on
+        // every segment the legacy PatternTooShort contract applies.
+        return Ok(Cow::Borrowed(query));
+    }
+    // The substring fallback is exact only on gram indexes: every
+    // length-< n substring of a document lies inside some n-gram token,
+    // so "text contains pattern" ⟺ "some vocabulary gram contains
+    // pattern" (for documents of ≥ n chars, which gram tokenization
+    // guarantees index their whole text as one gram anyway).
+    let gram_n = common_gram_size(segments);
+    Ok(Cow::Owned(rewrite(query, &vocabs, gram_n)?))
+}
+
+/// Does the query contain a Prefix or Fuzzy atom (the atoms with no
+/// non-vocabulary fallback)?
+fn has_prefix_or_fuzzy(query: &Query) -> bool {
+    match query {
+        Query::Prefix { .. } | Query::Fuzzy { .. } => true,
+        Query::And(qs) | Query::Or(qs) => qs.iter().any(has_prefix_or_fuzzy),
+        _ => false,
+    }
+}
+
+/// The gram size shared by every segment's tokenizer, or `None` when any
+/// segment is not a gram index (or they disagree).
+fn common_gram_size(segments: &[&Searcher]) -> Option<usize> {
+    let mut sizes = segments.iter().map(|s| s.tokenizer().gram_size());
+    let first = sizes.next()??;
+    sizes.all(|s| s == Some(first)).then_some(first)
+}
+
+fn rewrite(
+    query: &Query,
+    vocabs: &[&Arc<Vocabulary>],
+    gram_n: Option<usize>,
+) -> crate::Result<Query> {
+    Ok(match query {
+        Query::Prefix { term } => union_query(vocabs, query, |v| {
+            v.prefix_matches(term).iter().map(String::as_str).collect()
+        })?,
+        Query::Fuzzy { term, max_edits } => {
+            union_query(vocabs, query, |v| v.fuzzy_matches(term, *max_edits))?
+        }
+        Query::Substring { pattern, n } if query.needs_expansion() && gram_n == Some(*n) => {
+            // Gram tokens are case-folded at build time; fold the pattern
+            // the same way (Query::substring already does, but the
+            // variant can be constructed directly).
+            let folded;
+            let pat = if pattern.bytes().any(|b| b.is_ascii_uppercase()) {
+                folded = pattern.to_ascii_lowercase();
+                folded.as_str()
+            } else {
+                pattern.as_str()
+            };
+            union_query(vocabs, query, |v| v.containing(pat))?
+        }
+        Query::And(qs) => Query::And(
+            qs.iter()
+                .map(|q| rewrite(q, vocabs, gram_n))
+                .collect::<crate::Result<_>>()?,
+        ),
+        Query::Or(qs) => Query::Or(
+            qs.iter()
+                .map(|q| rewrite(q, vocabs, gram_n))
+                .collect::<crate::Result<_>>()?,
+        ),
+        other => other.clone(),
+    })
+}
+
+/// The union over all vocabularies of one atom's matching terms, lowered
+/// to `Or([Term, …])` in sorted order (deterministic across runs and
+/// shard layouts).
+fn union_query(
+    vocabs: &[&Arc<Vocabulary>],
+    atom: &Query,
+    matches: impl Fn(&Vocabulary) -> Vec<&str>,
+) -> crate::Result<Query> {
+    let mut terms: BTreeSet<&str> = BTreeSet::new();
+    for v in vocabs {
+        terms.extend(matches(v));
+        if terms.len() > EXPANSION_CAP {
+            return Err(AirphantError::UnsupportedQuery {
+                reason: format!(
+                    "{atom:?} expands to more than {EXPANSION_CAP} vocabulary terms; \
+                     narrow the atom"
+                ),
+            });
+        }
+    }
+    Ok(Query::Or(terms.into_iter().map(Query::term).collect()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vocab(words: &[&str]) -> Arc<Vocabulary> {
+        let mut terms: Vec<String> = words.iter().map(|w| (*w).to_string()).collect();
+        terms.sort();
+        terms.dedup();
+        Arc::new(Vocabulary::build(terms).unwrap())
+    }
+
+    #[test]
+    fn prefix_rewrites_to_sorted_term_union() {
+        let a = vocab(&["type", "typo", "tar"]);
+        let b = vocab(&["typeahead", "zebra"]);
+        let q = rewrite(&Query::prefix("ty"), &[&a, &b], None).unwrap();
+        assert_eq!(
+            q,
+            Query::Or(vec![
+                Query::term("type"),
+                Query::term("typeahead"),
+                Query::term("typo"),
+            ])
+        );
+    }
+
+    #[test]
+    fn fuzzy_and_nested_booleans_rewrite_in_place() {
+        let v = vocab(&["disk", "disc", "dusk", "zebra"]);
+        let q = Query::term("keep").and(Query::fuzzy("disk", 1));
+        let r = rewrite(&q, &[&v], None).unwrap();
+        assert_eq!(
+            r,
+            Query::And(vec![
+                Query::term("keep"),
+                Query::Or(vec![
+                    Query::term("disc"),
+                    Query::term("disk"),
+                    Query::term("dusk"),
+                ]),
+            ])
+        );
+    }
+
+    #[test]
+    fn short_substring_rewrites_to_containing_grams() {
+        let v = vocab(&["abx", "xab", "xyz"]);
+        let q = rewrite(&Query::substring("ab", 3), &[&v], Some(3)).unwrap();
+        assert_eq!(q, Query::Or(vec![Query::term("abx"), Query::term("xab")]));
+        // Long-enough patterns are left alone.
+        let q = Query::substring("abc", 3);
+        assert_eq!(rewrite(&q, &[&v], Some(3)).unwrap(), q);
+        // Non-gram (or mismatched-gram) indexes keep the node verbatim:
+        // the fallback layer does not exist there.
+        let q = Query::substring("ab", 3);
+        assert_eq!(rewrite(&q, &[&v], None).unwrap(), q);
+        assert_eq!(rewrite(&q, &[&v], Some(4)).unwrap(), q);
+    }
+
+    #[test]
+    fn no_match_expands_to_empty_or() {
+        let v = vocab(&["alpha"]);
+        let q = rewrite(&Query::prefix("zz"), &[&v], None).unwrap();
+        assert_eq!(q, Query::Or(vec![]));
+    }
+
+    #[test]
+    fn cap_is_a_typed_error() {
+        let words: Vec<String> = (0..EXPANSION_CAP + 2).map(|i| format!("w{i:06}")).collect();
+        let v = Arc::new(
+            Vocabulary::build({
+                let mut t = words.clone();
+                t.sort();
+                t
+            })
+            .unwrap(),
+        );
+        match rewrite(&Query::prefix("w"), &[&v], None) {
+            Err(AirphantError::UnsupportedQuery { reason }) => {
+                assert!(reason.contains("expands"), "{reason}");
+            }
+            other => panic!("expected UnsupportedQuery, got {other:?}"),
+        }
+    }
+}

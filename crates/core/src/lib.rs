@@ -17,11 +17,12 @@
 //! ## Quick start
 //!
 //! Every lookup goes through one API: build a [`Query`] (a term, a
-//! boolean combination, a phrase, or a substring pattern), then
-//! [`Searcher::execute`] it. The planner resolves *all* of the query's
-//! terms and grams from the in-memory MHT and fetches every superpost in
-//! a **single** concurrent batch — compound queries pay the same one
-//! round-trip wait as single keywords.
+//! boolean combination, a phrase, a substring pattern, a prefix, or a
+//! fuzzy term), then [`Searcher::execute`] it. The planner resolves
+//! *all* of the query's terms and grams from the in-memory MHT — prefix
+//! and fuzzy atoms are first expanded against the index vocabulary —
+//! and fetches every superpost in a **single** concurrent batch:
+//! compound queries pay the same one round-trip wait as single keywords.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -52,7 +53,7 @@
 //! assert_eq!(result.hits.len(), 2);
 //!
 //! // Compound query: both terms' superposts arrive in ONE storage batch.
-//! let query = Query::and([Query::term("hello"), Query::term("airphant")]);
+//! let query = Query::term("hello").and(Query::term("airphant"));
 //! let result = searcher.execute(&query, &QueryOptions::new()).unwrap();
 //! assert_eq!(result.hits.len(), 1);
 //! assert!(result.hits[0].text.contains("hello airphant"));
@@ -66,18 +67,48 @@
 //!     .execute(&Query::term("hello"), &QueryOptions::new().top_k(1))
 //!     .unwrap();
 //! assert_eq!(top.hits.len(), 1);
+//!
+//! // Typeahead: resolve every vocabulary term starting with "air" —
+//! // still one postings batch after expansion.
+//! let ahead = searcher
+//!     .execute(&Query::prefix("air"), &QueryOptions::new())
+//!     .unwrap();
+//! assert_eq!(ahead.hits.len(), 2);
 //! # let _ = built;
 //! ```
+//!
+//! ## API stability (v1 contract)
+//!
+//! The query surface is designed to grow without breaking downstream
+//! matches or constructor calls:
+//!
+//! * [`Query`], [`AirphantError`], and [`SubmitError`] are
+//!   `#[non_exhaustive]`: embedders must match with a wildcard arm, and
+//!   new query atoms or error variants are additive, not breaking.
+//! * Construct queries through the constructors ([`Query::term`],
+//!   [`Query::all`], [`Query::any`], [`Query::phrase`],
+//!   [`Query::substring`], [`Query::prefix`], [`Query::fuzzy`]) or the
+//!   fluent [`QueryBuilder`] chain
+//!   (`Query::term("x").and(Query::prefix("ty")).top_k(10)`) rather than
+//!   variant literals.
+//! * [`QueryOptions`] grows by builder-style setters with unchanged
+//!   defaults; a default-constructed `QueryOptions` always means "the
+//!   exact, untraced, full-result query".
+//! * Index capabilities degrade to *typed errors*, never panics: a
+//!   prefix/fuzzy query against a segment without a vocabulary section
+//!   is [`AirphantError::UnsupportedQuery`], and v1 segments keep
+//!   decoding and answering every query shape they supported when they
+//!   were written.
 
 #![warn(missing_docs)]
 
 pub mod admission;
-pub mod boolean;
 pub mod builder;
 pub mod compact;
 pub mod config;
 pub mod engine;
 pub mod error;
+mod expand;
 pub mod memtable;
 pub mod plan;
 pub mod query;
@@ -87,19 +118,17 @@ pub mod searcher;
 pub mod segments;
 pub mod serve;
 pub mod shard;
-pub mod substring;
 
 pub use admission::{AdmissionConfig, AdmissionController, AdmissionStats, Priority, QuotaConfig};
-#[allow(deprecated)]
-pub use boolean::BoolQuery;
 pub use builder::{BuildReport, Builder};
 pub use compact::{CompactionPolicy, CompactionReport, Compactor};
 pub use config::AirphantConfig;
 pub use engine::{SearchEngine, StagedEngine};
 pub use error::AirphantError;
+pub use expand::EXPANSION_CAP;
 pub use memtable::{FlushPolicy, FlushReport, Flusher, FlusherStats, LiveIndex, Memtable};
 pub use plan::execute_with_lookup;
-pub use query::{Query, QueryOptions};
+pub use query::{Query, QueryBuilder, QueryOptions};
 pub use result::{SearchHit, SearchResult};
 pub use searcher::Searcher;
 pub use segments::{Manifest, SegmentEntry, SegmentManager, SegmentedSearcher};

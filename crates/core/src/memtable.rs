@@ -779,7 +779,7 @@ mod tests {
             Query::term("common"),
             Query::term("word7"),
             Query::term("absent"),
-            Query::and([Query::term("common"), Query::term("word3")]),
+            Query::all([Query::term("common"), Query::term("word3")]),
         ];
         let before: Vec<Vec<String>> = queries
             .iter()

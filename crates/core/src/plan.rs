@@ -186,6 +186,8 @@ pub(crate) fn lookup_over(
     segments: &[&Searcher],
     query: &Query,
 ) -> Result<(PostingsList, QueryTrace)> {
+    let query = crate::expand::expand_for_segments(query, segments)?;
+    let query = query.as_ref();
     let atoms = query.atoms()?;
     let mut trace = QueryTrace::new();
     let maps = lookup_atoms(segments, &atoms, &mut trace)?;
@@ -284,8 +286,7 @@ pub(crate) fn complete_documents(
             let text = String::from_utf8_lossy(&part.bytes).into_owned();
             let tokenizer = segments[seg_idx].tokenizer();
             let tokens = tokenizer.tokens(&text);
-            let has_word = |w: &str| tokens.iter().any(|t| t == w);
-            if query.matches_doc(&has_word, &text) {
+            if query.matches_tokens(&tokens, &text) {
                 hits.push(SearchHit {
                     blob: req.name.clone(),
                     offset: req.offset,
@@ -328,6 +329,11 @@ pub(crate) fn execute_over(
     query: &Query,
     opts: &QueryOptions,
 ) -> Result<SearchResult> {
+    // Resolve vocabulary atoms (Prefix/Fuzzy/short Substring) to term
+    // unions first; the expanded query drives BOTH the postings algebra
+    // and the verify pass below, which is what makes expansion exact.
+    let query = crate::expand::expand_for_segments(query, segments)?;
+    let query = query.as_ref();
     let atoms = query.atoms()?;
     let mut trace = QueryTrace::new();
     let maps = lookup_atoms(segments, &atoms, &mut trace)?;
@@ -391,10 +397,9 @@ pub fn execute_with_lookup(
             to_fetch.truncate(k);
         }
     }
-    let has = |w: &str, tokens: &[String]| tokens.iter().any(|t| t == w);
     let predicate = |text: &str| {
         let tokens = tokenizer.tokens(text);
-        query.matches_doc(&|w| has(w, &tokens), text)
+        query.matches_tokens(&tokens, text)
     };
     let (mut hits, dropped) =
         crate::retrieval::fetch_and_filter(store, resolver, &to_fetch, &predicate, &mut trace)?;
@@ -459,7 +464,7 @@ mod tests {
             "warn disk sdb",
             "info all good",
         ]);
-        let query = Query::and([Query::term("error"), Query::term("disk")]);
+        let query = Query::all([Query::term("error"), Query::term("disk")]);
         let r = searcher.execute(&query, &QueryOptions::new()).unwrap();
         assert_eq!(texts(&r), vec!["error disk sda"]);
         assert_eq!(
@@ -502,10 +507,10 @@ mod tests {
         }
         let searcher = Searcher::open(store.clone(), "idx").unwrap();
         store.reset_stats();
-        let query = Query::and([
+        let query = Query::all([
             Query::term("alpha"),
             Query::term("beta"),
-            Query::or([Query::term("gamma"), Query::term("delta")]),
+            Query::any([Query::term("gamma"), Query::term("delta")]),
         ]);
         let (postings, trace) = searcher.execute_lookup(&query).unwrap();
         let stats = store.stats();
@@ -525,7 +530,7 @@ mod tests {
         let (_, searcher) = build(&["x y", "y z"]);
         let single = searcher.execute_lookup(&Query::term("y")).unwrap().1;
         let double = searcher
-            .execute_lookup(&Query::or([Query::term("y"), Query::term("y")]))
+            .execute_lookup(&Query::any([Query::term("y"), Query::term("y")]))
             .unwrap()
             .1;
         assert_eq!(single.requests(), double.requests());
@@ -559,7 +564,7 @@ mod tests {
         .unwrap();
         let searcher =
             Searcher::open_with_tokenizer(store, "ng", Arc::new(NgramTokenizer::new(3))).unwrap();
-        let q = Query::and([Query::substring("blk_", 3), Query::substring("received", 3)]);
+        let q = Query::all([Query::substring("blk_", 3), Query::substring("received", 3)]);
         let r = searcher.execute(&q, &QueryOptions::new()).unwrap();
         assert_eq!(r.hits.len(), 1);
         assert!(r.hits[0].text.contains("blk_12345"));
@@ -567,7 +572,10 @@ mod tests {
     }
 
     #[test]
-    fn pattern_too_short_is_typed() {
+    fn pattern_too_short_is_typed_without_gram_fallback() {
+        // A whitespace index has no gram layer to fall back to, so the
+        // legacy typed error stands even though the segment has a
+        // vocabulary.
         let (_, searcher) = build(&["hello world"]);
         let err = searcher
             .execute(&Query::substring("he", 3), &QueryOptions::new())
@@ -576,6 +584,47 @@ mod tests {
             err,
             crate::AirphantError::PatternTooShort { ref pattern, n: 3 } if pattern == "he"
         ));
+    }
+
+    #[test]
+    fn short_pattern_falls_back_to_vocabulary_on_gram_index() {
+        let inner = Arc::new(InMemoryStore::new());
+        let store: Arc<dyn ObjectStore> = inner.clone();
+        store
+            .put(
+                "c/b",
+                Bytes::from_static(b"blk_12345 received\nblk_99 deleted\npacket drop"),
+            )
+            .unwrap();
+        let corpus = Corpus::new(
+            store.clone(),
+            vec!["c/b".into()],
+            Arc::new(LineSplitter),
+            Arc::new(NgramTokenizer::new(3)),
+        );
+        Builder::new(
+            AirphantConfig::default()
+                .with_total_bins(256)
+                .with_manual_layers(2)
+                .with_common_fraction(0.0),
+        )
+        .build(&corpus, "ng")
+        .unwrap();
+        let searcher =
+            Searcher::open_with_tokenizer(store, "ng", Arc::new(NgramTokenizer::new(3))).unwrap();
+        // "99" is shorter than the gram size; the vocabulary scan resolves
+        // it through the grams that contain it.
+        let r = searcher
+            .execute(&Query::substring("99", 3), &QueryOptions::new())
+            .unwrap();
+        assert_eq!(r.hits.len(), 1);
+        assert!(r.hits[0].text.contains("blk_99"));
+        assert_eq!(r.trace.round_trips_of(PhaseKind::Postings), 1);
+        // No match anywhere still answers cleanly (empty, not an error).
+        let none = searcher
+            .execute(&Query::substring("zq", 3), &QueryOptions::new())
+            .unwrap();
+        assert!(none.hits.is_empty());
     }
 
     #[test]
@@ -600,5 +649,196 @@ mod tests {
             assert!(r.hits.is_empty(), "{q:?} must match nothing");
             assert_eq!(r.trace.round_trips(), 0, "no atoms, no storage traffic");
         }
+    }
+
+    // --- Boolean-algebra behavior, migrated from the pre-0.3 shim
+    // modules (`search_boolean`/`search_substring` are gone; the engine
+    // surface is `execute` only).
+
+    fn boolean_searcher() -> Searcher {
+        build(&[
+            "error disk",
+            "error network",
+            "warn disk",
+            "info startup",
+            "error disk network",
+        ])
+        .1
+    }
+
+    #[test]
+    fn and_intersects_or_unions_dnf_composes() {
+        let s = boolean_searcher();
+        let r = s
+            .execute(
+                &Query::all([Query::term("error"), Query::term("disk")]),
+                &QueryOptions::new(),
+            )
+            .unwrap();
+        assert_eq!(texts(&r), vec!["error disk", "error disk network"]);
+        let r = s
+            .execute(
+                &Query::any([Query::term("warn"), Query::term("info")]),
+                &QueryOptions::new(),
+            )
+            .unwrap();
+        assert_eq!(texts(&r), vec!["info startup", "warn disk"]);
+        // (error AND network) OR (warn AND disk)
+        let q = Query::term("error")
+            .and(Query::term("network"))
+            .or(Query::term("warn").and(Query::term("disk")));
+        let r = s.execute(&q, &QueryOptions::new()).unwrap();
+        assert_eq!(
+            texts(&r),
+            vec!["error disk network", "error network", "warn disk"]
+        );
+    }
+
+    #[test]
+    fn unknown_terms_resolve_empty() {
+        let s = boolean_searcher();
+        let q = Query::all([Query::term("error"), Query::term("zzz-missing")]);
+        assert!(s.execute(&q, &QueryOptions::new()).unwrap().hits.is_empty());
+        // OR with a missing term degrades gracefully.
+        let q = Query::any([Query::term("info"), Query::term("zzz-missing")]);
+        let r = s.execute(&q, &QueryOptions::new()).unwrap();
+        assert_eq!(texts(&r), vec!["info startup"]);
+    }
+
+    #[test]
+    fn empty_and_under_or_keeps_perfect_precision() {
+        // Regression: Or([And([]), term]) must behave exactly like the
+        // bare term — no false positives admitted by the empty group.
+        let s = boolean_searcher();
+        let bare = s.search("error", None).unwrap();
+        let wrapped = s
+            .execute(
+                &Query::any([Query::And(vec![]), Query::term("error")]),
+                &QueryOptions::new(),
+            )
+            .unwrap();
+        assert_eq!(texts(&bare), texts(&wrapped));
+    }
+
+    fn ngram_searcher(lines: &[&str]) -> Searcher {
+        let inner = Arc::new(InMemoryStore::new());
+        let store: Arc<dyn ObjectStore> = inner.clone();
+        store.put("c/ng", Bytes::from(lines.join("\n"))).unwrap();
+        let corpus = Corpus::new(
+            store.clone(),
+            vec!["c/ng".into()],
+            Arc::new(LineSplitter),
+            Arc::new(NgramTokenizer::new(3)),
+        );
+        Builder::new(
+            AirphantConfig::default()
+                .with_total_bins(512)
+                .with_manual_layers(2)
+                .with_common_fraction(0.0),
+        )
+        .build(&corpus, "ngx")
+        .unwrap();
+        Searcher::open_with_tokenizer(store, "ngx", Arc::new(NgramTokenizer::new(3))).unwrap()
+    }
+
+    #[test]
+    fn substring_spans_word_boundaries_case_insensitively() {
+        let s = ngram_searcher(&[
+            "PacketResponder terminating",
+            "block blk_12345 received",
+            "NameSystem.addStoredBlock updated",
+        ]);
+        let r = s
+            .execute(&Query::substring("blk_123", 3), &QueryOptions::new())
+            .unwrap();
+        assert_eq!(r.hits.len(), 1);
+        assert!(r.hits[0].text.contains("blk_12345"));
+        // Substring spanning a space, with case folding.
+        let r = s
+            .execute(&Query::substring("Responder TERM", 3), &QueryOptions::new())
+            .unwrap();
+        assert_eq!(r.hits.len(), 1);
+        // Absent pattern answers empty, not an error.
+        let r = s
+            .execute(&Query::substring("zzzzzz", 3), &QueryOptions::new())
+            .unwrap();
+        assert!(r.hits.is_empty());
+    }
+
+    #[test]
+    fn substring_verify_drops_gram_sharing_decoys() {
+        // Document "xabay babx" contains both grams of "abab" ({aba, bab})
+        // without containing "abab": the verify pass must drop it.
+        let s = ngram_searcher(&["xabay babx", "the abab string"]);
+        let r = s
+            .execute(&Query::substring("abab", 3), &QueryOptions::new())
+            .unwrap();
+        assert_eq!(r.hits.len(), 1);
+        assert!(r.hits[0].text.contains("abab"));
+        assert!(
+            r.false_positives_removed >= 1,
+            "the gram-sharing decoy must have been filtered"
+        );
+    }
+
+    #[test]
+    fn prefix_and_fuzzy_execute_in_one_postings_batch() {
+        let (_, s) = build(&[
+            "typeahead rocks",
+            "typed queries",
+            "typo happens",
+            "unrelated line",
+        ]);
+        let r = s
+            .execute(&Query::prefix("typ"), &QueryOptions::new())
+            .unwrap();
+        assert_eq!(
+            texts(&r),
+            vec!["typeahead rocks", "typed queries", "typo happens"]
+        );
+        assert_eq!(
+            r.trace.round_trips_of(PhaseKind::Postings),
+            1,
+            "expansion still pays exactly one postings batch"
+        );
+        let r = s
+            .execute(&Query::fuzzy("tipo", 1), &QueryOptions::new())
+            .unwrap();
+        assert_eq!(texts(&r), vec!["typo happens"]);
+        assert_eq!(r.trace.round_trips_of(PhaseKind::Postings), 1);
+    }
+
+    #[test]
+    fn prefix_without_vocabulary_is_unsupported() {
+        // A v1-format build carries no vocabulary section.
+        let inner = Arc::new(InMemoryStore::new());
+        let store: Arc<dyn ObjectStore> = inner.clone();
+        store.put("c/b", Bytes::from_static(b"alpha beta")).unwrap();
+        let corpus = Corpus::new(
+            store.clone(),
+            vec!["c/b".into()],
+            Arc::new(LineSplitter),
+            Arc::new(WhitespaceTokenizer),
+        );
+        Builder::new(
+            AirphantConfig::default()
+                .with_total_bins(64)
+                .with_format(iou_sketch::FormatVersion::V1),
+        )
+        .build(&corpus, "v1idx")
+        .unwrap();
+        let s = Searcher::open(store, "v1idx").unwrap();
+        let err = s
+            .execute(&Query::prefix("al"), &QueryOptions::new())
+            .unwrap_err();
+        assert!(
+            matches!(err, crate::AirphantError::UnsupportedQuery { .. }),
+            "got {err:?}"
+        );
+        // Exact terms still answer on the same v1 segment.
+        let r = s
+            .execute(&Query::term("alpha"), &QueryOptions::new())
+            .unwrap();
+        assert_eq!(r.hits.len(), 1);
     }
 }

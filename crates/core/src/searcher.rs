@@ -108,6 +108,23 @@ impl Searcher {
         &self.mht
     }
 
+    /// The index prefix this Searcher was opened on.
+    pub fn prefix(&self) -> &str {
+        &self.prefix
+    }
+
+    /// The index-time vocabulary, when the segment carries one (format v2
+    /// built with prefix/fuzzy support). Backs [`Query::Prefix`],
+    /// [`Query::Fuzzy`], and the short-substring fallback; `None` means
+    /// those atoms surface a typed
+    /// [`AirphantError::UnsupportedQuery`](crate::AirphantError::UnsupportedQuery).
+    ///
+    /// [`Query::Prefix`]: crate::Query::Prefix
+    /// [`Query::Fuzzy`]: crate::Query::Fuzzy
+    pub fn vocab(&self) -> Option<&Arc<iou_sketch::Vocabulary>> {
+        self.mht.vocab()
+    }
+
     /// The on-wire format the index header was decoded from (version, and
     /// the layer directory for v2).
     pub fn format(&self) -> &SegmentFormat {

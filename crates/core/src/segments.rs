@@ -674,7 +674,7 @@ mod tests {
         assert_eq!(searcher.segment_count(), 3);
 
         store.reset_stats();
-        let query = crate::Query::and([crate::Query::term("error"), crate::Query::term("disk1")]);
+        let query = crate::Query::all([crate::Query::term("error"), crate::Query::term("disk1")]);
         let (postings, trace) = searcher.execute_lookup(&query).unwrap();
         let stats = store.stats();
         assert_eq!(

@@ -104,7 +104,12 @@ impl ServerConfig {
 
 /// Typed rejection from [`QueryServer::try_submit`] or the async
 /// admission path ([`AsyncQueryServer::try_submit`]).
+///
+/// `#[non_exhaustive]`: match with a wildcard arm — new rejection
+/// variants are additive, not breaking (see the stability contract in
+/// the crate docs).
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SubmitError {
     /// The bounded submission queue is full — shed load or retry later.
     QueueFull {
@@ -1466,6 +1471,24 @@ fn process_arrival(shared: &AsyncShared, at: SimDuration, id: u64) {
     };
 
     flight.stage = FlightStage::Planning;
+    // Expand vocabulary atoms (Prefix/Fuzzy/short Substring) against the
+    // engine's current segment set before planning; the expanded query
+    // stays on the flight so the verify pass uses it too (exactness).
+    let mut expanded: crate::Result<Option<crate::Query>> = Ok(None);
+    shared.engine.with_segments(&mut |segments| {
+        expanded = crate::expand::expand_for_segments(&flight.query, segments).map(|q| match q {
+            std::borrow::Cow::Borrowed(_) => None,
+            std::borrow::Cow::Owned(q) => Some(q),
+        });
+    });
+    match expanded {
+        Ok(Some(q)) => flight.query = q,
+        Ok(None) => {}
+        Err(e) => {
+            finalize(shared, at, id, flight, Err(e));
+            return;
+        }
+    }
     match flight.query.atoms() {
         Ok(atoms) => flight.atoms = atoms,
         Err(e) => {
@@ -1798,7 +1821,7 @@ mod tests {
             ServerConfig::new().with_workers(4).with_queue_capacity(16),
         );
         for i in 0..30 {
-            let q = Query::and([
+            let q = Query::all([
                 Query::term(format!("word{i}")),
                 Query::term(format!("shared{}", i % 5)),
             ]);
@@ -2378,7 +2401,7 @@ mod tests {
         );
         let queries: Vec<Query> = (0..30)
             .map(|i| {
-                Query::and([
+                Query::all([
                     Query::term(format!("word{i}")),
                     Query::term(format!("shared{}", i % 5)),
                 ])

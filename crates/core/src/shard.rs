@@ -690,8 +690,8 @@ mod tests {
             let sharded = router.open_searcher().unwrap();
             for query in [
                 Query::term("common"),
-                Query::and([Query::term("w3"), Query::term("tag0")]),
-                Query::or([Query::term("w1"), Query::term("w5")]),
+                Query::all([Query::term("w3"), Query::term("tag0")]),
+                Query::any([Query::term("w1"), Query::term("w5")]),
                 Query::term("absent"),
             ] {
                 let s = sharded.execute(&query, &QueryOptions::new()).unwrap();

@@ -72,6 +72,14 @@ impl DocSplitter for WholeBlobSplitter {
 pub trait Tokenizer: Send + Sync {
     /// The keywords of `text`, in occurrence order (duplicates included).
     fn tokens(&self, text: &str) -> Vec<String>;
+
+    /// `Some(n)` when this tokenizer emits character `n`-grams — the
+    /// signal that every length-`< n` substring of a document is contained
+    /// in some token, which is what makes the planner's short-pattern
+    /// vocabulary fallback exact. Word-oriented tokenizers return `None`.
+    fn gram_size(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// Splits on ASCII whitespace, keeping tokens verbatim — equivalent to the
@@ -126,6 +134,10 @@ impl NgramTokenizer {
 }
 
 impl Tokenizer for NgramTokenizer {
+    fn gram_size(&self) -> Option<usize> {
+        Some(self.n)
+    }
+
     fn tokens(&self, text: &str) -> Vec<String> {
         let lowered = text.to_ascii_lowercase();
         let chars: Vec<char> = lowered.chars().collect();

@@ -381,6 +381,10 @@ pub struct HeaderBlock {
     pub common: Vec<(String, BinPointer)>,
     /// Free-form metadata (e.g. accuracy constraint, corpus name).
     pub meta: Vec<(String, String)>,
+    /// Sorted vocabulary + suffix array for prefix/fuzzy expansion.
+    /// Serialized only by format v2 (an optional Index-class section);
+    /// v1 headers drop it on encode and decode to `None`.
+    pub vocab: Option<crate::vocab::Vocabulary>,
 }
 
 const MAGIC: &[u8; 4] = b"AIRP";
@@ -551,6 +555,7 @@ impl HeaderBlock {
             pointers,
             common,
             meta,
+            vocab: None,
         })
     }
 }
@@ -629,6 +634,9 @@ pub enum SectionKind {
     Blocks,
     /// Free-form metadata.
     Meta,
+    /// Sorted vocabulary + suffix array (optional; absent in segments
+    /// written before prefix/fuzzy support).
+    Vocab,
 }
 
 impl SectionKind {
@@ -641,6 +649,7 @@ impl SectionKind {
             5 => SectionKind::Common,
             6 => SectionKind::Blocks,
             7 => SectionKind::Meta,
+            8 => SectionKind::Vocab,
             _ => return None,
         })
     }
@@ -654,6 +663,7 @@ impl SectionKind {
             SectionKind::Common => 5,
             SectionKind::Blocks => 6,
             SectionKind::Meta => 7,
+            SectionKind::Vocab => 8,
         }
     }
 
@@ -667,6 +677,7 @@ impl SectionKind {
             SectionKind::Common => "common",
             SectionKind::Blocks => "blocks",
             SectionKind::Meta => "meta",
+            SectionKind::Vocab => "vocab",
         }
     }
 }
@@ -826,6 +837,12 @@ impl HeaderBlock {
         }
         bodies.push((SectionKind::Meta, meta.freeze()));
 
+        if let Some(v) = &self.vocab {
+            let mut vocab = BytesMut::new();
+            v.encode_into(&mut vocab);
+            bodies.push((SectionKind::Vocab, vocab.freeze()));
+        }
+
         let table_bytes = V2_TABLE_ENTRY * bodies.len();
         let mut offset = V2_PREAMBLE + table_bytes; // already 8-aligned
         let mut placed: Vec<(SectionKind, usize, usize)> = Vec::with_capacity(bodies.len());
@@ -891,6 +908,7 @@ pub struct HeaderView {
     strings: (usize, usize),
     common: (usize, usize),
     meta: (usize, usize),
+    vocab: Option<(usize, usize)>,
 }
 
 impl HeaderView {
@@ -953,7 +971,7 @@ impl HeaderView {
             )));
         }
 
-        let find = |kind: SectionKind| -> Result<(usize, usize)> {
+        let find_optional = |kind: SectionKind| -> Result<Option<(usize, usize)>> {
             let mut found = None;
             for s in &sections {
                 if s.kind == kind {
@@ -965,7 +983,10 @@ impl HeaderView {
                     found = Some((s.offset as usize, s.len as usize));
                 }
             }
-            found.ok_or_else(|| SketchError::Corrupt {
+            Ok(found)
+        };
+        let find = |kind: SectionKind| -> Result<(usize, usize)> {
+            find_optional(kind)?.ok_or_else(|| SketchError::Corrupt {
                 detail: format!("missing {} section", kind.name()),
             })
         };
@@ -1044,6 +1065,7 @@ impl HeaderView {
         let strings = find(SectionKind::Strings)?;
         let common = find(SectionKind::Common)?;
         let meta = find(SectionKind::Meta)?;
+        let vocab = find_optional(SectionKind::Vocab)?;
 
         Ok(HeaderView {
             directory: LayerDirectory {
@@ -1057,6 +1079,7 @@ impl HeaderView {
             strings,
             common,
             meta,
+            vocab,
             data,
         })
     }
@@ -1166,6 +1189,20 @@ impl HeaderView {
             });
         }
 
+        let vocab = match &self.vocab {
+            Some(range) => {
+                let mut vcur = Cursor::new(section(range));
+                let v = crate::vocab::Vocabulary::decode_from(&mut vcur)?;
+                if !vcur.is_exhausted() {
+                    return Err(SketchError::Corrupt {
+                        detail: format!("{} trailing bytes after vocab", vcur.remaining()),
+                    });
+                }
+                Some(v)
+            }
+            None => None,
+        };
+
         Ok(HeaderBlock {
             config: self.config.clone(),
             seeds,
@@ -1173,6 +1210,7 @@ impl HeaderView {
             pointers,
             common,
             meta,
+            vocab,
         })
     }
 }
@@ -1473,7 +1511,18 @@ mod tests {
                 ("f0".into(), "1.0".into()),
                 ("corpus".into(), "test".into()),
             ],
+            vocab: None,
         }
+    }
+
+    fn sample_vocab() -> crate::vocab::Vocabulary {
+        crate::vocab::Vocabulary::build(vec![
+            "alpha".into(),
+            "beta".into(),
+            "gamma".into(),
+            "the".into(),
+        ])
+        .unwrap()
     }
 
     #[test]
@@ -1533,6 +1582,7 @@ mod tests {
             pointers,
             common: Vec::new(),
             meta: Vec::new(),
+            vocab: None,
         };
         let enc = h.encode();
         assert!(
@@ -1566,6 +1616,50 @@ mod tests {
         let h = sample_header();
         let enc = h.encode_v2(&[]);
         assert_eq!(HeaderBlock::decode(&enc).unwrap(), h);
+    }
+
+    #[test]
+    fn v2_vocab_section_roundtrips() {
+        let mut h = sample_header();
+        h.vocab = Some(sample_vocab());
+        let enc = h.encode_v2(&[512]);
+        let (dec, format) = HeaderBlock::decode_any(&enc).unwrap();
+        assert_eq!(dec, h);
+        let dir = format.directory.unwrap();
+        let vocab_section = dir
+            .sections
+            .iter()
+            .find(|s| s.kind == SectionKind::Vocab)
+            .expect("vocab section listed in directory");
+        assert_eq!(
+            vocab_section.class,
+            ByteClass::Index,
+            "vocab is pinned with the index tier"
+        );
+        let (_, bare) = HeaderBlock::decode_any(&sample_header().encode_v2(&[512])).unwrap();
+        assert!(
+            dir.index_bytes() > bare.directory.unwrap().index_bytes(),
+            "the vocab section adds Index-class bytes"
+        );
+    }
+
+    #[test]
+    fn v1_encode_drops_vocab() {
+        let mut h = sample_header();
+        h.vocab = Some(sample_vocab());
+        let dec = HeaderBlock::decode(&h.encode()).unwrap();
+        assert_eq!(dec.vocab, None, "v1 wire format has no vocab section");
+        h.vocab = None;
+        assert_eq!(dec, h);
+    }
+
+    #[test]
+    fn vocab_less_v2_still_decodes() {
+        // Segments written before prefix/fuzzy support simply lack the
+        // section — decoding must keep working, with `vocab: None`.
+        let h = sample_header();
+        let (dec, _) = HeaderBlock::decode_any(&h.encode_v2(&[64])).unwrap();
+        assert_eq!(dec.vocab, None);
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! Levenshtein automaton over a fixed pattern.
+//!
+//! The automaton is the classic dynamic-programming row walked character by
+//! character: state `row[i]` is the minimum edit distance between the
+//! characters consumed so far and the first `i` characters of the pattern,
+//! clamped at `max_edits + 1` so states stay small and comparable. Walking
+//! a *sorted* vocabulary with this automaton shares rows between terms with
+//! a common prefix, which is what makes fuzzy expansion over the vocabulary
+//! cheap (see [`crate::vocab::Vocabulary::fuzzy_matches`]).
+
+/// A Levenshtein automaton for one pattern and edit budget.
+///
+/// States are DP rows ([`LevRow`]); [`LevenshteinAutomaton::step`] advances
+/// a row by one consumed character. A row whose minimum exceeds the budget
+/// can never recover ([`LevenshteinAutomaton::can_match`] is false), which
+/// prunes whole subtrees of a sorted term walk.
+#[derive(Debug, Clone)]
+pub struct LevenshteinAutomaton {
+    pattern: Vec<char>,
+    max_edits: u32,
+}
+
+/// One automaton state: the clamped DP row (`pattern.len() + 1` entries).
+pub type LevRow = Vec<u32>;
+
+impl LevenshteinAutomaton {
+    /// Build the automaton for `pattern` with the given edit budget.
+    pub fn new(pattern: &str, max_edits: u32) -> Self {
+        LevenshteinAutomaton {
+            pattern: pattern.chars().collect(),
+            max_edits,
+        }
+    }
+
+    /// The edit budget this automaton accepts.
+    pub fn max_edits(&self) -> u32 {
+        self.max_edits
+    }
+
+    /// The initial state: zero characters consumed, so the distance to the
+    /// first `i` pattern characters is `i` deletions.
+    pub fn start(&self) -> LevRow {
+        let cap = self.max_edits + 1;
+        (0..=self.pattern.len() as u32)
+            .map(|i| i.min(cap))
+            .collect()
+    }
+
+    /// Advance `state` by consuming `ch`.
+    pub fn step(&self, state: &[u32], ch: char) -> LevRow {
+        let cap = self.max_edits + 1;
+        let mut next = Vec::with_capacity(state.len());
+        next.push((state[0] + 1).min(cap));
+        for (i, &pc) in self.pattern.iter().enumerate() {
+            let sub = state[i] + u32::from(pc != ch);
+            let del = state[i + 1] + 1;
+            let ins = next[i] + 1;
+            next.push(sub.min(del).min(ins).min(cap));
+        }
+        next
+    }
+
+    /// Does the consumed string match the whole pattern within budget?
+    pub fn is_match(&self, state: &[u32]) -> bool {
+        state.last().is_some_and(|&d| d <= self.max_edits)
+    }
+
+    /// Can any extension of the consumed string still match? False once
+    /// every row entry exceeds the budget.
+    pub fn can_match(&self, state: &[u32]) -> bool {
+        state.iter().any(|&d| d <= self.max_edits)
+    }
+}
+
+/// Is `levenshtein(a, b) <= k`? Banded DP with early exit — the oracle-side
+/// counterpart of the automaton walk.
+pub fn levenshtein_within(a: &str, b: &str, k: u32) -> bool {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.len().abs_diff(b.len()) > k as usize {
+        return false;
+    }
+    let cap = k + 1;
+    let mut row: Vec<u32> = (0..=b.len() as u32).map(|i| i.min(cap)).collect();
+    for (i, &ac) in a.iter().enumerate() {
+        let mut prev_diag = row[0];
+        row[0] = (i as u32 + 1).min(cap);
+        for (j, &bc) in b.iter().enumerate() {
+            let sub = prev_diag + u32::from(ac != bc);
+            prev_diag = row[j + 1];
+            row[j + 1] = sub.min(prev_diag + 1).min(row[j] + 1).min(cap);
+        }
+        if row.iter().all(|&d| d > k) {
+            return false;
+        }
+    }
+    row[b.len()] <= k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn accepts(pattern: &str, k: u32, word: &str) -> bool {
+        let aut = LevenshteinAutomaton::new(pattern, k);
+        let mut row = aut.start();
+        for ch in word.chars() {
+            row = aut.step(&row, ch);
+        }
+        aut.is_match(&row)
+    }
+
+    #[test]
+    fn exact_match_is_zero_edits() {
+        assert!(accepts("disk", 0, "disk"));
+        assert!(!accepts("disk", 0, "disc"));
+        assert!(levenshtein_within("disk", "disk", 0));
+    }
+
+    #[test]
+    fn single_edit_kinds() {
+        // substitution, deletion, insertion
+        assert!(accepts("disk", 1, "disc"));
+        assert!(accepts("disk", 1, "dis"));
+        assert!(accepts("disk", 1, "disks"));
+        assert!(!accepts("disk", 1, "dick so"));
+    }
+
+    #[test]
+    fn two_edits() {
+        assert!(!accepts("kitten", 1, "sitting"));
+        assert!(!levenshtein_within("kitten", "sitting", 2));
+        assert!(accepts("kitten", 3, "sitting"));
+        assert!(levenshtein_within("kitten", "sitting", 3));
+    }
+
+    #[test]
+    fn empty_pattern_counts_length() {
+        assert!(accepts("", 2, "ab"));
+        assert!(!accepts("", 2, "abc"));
+        assert!(levenshtein_within("", "ab", 2));
+        assert!(!levenshtein_within("abc", "", 2));
+    }
+
+    #[test]
+    fn can_match_prunes_dead_prefixes() {
+        let aut = LevenshteinAutomaton::new("abc", 1);
+        let mut row = aut.start();
+        for ch in "xyz".chars() {
+            row = aut.step(&row, ch);
+        }
+        assert!(!aut.can_match(&row), "three mismatches exceed budget 1");
+    }
+
+    #[test]
+    fn automaton_agrees_with_dp_oracle() {
+        let words = ["", "a", "ab", "abc", "abd", "bc", "xbc", "abcd", "zzzz"];
+        for k in 0..3u32 {
+            for p in words {
+                for w in words {
+                    assert_eq!(
+                        accepts(p, k, w),
+                        levenshtein_within(p, w, k),
+                        "pattern={p:?} word={w:?} k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unicode_chars_are_single_edits() {
+        assert!(accepts("caffé", 1, "caffe"));
+        assert!(levenshtein_within("caffé", "caffe", 1));
+    }
+}

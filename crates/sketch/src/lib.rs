@@ -58,11 +58,13 @@ pub mod encoding;
 pub mod error;
 pub mod hash;
 pub mod hoeffding;
+pub mod levenshtein;
 pub mod mht;
 pub mod optimizer;
 pub mod postings;
 pub mod sketch;
 pub mod topk;
+pub mod vocab;
 
 pub use analysis::{CorpusShape, FalsePositiveModel};
 pub use common::CommonWords;
@@ -72,11 +74,13 @@ pub use encoding::{
 };
 pub use error::SketchError;
 pub use hash::{HashFamily, LayerSeed};
+pub use levenshtein::{levenshtein_within, LevenshteinAutomaton};
 pub use mht::Mht;
 pub use optimizer::{optimize_layers, OptimizeOutcome, RejectReason};
 pub use postings::{Posting, PostingsList};
 pub use sketch::{InMemorySketch, SketchBuilder, SketchConfig};
 pub use topk::sample_size_for_top_k;
+pub use vocab::Vocabulary;
 
 /// Convenient `Result` alias.
 pub type Result<T> = std::result::Result<T, SketchError>;

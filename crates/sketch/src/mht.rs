@@ -12,7 +12,9 @@
 use crate::encoding::{BinPointer, HeaderBlock, StringTable};
 use crate::hash::HashFamily;
 use crate::sketch::SketchConfig;
+use crate::vocab::Vocabulary;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// How a word resolves through the MHT.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,6 +36,9 @@ pub struct Mht {
     common: HashMap<String, BinPointer>,
     string_table: StringTable,
     meta: Vec<(String, String)>,
+    /// Sorted vocabulary + suffix array (v2 segments built with prefix/
+    /// fuzzy support; `None` for v1 and older v2 segments).
+    vocab: Option<Arc<Vocabulary>>,
 }
 
 impl Mht {
@@ -54,7 +59,14 @@ impl Mht {
             common,
             string_table,
             meta,
+            vocab: None,
         }
+    }
+
+    /// Attach (or clear) the vocabulary (Builder side, v2 segments).
+    pub fn with_vocab(mut self, vocab: Option<Vocabulary>) -> Self {
+        self.vocab = vocab.map(Arc::new);
+        self
     }
 
     /// Reconstruct an MHT from a decoded header block (Searcher
@@ -70,6 +82,7 @@ impl Mht {
             common: header.common.into_iter().collect(),
             string_table: header.string_table,
             meta: header.meta,
+            vocab: header.vocab.map(Arc::new),
         }
     }
 
@@ -85,6 +98,7 @@ impl Mht {
             pointers: self.pointers.clone(),
             common,
             meta: self.meta.clone(),
+            vocab: self.vocab.as_deref().cloned(),
         }
     }
 
@@ -106,6 +120,11 @@ impl Mht {
     /// Free-form metadata recorded by the Builder.
     pub fn meta(&self) -> &[(String, String)] {
         &self.meta
+    }
+
+    /// The vocabulary, when this segment carries one.
+    pub fn vocab(&self) -> Option<&Arc<Vocabulary>> {
+        self.vocab.as_ref()
     }
 
     /// Metadata value by key.
@@ -151,7 +170,8 @@ impl Mht {
             .keys()
             .map(|w| w.len() + std::mem::size_of::<BinPointer>() + 16)
             .sum();
-        ptrs + common + self.family.seeds().len() * 16
+        let vocab = self.vocab.as_ref().map_or(0, |v| v.approx_bytes());
+        ptrs + common + vocab + self.family.seeds().len() * 16
     }
 }
 

@@ -41,7 +41,24 @@ fn sample_header() -> HeaderBlock {
             ("f0".into(), "1.0".into()),
             ("corpus".into(), "sweep".into()),
         ],
+        vocab: None,
     }
+}
+
+/// The same header carrying a vocabulary + suffix-array section.
+fn sample_header_with_vocab() -> HeaderBlock {
+    let mut h = sample_header();
+    h.vocab = Some(
+        iou_sketch::Vocabulary::build(vec![
+            "a".into(),
+            "alpha".into(),
+            "beta".into(),
+            "gamma".into(),
+            "the".into(),
+        ])
+        .unwrap(),
+    );
+    h
 }
 
 fn sample_superpost() -> Bytes {
@@ -103,6 +120,51 @@ fn v2_header_view_sweep() {
             Err(_) => false,
         }
     });
+}
+
+#[test]
+fn v2_header_vocab_sweep() {
+    let blob = sample_header_with_vocab().encode_v2(&[64, 128, 256]);
+    sweep("v2 header + vocab", &blob, |b| {
+        HeaderBlock::decode(b).is_ok()
+    });
+}
+
+#[test]
+fn v2_header_view_vocab_sweep() {
+    let blob = sample_header_with_vocab().encode_v2(&[64]);
+    sweep(
+        "v2 header view + vocab",
+        &blob,
+        |b| match HeaderView::parse(Bytes::from(b.to_vec())) {
+            Ok(view) => view.to_header_block().is_ok(),
+            Err(_) => false,
+        },
+    );
+}
+
+/// Flips that survive vocab decoding must still produce a vocabulary whose
+/// lookups are bounds-safe: prefix/infix/fuzzy probes never panic.
+#[test]
+fn surviving_vocab_flips_answer_safely() {
+    let blob = sample_header_with_vocab().encode_v2(&[64]);
+    let mut flipped = blob.to_vec();
+    for byte in 0..blob.len() {
+        for bit in 0..8 {
+            flipped[byte] ^= 1 << bit;
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if let Ok(h) = HeaderBlock::decode(&flipped) {
+                    if let Some(v) = &h.vocab {
+                        let _ = v.prefix_matches("al");
+                        let _ = v.containing("et");
+                        let _ = v.fuzzy_matches("beta", 1);
+                    }
+                }
+            }));
+            assert!(outcome.is_ok(), "flip {byte}.{bit}: vocab lookup panicked");
+            flipped[byte] ^= 1 << bit;
+        }
+    }
 }
 
 #[test]

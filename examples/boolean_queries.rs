@@ -33,7 +33,7 @@ INFO disk sda1 recovered";
     let opts = QueryOptions::new();
 
     // ERROR AND disk
-    let q = Query::and([Query::term("ERROR"), Query::term("disk")]);
+    let q = Query::all([Query::term("ERROR"), Query::term("disk")]);
     let r = searcher.execute(&q, &opts)?;
     println!("ERROR AND disk -> {} hits:", r.hits.len());
     for h in &r.hits {
@@ -42,8 +42,8 @@ INFO disk sda1 recovered";
     assert_eq!(r.hits.len(), 2);
 
     // (ERROR AND network) OR WARN
-    let q = Query::or([
-        Query::and([Query::term("ERROR"), Query::term("network")]),
+    let q = Query::any([
+        Query::all([Query::term("ERROR"), Query::term("network")]),
         Query::term("WARN"),
     ]);
     let r = searcher.execute(&q, &opts)?;

@@ -33,12 +33,12 @@ fn ast_from_tape(tape: &[(u8, u16)]) -> Query {
             1 if stack.len() >= 2 => {
                 let b = stack.pop().unwrap();
                 let a = stack.pop().unwrap();
-                stack.push(Query::and([a, b]));
+                stack.push(Query::all([a, b]));
             }
             2 if stack.len() >= 2 => {
                 let b = stack.pop().unwrap();
                 let a = stack.pop().unwrap();
-                stack.push(Query::or([a, b]));
+                stack.push(Query::any([a, b]));
             }
             _ => stack.push(Query::term(word_token(w as u64))),
         }
@@ -46,7 +46,7 @@ fn ast_from_tape(tape: &[(u8, u16)]) -> Query {
     if stack.len() == 1 {
         stack.pop().unwrap()
     } else {
-        Query::or(stack)
+        Query::any(stack)
     }
 }
 

@@ -69,11 +69,11 @@ fn parallel_threads_agree_byte_for_byte_with_sequential() {
     let queries: Vec<Query> = (0..40)
         .map(|i| match i % 3 {
             0 => Query::term(format!("w{}", i % 13)),
-            1 => Query::and([
+            1 => Query::all([
                 Query::term(format!("w{}", i % 7)),
                 Query::term(format!("w{}", i % 13)),
             ]),
-            _ => Query::or([
+            _ => Query::any([
                 Query::term(format!("tail{i}")),
                 Query::term(format!("w{}", i % 30)),
             ]),
@@ -157,12 +157,12 @@ fn query_server_preserves_single_batch_round_trips() {
     let queries: Vec<Query> = (0..60)
         .map(|i| match i % 3 {
             0 => Query::term(format!("w{}", i % 13)),
-            1 => Query::and([
+            1 => Query::all([
                 Query::term(format!("w{}", i % 7)),
                 Query::term(format!("w{}", i % 13)),
                 Query::term(format!("w{}", (i * 31) % 30)),
             ]),
-            _ => Query::or([
+            _ => Query::any([
                 Query::term(format!("w{}", i % 13)),
                 Query::term(format!("w{}", (i + 1) % 13)),
             ]),
@@ -271,12 +271,12 @@ fn ast_from_tape(tape: &[(u8, u8)]) -> Query {
             1 if stack.len() >= 2 => {
                 let b = stack.pop().unwrap();
                 let a = stack.pop().unwrap();
-                stack.push(Query::and([a, b]));
+                stack.push(Query::all([a, b]));
             }
             2 if stack.len() >= 2 => {
                 let b = stack.pop().unwrap();
                 let a = stack.pop().unwrap();
-                stack.push(Query::or([a, b]));
+                stack.push(Query::any([a, b]));
             }
             _ => stack.push(Query::term(format!("w{w}"))),
         }
@@ -284,7 +284,7 @@ fn ast_from_tape(tape: &[(u8, u8)]) -> Query {
     if stack.len() == 1 {
         stack.pop().unwrap()
     } else {
-        Query::or(stack)
+        Query::any(stack)
     }
 }
 

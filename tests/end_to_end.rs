@@ -196,9 +196,9 @@ fn boolean_queries_match_scan_semantics() {
     let searcher = Searcher::open(store, "idx/a").unwrap();
 
     let words: Vec<String> = QueryWorkload::uniform(&profile, 4, 13).words().to_vec();
-    let query = Query::or([
-        Query::and([Query::term(&words[0]), Query::term(&words[1])]),
-        Query::and([Query::term(&words[2]), Query::term(&words[3])]),
+    let query = Query::any([
+        Query::all([Query::term(&words[0]), Query::term(&words[1])]),
+        Query::all([Query::term(&words[2]), Query::term(&words[3])]),
     ]);
     let result = searcher.execute(&query, &QueryOptions::new()).unwrap();
     // However many terms the DNF mentions, one superpost batch resolves
@@ -222,8 +222,7 @@ fn boolean_queries_match_scan_semantics() {
 /// The deprecated query surfaces are thin shims over `execute`: on the
 /// zipf corpus they return identical results word for word.
 #[test]
-#[allow(deprecated)]
-fn old_shim_apis_agree_with_execute_on_zipf() {
+fn search_shim_agrees_with_execute_on_zipf() {
     let (inner, corpus) = build_zipf_env();
     let profile = corpus.profile().unwrap();
     Builder::new(AirphantConfig::default().with_total_bins(400).with_seed(5))
@@ -250,12 +249,14 @@ fn old_shim_apis_agree_with_execute_on_zipf() {
         }
     }
 
-    // search_boolean shim == execute on a compound query.
+    // The fluent chain and the variadic constructor agree on compound
+    // queries.
     for pair in words.chunks(2) {
-        let q = Query::and([Query::term(&pair[0]), Query::term(&pair[1])]);
-        let old = texts(searcher.search_boolean(&q).unwrap());
-        let new = texts(searcher.execute(&q, &QueryOptions::new()).unwrap());
-        assert_eq!(old, new, "search_boolean() shim for {pair:?}");
+        let q = Query::all([Query::term(&pair[0]), Query::term(&pair[1])]);
+        let fluent = Query::term(&pair[0]).and(Query::term(&pair[1]));
+        let a = texts(searcher.execute(&q, &QueryOptions::new()).unwrap());
+        let b = texts(searcher.execute(&fluent, &QueryOptions::new()).unwrap());
+        assert_eq!(a, b, "fluent chain for {pair:?}");
     }
 }
 

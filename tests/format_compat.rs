@@ -137,8 +137,8 @@ proptest! {
         let v1 = build_as(&store, &docs, "idx-v1", FormatVersion::V1, seed);
         let v2 = build_as(&store, &docs, "idx-v2", FormatVersion::V2, seed);
         let queries = [
-            Query::and([Query::term(format!("w{a}")), Query::term(format!("w{b}"))]),
-            Query::or([Query::term(format!("w{a}")), Query::term(format!("w{b}"))]),
+            Query::all([Query::term(format!("w{a}")), Query::term(format!("w{b}"))]),
+            Query::any([Query::term(format!("w{a}")), Query::term(format!("w{b}"))]),
         ];
         for query in &queries {
             let r1 = v1.execute(query, &QueryOptions::new()).unwrap();

@@ -90,7 +90,7 @@ fn hits_fingerprint(result: &airphant::SearchResult) -> Vec<(String, u64, String
 #[test]
 fn two_concurrent_identical_queries_cost_one_backend_postings_round_trip() {
     let lines = corpus_lines(60);
-    let query = Query::and([Query::term("w3"), Query::term("shared2")]);
+    let query = Query::all([Query::term("w3"), Query::term("shared2")]);
     let opts = QueryOptions::new();
 
     // Reference: the same query, solo, over an identical fresh stack.
@@ -152,7 +152,7 @@ fn scheduler_under_cache_preserves_results_for_distinct_queries() {
     let lines = corpus_lines(80);
     let queries: Vec<Query> = (0..6)
         .map(|i| {
-            Query::and([
+            Query::all([
                 Query::term(format!("w{}", i % 7)),
                 Query::term(format!("shared{}", i % 5)),
             ])

@@ -199,6 +199,7 @@ proptest! {
             pointers,
             common,
             meta: vec![("k".into(), "v".into())],
+            vocab: None,
         };
         let decoded = HeaderBlock::decode(&header.encode()).unwrap();
         prop_assert_eq!(decoded, header);

@@ -35,7 +35,7 @@ fn config() -> AirphantConfig {
         .with_common_fraction(0.0)
 }
 
-/// The headline acceptance criterion: `Query::and([term, term,
+/// The headline acceptance criterion: `Query::all([term, term,
 /// substring])` against a `SimulatedCloudStore` completes its
 /// index-lookup phase in exactly one `get_ranges` batch.
 #[test]
@@ -61,7 +61,7 @@ fn mixed_term_substring_query_is_one_lookup_batch() {
 
     // Two keyword atoms (grams under the index's tokenizer) plus a
     // substring predicate: five distinct atoms in all.
-    let query = Query::and([
+    let query = Query::all([
         Query::term("err"),
         Query::term("dis"),
         Query::substring("disk s", 3),
@@ -108,7 +108,7 @@ fn segmented_mixed_query_is_one_lookup_batch() {
         .unwrap();
     assert_eq!(searcher.segment_count(), 3);
 
-    let query = Query::and([
+    let query = Query::all([
         Query::term("err"),
         Query::term("dis"),
         Query::substring("failing", 3),
@@ -170,7 +170,7 @@ fn compound_lookup_wait_is_not_multiplied_by_term_count() {
             .execute_lookup(&Query::term(format!("alpha{}", i % 5)))
             .unwrap();
         single += t1.wait().as_millis_f64();
-        let q3 = Query::and([
+        let q3 = Query::all([
             Query::term(format!("alpha{}", i % 5)),
             Query::term(format!("beta{}", i % 7)),
             Query::term(format!("gamma{}", i % 11)),
@@ -188,10 +188,11 @@ fn compound_lookup_wait_is_not_multiplied_by_term_count() {
     assert!(triple >= single * 0.8, "sanity: both are one round trip");
 }
 
-/// Old shim surfaces and the new API agree hit-for-hit.
+/// The fluent builder chain and the explicit constructors produce the
+/// same results through `execute` (the only query surface since the
+/// pre-0.3 `search_boolean`/`search_substring` shims were removed).
 #[test]
-#[allow(deprecated)]
-fn deprecated_shims_agree_with_execute() {
+fn builder_chain_agrees_with_constructors() {
     let store: Arc<dyn ObjectStore> = Arc::new(InMemoryStore::new());
     let corpus = ngram_corpus(
         store.clone(),
@@ -206,22 +207,15 @@ fn deprecated_shims_agree_with_execute() {
     let searcher =
         Searcher::open_with_tokenizer(store, "idx", Arc::new(NgramTokenizer::new(3))).unwrap();
 
-    let old = searcher.search_substring("blk_123", 3).unwrap();
-    let new = searcher
-        .execute(&Query::substring("blk_123", 3), &QueryOptions::new())
-        .unwrap();
-    assert_eq!(old.hits.len(), 1);
-    assert_eq!(old.hits[0].text, new.hits[0].text);
-
-    let old = searcher
-        .search_boolean(&Query::or([Query::term("blo"), Query::term("pac")]))
-        .unwrap();
-    let new = searcher
+    let explicit = searcher
         .execute(
-            &Query::or([Query::term("blo"), Query::term("pac")]),
+            &Query::any([Query::substring("blk_123", 3), Query::substring("pac", 3)]),
             &QueryOptions::new(),
         )
         .unwrap();
-    assert_eq!(old.hits.len(), new.hits.len());
-    assert_eq!(old.candidates, new.candidates);
+    let fluent = Query::substring("blk_123", 3).or(Query::substring("pac", 3));
+    let chained = searcher.execute(&fluent, &QueryOptions::new()).unwrap();
+    assert_eq!(explicit.hits.len(), chained.hits.len());
+    assert_eq!(explicit.candidates, chained.candidates);
+    assert_eq!(explicit.hits.len(), 2);
 }

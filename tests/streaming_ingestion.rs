@@ -110,7 +110,7 @@ proptest! {
         let probes: Vec<Query> = (0..17)
             .map(|i| Query::term(format!("w{i}")))
             .chain([Query::term("shared"), Query::term("absent")])
-            .chain([Query::and([Query::term("alpha"), Query::term("shared")])])
+            .chain([Query::all([Query::term("alpha"), Query::term("shared")])])
             .collect();
         let before: Vec<Vec<String>> = probes
             .iter()
