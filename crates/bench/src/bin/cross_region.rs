@@ -1,0 +1,239 @@
+//! Cross-region serving: one replica of the index in each of the
+//! paper's three regions (Figure 12's latency spread), served through a
+//! [`ReplicatedStore`] that reads nearest-first. The nearest region's
+//! link carries a Pareto long tail, so its stragglers gate the p99.
+//!
+//! The same open-loop workload runs twice: without hedging, and with
+//! *region-aware* hedging — the async core re-dispatches a straggling
+//! batch to the next-nearest region ([`ReplicatedStore::hedge_target`]).
+//! Region-aware hedging must cut the p99 sojourn, route every hedge
+//! through the region backend, and return byte-identical results; the
+//! hedged p99 is published as the `BENCH_cross_region.json` headline.
+//! Exit-coded.
+
+use airphant::{
+    AirphantConfig, AsyncQueryServer, AsyncServerConfig, AsyncTicket, HedgeConfig, Query,
+    QueryOptions, Searcher, ServerStats, StagedEngine, SubmitSpec,
+};
+use airphant_bench::report::ms;
+use airphant_bench::{paper_datasets, BenchEnv, DatasetKind, Headline, Report};
+use airphant_storage::{
+    LatencyModel, ObjectStore, RegionProfile, ReplicatedStore, SimDuration, SimulatedCloudStore,
+};
+use std::sync::Arc;
+
+const HEDGE_PERCENTILE: f64 = 0.95;
+const HEDGE_BUDGET: f64 = 0.10;
+const CLIENTS: usize = 1_200;
+const OFFERED_QPS: f64 = 120.0;
+/// The nearest region's long tail: 10% of requests draw a Pareto(1.1)
+/// first-byte multiplier — the cross-region straggler under test.
+const TAIL: (f64, f64) = (0.10, 1.1);
+
+fn main() {
+    let spec = paper_datasets()
+        .into_iter()
+        .find(|s| s.kind == DatasetKind::Hdfs)
+        .unwrap();
+    let base = AirphantConfig::default()
+        .with_total_bins(2_000)
+        .with_seed(1);
+    let env = BenchEnv::prepare(spec, &base);
+
+    let prefix = "idx/crossreg";
+    let config = AirphantConfig::default()
+        .with_total_bins(2_000)
+        .with_manual_layers(2)
+        .with_seed(1);
+    let raw = env.cloud_view(LatencyModel::instantaneous(), 0);
+    let corpus = airphant_corpus::Corpus::new(
+        raw.clone(),
+        raw.list("corpora/").expect("list"),
+        Arc::new(airphant_corpus::LineSplitter),
+        Arc::new(airphant_corpus::WhitespaceTokenizer),
+    );
+    airphant::Builder::new(config)
+        .build_with_profile(&corpus, prefix, env.profile().clone())
+        .expect("build");
+
+    let workload = env.workload(60, 11);
+    let words: Vec<&str> = workload.iter().collect();
+
+    let run = |region_hedge: bool| -> (ServerStats, Vec<String>, Arc<ReplicatedStore>) {
+        // Identical region stacks in both runs (same seeds, same tail
+        // phase): the nearest region straggles, the farther two are
+        // clean but pay the cross-region first-byte multiplier.
+        let regions: Vec<(RegionProfile, Arc<dyn ObjectStore>)> = RegionProfile::paper_spread()
+            .into_iter()
+            .enumerate()
+            .map(|(i, profile)| {
+                let model = if i == 0 {
+                    LatencyModel::builder().long_tail(TAIL.0, TAIL.1).build()
+                } else {
+                    LatencyModel::gcs_like()
+                }
+                .with_region(profile.clone());
+                let store: Arc<dyn ObjectStore> = Arc::new(SimulatedCloudStore::new(
+                    env.raw_store(),
+                    model,
+                    42 + i as u64,
+                ));
+                (profile, store)
+            })
+            .collect();
+        let replicated = Arc::new(ReplicatedStore::new(regions));
+        let searcher = Arc::new(
+            Searcher::open(replicated.clone() as Arc<dyn ObjectStore>, prefix).expect("open"),
+        );
+        let mut config = AsyncServerConfig::new().with_executor_threads(0);
+        if region_hedge {
+            config = config.with_hedge(HedgeConfig {
+                percentile: HEDGE_PERCENTILE,
+                min_samples: 64,
+                budget_fraction: HEDGE_BUDGET,
+            });
+        }
+        let mut server = AsyncQueryServer::start(searcher as Arc<dyn StagedEngine>, config);
+        if region_hedge {
+            server = server.with_region_backend(replicated.clone());
+        }
+        let tickets: Vec<AsyncTicket> = (0..CLIENTS)
+            .map(|i| {
+                server.submit_at(
+                    Query::term(words[i % words.len()]),
+                    QueryOptions::new().top_k(10),
+                    SubmitSpec::new().at(SimDuration::from_secs_f64(i as f64 / OFFERED_QPS)),
+                )
+            })
+            .collect();
+        server.drain();
+        let results: Vec<String> = tickets
+            .into_iter()
+            .map(|t| {
+                let r = t.wait().result.expect("served");
+                let mut hits: Vec<String> = r
+                    .hits
+                    .iter()
+                    .map(|h| format!("{}#{}+{}:{}", h.blob, h.offset, h.len, h.text))
+                    .collect();
+                hits.sort();
+                hits.join("|")
+            })
+            .collect();
+        (server.shutdown(), results, replicated)
+    };
+
+    let (plain, plain_results, _) = run(false);
+    let (hedged, hedged_results, replicated) = run(true);
+    let replication = hedged.replication.clone().expect("region backend attached");
+
+    let mut report = Report::new(
+        "cross_region",
+        &[
+            "policy",
+            "sojourn_p50",
+            "sojourn_p99",
+            "hedges",
+            "region_hedges",
+            "hedge_wins",
+        ],
+    );
+    for (policy, stats) in [("no-hedge", &plain), ("region-hedge-p95", &hedged)] {
+        report.push(
+            vec![
+                policy.to_string(),
+                ms(stats.latency_p50_ms),
+                ms(stats.latency_p99_ms),
+                stats.hedges.to_string(),
+                stats.region_hedges.to_string(),
+                stats.hedge_wins.to_string(),
+            ],
+            serde_json::json!({
+                "policy": policy,
+                "sojourn_p50_ms": stats.latency_p50_ms,
+                "sojourn_p99_ms": stats.latency_p99_ms,
+                "hedges": stats.hedges,
+                "region_hedges": stats.region_hedges,
+                "hedge_wins": stats.hedge_wins,
+                "completed": stats.completed,
+            }),
+        );
+    }
+    report.finish();
+    println!(
+        "regions {:?}: reads by region {:?}, {} rerouted, {} demotions",
+        replicated.regions(),
+        replication.reads_by_region,
+        replication.rerouted_reads,
+        replication.demotions,
+    );
+
+    let mut ok = true;
+    if hedged.latency_p99_ms >= plain.latency_p99_ms {
+        eprintln!(
+            "FAIL: region-aware hedging did not cut the cross-region p99 \
+             ({:.1}ms vs {:.1}ms unhedged)",
+            hedged.latency_p99_ms, plain.latency_p99_ms
+        );
+        ok = false;
+    }
+    if hedged.hedges == 0 || hedged.hedge_wins == 0 {
+        eprintln!(
+            "FAIL: the straggling nearest region must trigger winning hedges \
+             ({} hedges, {} wins)",
+            hedged.hedges, hedged.hedge_wins
+        );
+        ok = false;
+    }
+    if hedged.region_hedges != hedged.hedges {
+        eprintln!(
+            "FAIL: {} of {} hedges bypassed the region backend",
+            hedged.hedges - hedged.region_hedges,
+            hedged.hedges
+        );
+        ok = false;
+    }
+    if replication.demotions != 0 {
+        eprintln!(
+            "FAIL: {} demotions on a healthy stack — stragglers must not demote",
+            replication.demotions
+        );
+        ok = false;
+    }
+    if plain_results != hedged_results {
+        eprintln!("FAIL: region-hedged results diverged from the unhedged run");
+        ok = false;
+    }
+    println!(
+        "cross-region check: p99 {:.1}ms -> {:.1}ms ({:+.1}%), {} region hedges ({} won) \
+         over {} queries: {}",
+        plain.latency_p99_ms,
+        hedged.latency_p99_ms,
+        (hedged.latency_p99_ms / plain.latency_p99_ms - 1.0) * 100.0,
+        hedged.region_hedges,
+        hedged.hedge_wins,
+        hedged.completed,
+        if ok { "OK" } else { "FAIL" },
+    );
+
+    Headline::new(
+        "cross_region",
+        "region_hedged_p99_sojourn_ms",
+        hedged.latency_p99_ms,
+        "ms",
+        serde_json::json!({
+            "clients": CLIENTS,
+            "offered_qps": OFFERED_QPS,
+            "regions": replicated.regions(),
+            "tail_probability": TAIL.0,
+            "tail_alpha": TAIL.1,
+            "hedge_percentile": HEDGE_PERCENTILE,
+            "hedge_budget_fraction": HEDGE_BUDGET,
+            "unhedged_p99_sojourn_ms": plain.latency_p99_ms,
+        }),
+    )
+    .write();
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -29,10 +29,14 @@ impl Args {
             let arg = &argv[i];
             if let Some(name) = arg.strip_prefix("--") {
                 // Boolean flags take no value; everything else takes one.
-                if matches!(
+                // `--split/--merge/--gc` are boolean only under `reshard`
+                // (`compact --merge K` takes a value).
+                let boolean = matches!(
                     name,
                     "simulate-cloud" | "or" | "append" | "sweep" | "coalesce"
-                ) {
+                ) || (command == "reshard"
+                    && matches!(name, "split" | "merge" | "gc"));
+                if boolean {
                     flags.push(arg.clone());
                     i += 1;
                 } else {
@@ -146,6 +150,16 @@ mod tests {
         assert!(a.flag("--simulate-cloud"));
         assert_eq!(a.required("--store").unwrap(), "/tmp");
         assert_eq!(a.positional(), vec!["w"]);
+    }
+
+    #[test]
+    fn reshard_flags_are_boolean_but_compact_merge_takes_a_value() {
+        let mut a = Args::parse(&argv("reshard --store /tmp --index idx --split --gc")).unwrap();
+        assert!(a.flag("--split"));
+        assert!(a.flag("--gc"));
+        assert!(!a.flag("--merge"));
+        let mut a = Args::parse(&argv("compact --store /tmp --merge 4")).unwrap();
+        assert_eq!(a.optional_parse::<usize>("--merge").unwrap(), Some(4));
     }
 
     #[test]

@@ -51,6 +51,9 @@ const USAGE: &str = "usage:
   airphant compact     --store DIR --index PREFIX
                        [--max-live N] [--merge K] [--sweep] [--ngram N]
                        [--bins N] [--f0 F] [--layers L] [--common FRAC]
+  airphant reshard     --store DIR --index PREFIX (--split | --merge)
+                       [--gc] [--ngram N] [--bins N] [--f0 F] [--layers L]
+                       [--common FRAC]
   airphant bench-serve --store DIR --index PREFIX [WORD...]
                        [--corpus PREFIX] [--workers N] [--queue CAP]
                        [--queries M] [--cache-kb KB] [--deadline-ms MS]
@@ -96,6 +99,18 @@ garbage-collects the superseded blobs; --sweep additionally reclaims
 orphaned blobs from crashed builds (only use it when nothing is
 appending concurrently). compact's config knobs must match what the
 segments were built with.
+
+`reshard` changes a sharded index's partition count *online*
+(docs/adr/010-multi-region-replication.md): --split doubles the shards,
+--merge halves them (the count must be even). The documents are
+migrated into a complete new shard set under the next layout
+generation, then one conditional write swings the layout blob — open
+searchers keep serving the old generation until they reopen, and a
+concurrent reshard loses the CAS with a typed error. The config knobs
+must match what the shards were built with. --gc additionally deletes
+the superseded generation's blobs right after the cutover; omit it
+while readers may still hold the old layout (their queries keep
+working against the old blobs until they reopen).
 
 bench-serve drives a closed-loop workload through a QueryServer (a fixed
 worker pool over one shared Searcher and one shared byte-budgeted cache,
@@ -155,6 +170,7 @@ fn run(argv: &[String]) -> Result<(), String> {
         "search" => search(&mut args),
         "segments" => segments(&mut args),
         "compact" => compact(&mut args),
+        "reshard" => reshard(&mut args),
         "bench-serve" => bench_serve(&mut args),
         "bench-ingest" => bench_ingest(&mut args),
         "stats" => stats(&mut args),
@@ -574,6 +590,57 @@ fn compact(args: &mut Args) -> Result<(), String> {
         report.superseded_blobs_deleted,
         report.orphan_blobs_deleted,
     );
+    Ok(())
+}
+
+/// `reshard`: publish a new shard-layout generation with double
+/// (`--split`) or half (`--merge`) the partitions, migrating every
+/// document through the per-shard routing-filter rebuild path. The old
+/// generation keeps serving already-open searchers; `--gc` reclaims it.
+fn reshard(args: &mut Args) -> Result<(), String> {
+    let store = open_store(args)?;
+    let index = args.required("--index")?;
+    let split = args.flag("--split");
+    let merge = args.flag("--merge");
+    let gc = args.flag("--gc");
+    let ngram = args.optional_parse::<usize>("--ngram")?;
+    let config = config_from(args)?;
+    args.finish()?;
+    if split == merge {
+        return Err("reshard needs exactly one of --split or --merge".into());
+    }
+    if !ShardRouter::is_sharded(&store, &index) {
+        return Err(format!(
+            "no shard layout under {index} (sharded indexes are created with build --shards N)"
+        ));
+    }
+    let router = ShardRouter::open(store, &index).map_err(|e| e.to_string())?;
+    let splitter: Arc<dyn airphant_corpus::DocSplitter> = Arc::new(LineSplitter);
+    let (next, old) = if split {
+        router.split(&config, splitter, tokenizer_for(ngram)?)
+    } else {
+        router.merge(&config, splitter, tokenizer_for(ngram)?)
+    }
+    .map_err(|e| e.to_string())?;
+    println!(
+        "resharded {index}: generation {} ({} shard(s)) -> generation {} ({} shard(s))",
+        old.generation,
+        old.shards,
+        next.generation(),
+        next.shards(),
+    );
+    if gc {
+        let deleted = next.gc_generation(&old).map_err(|e| e.to_string())?;
+        println!(
+            "reclaimed generation {}: deleted {deleted} blob(s)",
+            old.generation,
+        );
+    } else {
+        println!(
+            "generation {} left in place for still-open searchers (pass --gc to reclaim it)",
+            old.generation,
+        );
+    }
     Ok(())
 }
 

@@ -38,7 +38,8 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// Delete every blob under `{prefix}/`, returning how many went away.
-fn delete_prefix(store: &dyn ObjectStore, prefix: &str) -> Result<usize> {
+/// Shared with layout-generation GC ([`crate::ShardRouter::gc_generation`]).
+pub(crate) fn delete_prefix(store: &dyn ObjectStore, prefix: &str) -> Result<usize> {
     let names = store.list(&format!("{prefix}/"))?;
     let count = names.len();
     for name in names {

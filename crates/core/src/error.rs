@@ -47,6 +47,13 @@ pub enum AirphantError {
         shard: usize,
         /// Total shard count the layout declares.
         shards: usize,
+        /// The layout generation that named the shard — a reader racing
+        /// an online reshard sees at a glance whether it held a stale
+        /// layout when the lookup failed.
+        generation: u64,
+        /// Home-region names of the shard's replicas under that layout
+        /// (empty for a single-home layout).
+        replicas: Vec<String>,
     },
     /// A substring pattern shorter than the index's gram size: it cannot
     /// be prefiltered through the N-gram index, so instead of silently
@@ -96,11 +103,20 @@ impl fmt::Display for AirphantError {
                 base,
                 shard,
                 shards,
-            } => write!(
-                f,
-                "shard {shard} of {shards} under {base} has no segment manifest \
-                 (sharded index incomplete or wrong base prefix)"
-            ),
+                generation,
+                replicas,
+            } => {
+                write!(
+                    f,
+                    "shard {shard} of {shards} under {base} (layout generation {generation}) \
+                     has no segment manifest (sharded index incomplete, wrong base prefix, \
+                     or a stale layout raced a reshard)"
+                )?;
+                if !replicas.is_empty() {
+                    write!(f, "; replicas homed in [{}]", replicas.join(", "))?;
+                }
+                Ok(())
+            }
             AirphantError::PatternTooShort { pattern, n } => write!(
                 f,
                 "substring pattern {pattern:?} is shorter than the index gram size {n}"
@@ -166,8 +182,12 @@ mod tests {
             base: "idx".into(),
             shard: 2,
             shards: 8,
+            generation: 3,
+            replicas: vec!["us-central1-c".into(), "europe-west2-c".into()],
         };
         assert!(e.to_string().contains("shard 2 of 8"));
         assert!(e.to_string().contains("idx"));
+        assert!(e.to_string().contains("generation 3"));
+        assert!(e.to_string().contains("us-central1-c, europe-west2-c"));
     }
 }

@@ -136,7 +136,7 @@ pub use serve::{
     AsyncQueryServer, AsyncServerConfig, AsyncTicket, HedgeConfig, QueryResponse, QueryServer,
     ServeError, ServerConfig, ServerStats, SubmitError, SubmitSpec, Ticket,
 };
-pub use shard::{shard_of, ShardAppend, ShardRouter, ShardedSearcher};
+pub use shard::{shard_of, ShardAppend, ShardLayout, ShardRouter, ShardedSearcher};
 
 // Segment-format types, re-exported so embedders and the CLI can select
 // and introspect the on-wire format without depending on `iou_sketch`.

@@ -70,7 +70,7 @@ pub(crate) fn plan_postings(segments: &[&Searcher], atoms: &[String]) -> Posting
         for (atom_idx, atom) in atoms.iter().enumerate() {
             let indices: Vec<usize> = match searcher.mht().lookup(atom) {
                 WordLookup::Common(ptr) => vec![push_request(
-                    RangeRequest::new(
+                    RangeRequest::superpost(
                         searcher.resolve_block(ptr.block),
                         ptr.offset,
                         ptr.len as u64,
@@ -81,7 +81,7 @@ pub(crate) fn plan_postings(segments: &[&Searcher], atoms: &[String]) -> Posting
                     .iter()
                     .map(|p| {
                         push_request(
-                            RangeRequest::new(
+                            RangeRequest::superpost(
                                 searcher.resolve_block(p.block),
                                 p.offset,
                                 p.len as u64,

@@ -198,7 +198,7 @@ impl Searcher {
         let mut trace = QueryTrace::new();
         match self.mht.lookup(word) {
             WordLookup::Common(ptr) => {
-                let req = [RangeRequest::new(
+                let req = [RangeRequest::superpost(
                     self.resolve_block(ptr.block),
                     ptr.offset,
                     ptr.len as u64,
@@ -211,7 +211,9 @@ impl Searcher {
             WordLookup::Sketched(ptrs) => {
                 let requests: Vec<RangeRequest> = ptrs
                     .iter()
-                    .map(|p| RangeRequest::new(self.resolve_block(p.block), p.offset, p.len as u64))
+                    .map(|p| {
+                        RangeRequest::superpost(self.resolve_block(p.block), p.offset, p.len as u64)
+                    })
                     .collect();
                 let batch = self.store.get_ranges(&requests)?;
                 let wait_for = wait_for.clamp(1, batch.parts.len().max(1));
@@ -286,7 +288,7 @@ impl Searcher {
         let mut trace = QueryTrace::new();
         match self.mht.lookup(word) {
             WordLookup::Common(ptr) => {
-                let req = [RangeRequest::new(
+                let req = [RangeRequest::superpost(
                     self.resolve_block(ptr.block),
                     ptr.offset,
                     ptr.len as u64,
@@ -298,7 +300,9 @@ impl Searcher {
             WordLookup::Sketched(ptrs) => {
                 let requests: Vec<RangeRequest> = ptrs
                     .iter()
-                    .map(|p| RangeRequest::new(self.resolve_block(p.block), p.offset, p.len as u64))
+                    .map(|p| {
+                        RangeRequest::superpost(self.resolve_block(p.block), p.offset, p.len as u64)
+                    })
                     .collect();
                 let batch = self.store.get_ranges(&requests)?;
                 let mut chosen: Vec<usize> = (0..batch.parts.len())

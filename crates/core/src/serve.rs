@@ -44,8 +44,8 @@ use crate::query::{Query, QueryOptions};
 use crate::result::SearchResult;
 use crate::Result;
 use airphant_storage::{
-    BatchFetch, ObjectStore, PhaseKind, QueryTrace, RangeRequest, SchedulerStats, SimDuration,
-    StorageError,
+    BatchFetch, ObjectStore, PhaseKind, QueryTrace, RangeRequest, ReplicatedStore,
+    ReplicationStats, SchedulerStats, SimDuration, StorageError,
 };
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -305,6 +305,14 @@ pub struct ServerStats {
     /// primary_dispatches` always holds ([`AsyncQueryServer`] only; 0 for
     /// the sync pool).
     pub primary_dispatches: u64,
+    /// Hedges re-dispatched to the next-nearest *region* of an attached
+    /// [`ReplicatedStore`] (a subset of `hedges`;
+    /// [`AsyncQueryServer::with_region_backend`] only, 0 otherwise).
+    pub region_hedges: u64,
+    /// Replication counters of the attached [`ReplicatedStore`] —
+    /// per-region read routing, demotions, recoveries — when a region
+    /// backend is attached ([`AsyncQueryServer`] only; `None` otherwise).
+    pub replication: Option<ReplicationStats>,
     /// Admission-control counters ([`AsyncQueryServer`] only; `None` for
     /// the sync pool, whose backpressure is the bounded queue).
     pub admission: Option<AdmissionStats>,
@@ -549,6 +557,8 @@ impl QueryServer {
             hedges: 0,
             hedge_wins: 0,
             primary_dispatches: 0,
+            region_hedges: 0,
+            replication: None,
             admission: None,
         }
     }
@@ -895,6 +905,9 @@ struct AsyncCore {
     peak_in_flight: u64,
     hedges: u64,
     hedge_wins: u64,
+    /// Hedges re-dispatched via the region backend's next-nearest
+    /// replica (a subset of `hedges`).
+    region_hedges: u64,
     /// Total storage batches dispatched, primaries and hedges alike.
     dispatched: u64,
     /// Primary (non-hedge) batches dispatched — the hedge-budget
@@ -982,6 +995,12 @@ struct AsyncShared {
     /// through the cached path would win instantly — an artifact of the
     /// wall-clock/virtual-clock split, not a modeled speedup.
     hedge_store: RwLock<Option<Arc<dyn ObjectStore>>>,
+    /// Multi-region backend for *region-aware* hedging: when set, hedge
+    /// re-dispatch goes to [`ReplicatedStore::hedge_target`] (the
+    /// next-nearest healthy region) instead of the generic `hedge_store`.
+    /// Blobs are immutable, so the other region's bytes are identical and
+    /// results stay byte-for-byte equal to the unhedged path.
+    region_backend: RwLock<Option<Arc<ReplicatedStore>>>,
 }
 
 impl AsyncShared {
@@ -1126,6 +1145,7 @@ impl AsyncQueryServer {
                 peak_in_flight: 0,
                 hedges: 0,
                 hedge_wins: 0,
+                region_hedges: 0,
                 dispatched: 0,
                 primary_dispatches: 0,
                 latency_ring: Vec::new(),
@@ -1145,6 +1165,7 @@ impl AsyncQueryServer {
             engine,
             config: config.clone(),
             hedge_store: RwLock::new(None),
+            region_backend: RwLock::new(None),
         });
         let threads = (0..config.executor_threads)
             .map(|i| {
@@ -1170,6 +1191,21 @@ impl AsyncQueryServer {
         *self
             .shared
             .hedge_store
+            .write()
+            .unwrap_or_else(|e| e.into_inner()) = Some(store);
+        self
+    }
+
+    /// Attach a multi-region [`ReplicatedStore`] for *region-aware*
+    /// hedging: straggling batches are re-dispatched to the store's
+    /// next-nearest healthy region ([`ReplicatedStore::hedge_target`]),
+    /// falling back to the generic hedge backend (if any) when fewer
+    /// than two regions are healthy. Also surfaces the store's
+    /// [`ReplicationStats`] in [`ServerStats::replication`].
+    pub fn with_region_backend(self, store: Arc<ReplicatedStore>) -> Self {
+        *self
+            .shared
+            .region_backend
             .write()
             .unwrap_or_else(|e| e.into_inner()) = Some(store);
         self
@@ -1366,6 +1402,15 @@ impl AsyncQueryServer {
             hedges: core.hedges,
             hedge_wins: core.hedge_wins,
             primary_dispatches: core.primary_dispatches,
+            region_hedges: core.region_hedges,
+            replication: {
+                let guard = self
+                    .shared
+                    .region_backend
+                    .read()
+                    .unwrap_or_else(|e| e.into_inner());
+                guard.as_ref().map(|r| r.stats())
+            },
             admission: Some(core.admission.stats()),
         }
     }
@@ -1567,11 +1612,24 @@ fn process_hedge_fire(shared: &AsyncShared, at: SimDuration, id: u64, epoch: u32
     let Some(cfg) = shared.config.hedge.as_ref() else {
         return;
     };
-    let store = {
-        let guard = shared.hedge_store.read().unwrap_or_else(|e| e.into_inner());
-        match guard.as_ref() {
-            Some(s) => s.clone(),
-            None => return,
+    // Region-aware hedging takes precedence: re-dispatch to the
+    // next-nearest healthy region. With fewer than two healthy regions
+    // (or no region backend) fall back to the generic hedge store.
+    let region_target = {
+        let guard = shared
+            .region_backend
+            .read()
+            .unwrap_or_else(|e| e.into_inner());
+        guard.as_ref().and_then(|r| r.hedge_target())
+    };
+    let (store, via_region): (Arc<dyn ObjectStore>, bool) = match region_target {
+        Some((_region, store)) => (store, true),
+        None => {
+            let guard = shared.hedge_store.read().unwrap_or_else(|e| e.into_inner());
+            match guard.as_ref() {
+                Some(s) => (s.clone(), false),
+                None => return,
+            }
         }
     };
     let mut core = shared.lock_core();
@@ -1598,6 +1656,9 @@ fn process_hedge_fire(shared: &AsyncShared, at: SimDuration, id: u64, epoch: u32
         pending.requests.clone()
     };
     core.hedges += 1;
+    if via_region {
+        core.region_hedges += 1;
+    }
     // The duplicate fetch is wall-clock instant (simulated store), so it
     // runs under the scheduler lock — this keeps the original batch's
     // completion event from racing with the hedge decision.
@@ -1692,8 +1753,12 @@ fn apply_step(
             // a stale no-op anyway.
             if shared.config.hedge.is_some() {
                 let armed = {
-                    let guard = shared.hedge_store.read().unwrap_or_else(|e| e.into_inner());
-                    guard.is_some()
+                    let generic = shared.hedge_store.read().unwrap_or_else(|e| e.into_inner());
+                    let region = shared
+                        .region_backend
+                        .read()
+                        .unwrap_or_else(|e| e.into_inner());
+                    generic.is_some() || region.is_some()
                 };
                 if armed {
                     if let Some(threshold) = core.hedge_threshold {
@@ -1779,7 +1844,7 @@ mod tests {
     use airphant_corpus::{Corpus, LineSplitter, WhitespaceTokenizer};
     use airphant_storage::{
         BatchFetch, CachedStore, CoalescingStore, Fetched, InMemoryStore, LatencyModel,
-        ObjectStore, RangeRequest, SimulatedCloudStore,
+        ObjectStore, RangeRequest, RegionProfile, SimulatedCloudStore,
     };
     use bytes::Bytes;
     use std::sync::Condvar;
@@ -1898,10 +1963,11 @@ mod tests {
         }
         fn get_ranges(&self, reqs: &[RangeRequest]) -> airphant_storage::Result<BatchFetch> {
             // Init reads (the header fetch) are Index-class; only gate
-            // query-time Data traffic so `Searcher::open` never parks.
+            // query-time traffic (Superpost + Data) so `Searcher::open`
+            // never parks.
             if reqs
                 .iter()
-                .any(|r| r.class == airphant_storage::RangeClass::Data)
+                .any(|r| r.class != airphant_storage::RangeClass::Index)
             {
                 self.block();
             }
@@ -2697,5 +2763,79 @@ mod tests {
             "hedges {} must not exceed the primaries-only cap {cap}",
             stats.hedges
         );
+    }
+
+    #[test]
+    fn region_hedges_route_to_the_next_nearest_region() {
+        // Three regions at the paper's latency spread over one shared
+        // corpus. With a region backend attached, every hedge must route
+        // through it (region_hedges == hedges), reads must prefer the
+        // nearest region, and results stay byte-for-byte equal — the
+        // other region holds the same immutable blobs.
+        let backing = Arc::new(InMemoryStore::new());
+        let docs = lines(60);
+        let refs: Vec<&str> = docs.iter().map(String::as_str).collect();
+        build_index(backing.clone() as Arc<dyn ObjectStore>, &refs);
+        let regions: Vec<(RegionProfile, Arc<dyn ObjectStore>)> = RegionProfile::paper_spread()
+            .into_iter()
+            .enumerate()
+            .map(|(i, profile)| {
+                let store: Arc<dyn ObjectStore> = Arc::new(SimulatedCloudStore::new(
+                    backing.clone(),
+                    LatencyModel::gcs_like().with_region(profile.clone()),
+                    11 + i as u64,
+                ));
+                (profile, store)
+            })
+            .collect();
+        let replicated = Arc::new(ReplicatedStore::new(regions));
+        let searcher =
+            Arc::new(Searcher::open(replicated.clone() as Arc<dyn ObjectStore>, "idx").unwrap());
+        let server = AsyncQueryServer::start(
+            searcher.clone() as Arc<dyn StagedEngine>,
+            AsyncServerConfig::new()
+                .with_executor_threads(0)
+                .with_hedge(HedgeConfig {
+                    percentile: 0.5,
+                    min_samples: 16,
+                    budget_fraction: 0.2,
+                }),
+        )
+        .with_region_backend(replicated.clone());
+        let queries: Vec<Query> = (0..120)
+            .map(|i| Query::term(format!("word{}", i % 60)))
+            .collect();
+        let tickets: Vec<AsyncTicket> = queries
+            .iter()
+            .map(|q| server.submit_at(q.clone(), QueryOptions::new(), SubmitSpec::new()))
+            .collect();
+        server.drain();
+        for (q, t) in queries.iter().zip(tickets) {
+            let served = t.wait().result.expect("served");
+            let direct = searcher.execute(q, &QueryOptions::new()).unwrap();
+            assert_eq!(
+                canonical_hits(&served),
+                canonical_hits(&direct),
+                "region-hedged results stay byte-for-byte equal"
+            );
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 120);
+        assert!(
+            stats.hedges > 0,
+            "an aggressive p50 threshold must fire some hedges"
+        );
+        assert_eq!(
+            stats.region_hedges, stats.hedges,
+            "with a healthy region backend every hedge is region-aware"
+        );
+        let replication = stats.replication.expect("region backend attached");
+        let (nearest, nearest_reads) = &replication.reads_by_region[0];
+        assert_eq!(nearest, "us-central1-c");
+        assert!(
+            *nearest_reads > 0,
+            "primary reads must land on the nearest region"
+        );
+        assert_eq!(replication.demotions, 0, "healthy regions never demote");
     }
 }

@@ -188,7 +188,12 @@ pub struct CacheStats {
     pub index_misses: u64,
     /// Bytes currently resident in the index tier.
     pub index_bytes: u64,
-    /// Hits on Data-class reads.
+    /// Hits on Superpost-class reads (posting bytes; resident in the
+    /// data tier but ledgered apart from document traffic).
+    pub superpost_hits: u64,
+    /// Misses on Superpost-class reads.
+    pub superpost_misses: u64,
+    /// Hits on Data-class reads (document verification bytes).
     pub data_hits: u64,
     /// Misses on Data-class reads.
     pub data_misses: u64,
@@ -199,12 +204,12 @@ pub struct CacheStats {
 impl CacheStats {
     /// Total hits across tiers.
     pub fn hits(&self) -> u64 {
-        self.index_hits + self.data_hits
+        self.index_hits + self.superpost_hits + self.data_hits
     }
 
     /// Total misses across tiers.
     pub fn misses(&self) -> u64 {
-        self.index_misses + self.data_misses
+        self.index_misses + self.superpost_misses + self.data_misses
     }
 
     /// Overall hit rate in `[0, 1]` (0 when nothing was read).
@@ -236,6 +241,8 @@ pub struct CachedStore<S> {
     in_flight: StdMutex<HashMap<RangeKey, Arc<Flight>>>,
     data_hits: AtomicU64,
     data_misses: AtomicU64,
+    superpost_hits: AtomicU64,
+    superpost_misses: AtomicU64,
     index_hits: AtomicU64,
     index_misses: AtomicU64,
 }
@@ -261,6 +268,8 @@ impl<S: ObjectStore> CachedStore<S> {
             in_flight: StdMutex::new(HashMap::new()),
             data_hits: AtomicU64::new(0),
             data_misses: AtomicU64::new(0),
+            superpost_hits: AtomicU64::new(0),
+            superpost_misses: AtomicU64::new(0),
             index_hits: AtomicU64::new(0),
             index_misses: AtomicU64::new(0),
         }
@@ -287,6 +296,8 @@ impl<S: ObjectStore> CachedStore<S> {
             index_hits: self.index_hits.load(Ordering::Relaxed),
             index_misses: self.index_misses.load(Ordering::Relaxed),
             index_bytes,
+            superpost_hits: self.superpost_hits.load(Ordering::Relaxed),
+            superpost_misses: self.superpost_misses.load(Ordering::Relaxed),
             data_hits: self.data_hits.load(Ordering::Relaxed),
             data_misses: self.data_misses.load(Ordering::Relaxed),
             data_bytes,
@@ -302,6 +313,7 @@ impl<S: ObjectStore> CachedStore<S> {
     fn count_hit(&self, class: RangeClass) {
         match class {
             RangeClass::Index => self.index_hits.fetch_add(1, Ordering::Relaxed),
+            RangeClass::Superpost => self.superpost_hits.fetch_add(1, Ordering::Relaxed),
             RangeClass::Data => self.data_hits.fetch_add(1, Ordering::Relaxed),
         };
     }
@@ -309,6 +321,7 @@ impl<S: ObjectStore> CachedStore<S> {
     fn count_miss(&self, class: RangeClass) {
         match class {
             RangeClass::Index => self.index_misses.fetch_add(1, Ordering::Relaxed),
+            RangeClass::Superpost => self.superpost_misses.fetch_add(1, Ordering::Relaxed),
             RangeClass::Data => self.data_misses.fetch_add(1, Ordering::Relaxed),
         };
     }
@@ -662,6 +675,26 @@ mod tests {
         assert_eq!(warm.latency.total(), SimDuration::ZERO);
         assert_eq!(warm.bytes, cold.bytes);
         assert_eq!(store.hit_stats(), (1, 1));
+    }
+
+    #[test]
+    fn superpost_reads_ledger_separately_from_documents() {
+        let store = CachedStore::new(cloud(), 1 << 20);
+        let reqs = vec![
+            RangeRequest::superpost("blob", 0, 64),
+            RangeRequest::new("blob", 64, 64),
+        ];
+        store.get_ranges(&reqs).unwrap(); // both miss
+        store.get_ranges(&reqs).unwrap(); // both hit
+        let s = store.stats();
+        assert_eq!((s.superpost_hits, s.superpost_misses), (1, 1));
+        assert_eq!((s.data_hits, s.data_misses), (1, 1));
+        assert_eq!((s.index_hits, s.index_misses), (0, 0));
+        assert_eq!(store.hit_stats(), (2, 2));
+        // Superpost bytes live in the data tier (no dedicated budget yet);
+        // the index tier stays empty.
+        assert_eq!(s.index_bytes, 0);
+        assert_eq!(s.data_bytes, 128);
     }
 
     #[test]

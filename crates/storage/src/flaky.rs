@@ -22,7 +22,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// between its block puts and its header put).
 pub struct FlakyStore<S> {
     inner: S,
-    failure_probability: f64,
+    /// Read-failure probability, stored as `f64::to_bits` so outage tests
+    /// can flip a region flaky (and heal it) mid-stream without `&mut`.
+    failure_probability: AtomicU64,
     rng: Mutex<StdRng>,
     injected: AtomicU64,
     /// Writes remaining before puts start failing; `u64::MAX` disables.
@@ -35,7 +37,7 @@ impl<S: ObjectStore> FlakyStore<S> {
         assert!((0.0..=1.0).contains(&failure_probability));
         FlakyStore {
             inner,
-            failure_probability,
+            failure_probability: AtomicU64::new(failure_probability.to_bits()),
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             injected: AtomicU64::new(0),
             puts_until_failure: AtomicU64::new(u64::MAX),
@@ -45,6 +47,19 @@ impl<S: ObjectStore> FlakyStore<S> {
     /// Number of failures injected so far.
     pub fn injected_failures(&self) -> u64 {
         self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Change the read-failure probability at runtime (the region-outage
+    /// sweep sets 1.0 to take a region down, then 0.0 to heal it).
+    pub fn set_failure_probability(&self, p: f64) {
+        assert!((0.0..=1.0).contains(&p));
+        self.failure_probability
+            .store(p.to_bits(), Ordering::SeqCst);
+    }
+
+    /// The current read-failure probability.
+    pub fn failure_probability(&self) -> f64 {
+        f64::from_bits(self.failure_probability.load(Ordering::SeqCst))
     }
 
     /// Arm deterministic write faults: allow `remaining` more successful
@@ -67,7 +82,7 @@ impl<S: ObjectStore> FlakyStore<S> {
 
     fn maybe_fail(&self, name: &str) -> Result<()> {
         let roll: f64 = self.rng.lock().gen();
-        if roll < self.failure_probability {
+        if roll < self.failure_probability() {
             self.injected.fetch_add(1, Ordering::Relaxed);
             return Err(StorageError::Timeout {
                 name: name.to_owned(),
@@ -304,6 +319,24 @@ mod tests {
     fn flaky_zero_probability_never_fails() {
         let store = flaky(0.0, 1);
         for _ in 0..50 {
+            store.get_range("blob", 0, 64).unwrap();
+        }
+    }
+
+    #[test]
+    fn failure_probability_toggles_at_runtime() {
+        let store = flaky(0.0, 1);
+        for _ in 0..20 {
+            store.get_range("blob", 0, 64).unwrap();
+        }
+        store.set_failure_probability(1.0);
+        assert_eq!(store.failure_probability(), 1.0);
+        assert!(matches!(
+            store.get_range("blob", 0, 64),
+            Err(StorageError::Timeout { .. })
+        ));
+        store.set_failure_probability(0.0);
+        for _ in 0..20 {
             store.get_range("blob", 0, 64).unwrap();
         }
     }

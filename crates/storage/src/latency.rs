@@ -212,6 +212,14 @@ impl RegionProfile {
             bandwidth_div: 3.0,
         }
     }
+
+    /// The paper's three-region spread (Figures 7, 12, 13) in nearness
+    /// order: same-region, transatlantic, transpacific. This is the
+    /// default placement for [`crate::ReplicatedStore`] tests and the
+    /// cross-region bench.
+    pub fn paper_spread() -> Vec<Self> {
+        vec![Self::same_region(), Self::london(), Self::singapore()]
+    }
 }
 
 /// The affine cloud-storage latency model of the paper's Figure 2.

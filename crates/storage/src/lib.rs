@@ -41,6 +41,7 @@ mod latency;
 mod localfs;
 mod memory;
 mod object_store;
+mod replicated;
 mod scheduler;
 mod sim;
 mod tail;
@@ -53,6 +54,7 @@ pub use latency::{LatencyModel, LatencyModelBuilder, LatencySample, RegionProfil
 pub use localfs::LocalFsStore;
 pub use memory::InMemoryStore;
 pub use object_store::{BatchFetch, Fetched, ObjectStore, RangeClass, RangeRequest, Version};
+pub use replicated::{ReplicatedStore, ReplicationStats};
 pub use scheduler::{CoalescingStore, SchedulerConfig, SchedulerStats};
 pub use sim::{IoStatsSnapshot, SimulatedCloudStore, SpikeProfile};
 pub use tail::TailStore;

@@ -81,7 +81,12 @@ impl Fetched {
 pub enum RangeClass {
     /// Small, high-fanout index structures touched by every query.
     Index,
-    /// Bulk payload bytes (posting bytes, documents).
+    /// Superposting payloads — the per-atom posting bytes every query
+    /// intersects. Cached in the Data tier but ledgered separately so
+    /// posting traffic and document-verification traffic are
+    /// distinguishable in [`crate::CacheStats`].
+    Superpost,
+    /// Bulk payload bytes (documents fetched for verification).
     #[default]
     Data,
 }
@@ -113,6 +118,11 @@ impl RangeRequest {
     /// Convenience constructor for an Index-class request.
     pub fn index(name: impl Into<String>, offset: u64, len: u64) -> Self {
         RangeRequest::new(name, offset, len).with_class(RangeClass::Index)
+    }
+
+    /// Convenience constructor for a Superpost-class request.
+    pub fn superpost(name: impl Into<String>, offset: u64, len: u64) -> Self {
+        RangeRequest::new(name, offset, len).with_class(RangeClass::Superpost)
     }
 
     /// Set the cache-tier hint.
